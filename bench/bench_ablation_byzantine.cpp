@@ -1,0 +1,56 @@
+// Ablation: flooding intensity sweep. Varies the number of invalid
+// transactions a Byzantine proposer stuffs into each block, with and without
+// RPM, extending Table I into a curve: the throughput cost of the flood
+// grows with its intensity, and RPM caps it by slashing the flooder after
+// its first decided bad block.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace srbb;
+
+namespace {
+
+diablo::RunResult run(bool rpm, std::uint32_t flood_per_block) {
+  diablo::RunConfig config;
+  config.system_name = rpm ? "w/ RPM" : "w/o RPM";
+  config.kind = diablo::SystemKind::kSrbb;
+  config.rpm = rpm;
+  config.validators = 4;
+  config.clients = 4;
+  config.latency = sim::LatencyModel::single_region();
+  config.workload =
+      diablo::WorkloadSpec::constant("stress", 4000.0, 5);  // 20k valid
+  config.drain = seconds(60);
+  config.byzantine = flood_per_block > 0 ? 1 : 0;
+  config.flood_invalid_per_block = flood_per_block;
+  // DIABLO clients connect to the non-faulty endpoints (as in Table I).
+  config.client_target_count = 3;
+  return diablo::run_experiment(config);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: flooding intensity vs RPM (4 validators, 1 "
+              "Byzantine) ===\n\n");
+  std::printf("%14s %10s %12s %10s %14s %9s\n", "invalid/block", "rpm",
+              "tput(TPS)", "commit%", "invalid-seen", "slashes");
+  std::printf("%s\n", std::string(74, '-').c_str());
+  for (const std::uint32_t flood : {0u, 100u, 400u, 1000u, 2000u}) {
+    for (const bool rpm : {false, true}) {
+      const diablo::RunResult r = run(rpm, flood);
+      std::printf("%14u %10s %12.2f %9.1f%% %14llu %9llu\n", flood,
+                  r.system.c_str(), r.throughput_tps, r.commit_pct,
+                  static_cast<unsigned long long>(r.invalid_discarded),
+                  static_cast<unsigned long long>(r.slash_events));
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nWithout RPM the flood taxes every decided superblock for the whole "
+      "run; with RPM the flooder is slashed at its first decided bad block "
+      "and excluded, so the invalid-transaction tax is bounded and "
+      "throughput recovers (the paper's +7%% at Table I intensity).\n");
+  return 0;
+}

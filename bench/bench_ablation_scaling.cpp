@@ -1,0 +1,62 @@
+// Ablation: committee-size scaling. Runs SRBB and EVM+DBFT on a fixed
+// offered load while sweeping the validator count, showing (a) SRBB's
+// throughput is stable in n and (b) the baseline's duplicate-proposal burden
+// grows with n — the mechanism behind the paper's 55x TVPR factor at n=200.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace srbb;
+
+namespace {
+
+diablo::RunResult run(diablo::SystemKind kind, const char* name,
+                      std::uint32_t validators) {
+  diablo::RunConfig config;
+  config.system_name = name;
+  config.kind = kind;
+  config.validators = validators;
+  config.clients = 4;
+  config.workload = diablo::WorkloadSpec::constant("fixed-300tps", 300.0, 30);
+  config.latency = sim::LatencyModel::aws_global();
+  config.drain = seconds(60);
+  // Fixed realistic costs (no 1/scale boost: the load is already absolute).
+  return diablo::run_experiment(config);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: committee size vs TVPR benefit (300 TPS load) ===\n\n");
+  std::printf("%5s %12s %10s %10s %12s %10s %10s\n", "n", "system",
+              "tput(TPS)", "commit%", "avg-lat(s)", "attempts", "factor");
+  std::printf("%s\n", std::string(78, '-').c_str());
+  for (const std::uint32_t n : {4u, 10u, 20u, 40u}) {
+    const diablo::RunResult srbb = run(diablo::SystemKind::kSrbb, "SRBB", n);
+    const diablo::RunResult base =
+        run(diablo::SystemKind::kEvmDbft, "EVM+DBFT", n);
+    std::printf("%5u %12s %10.2f %9.1f%% %12.2f %10llu %10s\n", n, "SRBB",
+                srbb.throughput_tps, srbb.commit_pct, srbb.avg_latency_s,
+                static_cast<unsigned long long>(srbb.invalid_discarded +
+                                                srbb.committed),
+                "-");
+    char factor[32];
+    std::snprintf(factor, sizeof(factor), "%.1fx",
+                  base.throughput_tps > 0
+                      ? srbb.throughput_tps / base.throughput_tps
+                      : 0.0);
+    std::printf("%5u %12s %10.2f %9.1f%% %12.2f %10llu %10s\n", n, "EVM+DBFT",
+                base.throughput_tps, base.commit_pct, base.avg_latency_s,
+                static_cast<unsigned long long>(base.invalid_discarded +
+                                                base.committed),
+                factor);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\n'attempts' counts transaction executions attempted at commit "
+      "(duplicates across the superblock fail lazy validation and are "
+      "discarded); the EVM+DBFT attempt count grows with n while SRBB's "
+      "stays at the unique-transaction count, which is why the TVPR factor "
+      "grows toward the paper's 55x at n=200.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 3 reproduction: average latency for the NASDAQ, Uber and FIFA DApp
+// workloads across the six modern chains, the EVM+DBFT baseline and SRBB.
+//
+// Expected shape (paper): SRBB has the lowest latency on NASDAQ (6.6 s) and
+// Uber (3.9 s); on FIFA it shows ~64 s because it commits 98% of a workload
+// the others barely commit at all (chains reporting tiny latencies there are
+// committing only the first few percent of transactions). Modern chains sit
+// above 20 s under load.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace srbb;
+
+int main() {
+  const double scale = benchutil::scale_from_env();
+  benchutil::print_banner("Figure 3: DApp latency", scale);
+
+  const std::vector<diablo::WorkloadSpec> workloads = {
+      diablo::WorkloadSpec::nasdaq(), diablo::WorkloadSpec::uber(),
+      diablo::WorkloadSpec::fifa()};
+
+  std::printf("%-12s %-8s %10s %10s %10s %10s %9s\n", "system", "workload",
+              "avg-lat", "p50-lat", "p95-lat", "max-lat", "commit%");
+  std::printf("%s\n", std::string(76, '-').c_str());
+
+  for (const auto& workload : workloads) {
+    std::vector<diablo::RunConfig> configs;
+    for (const auto& preset : chains::all_modern_presets()) {
+      configs.push_back(benchutil::modern_config(preset, workload));
+    }
+    configs.push_back(benchutil::paper_config(
+        "EVM+DBFT", diablo::SystemKind::kEvmDbft, workload));
+    configs.push_back(
+        benchutil::paper_config("SRBB", diablo::SystemKind::kSrbb, workload));
+
+    for (const auto& config : configs) {
+      const diablo::RunResult r =
+          diablo::run_experiment(diablo::scale_config(config, scale));
+      std::printf("%-12s %-8s %9.2fs %9.2fs %9.2fs %9.2fs %8.1f%%\n",
+                  r.system.c_str(), r.workload.c_str(), r.avg_latency_s,
+                  r.p50_latency_s, r.p95_latency_s, r.max_latency_s,
+                  r.commit_pct);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nNote: a low latency next to a low commit%% means the chain only "
+      "committed its earliest transactions (the paper makes the same caveat "
+      "for Avalanche/Diem/Solana on FIFA).\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Microbenchmarks for the consensus layer: binary DBFT rounds and complete
+// superblock instances over an in-memory bus (no network latency), measuring
+// pure protocol-processing cost per decided instance.
+#include <benchmark/benchmark.h>
+
+#include <deque>
+
+#include "consensus/superblock.hpp"
+#include "sim/event_loop.hpp"
+
+namespace {
+
+using namespace srbb;
+using namespace srbb::consensus;
+
+void BM_BinaryConsensusUnanimous(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t f = (n - 1) / 3;
+  for (auto _ : state) {
+    struct Delivery {
+      std::uint32_t to, from, round;
+      bool est, value;
+    };
+    std::deque<Delivery> queue;
+    std::vector<std::unique_ptr<BinaryConsensus>> nodes(n);
+    int decided = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      BinaryConsensus::Callbacks cb;
+      cb.send_est = [&, i](std::uint32_t r, bool v) {
+        for (std::uint32_t to = 0; to < n; ++to) {
+          if (to != i) queue.push_back({to, i, r, true, v});
+        }
+        nodes[i]->on_est(i, r, v);
+      };
+      cb.send_aux = [&, i](std::uint32_t r, bool v) {
+        for (std::uint32_t to = 0; to < n; ++to) {
+          if (to != i) queue.push_back({to, i, r, false, v});
+        }
+        nodes[i]->on_aux(i, r, v);
+      };
+      cb.send_decided = [](bool) {};
+      cb.send_decided_to = [](std::uint32_t, bool) {};
+      cb.on_decide = [&decided](bool) { ++decided; };
+      nodes[i] = std::make_unique<BinaryConsensus>(n, f, std::move(cb));
+    }
+    for (auto& node : nodes) node->start(true);
+    while (!queue.empty()) {
+      const Delivery d = queue.front();
+      queue.pop_front();
+      if (d.est) {
+        nodes[d.to]->on_est(d.from, d.round, d.value);
+      } else {
+        nodes[d.to]->on_aux(d.from, d.round, d.value);
+      }
+    }
+    benchmark::DoNotOptimize(decided);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BinaryConsensusUnanimous)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SuperblockRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t f = (n - 1) / 3;
+  const auto& scheme = crypto::SignatureScheme::fast_sim();
+
+  // Pre-build one block proposal per validator.
+  std::vector<txn::BlockPtr> proposals;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    txn::TxParams params;
+    params.nonce = i;
+    auto tx = txn::make_tx_ptr(
+        txn::make_signed(params, scheme.make_identity(500 + i), scheme));
+    proposals.push_back(std::make_shared<const txn::Block>(txn::make_block(
+        0, i, 0, Hash32{}, {tx}, scheme.make_identity(i), scheme)));
+  }
+
+  for (auto _ : state) {
+    sim::Simulation simulation;
+    std::vector<std::unique_ptr<SuperblockInstance>> nodes(n);
+    int complete = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      SuperblockConfig config;
+      config.n = n;
+      config.f = f;
+      config.self = i;
+      config.scheme = &scheme;
+      config.proposal_timeout = millis(100);
+      SuperblockCallbacks cb;
+      cb.broadcast = [&, i](sim::MessagePtr msg) {
+        for (std::uint32_t to = 0; to < n; ++to) {
+          if (to == i) continue;
+          simulation.schedule_after(0, [&, to, msg, i] {
+            nodes[to]->handle(i, msg);
+          });
+        }
+      };
+      cb.send_to = [&, i](std::uint32_t to, sim::MessagePtr msg) {
+        simulation.schedule_after(0, [&, to, msg, i] {
+          nodes[to]->handle(i, msg);
+        });
+      };
+      cb.validate_header = [](const txn::Block&) { return true; };
+      cb.on_superblock = [&complete](std::vector<txn::BlockPtr>) {
+        ++complete;
+      };
+      cb.set_timer = [&](SimDuration d, std::function<void()> fn) {
+        simulation.schedule_after(d, std::move(fn));
+      };
+      nodes[i] = std::make_unique<SuperblockInstance>(config, 0, std::move(cb));
+    }
+    for (std::uint32_t i = 0; i < n; ++i) nodes[i]->begin(proposals[i]);
+    simulation.run_until_idle();
+    benchmark::DoNotOptimize(complete);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SuperblockRound)->Arg(4)->Arg(10)->Arg(20);
+
+}  // namespace

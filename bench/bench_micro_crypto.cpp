@@ -1,0 +1,97 @@
+// Microbenchmarks for the cryptographic substrate. The eager-validation CPU
+// cost used by the network model is calibrated from the Ed25519 verify cost
+// measured here.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "crypto/ed25519.hpp"
+#include "crypto/keccak.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+#include "crypto/signature.hpp"
+
+namespace {
+
+using namespace srbb;
+using namespace srbb::crypto;
+
+Bytes make_payload(std::size_t n) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint8_t>(i);
+  return out;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes payload = make_payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(4096);
+
+void BM_Sha512(benchmark::State& state) {
+  const Bytes payload = make_payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha512::hash(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(4096);
+
+void BM_Keccak256(benchmark::State& state) {
+  const Bytes payload = make_payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Keccak256::hash(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Keccak256)->Arg(64)->Arg(256)->Arg(4096);
+
+void BM_Ed25519_Sign(benchmark::State& state) {
+  const auto kp = ed25519_keypair_from_id(1);
+  const Bytes payload = make_payload(128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed25519_sign(payload, kp));
+  }
+}
+BENCHMARK(BM_Ed25519_Sign);
+
+void BM_Ed25519_Verify(benchmark::State& state) {
+  const auto kp = ed25519_keypair_from_id(2);
+  const Bytes payload = make_payload(128);
+  const Signature sig = ed25519_sign(payload, kp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed25519_verify(payload, sig, kp.public_key));
+  }
+}
+BENCHMARK(BM_Ed25519_Verify);
+
+void BM_FastSim_SignVerify(benchmark::State& state) {
+  const SignatureScheme& scheme = SignatureScheme::fast_sim();
+  const Identity id = scheme.make_identity(3);
+  const Bytes payload = make_payload(128);
+  const Signature sig = scheme.sign(id, payload);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.verify(payload, sig, id.public_key));
+  }
+}
+BENCHMARK(BM_FastSim_SignVerify);
+
+void BM_MerkleRoot(benchmark::State& state) {
+  std::vector<Hash32> leaves;
+  for (int i = 0; i < state.range(0); ++i) {
+    std::uint8_t tag[4];
+    put_be32(tag, static_cast<std::uint32_t>(i));
+    leaves.push_back(Sha256::hash(BytesView{tag, 4}));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(merkle_root(leaves));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MerkleRoot)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace

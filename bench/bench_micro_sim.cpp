@@ -1,0 +1,83 @@
+// Microbenchmarks for the discrete-event substrate: raw event throughput,
+// message delivery through the latency/bandwidth model, and gossip overlay
+// construction. These bound how large a deployment the figure benches can
+// simulate per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "sim/event_loop.hpp"
+#include "sim/gossip.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using namespace srbb;
+using namespace srbb::sim;
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(i, [] {});
+    }
+    sim.run_until_idle();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventLoopScheduleRun)->Arg(1000)->Arg(100000);
+
+struct Blob final : Message {
+  std::size_t n;
+  explicit Blob(std::size_t bytes) : n(bytes) {}
+  std::size_t size_bytes() const override { return n; }
+  const char* type() const override { return "blob"; }
+};
+
+class Sink : public SimNode {
+ public:
+  using SimNode::SimNode;
+  void handle_message(NodeId, const MessagePtr&) override { ++received; }
+  std::uint64_t received = 0;
+};
+
+void BM_NetworkDelivery(benchmark::State& state) {
+  const std::size_t node_count = 50;
+  for (auto _ : state) {
+    Simulation sim;
+    NetworkConfig config;
+    config.latency = LatencyModel::aws_global();
+    Network net{sim, config};
+    std::vector<std::unique_ptr<Sink>> nodes;
+    const auto regions = config.latency.assign_round_robin(node_count);
+    for (std::size_t i = 0; i < node_count; ++i) {
+      nodes.push_back(std::make_unique<Sink>(sim, static_cast<NodeId>(i),
+                                             regions[i]));
+      net.attach(nodes.back().get());
+    }
+    auto blob = std::make_shared<Blob>(300);
+    for (std::size_t i = 0; i < 2000; ++i) {
+      nodes[i % node_count]->send(
+          static_cast<NodeId>((i * 7) % node_count), blob);
+    }
+    sim.run_until_idle();
+    benchmark::DoNotOptimize(net.total_messages());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_NetworkDelivery);
+
+void BM_GossipOverlayBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    GossipOverlay overlay{n, 8, seed++};
+    benchmark::DoNotOptimize(overlay.peers(0).size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GossipOverlayBuild)->Arg(20)->Arg(200);
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Microbenchmarks for the 256-bit integer substrate: these costs bound the
+// EVM interpreter's arithmetic throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/u256.hpp"
+
+namespace {
+
+using srbb::Rng;
+using srbb::U256;
+
+U256 rand_u256(Rng& rng) {
+  return U256{rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()};
+}
+
+void BM_U256_Add(benchmark::State& state) {
+  Rng rng{1};
+  const U256 a = rand_u256(rng);
+  U256 b = rand_u256(rng);
+  for (auto _ : state) {
+    b = a + b;
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_U256_Add);
+
+void BM_U256_Mul(benchmark::State& state) {
+  Rng rng{2};
+  const U256 a = rand_u256(rng);
+  U256 b = rand_u256(rng);
+  for (auto _ : state) {
+    b = a * b;
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_U256_Mul);
+
+void BM_U256_DivWide(benchmark::State& state) {
+  Rng rng{3};
+  const U256 a = rand_u256(rng);
+  U256 d = rand_u256(rng) >> 100;
+  if (d.is_zero()) d = U256{3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a / d);
+  }
+}
+BENCHMARK(BM_U256_DivWide);
+
+void BM_U256_DivSmall(benchmark::State& state) {
+  Rng rng{4};
+  const U256 a = rand_u256(rng);
+  const U256 d{rng.next_u64() | 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a / d);
+  }
+}
+BENCHMARK(BM_U256_DivSmall);
+
+void BM_U256_MulMod(benchmark::State& state) {
+  Rng rng{5};
+  const U256 a = rand_u256(rng);
+  const U256 b = rand_u256(rng);
+  const U256 m = rand_u256(rng) | U256::one();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(srbb::mulmod(a, b, m));
+  }
+}
+BENCHMARK(BM_U256_MulMod);
+
+void BM_U256_ExpPow(benchmark::State& state) {
+  Rng rng{6};
+  const U256 base = rand_u256(rng);
+  const U256 e{rng.next_u64()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(srbb::exp_pow(base, e));
+  }
+}
+BENCHMARK(BM_U256_ExpPow);
+
+void BM_U256_ToDec(benchmark::State& state) {
+  Rng rng{7};
+  const U256 a = rand_u256(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.to_dec());
+  }
+}
+BENCHMARK(BM_U256_ToDec);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// §V-A headline ablation: SRBB vs the EVM+DBFT baseline (identical except
+// TVPR) on the FIFA workload. The paper reports TVPR multiplying throughput
+// by 55x and dividing latency by 3.5 at 200 validators.
+//
+// The collapse mechanism is committee-size dependent: without TVPR every
+// validator's pool holds every transaction, so a superblock carries ~n
+// near-identical blocks and the commit path pays the per-attempt cost
+// (lazy + signature recovery) n times per unique transaction. The factor
+// therefore grows with n; this bench measures it at the configured scale and
+// bench_ablation_scaling sweeps n to show the trend toward the paper's 55x.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace srbb;
+
+int main() {
+  double scale = benchutil::scale_from_env();
+  // This bench only runs two systems, so default to a larger committee than
+  // the figure sweeps when the user did not choose a scale.
+  if (std::getenv("SRBB_SCALE") == nullptr && std::getenv("SRBB_FULL") == nullptr) {
+    scale = 0.1;
+  }
+  benchutil::print_banner("TVPR ablation (SRBB vs EVM+DBFT, FIFA)", scale);
+
+  const auto workload = diablo::WorkloadSpec::fifa();
+  const diablo::RunResult srbb = diablo::run_experiment(diablo::scale_config(
+      benchutil::paper_config("SRBB", diablo::SystemKind::kSrbb, workload),
+      scale));
+  std::printf("%s\n%s\n", diablo::format_row(srbb).c_str(),
+              diablo::format_diagnostics(srbb).c_str());
+  std::fflush(stdout);
+  const diablo::RunResult baseline = diablo::run_experiment(diablo::scale_config(
+      benchutil::paper_config("EVM+DBFT", diablo::SystemKind::kEvmDbft,
+                              workload),
+      scale));
+  std::printf("%s\n%s\n", diablo::format_row(baseline).c_str(),
+              diablo::format_diagnostics(baseline).c_str());
+
+  std::printf("\n%s\n", diablo::format_header().c_str());
+  std::printf("%s\n", diablo::format_row(srbb).c_str());
+  std::printf("%s\n", diablo::format_row(baseline).c_str());
+
+  if (baseline.throughput_tps > 0 && srbb.avg_latency_s > 0) {
+    std::printf("\nTVPR throughput multiplier : %.1fx (paper: 55x at n=200; "
+                "grows with committee size)\n",
+                srbb.throughput_tps / baseline.throughput_tps);
+    std::printf("TVPR latency divisor       : %.2fx (paper: 3.5x)\n",
+                baseline.avg_latency_s / srbb.avg_latency_s);
+  }
+  std::printf("Eager validations per sent tx: SRBB %.2f vs EVM+DBFT %.2f "
+              "(the n-fold redundancy of SS III-A)\n",
+              static_cast<double>(srbb.eager_validations) /
+                  static_cast<double>(srbb.sent),
+              static_cast<double>(baseline.eager_validations) /
+                  static_cast<double>(baseline.sent));
+  return 0;
+}

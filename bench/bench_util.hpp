@@ -1,0 +1,64 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Scale: the paper deploys 200 validators over 10 AWS regions. A full-scale
+// gossip-chain simulation moves ~10^9 messages, so benches default to
+// SRBB_SCALE=0.05 (10 validators, rates scaled to keep per-validator load —
+// and therefore congestion — unchanged; see scale_config). Override with
+//   SRBB_SCALE=0.2 ./bench_fig2_dapp_throughput
+//   SRBB_FULL=1    ...        # the paper's full 200-validator setup
+#pragma once
+
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+
+#include "chains/presets.hpp"
+#include "diablo/report.hpp"
+#include "diablo/runner.hpp"
+
+namespace srbb::benchutil {
+
+inline double scale_from_env() {
+  if (const char* full = std::getenv("SRBB_FULL");
+      full != nullptr && full[0] == '1') {
+    return 1.0;
+  }
+  if (const char* scale = std::getenv("SRBB_SCALE")) {
+    const double parsed = std::atof(scale);
+    if (parsed > 0.0 && parsed <= 1.0) return parsed;
+  }
+  return 0.05;
+}
+
+/// Paper-default full-scale config for one system+workload; scaled later.
+inline diablo::RunConfig paper_config(const std::string& system,
+                                      diablo::SystemKind kind,
+                                      const diablo::WorkloadSpec& workload) {
+  diablo::RunConfig config;
+  config.system_name = system;
+  config.kind = kind;
+  config.validators = 200;  // 10 AWS regions x 20 (§V)
+  config.workload = workload;
+  config.latency = sim::LatencyModel::aws_global();
+  config.clients = 10;  // one DIABLO client VM per region
+  config.drain = seconds(120);
+  return config;
+}
+
+inline diablo::RunConfig modern_config(const chains::ChainPreset& preset,
+                                       const diablo::WorkloadSpec& workload) {
+  diablo::RunConfig config =
+      paper_config(preset.name, diablo::SystemKind::kModern, workload);
+  config.preset = preset;
+  return config;
+}
+
+inline void print_banner(const char* title, double scale) {
+  std::printf("=== %s ===\n", title);
+  std::printf(
+      "scale=%.3f (validators=%d; rates, pool slots and modern block caps "
+      "scaled; set SRBB_FULL=1 for the paper's 200-validator setup)\n\n",
+      scale, static_cast<int>(std::max(4.0, 200 * scale)));
+}
+
+}  // namespace srbb::benchutil

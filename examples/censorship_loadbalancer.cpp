@@ -1,0 +1,98 @@
+// Censorship mitigation demo (§VI): with TVPR there is no transaction
+// gossip, so a validator that refuses to include a client's transactions
+// censors them. The paper's proposed mitigation is a load balancer that
+// forwards each (re)submission to a random validator, plus client retries.
+// This example runs both setups against a censoring validator.
+//
+//   $ ./examples/censorship_loadbalancer
+#include <cstdio>
+#include <memory>
+
+#include "diablo/client.hpp"
+#include "srbb/load_balancer.hpp"
+#include "srbb/validator.hpp"
+
+using namespace srbb;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t sent = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t resends = 0;
+};
+
+Outcome run(bool with_load_balancer) {
+  const auto& scheme = crypto::SignatureScheme::fast_sim();
+  sim::Simulation simulation;
+  sim::Network network{simulation, sim::NetworkConfig{}};
+
+  const crypto::Identity alice = scheme.make_identity(1001);
+  node::GenesisSpec genesis;
+  genesis.accounts.push_back({alice.address(), U256{1'000'000'000}});
+
+  std::vector<std::unique_ptr<node::ValidatorNode>> validators;
+  for (std::uint32_t rank = 0; rank < 4; ++rank) {
+    node::ValidatorConfig config;
+    config.n = 4;
+    config.f = 1;
+    config.self = rank;
+    config.scheme = &scheme;
+    config.min_block_interval = millis(200);
+    config.behavior.censor = rank == 0;  // validator 0 censors everything
+    auto oracle = std::make_shared<node::ExecutionOracle>(
+        genesis, evm::BlockContext{}, scheme);
+    validators.push_back(std::make_unique<node::ValidatorNode>(
+        simulation, rank, 0, config, oracle, nullptr, nullptr));
+    network.attach(validators.back().get());
+  }
+
+  // Node 4: the load balancer; node 5: the client.
+  node::LoadBalancerNode balancer{simulation, 4, 0, 4, /*seed=*/7};
+  network.attach(&balancer);
+  diablo::ClientNode client{simulation, 5, 0};
+  // Retry unacknowledged transactions after 2 s (the §VI loop). Without the
+  // balancer the client retries directly against the next validator.
+  client.enable_resend(seconds(2), with_load_balancer ? 1 : 4, 5);
+  network.attach(&client);
+  for (auto& validator : validators) validator->start();
+
+  for (std::uint64_t nonce = 0; nonce < 8; ++nonce) {
+    txn::TxParams params;
+    params.nonce = nonce;
+    params.gas_limit = 30'000;
+    params.to = scheme.make_identity(9).address();
+    params.value = U256{1};
+    // Every submission initially goes toward the censor: target 0 directly,
+    // or through the balancer (which may also pick the censor).
+    client.add_submission(
+        millis(10 + 50 * nonce),
+        txn::make_tx_ptr(txn::make_signed(params, alice, scheme)),
+        with_load_balancer ? 4u : 0u);
+  }
+  client.start();
+  simulation.run_until(seconds(20));
+  return Outcome{client.sent(), client.committed(), client.resends()};
+}
+
+}  // namespace
+
+int main() {
+  const Outcome direct = run(false);
+  const Outcome balanced = run(true);
+  std::printf("setup                          sent  committed  resends\n");
+  std::printf("------------------------------------------------------\n");
+  std::printf("client -> censor, retries next  %4llu %10llu %8llu\n",
+              static_cast<unsigned long long>(direct.sent),
+              static_cast<unsigned long long>(direct.committed),
+              static_cast<unsigned long long>(direct.resends));
+  std::printf("client -> load balancer         %4llu %10llu %8llu\n",
+              static_cast<unsigned long long>(balanced.sent),
+              static_cast<unsigned long long>(balanced.committed),
+              static_cast<unsigned long long>(balanced.resends));
+  std::printf(
+      "\nBoth §VI mechanisms recover every censored transaction: retries "
+      "walk to a non-censoring validator, and the balancer's random "
+      "forwarding makes a retry land elsewhere with high probability.\n");
+  return 0;
+}

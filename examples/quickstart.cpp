@@ -1,0 +1,100 @@
+// Quickstart: spin up a 4-validator SRBB network on the simulated wire,
+// deploy a counter contract through consensus, invoke it, and read the
+// replicated state back.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "diablo/client.hpp"
+#include "evm/contracts.hpp"
+#include "evm/interpreter.hpp"
+#include "srbb/validator.hpp"
+
+using namespace srbb;
+
+int main() {
+  const auto& scheme = crypto::SignatureScheme::ed25519();  // real signatures
+
+  // --- 1. a simulated network: 4 validators in one region, 1 client -------
+  sim::Simulation simulation;
+  sim::NetworkConfig net_config;
+  net_config.latency = sim::LatencyModel::uniform(1, millis(5));
+  sim::Network network{simulation, net_config};
+
+  // --- 2. genesis: fund Alice --------------------------------------------
+  const crypto::Identity alice = scheme.make_identity(1001);
+  node::GenesisSpec genesis;
+  genesis.accounts.push_back({alice.address(), U256{1'000'000'000}});
+
+  // --- 3. four SRBB validators (TVPR + RPM on), replicated execution ------
+  rpm::RpmConfig rpm_config;
+  rpm_config.n = 4;
+  rpm_config.f = 1;
+  rpm_config.scheme = &scheme;
+  auto rpm_contract = std::make_shared<rpm::RewardPenaltyMechanism>(rpm_config);
+
+  std::vector<std::unique_ptr<node::ValidatorNode>> validators;
+  for (std::uint32_t rank = 0; rank < 4; ++rank) {
+    node::ValidatorConfig config;
+    config.n = 4;
+    config.f = 1;
+    config.self = rank;
+    config.scheme = &scheme;
+    config.min_block_interval = millis(200);
+    auto oracle = std::make_shared<node::ExecutionOracle>(
+        genesis, evm::BlockContext{}, scheme);
+    validators.push_back(std::make_unique<node::ValidatorNode>(
+        simulation, rank, 0, config, oracle, rpm_contract, nullptr));
+    network.attach(validators.back().get());
+    rpm_contract->register_validator(validators.back()->identity().address(),
+                                     U256{1'000'000});
+  }
+
+  diablo::ClientNode client{simulation, 4, 0};
+  network.attach(&client);
+  for (auto& validator : validators) validator->start();
+
+  // --- 4. deploy the counter DApp, then increment it three times ----------
+  txn::TxParams deploy;
+  deploy.kind = txn::TxKind::kDeploy;
+  deploy.nonce = 0;
+  deploy.gas_limit = 5'000'000;
+  deploy.data = evm::counter_contract().deploy_code;
+  client.add_submission(
+      millis(10), txn::make_tx_ptr(txn::make_signed(deploy, alice, scheme)), 0);
+
+  const Address counter = evm::create_address(alice.address(), 0);
+  for (std::uint64_t nonce = 1; nonce <= 3; ++nonce) {
+    txn::TxParams invoke;
+    invoke.kind = txn::TxKind::kInvoke;
+    invoke.nonce = nonce;
+    invoke.gas_limit = 100'000;
+    invoke.to = counter;
+    invoke.data = evm::encode_call("increment()", {});
+    client.add_submission(
+        millis(500 + 100 * nonce),
+        txn::make_tx_ptr(txn::make_signed(invoke, alice, scheme)),
+        static_cast<sim::NodeId>(nonce % 4));
+  }
+  client.start();
+
+  // --- 5. run and inspect --------------------------------------------------
+  simulation.run_until(seconds(10));
+
+  std::printf("client: sent=%llu committed=%llu\n",
+              static_cast<unsigned long long>(client.sent()),
+              static_cast<unsigned long long>(client.committed()));
+  for (const auto& validator : validators) {
+    const U256 value =
+        validator->oracle().db().storage(counter, U256{0}.to_hash());
+    std::printf("validator %u: height=%llu counter=%s state-root=%s...\n",
+                validator->id(),
+                static_cast<unsigned long long>(validator->chain_height()),
+                value.to_dec().c_str(),
+                validator->last_state_root().hex().substr(0, 16).c_str());
+  }
+  std::printf("\nAll four replicas independently executed the same blocks "
+              "and agree: counter == 3.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Parameterized models of the six blockchains DIABLO evaluates (§V-A).
+//
+// All six share the modern-blockchain protocol of Alg. 1 *including* line 9:
+// every transaction is gossiped individually and eagerly validated at every
+// validator, then propagated again inside blocks. They differ in consensus
+// cadence, block capacity, pool size and per-operation costs — the knobs
+// below. The presets steer each instance toward the qualitative operating
+// point DIABLO reported (who saturates, who loses transactions); absolute
+// numbers are out of scope (see DESIGN.md, substitutions).
+#pragma once
+
+#include <string>
+
+#include "common/time.hpp"
+#include "pool/txpool.hpp"
+#include "srbb/validator.hpp"
+
+namespace srbb::chains {
+
+struct ChainPreset {
+  std::string name;
+  /// One leader slot per interval; the slot leader batches its pool.
+  SimDuration block_interval = seconds(1);
+  std::size_t max_block_txs = 1000;
+  std::size_t max_block_bytes = 2 * 1024 * 1024;
+  pool::TxPoolConfig pool;
+  node::CostModel costs;
+  /// Extra voting/finality delay between block receipt and commit
+  /// (e.g. IBFT's 3-phase exchange, BA*'s soft/cert votes).
+  SimDuration consensus_overhead = millis(500);
+  /// Per-tx gossip fanout.
+  std::size_t gossip_fanout = 8;
+  /// Blocks are also gossiped (false only for Avalanche, whose snowman
+  /// consensus propagates transactions, not blocks — §VII).
+  bool gossip_blocks = true;
+  /// Crash the node once its pool has dropped this many transactions
+  /// (0 = never). Models the under-load validator crashes DIABLO observed
+  /// (notably Solana).
+  std::uint64_t crash_after_pool_drops = 0;
+};
+
+ChainPreset preset_algorand();
+ChainPreset preset_avalanche();
+ChainPreset preset_diem();
+ChainPreset preset_ethereum_poa();
+ChainPreset preset_quorum_ibft();
+ChainPreset preset_solana();
+
+/// All six, in the paper's figure order.
+std::vector<ChainPreset> all_modern_presets();
+
+}  // namespace srbb::chains

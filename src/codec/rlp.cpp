@@ -1,0 +1,174 @@
+#include "codec/rlp.hpp"
+
+namespace srbb::rlp {
+
+namespace {
+
+// Append the length header for a payload of `length` bytes, using `base`
+// 0x80 for strings or 0xc0 for lists.
+void append_header(Bytes& out, std::size_t length, std::uint8_t base) {
+  if (length <= 55) {
+    out.push_back(static_cast<std::uint8_t>(base + length));
+    return;
+  }
+  std::uint8_t len_be[8];
+  put_be64(len_be, length);
+  std::size_t first = 0;
+  while (first < 7 && len_be[first] == 0) ++first;
+  const std::size_t len_of_len = 8 - first;
+  out.push_back(static_cast<std::uint8_t>(base + 55 + len_of_len));
+  out.insert(out.end(), len_be + first, len_be + 8);
+}
+
+Bytes minimal_be(const U256& value) {
+  const Bytes full = value.be_bytes();
+  std::size_t first = 0;
+  while (first < full.size() && full[first] == 0) ++first;
+  return Bytes{full.begin() + static_cast<std::ptrdiff_t>(first), full.end()};
+}
+
+}  // namespace
+
+Bytes encode_bytes(BytesView payload) {
+  Bytes out;
+  if (payload.size() == 1 && payload[0] < 0x80) {
+    out.push_back(payload[0]);
+    return out;
+  }
+  append_header(out, payload.size(), 0x80);
+  append(out, payload);
+  return out;
+}
+
+Bytes encode_u64(std::uint64_t value) { return encode_u256(U256{value}); }
+
+Bytes encode_u256(const U256& value) {
+  const Bytes payload = minimal_be(value);
+  return encode_bytes(payload);
+}
+
+Bytes encode_list(const std::vector<Bytes>& encoded_items) {
+  std::size_t total = 0;
+  for (const auto& item : encoded_items) total += item.size();
+  Bytes out;
+  out.reserve(total + 9);
+  append_header(out, total, 0xc0);
+  for (const auto& item : encoded_items) append(out, item);
+  return out;
+}
+
+ListBuilder& ListBuilder::add_bytes(BytesView payload) {
+  items_.push_back(encode_bytes(payload));
+  return *this;
+}
+
+ListBuilder& ListBuilder::add_u64(std::uint64_t value) {
+  items_.push_back(encode_u64(value));
+  return *this;
+}
+
+ListBuilder& ListBuilder::add_u256(const U256& value) {
+  items_.push_back(encode_u256(value));
+  return *this;
+}
+
+ListBuilder& ListBuilder::add_raw(Bytes encoded) {
+  items_.push_back(std::move(encoded));
+  return *this;
+}
+
+Bytes ListBuilder::build() const { return encode_list(items_); }
+
+Result<std::uint64_t> Item::as_u64() const {
+  auto wide = as_u256();
+  if (!wide) return wide.status();
+  if (!wide.value().fits_u64()) return Status::error("rlp: integer exceeds 64 bits");
+  return wide.value().as_u64();
+}
+
+Result<U256> Item::as_u256() const {
+  if (is_list) return Status::error("rlp: expected integer, found list");
+  if (payload.size() > 32) return Status::error("rlp: integer exceeds 256 bits");
+  if (!payload.empty() && payload[0] == 0) {
+    return Status::error("rlp: non-canonical integer (leading zero)");
+  }
+  return U256::from_be(payload);
+}
+
+namespace {
+
+Result<std::size_t> read_long_length(BytesView& data, std::size_t len_of_len) {
+  if (data.size() < len_of_len) return Status::error("rlp: truncated length");
+  if (len_of_len > 8) return Status::error("rlp: length too large");
+  if (data[0] == 0) return Status::error("rlp: non-canonical length (leading zero)");
+  std::size_t length = 0;
+  for (std::size_t i = 0; i < len_of_len; ++i) {
+    length = (length << 8) | data[i];
+  }
+  if (length <= 55) return Status::error("rlp: non-canonical long form");
+  data = data.subspan(len_of_len);
+  return length;
+}
+
+}  // namespace
+
+Result<Item> decode_prefix(BytesView& data) {
+  if (data.empty()) return Status::error("rlp: empty input");
+  const std::uint8_t prefix = data[0];
+  data = data.subspan(1);
+
+  Item out;
+  std::size_t length = 0;
+
+  if (prefix < 0x80) {
+    // Single byte encodes itself.
+    out.payload.push_back(prefix);
+    return out;
+  }
+  if (prefix <= 0xb7) {  // short string
+    length = prefix - 0x80;
+    if (data.size() < length) return Status::error("rlp: truncated string");
+    if (length == 1 && data[0] < 0x80) {
+      return Status::error("rlp: non-canonical single byte");
+    }
+    out.payload.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(length));
+    data = data.subspan(length);
+    return out;
+  }
+  if (prefix <= 0xbf) {  // long string
+    auto len = read_long_length(data, prefix - 0xb7);
+    if (!len) return len.status();
+    length = len.value();
+    if (data.size() < length) return Status::error("rlp: truncated string");
+    out.payload.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(length));
+    data = data.subspan(length);
+    return out;
+  }
+  // Lists.
+  out.is_list = true;
+  if (prefix <= 0xf7) {
+    length = prefix - 0xc0;
+  } else {
+    auto len = read_long_length(data, prefix - 0xf7);
+    if (!len) return len.status();
+    length = len.value();
+  }
+  if (data.size() < length) return Status::error("rlp: truncated list");
+  BytesView body = data.subspan(0, length);
+  data = data.subspan(length);
+  while (!body.empty()) {
+    auto child = decode_prefix(body);
+    if (!child) return child.status();
+    out.items.push_back(std::move(child).take());
+  }
+  return out;
+}
+
+Result<Item> decode(BytesView data) {
+  auto item = decode_prefix(data);
+  if (!item) return item.status();
+  if (!data.empty()) return Status::error("rlp: trailing bytes");
+  return item;
+}
+
+}  // namespace srbb::rlp

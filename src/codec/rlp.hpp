@@ -1,0 +1,58 @@
+// Recursive Length Prefix (RLP) serialization, as specified in the Ethereum
+// yellow paper. Encoding is canonical; decoding rejects every non-canonical
+// form (long form for short payloads, leading zeros in lengths, trailing
+// bytes), so `decode(encode(x)) == x` and malformed wire data is surfaced as
+// an error rather than undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/u256.hpp"
+
+namespace srbb::rlp {
+
+// --- Encoding -------------------------------------------------------------
+
+Bytes encode_bytes(BytesView payload);
+/// Minimal big-endian integer encoding (zero encodes as the empty string).
+Bytes encode_u64(std::uint64_t value);
+Bytes encode_u256(const U256& value);
+/// Wrap already-encoded items into a list.
+Bytes encode_list(const std::vector<Bytes>& encoded_items);
+
+/// Incremental builder for composite structures.
+class ListBuilder {
+ public:
+  ListBuilder& add_bytes(BytesView payload);
+  ListBuilder& add_u64(std::uint64_t value);
+  ListBuilder& add_u256(const U256& value);
+  ListBuilder& add_raw(Bytes encoded);  // pre-encoded item (e.g. nested list)
+  Bytes build() const;
+
+ private:
+  std::vector<Bytes> items_;
+};
+
+// --- Decoding ---------------------------------------------------------------
+
+struct Item {
+  bool is_list = false;
+  Bytes payload;            // string contents when !is_list
+  std::vector<Item> items;  // children when is_list
+
+  /// Integer view of a string item; error when it is a list, has a leading
+  /// zero byte, or exceeds the requested width.
+  Result<std::uint64_t> as_u64() const;
+  Result<U256> as_u256() const;
+};
+
+/// Decode a complete RLP document; trailing bytes are an error.
+Result<Item> decode(BytesView data);
+
+/// Decode one item from the front of `data`, advancing it.
+Result<Item> decode_prefix(BytesView& data);
+
+}  // namespace srbb::rlp

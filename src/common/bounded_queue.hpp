@@ -1,0 +1,52 @@
+// Fixed-capacity FIFO with drop accounting — models saturating transaction
+// and message queues whose overflow behaviour (loss) is the congestion signal
+// the paper studies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+namespace srbb {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False (and counts a drop) when full.
+  bool push(T item) {
+    if (items_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    items_.push_back(std::move(item));
+    return true;
+  }
+
+  std::optional<T> pop() {
+    if (items_.empty()) return std::nullopt;
+    T front = std::move(items_.front());
+    items_.pop_front();
+    return front;
+  }
+
+  const T* peek() const { return items_.empty() ? nullptr : &items_.front(); }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() >= capacity_; }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace srbb

@@ -1,0 +1,53 @@
+// Lightweight status/result types for expected failures (validation errors,
+// malformed input). Exceptions are reserved for programming errors; protocol
+// code communicates failure through these value types per the Core Guidelines
+// advice for error codes on hot paths.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace srbb {
+
+class Status {
+ public:
+  Status() = default;  // OK
+  static Status ok() { return Status{}; }
+  static Status error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool is_ok() const { return !message_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+  const std::string& message() const {
+    static const std::string kOk = "ok";
+    return message_ ? *message_ : kOk;
+  }
+
+ private:
+  std::optional<std::string> message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT implicit
+
+  bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& take() && { return std::move(*value_); }
+  const Status& status() const { return status_; }
+  const std::string& message() const { return status_.message(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace srbb

@@ -1,0 +1,79 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace srbb {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Chunked dispatch: one task per worker pulling indices from a shared
+  // counter keeps scheduling overhead independent of n.
+  auto counter = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t tasks = std::min(n, workers_.size());
+  for (std::size_t t = 0; t < tasks; ++t) {
+    submit([counter, n, &fn] {
+      for (;;) {
+        const std::size_t i = counter->fetch_add(1);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace srbb

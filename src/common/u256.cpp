@@ -1,0 +1,351 @@
+#include "common/u256.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace srbb {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+U256 U256::max() {
+  return U256{~0ull, ~0ull, ~0ull, ~0ull};
+}
+
+U256 U256::from_be(BytesView bytes) {
+  U256 out;
+  if (bytes.size() > 32) bytes = bytes.subspan(bytes.size() - 32);
+  // Right-align: the last byte of input is the least significant.
+  std::size_t shift = 0;
+  for (std::size_t i = bytes.size(); i-- > 0;) {
+    out.limb[shift / 64] |= static_cast<u64>(bytes[i]) << (shift % 64);
+    shift += 8;
+  }
+  return out;
+}
+
+void U256::to_be(std::uint8_t out[32]) const {
+  for (int i = 0; i < 4; ++i) put_be64(out + 8 * i, limb[3 - i]);
+}
+
+Bytes U256::be_bytes() const {
+  Bytes out(32);
+  to_be(out.data());
+  return out;
+}
+
+Hash32 U256::to_hash() const {
+  Hash32 h;
+  to_be(h.data.data());
+  return h;
+}
+
+unsigned U256::bit_length() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limb[i] != 0) {
+      return static_cast<unsigned>(64 * i + 64 - __builtin_clzll(limb[i]));
+    }
+  }
+  return 0;
+}
+
+U256 U256::operator+(const U256& o) const {
+  U256 r;
+  unsigned char carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 sum = static_cast<u128>(limb[i]) + o.limb[i] + carry;
+    r.limb[i] = static_cast<u64>(sum);
+    carry = static_cast<unsigned char>(sum >> 64);
+  }
+  return r;
+}
+
+U256 U256::operator-(const U256& o) const {
+  U256 r;
+  unsigned char borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 lhs = static_cast<u128>(limb[i]);
+    const u128 rhs = static_cast<u128>(o.limb[i]) + borrow;
+    r.limb[i] = static_cast<u64>(lhs - rhs);
+    borrow = lhs < rhs ? 1 : 0;
+  }
+  return r;
+}
+
+U256 U256::operator*(const U256& o) const {
+  // Schoolbook 4x4 limb multiply, keeping only the low 256 bits.
+  U256 r;
+  for (int i = 0; i < 4; ++i) {
+    u64 carry = 0;
+    for (int j = 0; i + j < 4; ++j) {
+      const u128 cur =
+          static_cast<u128>(limb[i]) * o.limb[j] + r.limb[i + j] + carry;
+      r.limb[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+  }
+  return r;
+}
+
+U256::Wide U256::full_mul(const U256& o) const {
+  u64 w[8] = {};
+  for (int i = 0; i < 4; ++i) {
+    u64 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(limb[i]) * o.limb[j] + w[i + j] + carry;
+      w[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    w[i + 4] = carry;
+  }
+  return Wide{U256{w[0], w[1], w[2], w[3]}, U256{w[4], w[5], w[6], w[7]}};
+}
+
+bool U256::operator<(const U256& o) const {
+  for (int i = 3; i >= 0; --i) {
+    if (limb[i] != o.limb[i]) return limb[i] < o.limb[i];
+  }
+  return false;
+}
+
+U256 U256::operator&(const U256& o) const {
+  return U256{limb[0] & o.limb[0], limb[1] & o.limb[1], limb[2] & o.limb[2],
+              limb[3] & o.limb[3]};
+}
+U256 U256::operator|(const U256& o) const {
+  return U256{limb[0] | o.limb[0], limb[1] | o.limb[1], limb[2] | o.limb[2],
+              limb[3] | o.limb[3]};
+}
+U256 U256::operator^(const U256& o) const {
+  return U256{limb[0] ^ o.limb[0], limb[1] ^ o.limb[1], limb[2] ^ o.limb[2],
+              limb[3] ^ o.limb[3]};
+}
+U256 U256::operator~() const {
+  return U256{~limb[0], ~limb[1], ~limb[2], ~limb[3]};
+}
+
+U256 U256::operator<<(unsigned n) const {
+  if (n >= 256) return U256{};
+  U256 r;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (int i = 3; i >= 0; --i) {
+    const int src = i - static_cast<int>(limb_shift);
+    if (src < 0) break;
+    u64 v = limb[src] << bit_shift;
+    if (bit_shift != 0 && src > 0) v |= limb[src - 1] >> (64 - bit_shift);
+    r.limb[i] = v;
+  }
+  return r;
+}
+
+U256 U256::operator>>(unsigned n) const {
+  if (n >= 256) return U256{};
+  U256 r;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (unsigned i = 0; i < 4; ++i) {
+    const unsigned src = i + limb_shift;
+    if (src > 3) break;
+    u64 v = limb[src] >> bit_shift;
+    if (bit_shift != 0 && src < 3) v |= limb[src + 1] << (64 - bit_shift);
+    r.limb[i] = v;
+  }
+  return r;
+}
+
+namespace {
+
+// Divide a 256-bit value by a single 64-bit limb.
+U256::DivMod divmod_small(const U256& num, u64 d) {
+  U256 q;
+  u128 rem = 0;
+  for (int i = 3; i >= 0; --i) {
+    const u128 cur = (rem << 64) | num.limb[i];
+    q.limb[i] = static_cast<u64>(cur / d);
+    rem = cur % d;
+  }
+  return {q, U256{static_cast<u64>(rem)}};
+}
+
+}  // namespace
+
+U256::DivMod U256::divmod(const U256& divisor) const {
+  if (divisor.is_zero()) return {U256{}, U256{}};
+  if (divisor.fits_u64()) return divmod_small(*this, divisor.limb[0]);
+  if (*this < divisor) return {U256{}, *this};
+
+  // Binary long division: at most bit_length() iterations, each O(limbs).
+  U256 quot;
+  U256 rem;
+  const unsigned nbits = bit_length();
+  for (unsigned i = nbits; i-- > 0;) {
+    rem = rem << 1;
+    if (bit(i)) rem.limb[0] |= 1;
+    if (rem >= divisor) {
+      rem = rem - divisor;
+      quot.limb[i / 64] |= 1ull << (i % 64);
+    }
+  }
+  return {quot, rem};
+}
+
+U256 U256::operator/(const U256& o) const { return divmod(o).quot; }
+U256 U256::operator%(const U256& o) const { return divmod(o).rem; }
+
+std::optional<U256> U256::from_dec(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  U256 out;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    // out = out * 10 + digit, detecting overflow past 2^256.
+    const U256 prev = out;
+    out = out * U256{10};
+    if (out / U256{10} != prev) return std::nullopt;
+    const U256 next = out + U256{static_cast<u64>(c - '0')};
+    if (next < out) return std::nullopt;
+    out = next;
+  }
+  return out;
+}
+
+std::optional<U256> U256::from_hex(std::string_view s) {
+  if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    s.remove_prefix(2);
+  }
+  if (s.empty() || s.size() > 64) return std::nullopt;
+  std::string padded(64 - s.size(), '0');
+  padded.append(s);
+  auto raw = srbb::from_hex(padded);
+  if (!raw) return std::nullopt;
+  return from_be(BytesView{raw->data(), raw->size()});
+}
+
+std::string U256::to_dec() const {
+  if (is_zero()) return "0";
+  std::string out;
+  U256 cur = *this;
+  while (!cur.is_zero()) {
+    auto [q, r] = divmod_small(cur, 10);
+    out.push_back(static_cast<char>('0' + r.limb[0]));
+    cur = q;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string U256::to_hex() const {
+  std::string full = srbb::to_hex(be_bytes());
+  const auto pos = full.find_first_not_of('0');
+  return "0x" + (pos == std::string::npos ? std::string{"0"} : full.substr(pos));
+}
+
+bool sign_bit(const U256& v) { return (v.limb[3] >> 63) != 0; }
+
+U256 negate(const U256& v) { return (~v) + U256::one(); }
+
+bool slt(const U256& a, const U256& b) {
+  const bool sa = sign_bit(a);
+  const bool sb = sign_bit(b);
+  if (sa != sb) return sa;  // negative < non-negative
+  return a < b;
+}
+
+bool sgt(const U256& a, const U256& b) { return slt(b, a); }
+
+U256 sdiv(const U256& a, const U256& b) {
+  if (b.is_zero()) return U256{};
+  const bool na = sign_bit(a);
+  const bool nb = sign_bit(b);
+  const U256 ua = na ? negate(a) : a;
+  const U256 ub = nb ? negate(b) : b;
+  const U256 q = ua / ub;
+  return (na != nb) ? negate(q) : q;
+}
+
+U256 smod(const U256& a, const U256& b) {
+  if (b.is_zero()) return U256{};
+  const bool na = sign_bit(a);
+  const U256 ua = na ? negate(a) : a;
+  const U256 ub = sign_bit(b) ? negate(b) : b;
+  const U256 r = ua % ub;
+  return na ? negate(r) : r;
+}
+
+U256 sar(const U256& v, unsigned n) {
+  if (!sign_bit(v)) return v >> n;
+  if (n >= 256) return U256::max();
+  // Shift then backfill the vacated high bits with ones.
+  U256 shifted = v >> n;
+  if (n == 0) return shifted;
+  const U256 fill = ~(U256::max() >> n);
+  return shifted | fill;
+}
+
+U256 signextend(unsigned byte_index, const U256& v) {
+  if (byte_index >= 31) return v;
+  const unsigned bit = byte_index * 8 + 7;
+  const U256 mask = (U256::one() << (bit + 1)) - U256::one();
+  if (v.bit(bit)) return v | ~mask;
+  return v & mask;
+}
+
+std::uint8_t nth_byte(const U256& v, unsigned i) {
+  if (i >= 32) return 0;
+  std::uint8_t be[32];
+  v.to_be(be);
+  return be[i];
+}
+
+namespace {
+
+// Remainder of a 512-bit value (hi:lo) modulo a 256-bit modulus, via binary
+// long division over the full width.
+U256 mod512(const U256& lo, const U256& hi, const U256& m) {
+  if (m.is_zero()) return U256{};
+  U256 rem;
+  const unsigned total = hi.is_zero() ? lo.bit_length() : 256 + hi.bit_length();
+  for (unsigned i = total; i-- > 0;) {
+    // When bit 255 shifts out, the true value is 2^256 + shifted; since
+    // rem < m <= 2^256 - 1, subtracting m once (with wraparound) lands back
+    // below m because 2*rem + 1 < 2m.
+    const bool overflow = rem.bit(255);
+    rem = rem << 1;
+    const bool b = i >= 256 ? hi.bit(i - 256) : lo.bit(i);
+    if (b) rem.limb[0] |= 1;
+    if (overflow) {
+      rem = rem - m;  // wrapping subtraction: shifted - m + 2^256
+    } else if (rem >= m) {
+      rem = rem - m;
+    }
+  }
+  return rem;
+}
+
+}  // namespace
+
+U256 addmod(const U256& a, const U256& b, const U256& m) {
+  if (m.is_zero()) return U256{};
+  const U256 sum = a + b;
+  const bool carry = sum < a;  // wrapped past 2^256
+  return mod512(sum, carry ? U256::one() : U256{}, m);
+}
+
+U256 mulmod(const U256& a, const U256& b, const U256& m) {
+  if (m.is_zero()) return U256{};
+  const auto wide = a.full_mul(b);
+  return mod512(wide.lo, wide.hi, m);
+}
+
+U256 exp_pow(const U256& base, const U256& exponent) {
+  U256 result = U256::one();
+  U256 b = base;
+  const unsigned nbits = exponent.bit_length();
+  for (unsigned i = 0; i < nbits; ++i) {
+    if (exponent.bit(i)) result = result * b;
+    b = b * b;
+  }
+  return result;
+}
+
+}  // namespace srbb

@@ -1,0 +1,107 @@
+// 256-bit unsigned integer with wrapping arithmetic — the EVM word type.
+// Little-endian limbs (limb[0] least significant). All arithmetic is modulo
+// 2^256, matching EVM semantics; division by zero yields zero as the EVM
+// defines for DIV/MOD.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace srbb {
+
+struct U256 {
+  std::array<std::uint64_t, 4> limb{};
+
+  constexpr U256() = default;
+  constexpr U256(std::uint64_t v) : limb{v, 0, 0, 0} {}  // NOLINT implicit
+  constexpr U256(std::uint64_t l0, std::uint64_t l1, std::uint64_t l2,
+                 std::uint64_t l3)
+      : limb{l0, l1, l2, l3} {}
+
+  static U256 zero() { return U256{}; }
+  static U256 one() { return U256{1}; }
+  static U256 max();
+
+  /// Big-endian 32-byte decode/encode (EVM word layout).
+  static U256 from_be(BytesView bytes);  // right-aligned if shorter than 32
+  void to_be(std::uint8_t out[32]) const;
+  Bytes be_bytes() const;
+  Hash32 to_hash() const;
+
+  static std::optional<U256> from_dec(std::string_view s);
+  static std::optional<U256> from_hex(std::string_view s);
+  std::string to_dec() const;
+  std::string to_hex() const;
+
+  bool is_zero() const { return (limb[0] | limb[1] | limb[2] | limb[3]) == 0; }
+  /// Number of significant bits (0 for zero).
+  unsigned bit_length() const;
+  bool bit(unsigned i) const {
+    return i < 256 && ((limb[i / 64] >> (i % 64)) & 1u) != 0;
+  }
+  /// Truncating conversion; callers must check fits_u64 when exactness matters.
+  std::uint64_t as_u64() const { return limb[0]; }
+  bool fits_u64() const { return (limb[1] | limb[2] | limb[3]) == 0; }
+
+  friend bool operator==(const U256&, const U256&) = default;
+
+  U256 operator+(const U256& o) const;
+  U256 operator-(const U256& o) const;
+  U256 operator*(const U256& o) const;
+  U256 operator/(const U256& o) const;  // 0 if o == 0 (EVM DIV)
+  U256 operator%(const U256& o) const;  // 0 if o == 0 (EVM MOD)
+  U256 operator&(const U256& o) const;
+  U256 operator|(const U256& o) const;
+  U256 operator^(const U256& o) const;
+  U256 operator~() const;
+  U256 operator<<(unsigned n) const;
+  U256 operator>>(unsigned n) const;
+  U256& operator+=(const U256& o) { return *this = *this + o; }
+  U256& operator-=(const U256& o) { return *this = *this - o; }
+
+  bool operator<(const U256& o) const;
+  bool operator>(const U256& o) const { return o < *this; }
+  bool operator<=(const U256& o) const { return !(o < *this); }
+  bool operator>=(const U256& o) const { return !(*this < o); }
+
+  struct DivMod;
+  struct Wide;
+  /// Quotient and remainder in one pass; {0, 0} when divisor is zero.
+  DivMod divmod(const U256& divisor) const;
+  /// 512-bit product split into (low, high) 256-bit halves.
+  Wide full_mul(const U256& o) const;
+};
+
+struct U256::DivMod {
+  U256 quot;
+  U256 rem;
+};
+
+struct U256::Wide {
+  U256 lo;
+  U256 hi;
+};
+
+// --- EVM-flavoured operations on the two's-complement interpretation. ---
+bool sign_bit(const U256& v);
+U256 negate(const U256& v);  // two's complement
+bool slt(const U256& a, const U256& b);
+bool sgt(const U256& a, const U256& b);
+U256 sdiv(const U256& a, const U256& b);  // truncated signed division
+U256 smod(const U256& a, const U256& b);  // sign follows dividend
+U256 sar(const U256& v, unsigned n);      // arithmetic shift right
+/// EVM SIGNEXTEND: extend the sign of the byte at index `byte_index`
+/// (0 = least significant) through the high bytes.
+U256 signextend(unsigned byte_index, const U256& v);
+/// EVM BYTE: the i-th byte counting from the most significant (0..31).
+std::uint8_t nth_byte(const U256& v, unsigned i);
+U256 addmod(const U256& a, const U256& b, const U256& m);
+U256 mulmod(const U256& a, const U256& b, const U256& m);
+U256 exp_pow(const U256& base, const U256& exponent);  // wrapping pow
+
+}  // namespace srbb

@@ -1,0 +1,128 @@
+#include "consensus/binary.hpp"
+
+namespace srbb::consensus {
+
+void BinaryConsensus::start(bool input) {
+  if (started_) return;
+  started_ = true;
+  est_ = input;
+  broadcast_est(0, est_);
+  try_advance();
+}
+
+void BinaryConsensus::broadcast_est(std::uint32_t r, bool value) {
+  RoundState& state = round_state(r);
+  if (state.est_sent[value ? 1 : 0]) return;
+  state.est_sent[value ? 1 : 0] = true;
+  cb_.send_est(r, value);
+}
+
+void BinaryConsensus::on_est(std::uint32_t from, std::uint32_t r, bool value) {
+  if (decided_) {
+    cb_.send_decided_to(from, decision_);
+    return;
+  }
+  RoundState& state = round_state(r);
+  state.est_from[value ? 1 : 0].insert(from);
+  // BV-broadcast echo rule: t+1 copies of a value we have not yet sent.
+  if (state.est_from[value ? 1 : 0].size() >= f_ + 1) {
+    broadcast_est(r, value);
+  }
+  // Binding rule: 2t+1 copies -> the value enters bin_values.
+  if (state.est_from[value ? 1 : 0].size() >= 2 * f_ + 1) {
+    state.bin_values[value ? 1 : 0] = true;
+  }
+  try_advance();
+}
+
+void BinaryConsensus::on_aux(std::uint32_t from, std::uint32_t r, bool value) {
+  if (decided_) {
+    cb_.send_decided_to(from, decision_);
+    return;
+  }
+  RoundState& state = round_state(r);
+  state.aux_from.emplace(from, value);  // first AUX per peer counts
+  try_advance();
+}
+
+void BinaryConsensus::on_decided(std::uint32_t from, bool value) {
+  if (decided_) return;
+  decided_from_[value ? 1 : 0].insert(from);
+  // t+1 matching decisions include one from a correct node, whose decision
+  // is safe to adopt.
+  if (decided_from_[value ? 1 : 0].size() >= f_ + 1) {
+    decide(value);
+  }
+}
+
+void BinaryConsensus::try_advance() {
+  if (!started_ || decided_) return;
+  if (advancing_) {
+    dirty_ = true;
+    return;
+  }
+  advancing_ = true;
+  do {
+    dirty_ = false;
+    advance_loop();
+  } while (dirty_ && !decided_);
+  advancing_ = false;
+}
+
+void BinaryConsensus::advance_loop() {
+  // A single message can unlock several steps (echo -> bin_values -> aux ->
+  // round completion), so loop to a fixed point.
+  for (;;) {
+    if (decided_) return;
+    RoundState& state = round_state(round_);
+
+    if (!state.est_sent[est_ ? 1 : 0]) broadcast_est(round_, est_);
+
+    if (!state.aux_sent) {
+      if (state.bin_values[0] || state.bin_values[1]) {
+        state.aux_sent = true;
+        // Send an AUX carrying a value from bin_values (prefer our estimate
+        // when it is bound).
+        const bool aux_value =
+            state.bin_values[est_ ? 1 : 0] ? est_ : state.bin_values[1];
+        cb_.send_aux(round_, aux_value);
+      } else {
+        return;  // wait for bin_values
+      }
+    }
+
+    // Completion check: n-t AUX values all inside bin_values.
+    std::size_t in_bin = 0;
+    bool saw[2] = {false, false};
+    for (const auto& [peer, value] : state.aux_from) {
+      if (state.bin_values[value ? 1 : 0]) {
+        ++in_bin;
+        saw[value ? 1 : 0] = true;
+      }
+    }
+    if (in_bin < n_ - f_) return;  // wait for more AUX
+
+    const bool coin = (round_ % 2) == 1;  // deterministic round parity
+    if (saw[0] != saw[1]) {
+      const bool v = saw[1];
+      if (v == coin) {
+        decide(v);
+        return;
+      }
+      est_ = v;
+    } else {
+      est_ = coin;
+    }
+    ++round_;
+  }
+}
+
+void BinaryConsensus::decide(bool value) {
+  if (decided_) return;
+  decided_ = true;
+  decision_ = value;
+  cb_.send_decided(value);
+  cb_.on_decide(value);
+}
+
+}  // namespace srbb::consensus

@@ -1,0 +1,94 @@
+// Binary Byzantine consensus in the style of DBFT's underlying
+// binary-value broadcast protocol (Crain, Gramoli, Larrea, Raynal):
+//
+//   round r:  BV-broadcast EST(est) — echo a value on t+1 copies, add it to
+//             bin_values on 2t+1;
+//             once bin_values is non-empty, broadcast AUX(w), w in bin_values;
+//             on n-t AUX values all within bin_values: vals = their union;
+//             if vals == {v}: decide v when v == (r mod 2), else est = v;
+//             if vals == {0,1}: est = r mod 2; next round.
+//
+// Safety (agreement + validity) is unconditional. The deterministic
+// round-parity replaces DBFT's weak-coordinator fast path — a documented
+// simplification: termination is guaranteed under the simulator's fair
+// scheduling rather than against an adaptive network adversary. A DECIDED
+// announcement lets nodes finish on t+1 matching decisions, so early
+// deciders cannot stall the rest.
+//
+// This class is a pure state machine: it emits messages through callbacks
+// and never touches the network or the clock directly, which makes it unit
+// testable in isolation and reusable across node types.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace srbb::consensus {
+
+class BinaryConsensus {
+ public:
+  struct Callbacks {
+    /// Broadcast EST/AUX for a round (delivered to every validator
+    /// including, immediately, this one).
+    std::function<void(std::uint32_t round, bool value)> send_est;
+    std::function<void(std::uint32_t round, bool value)> send_aux;
+    /// Broadcast the decision announcement.
+    std::function<void(bool value)> send_decided;
+    /// Point-to-point decision hint to a straggler.
+    std::function<void(std::uint32_t peer, bool value)> send_decided_to;
+    /// Fired exactly once on decision.
+    std::function<void(bool value)> on_decide;
+  };
+
+  BinaryConsensus(std::uint32_t n, std::uint32_t f, Callbacks callbacks)
+      : n_(n), f_(f), cb_(std::move(callbacks)) {}
+
+  /// Begin with this node's proposal. Idempotent.
+  void start(bool input);
+
+  bool started() const { return started_; }
+  bool decided() const { return decided_; }
+  bool decision() const { return decision_; }
+  std::uint32_t round() const { return round_; }
+
+  // Message inputs (from peer `from`, deduplicated internally).
+  void on_est(std::uint32_t from, std::uint32_t round, bool value);
+  void on_aux(std::uint32_t from, std::uint32_t round, bool value);
+  void on_decided(std::uint32_t from, bool value);
+
+ private:
+  struct RoundState {
+    std::set<std::uint32_t> est_from[2];
+    bool est_sent[2] = {false, false};
+    bool bin_values[2] = {false, false};
+    std::map<std::uint32_t, bool> aux_from;
+    bool aux_sent = false;
+  };
+
+  RoundState& round_state(std::uint32_t r) { return rounds_[r]; }
+  void broadcast_est(std::uint32_t r, bool value);
+  /// Reentrancy-safe: a callback that synchronously self-delivers a message
+  /// (re-entering on_est/on_aux) only marks the machine dirty; the outer
+  /// invocation re-runs the advance loop.
+  void try_advance();
+  void advance_loop();
+  void decide(bool value);
+
+  std::uint32_t n_;
+  std::uint32_t f_;
+  Callbacks cb_;
+
+  bool started_ = false;
+  bool decided_ = false;
+  bool decision_ = false;
+  bool est_ = false;
+  std::uint32_t round_ = 0;
+  std::map<std::uint32_t, RoundState> rounds_;
+  std::set<std::uint32_t> decided_from_[2];
+  bool advancing_ = false;
+  bool dirty_ = false;
+};
+
+}  // namespace srbb::consensus

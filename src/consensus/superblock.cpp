@@ -1,0 +1,299 @@
+#include "consensus/superblock.hpp"
+
+#include <algorithm>
+
+namespace srbb::consensus {
+
+SuperblockInstance::SuperblockInstance(const SuperblockConfig& config,
+                                       std::uint64_t index,
+                                       SuperblockCallbacks callbacks)
+    : config_(config), index_(index), cb_(std::move(callbacks)) {
+  slots_.resize(config_.n);
+}
+
+BinaryConsensus& SuperblockInstance::bin_for(std::uint32_t proposer) {
+  ProposalSlot& slot = slots_[proposer];
+  if (!slot.bin) {
+    BinaryConsensus::Callbacks bin_cb;
+    bin_cb.send_est = [this, proposer](std::uint32_t round, bool value) {
+      auto msg = std::make_shared<BinMsg>();
+      msg->index = index_;
+      msg->proposer = proposer;
+      msg->round = round;
+      msg->phase = BinPhase::kEst;
+      msg->value = value;
+      cb_.broadcast(msg);
+      // Self-delivery: our own EST counts toward our quorums.
+      slots_[proposer].bin->on_est(config_.self, round, value);
+    };
+    bin_cb.send_aux = [this, proposer](std::uint32_t round, bool value) {
+      auto msg = std::make_shared<BinMsg>();
+      msg->index = index_;
+      msg->proposer = proposer;
+      msg->round = round;
+      msg->phase = BinPhase::kAux;
+      msg->value = value;
+      cb_.broadcast(msg);
+      slots_[proposer].bin->on_aux(config_.self, round, value);
+    };
+    bin_cb.send_decided = [this, proposer](bool value) {
+      auto msg = std::make_shared<DecidedMsg>();
+      msg->index = index_;
+      msg->proposer = proposer;
+      msg->value = value;
+      cb_.broadcast(msg);
+    };
+    bin_cb.send_decided_to = [this, proposer](std::uint32_t peer, bool value) {
+      if (peer == config_.self) return;
+      auto msg = std::make_shared<DecidedMsg>();
+      msg->index = index_;
+      msg->proposer = proposer;
+      msg->value = value;
+      cb_.send_to(peer, msg);
+    };
+    bin_cb.on_decide = [this, proposer](bool value) {
+      ProposalSlot& s = slots_[proposer];
+      s.bin_decided = true;
+      s.bin_value = value;
+      if (value && !slot_ready(s)) request_pull(proposer);
+      maybe_complete();
+    };
+    slot.bin = std::make_unique<BinaryConsensus>(config_.n, config_.f,
+                                                 std::move(bin_cb));
+  }
+  return *slot.bin;
+}
+
+void SuperblockInstance::begin(txn::BlockPtr own_proposal) {
+  if (began_) return;
+  began_ = true;
+  if (cb_.expect_proposal) {
+    for (std::uint32_t i = 0; i < config_.n; ++i) {
+      if (!slots_[i].bin_started && !cb_.expect_proposal(i)) {
+        start_bin(i, false);
+      }
+    }
+  }
+  if (own_proposal != nullptr) {
+    auto msg = std::make_shared<ProposeMsg>();
+    msg->index = index_;
+    msg->block = own_proposal;
+    cb_.broadcast(msg);
+    on_propose(config_.self, *msg);  // self-delivery
+  }
+  cb_.set_timer(config_.proposal_timeout, [this] { on_proposal_timeout(); });
+}
+
+void SuperblockInstance::handle(std::uint32_t from,
+                                const sim::MessagePtr& message) {
+  if (const auto* propose = dynamic_cast<const ProposeMsg*>(message.get())) {
+    on_propose(from, *propose);
+  } else if (const auto* echo = dynamic_cast<const EchoMsg*>(message.get())) {
+    on_echo(from, *echo);
+  } else if (const auto* pull = dynamic_cast<const PullMsg*>(message.get())) {
+    on_pull(from, *pull);
+  } else if (const auto* bin = dynamic_cast<const BinMsg*>(message.get())) {
+    on_bin_msg(from, *bin);
+  } else if (const auto* dec = dynamic_cast<const DecidedMsg*>(message.get())) {
+    on_decided_msg(from, *dec);
+  }
+}
+
+void SuperblockInstance::on_propose(std::uint32_t from, const ProposeMsg& msg) {
+  if (msg.block == nullptr) return;
+  const std::uint64_t proposer64 = msg.block->header.proposer;
+  if (proposer64 >= config_.n) return;
+  const auto proposer = static_cast<std::uint32_t>(proposer64);
+  // Only the proposer itself may push its proposal unsolicited; anyone may
+  // answer a PULL, which also lands here.
+  (void)from;
+  ProposalSlot& slot = slots_[proposer];
+  const Hash32 block_hash = msg.block->hash();
+  if (slot.delivered_hash.has_value() && *slot.delivered_hash != block_hash) {
+    return;  // body does not match the echo-quorum hash
+  }
+  if (slot.block != nullptr) return;  // first valid body wins
+  // Discard blocks with invalid headers before consensus (Alg. 1 line 16).
+  if (!txn::verify_block_certificate(*msg.block, *config_.scheme)) return;
+  if (cb_.validate_header && !cb_.validate_header(*msg.block)) return;
+  if (msg.block->header.index != index_) return;
+
+  slot.block = msg.block;
+  if (!slot.echoed) {
+    slot.echoed = true;
+    auto echo = std::make_shared<EchoMsg>();
+    echo->index = index_;
+    echo->proposer = proposer;
+    echo->block_hash = block_hash;
+    cb_.broadcast(echo);
+    record_echo(proposer, config_.self, block_hash);
+  }
+  // Body may have been the missing piece for delivery/completion.
+  if (slot.delivered_hash.has_value() && *slot.delivered_hash == block_hash) {
+    if (!slot.bin_started && !timeout_fired_) start_bin(proposer, true);
+    maybe_complete();
+  }
+}
+
+void SuperblockInstance::record_echo(std::uint32_t proposer, std::uint32_t from,
+                                     const Hash32& hash) {
+  ProposalSlot& slot = slots_[proposer];
+  auto& senders = slot.echoes[hash];
+  senders.insert(from);
+
+  // Bracha amplification: f+1 echoes for a hash we have not echoed -> echo
+  // it too (without needing the body), so every correct node reaches the
+  // delivery quorum when any does.
+  if (!slot.echoed && senders.size() >= config_.f + 1) {
+    slot.echoed = true;
+    auto echo = std::make_shared<EchoMsg>();
+    echo->index = index_;
+    echo->proposer = proposer;
+    echo->block_hash = hash;
+    cb_.broadcast(echo);
+    record_echo(proposer, config_.self, hash);
+    return;  // recursion handled the quorum check
+  }
+
+  if (!slot.delivered_hash.has_value() &&
+      senders.size() >= config_.n - config_.f) {
+    // Quorum intersection makes this hash unique for the slot.
+    slot.delivered_hash = hash;
+    const bool have_body =
+        slot.block != nullptr && slot.block->hash() == hash;
+    if (have_body) {
+      if (!slot.bin_started && !timeout_fired_) start_bin(proposer, true);
+    } else if (slot.block != nullptr) {
+      slot.block = nullptr;  // stored body contradicts the quorum hash
+    }
+    if (slot.bin_decided && slot.bin_value && !slot_ready(slot)) {
+      request_pull(proposer);
+    }
+    maybe_complete();
+  }
+}
+
+void SuperblockInstance::on_echo(std::uint32_t from, const EchoMsg& msg) {
+  if (msg.proposer >= config_.n) return;
+  record_echo(msg.proposer, from, msg.block_hash);
+}
+
+void SuperblockInstance::on_pull(std::uint32_t from, const PullMsg& msg) {
+  if (msg.proposer >= config_.n) return;
+  const ProposalSlot& slot = slots_[msg.proposer];
+  if (slot.block == nullptr) return;
+  auto reply = std::make_shared<ProposeMsg>();
+  reply->index = index_;
+  reply->block = slot.block;
+  cb_.send_to(from, reply);
+}
+
+void SuperblockInstance::on_bin_msg(std::uint32_t from, const BinMsg& msg) {
+  if (msg.proposer >= config_.n) return;
+  BinaryConsensus& bin = bin_for(msg.proposer);
+  // A peer's EST can arrive before our own instance started; the binary
+  // machine buffers per-round state, and start() later folds it in.
+  if (msg.phase == BinPhase::kEst) {
+    bin.on_est(from, msg.round, msg.value);
+  } else {
+    bin.on_aux(from, msg.round, msg.value);
+  }
+}
+
+void SuperblockInstance::on_decided_msg(std::uint32_t from,
+                                        const DecidedMsg& msg) {
+  if (msg.proposer >= config_.n) return;
+  bin_for(msg.proposer).on_decided(from, msg.value);
+}
+
+void SuperblockInstance::on_proposal_timeout() {
+  if (timeout_fired_ || completed_) return;
+  timeout_fired_ = true;
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    if (!slots_[i].bin_started) {
+      const bool delivered = slot_ready(slots_[i]);
+      start_bin(i, delivered);
+    }
+  }
+}
+
+void SuperblockInstance::start_bin(std::uint32_t proposer, bool input) {
+  ProposalSlot& slot = slots_[proposer];
+  if (slot.bin_started) return;
+  slot.bin_started = true;
+  bin_for(proposer).start(input);
+}
+
+bool SuperblockInstance::slot_ready(const ProposalSlot& slot) const {
+  return slot.delivered_hash.has_value() && slot.block != nullptr &&
+         slot.block->hash() == *slot.delivered_hash;
+}
+
+void SuperblockInstance::request_pull(std::uint32_t proposer) {
+  ProposalSlot& slot = slots_[proposer];
+  if (slot.pulling || completed_) return;
+  slot.pulling = true;
+  // Ask every known echoer (at least one correct node holds the body when a
+  // binary instance decided 1); retry until the body lands.
+  auto attempt = std::make_shared<std::function<void()>>();
+  *attempt = [this, proposer, attempt] {
+    ProposalSlot& s = slots_[proposer];
+    if (completed_ || slot_ready(s)) return;
+    auto pull = std::make_shared<PullMsg>();
+    pull->index = index_;
+    pull->proposer = proposer;
+    std::size_t asked = 0;
+    for (const auto& [hash, senders] : s.echoes) {
+      for (const std::uint32_t peer : senders) {
+        if (peer == config_.self) continue;
+        cb_.send_to(peer, pull);
+        if (++asked >= config_.f + 1) break;
+      }
+      if (asked >= config_.f + 1) break;
+    }
+    if (asked == 0) cb_.broadcast(pull);  // no echoer known yet: ask everyone
+    cb_.set_timer(config_.pull_retry, *attempt);
+  };
+  (*attempt)();
+}
+
+std::uint32_t SuperblockInstance::decided_count() const {
+  std::uint32_t count = 0;
+  for (const ProposalSlot& slot : slots_) count += slot.bin_decided ? 1 : 0;
+  return count;
+}
+
+std::uint32_t SuperblockInstance::ones_decided() const {
+  std::uint32_t count = 0;
+  for (const ProposalSlot& slot : slots_) {
+    count += (slot.bin_decided && slot.bin_value) ? 1 : 0;
+  }
+  return count;
+}
+
+std::vector<txn::BlockPtr> SuperblockInstance::undecided_blocks() const {
+  std::vector<txn::BlockPtr> out;
+  for (const ProposalSlot& slot : slots_) {
+    if (slot.bin_decided && !slot.bin_value && slot.block != nullptr) {
+      out.push_back(slot.block);
+    }
+  }
+  return out;
+}
+
+void SuperblockInstance::maybe_complete() {
+  if (completed_) return;
+  std::vector<txn::BlockPtr> blocks;
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    const ProposalSlot& slot = slots_[i];
+    if (!slot.bin_decided) return;
+    if (slot.bin_value) {
+      if (!slot_ready(slot)) return;  // body still being pulled
+      blocks.push_back(slot.block);
+    }
+  }
+  completed_ = true;
+  cb_.on_superblock(std::move(blocks));
+}
+
+}  // namespace srbb::consensus

@@ -1,0 +1,121 @@
+// Red Belly-style superblock consensus for one index k (§IV-C stage 2):
+//
+//  1. every validator reliably broadcasts its block proposal b_i
+//     (PROPOSE + hash ECHO with Bracha-style amplification on f+1 echoes;
+//     n-f echoes fix the unique hash for proposer i);
+//  2. one binary DBFT instance per proposer decides whether b_i enters the
+//     superblock (input 1 iff the proposal was delivered before the local
+//     proposal timeout);
+//  3. the decided superblock is the set of blocks whose instance decided 1,
+//     ordered by proposer id. Nodes that decided 1 without holding the block
+//     body PULL it from an echoer.
+//
+// Like BinaryConsensus this is a pure state machine driven by callbacks, so
+// it can be unit tested without a network and reused by both the SRBB node
+// and the EVM+DBFT baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/time.hpp"
+#include "consensus/binary.hpp"
+#include "consensus/messages.hpp"
+
+namespace srbb::consensus {
+
+struct SuperblockConfig {
+  std::uint32_t n = 4;     // validators (ranks 0..n-1)
+  std::uint32_t f = 1;     // tolerated Byzantine validators, f < n/3
+  std::uint32_t self = 0;  // this validator's rank
+  /// How long to wait for proposals before inputting 0 for the missing ones.
+  SimDuration proposal_timeout = millis(800);
+  /// Retry interval for PULLing a decided-but-missing block body.
+  SimDuration pull_retry = millis(200);
+  const crypto::SignatureScheme* scheme = &crypto::SignatureScheme::ed25519();
+};
+
+struct SuperblockCallbacks {
+  /// Broadcast to every *other* validator (self-delivery is internal).
+  std::function<void(sim::MessagePtr)> broadcast;
+  std::function<void(std::uint32_t peer, sim::MessagePtr)> send_to;
+  /// Extra block-header validity beyond the certificate (e.g. RPM exclusion
+  /// of slashed proposers). Blocks failing this are discarded before
+  /// consensus (Alg. 1 line 16).
+  std::function<bool(const txn::Block&)> validate_header;
+  /// Optional: return false when no proposal should be awaited from this
+  /// rank (e.g. RPM-excluded validators); its instance starts with input 0
+  /// at begin() instead of burning the proposal timeout.
+  std::function<bool(std::uint32_t proposer)> expect_proposal;
+  /// Decided superblock, ordered by proposer rank. Fired exactly once.
+  std::function<void(std::vector<txn::BlockPtr>)> on_superblock;
+  /// One-shot timer; the instance may request several.
+  std::function<void(SimDuration, std::function<void()>)> set_timer;
+};
+
+class SuperblockInstance {
+ public:
+  SuperblockInstance(const SuperblockConfig& config, std::uint64_t index,
+                     SuperblockCallbacks callbacks);
+
+  /// Start this node's participation: broadcast our proposal and arm the
+  /// proposal timeout. `own_proposal` may be null (propose nothing).
+  void begin(txn::BlockPtr own_proposal);
+
+  /// Route any consensus message for this index.
+  void handle(std::uint32_t from, const sim::MessagePtr& message);
+
+  bool complete() const { return completed_; }
+  std::uint64_t index() const { return index_; }
+
+  // Introspection for tests/metrics.
+  std::uint32_t decided_count() const;
+  std::uint32_t ones_decided() const;
+
+  /// Blocks received locally whose binary instance decided 0 — the set C of
+  /// Alg. 1 line 27, whose valid transactions get recycled into the pool.
+  std::vector<txn::BlockPtr> undecided_blocks() const;
+
+ private:
+  struct ProposalSlot {
+    txn::BlockPtr block;            // body as received (hash-checked)
+    std::optional<Hash32> delivered_hash;  // fixed by n-f echoes
+    std::map<Hash32, std::set<std::uint32_t>> echoes;
+    bool echoed = false;
+    bool bin_started = false;
+    bool bin_decided = false;
+    bool bin_value = false;
+    std::unique_ptr<BinaryConsensus> bin;
+    bool pulling = false;
+  };
+
+  void on_propose(std::uint32_t from, const ProposeMsg& msg);
+  void on_echo(std::uint32_t from, const EchoMsg& msg);
+  void on_pull(std::uint32_t from, const PullMsg& msg);
+  void on_bin_msg(std::uint32_t from, const BinMsg& msg);
+  void on_decided_msg(std::uint32_t from, const DecidedMsg& msg);
+  void on_proposal_timeout();
+
+  void record_echo(std::uint32_t proposer, std::uint32_t from,
+                   const Hash32& hash);
+  void start_bin(std::uint32_t proposer, bool input);
+  void request_pull(std::uint32_t proposer);
+  bool slot_ready(const ProposalSlot& slot) const;
+  void maybe_complete();
+  BinaryConsensus& bin_for(std::uint32_t proposer);
+
+  SuperblockConfig config_;
+  std::uint64_t index_;
+  SuperblockCallbacks cb_;
+  std::vector<ProposalSlot> slots_;
+  bool began_ = false;
+  bool timeout_fired_ = false;
+  bool completed_ = false;
+};
+
+}  // namespace srbb::consensus

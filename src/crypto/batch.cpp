@@ -1,0 +1,28 @@
+#include "crypto/batch.hpp"
+
+namespace srbb::crypto {
+
+std::vector<bool> batch_verify(const SignatureScheme& scheme,
+                               const std::vector<BatchVerifyItem>& items,
+                               ThreadPool& pool) {
+  // vector<bool> is not safe for concurrent element writes; use bytes.
+  std::vector<std::uint8_t> results(items.size(), 0);
+  pool.parallel_for(items.size(), [&](std::size_t i) {
+    const BatchVerifyItem& item = items[i];
+    results[i] =
+        scheme.verify(item.message, item.signature, item.public_key) ? 1 : 0;
+  });
+  return std::vector<bool>(results.begin(), results.end());
+}
+
+std::vector<bool> batch_verify_sequential(
+    const SignatureScheme& scheme, const std::vector<BatchVerifyItem>& items) {
+  std::vector<bool> results(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    results[i] = scheme.verify(items[i].message, items[i].signature,
+                               items[i].public_key);
+  }
+  return results;
+}
+
+}  // namespace srbb::crypto

@@ -1,0 +1,30 @@
+// Parallel batch signature verification. Eager validation is dominated by
+// the per-transaction signature check; a validator catching up (or absorbing
+// a burst) verifies independent signatures across cores. Results are
+// positionally identical to sequential verification — the thread pool only
+// changes wall-clock time, never outcomes.
+#pragma once
+
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "crypto/signature.hpp"
+
+namespace srbb::crypto {
+
+struct BatchVerifyItem {
+  Bytes message;
+  Signature signature{};
+  PublicKey public_key{};
+};
+
+/// Verify every item, fanning out across `pool`.
+std::vector<bool> batch_verify(const SignatureScheme& scheme,
+                               const std::vector<BatchVerifyItem>& items,
+                               ThreadPool& pool);
+
+/// Sequential reference (used by tests and single-core callers).
+std::vector<bool> batch_verify_sequential(
+    const SignatureScheme& scheme, const std::vector<BatchVerifyItem>& items);
+
+}  // namespace srbb::crypto

@@ -1,0 +1,39 @@
+// Ed25519 signatures (RFC 8032), implemented from scratch:
+//  - field arithmetic mod 2^255-19 in radix-51 with 128-bit products,
+//  - unified twisted-Edwards addition in extended coordinates,
+//  - 4-bit windowed fixed-base scalar multiplication for signing,
+//  - scalar arithmetic mod the group order L via the shared U256 helpers.
+//
+// This implementation favours clarity and auditability over side-channel
+// hardening: scalar multiplication is not constant-time, which is acceptable
+// for a simulation/benchmarking system that never holds real funds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace srbb::crypto {
+
+using PrivateSeed = std::array<std::uint8_t, 32>;
+using PublicKey = std::array<std::uint8_t, 32>;
+using Signature = std::array<std::uint8_t, 64>;
+
+struct Ed25519KeyPair {
+  PrivateSeed seed{};
+  PublicKey public_key{};
+};
+
+/// Expand a 32-byte seed into a keypair (seed is the RFC 8032 private key).
+Ed25519KeyPair ed25519_keypair(const PrivateSeed& seed);
+
+/// Deterministic keypair for tests/simulations, derived from a 64-bit id.
+Ed25519KeyPair ed25519_keypair_from_id(std::uint64_t id);
+
+Signature ed25519_sign(BytesView message, const Ed25519KeyPair& keypair);
+
+bool ed25519_verify(BytesView message, const Signature& signature,
+                    const PublicKey& public_key);
+
+}  // namespace srbb::crypto

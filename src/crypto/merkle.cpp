@@ -1,0 +1,65 @@
+#include "crypto/merkle.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace srbb::crypto {
+
+namespace {
+
+Hash32 hash_pair(const Hash32& left, const Hash32& right) {
+  Sha256 h;
+  h.update(left.view());
+  h.update(right.view());
+  return h.finish();
+}
+
+}  // namespace
+
+Hash32 merkle_root(const std::vector<Hash32>& leaves) {
+  if (leaves.empty()) return Sha256::hash(BytesView{});
+  std::vector<Hash32> level = leaves;
+  while (level.size() > 1) {
+    std::vector<Hash32> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const Hash32& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+      next.push_back(hash_pair(level[i], right));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+MerkleProof merkle_prove(const std::vector<Hash32>& leaves, std::size_t index) {
+  MerkleProof proof;
+  if (index >= leaves.size()) return proof;
+  std::vector<Hash32> level = leaves;
+  std::size_t pos = index;
+  while (level.size() > 1) {
+    const std::size_t sibling =
+        (pos % 2 == 0) ? (pos + 1 < level.size() ? pos + 1 : pos) : pos - 1;
+    proof.push_back(MerkleProofStep{level[sibling], sibling < pos});
+
+    std::vector<Hash32> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const Hash32& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+      next.push_back(hash_pair(level[i], right));
+    }
+    level = std::move(next);
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool merkle_verify(const Hash32& leaf, const MerkleProof& proof,
+                   const Hash32& root) {
+  Hash32 cur = leaf;
+  for (const auto& step : proof) {
+    cur = step.sibling_on_left ? hash_pair(step.sibling, cur)
+                               : hash_pair(cur, step.sibling);
+  }
+  return cur == root;
+}
+
+}  // namespace srbb::crypto

@@ -1,0 +1,30 @@
+// Binary Merkle tree over 32-byte leaves with proof generation/verification.
+// Used for block transaction roots and state-root summaries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace srbb::crypto {
+
+/// Root of a Merkle tree whose leaves are already hashes. An odd node at any
+/// level is paired with itself. Empty input hashes the empty string, so the
+/// "no transactions" root is well defined.
+Hash32 merkle_root(const std::vector<Hash32>& leaves);
+
+struct MerkleProofStep {
+  Hash32 sibling;
+  bool sibling_on_left = false;
+};
+
+using MerkleProof = std::vector<MerkleProofStep>;
+
+/// Proof for the leaf at `index`; empty proof for a single-leaf tree.
+MerkleProof merkle_prove(const std::vector<Hash32>& leaves, std::size_t index);
+
+bool merkle_verify(const Hash32& leaf, const MerkleProof& proof,
+                   const Hash32& root);
+
+}  // namespace srbb::crypto

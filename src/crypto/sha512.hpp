@@ -1,0 +1,30 @@
+// FIPS 180-4 SHA-512, required by Ed25519 (RFC 8032).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace srbb::crypto {
+
+using Hash64 = std::array<std::uint8_t, 64>;
+
+class Sha512 {
+ public:
+  Sha512();
+  void update(BytesView data);
+  Hash64 finish();
+
+  static Hash64 hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t block[128]);
+
+  std::uint64_t state_[8];
+  std::uint8_t buffer_[128];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace srbb::crypto

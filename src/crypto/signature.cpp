@@ -1,0 +1,88 @@
+#include "crypto/signature.hpp"
+
+#include <cstring>
+
+#include "crypto/keccak.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+
+namespace srbb::crypto {
+
+Address Identity::address() const {
+  return address_from_pubkey(BytesView{public_key.data(), public_key.size()});
+}
+
+namespace {
+
+class Ed25519Scheme final : public SignatureScheme {
+ public:
+  Identity make_identity(std::uint64_t id) const override {
+    const Ed25519KeyPair kp = ed25519_keypair_from_id(id);
+    return Identity{id, kp.public_key, kp.seed};
+  }
+
+  Signature sign(const Identity& signer, BytesView message) const override {
+    Ed25519KeyPair kp;
+    kp.seed = signer.seed;
+    kp.public_key = signer.public_key;
+    return ed25519_sign(message, kp);
+  }
+
+  bool verify(BytesView message, const Signature& signature,
+              const PublicKey& public_key) const override {
+    return ed25519_verify(message, signature, public_key);
+  }
+
+  const char* name() const override { return "ed25519"; }
+};
+
+class FastSimScheme final : public SignatureScheme {
+ public:
+  Identity make_identity(std::uint64_t id) const override {
+    Identity out;
+    out.id = id;
+    std::uint8_t tag[16] = {'s', 'i', 'm', '-', 'k', 'e', 'y', 0};
+    put_be64(tag + 8, id);
+    const Hash64 h = Sha512::hash(BytesView{tag, 16});
+    std::memcpy(out.public_key.data(), h.data(), 32);
+    std::memcpy(out.seed.data(), h.data() + 32, 32);
+    return out;
+  }
+
+  Signature sign(const Identity& signer, BytesView message) const override {
+    return mac(signer.public_key, message);
+  }
+
+  bool verify(BytesView message, const Signature& signature,
+              const PublicKey& public_key) const override {
+    return mac(public_key, message) == signature;
+  }
+
+  const char* name() const override { return "fast-sim"; }
+
+ private:
+  static Signature mac(const PublicKey& pub, BytesView message) {
+    Sha256 h;
+    h.update(BytesView{pub.data(), pub.size()});
+    h.update(message);
+    const Hash32 digest = h.finish();
+    Signature out{};
+    std::memcpy(out.data(), digest.data.data(), 32);
+    std::memcpy(out.data() + 32, digest.data.data(), 32);
+    return out;
+  }
+};
+
+}  // namespace
+
+const SignatureScheme& SignatureScheme::ed25519() {
+  static const Ed25519Scheme scheme;
+  return scheme;
+}
+
+const SignatureScheme& SignatureScheme::fast_sim() {
+  static const FastSimScheme scheme;
+  return scheme;
+}
+
+}  // namespace srbb::crypto

@@ -1,0 +1,44 @@
+// Pluggable signature scheme used by transactions and block certificates.
+//
+// Two implementations:
+//  - Ed25519Scheme: the real RFC 8032 signatures (default for tests, examples
+//    and small simulations).
+//  - FastSimScheme: signature = SHA-256(pubkey || message) repeated to 64
+//    bytes. Publicly forgeable, so usable ONLY inside the closed simulation;
+//    it preserves the property the congestion model needs (a tampered message
+//    or wrong key fails verification) while letting benchmarks pre-sign
+//    hundreds of thousands of transactions in milliseconds. DESIGN.md records
+//    this substitution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "crypto/ed25519.hpp"
+
+namespace srbb::crypto {
+
+/// A signing identity: a deterministic keypair derived from a 64-bit id.
+struct Identity {
+  std::uint64_t id = 0;
+  PublicKey public_key{};
+  PrivateSeed seed{};
+  Address address() const;  // Keccak-derived, Ethereum style
+};
+
+class SignatureScheme {
+ public:
+  virtual ~SignatureScheme() = default;
+
+  virtual Identity make_identity(std::uint64_t id) const = 0;
+  virtual Signature sign(const Identity& signer, BytesView message) const = 0;
+  virtual bool verify(BytesView message, const Signature& signature,
+                      const PublicKey& public_key) const = 0;
+  virtual const char* name() const = 0;
+
+  static const SignatureScheme& ed25519();
+  static const SignatureScheme& fast_sim();
+};
+
+}  // namespace srbb::crypto

@@ -1,0 +1,58 @@
+#include "diablo/client.hpp"
+
+namespace srbb::diablo {
+
+void ClientNode::add_submission(SimTime at, txn::TxPtr tx, sim::NodeId target) {
+  schedule_.push_back(Submission{at, std::move(tx), target});
+}
+
+void ClientNode::start() {
+  for (const Submission& submission : schedule_) {
+    sim().schedule_at(
+        submission.at, [this, tx = submission.tx, target = submission.target] {
+          ++sent_;
+          first_send_ = std::min(first_send_, now());
+          sent_at_.emplace(tx->hash, now());
+          dispatch(tx, target, 0);
+        });
+  }
+}
+
+void ClientNode::dispatch(const txn::TxPtr& tx, sim::NodeId target,
+                          std::uint32_t attempt) {
+  auto msg = std::make_shared<node::ClientTxMsg>();
+  msg->tx = tx;
+  send(target, msg);
+  if (resend_timeout_ == 0 || attempt >= max_resends_) return;
+  // §VI: without a transaction receipt within the period, resend to another
+  // validator; randomness is replaced by round-robin for determinism.
+  sim().schedule_after(resend_timeout_, [this, tx, target, attempt] {
+    if (committed_.contains(tx->hash)) return;
+    ++resends_;
+    // validator_count == 1 means a single fixed endpoint (e.g. a load
+    // balancer that does its own spreading): resend to the same place.
+    const sim::NodeId next =
+        validator_count_ <= 1 ? target : (target + 1) % validator_count_;
+    dispatch(tx, next, attempt + 1);
+  });
+}
+
+void ClientNode::handle_message(sim::NodeId, const sim::MessagePtr& message) {
+  const auto* ack = dynamic_cast<const node::CommitAckMsg*>(message.get());
+  if (ack == nullptr) return;
+  if (committed_.contains(ack->tx_hash)) return;  // duplicate ack
+  if (!sent_at_.contains(ack->tx_hash)) return;   // not ours
+  committed_.emplace(ack->tx_hash, now());
+  last_commit_ = std::max(last_commit_, now());
+}
+
+std::vector<double> ClientNode::latencies() const {
+  std::vector<double> out;
+  out.reserve(committed_.size());
+  for (const auto& [hash, at] : committed_) {
+    out.push_back(to_seconds(at - sent_at_.at(hash)));
+  }
+  return out;
+}
+
+}  // namespace srbb::diablo

@@ -1,0 +1,54 @@
+#include "diablo/report.hpp"
+
+#include <cstdio>
+
+namespace srbb::diablo {
+
+std::string format_header() {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-12s %-8s %10s %9s %9s %9s %9s %9s",
+                "system", "workload", "tput(TPS)", "commit%", "avg-lat",
+                "p50-lat", "p95-lat", "max-lat");
+  return std::string(buf) + "\n" + std::string(82, '-');
+}
+
+std::string format_row(const RunResult& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%-12s %-8s %10.2f %8.1f%% %8.2fs %8.2fs %8.2fs %8.2fs",
+                r.system.c_str(), r.workload.c_str(), r.throughput_tps,
+                r.commit_pct, r.avg_latency_s, r.p50_latency_s,
+                r.p95_latency_s, r.max_latency_s);
+  return buf;
+}
+
+std::string format_table(const std::vector<RunResult>& results) {
+  std::string out = format_header();
+  for (const RunResult& r : results) {
+    out += "\n";
+    out += format_row(r);
+  }
+  return out;
+}
+
+std::string format_diagnostics(const RunResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  [%s/%s] sent=%llu committed=%llu eager-validations=%llu "
+                "gossip-tx-msgs=%llu pool-drops=%llu invalid-discarded=%llu "
+                "net-msgs=%llu net-MB=%.1f crashed=%llu slashes=%llu",
+                r.system.c_str(), r.workload.c_str(),
+                static_cast<unsigned long long>(r.sent),
+                static_cast<unsigned long long>(r.committed),
+                static_cast<unsigned long long>(r.eager_validations),
+                static_cast<unsigned long long>(r.gossip_tx_messages),
+                static_cast<unsigned long long>(r.pool_drops),
+                static_cast<unsigned long long>(r.invalid_discarded),
+                static_cast<unsigned long long>(r.network_messages),
+                static_cast<double>(r.network_bytes) / 1e6,
+                static_cast<unsigned long long>(r.crashed_nodes),
+                static_cast<unsigned long long>(r.slash_events));
+  return buf;
+}
+
+}  // namespace srbb::diablo

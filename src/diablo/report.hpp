@@ -1,0 +1,22 @@
+// Table/figure formatting: prints the rows the paper's Figures 2-3 and
+// Table I report, in a fixed-width layout the benches share.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diablo/runner.hpp"
+
+namespace srbb::diablo {
+
+/// Figure 2/3 style row: system, workload, throughput, commit %, latency.
+std::string format_row(const RunResult& result);
+std::string format_header();
+
+/// Full table for a batch of runs.
+std::string format_table(const std::vector<RunResult>& results);
+
+/// One-line congestion diagnostics (validations, gossip, drops).
+std::string format_diagnostics(const RunResult& result);
+
+}  // namespace srbb::diablo

@@ -1,0 +1,96 @@
+// Experiment runner: assembles a complete deployment — validators of the
+// chosen system, region-distributed clients, genesis with the DApp contracts
+// — replays a workload, and reduces the run to the metrics the paper's
+// figures report (throughput, latency, commit percentage) plus the
+// congestion counters behind them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chains/presets.hpp"
+#include "diablo/workload.hpp"
+#include "sim/latency.hpp"
+#include "srbb/validator.hpp"
+
+namespace srbb::diablo {
+
+enum class SystemKind : std::uint8_t {
+  kSrbb,     // ValidatorNode, TVPR on (RPM per flag)
+  kEvmDbft,  // ValidatorNode, TVPR off: the naive baseline of §V-A
+  kModern,   // GossipChainNode with a ChainPreset
+};
+
+struct RunConfig {
+  std::string system_name = "SRBB";
+  SystemKind kind = SystemKind::kSrbb;
+  chains::ChainPreset preset;  // only for kModern
+  bool rpm = false;
+
+  std::uint32_t validators = 20;
+  WorkloadSpec workload;
+  sim::LatencyModel latency = sim::LatencyModel::aws_global();
+  double bandwidth_bps = 2.5e9;
+  std::uint32_t clients = 10;
+  std::uint64_t seed = 1;
+  /// Observation continues this long after the last scheduled send.
+  SimDuration drain = seconds(120);
+
+  // SRBB/EVM+DBFT node parameters.
+  node::CostModel costs;
+  std::size_t max_block_txs = 4096;
+  SimDuration min_block_interval = millis(400);
+  SimDuration proposal_timeout = millis(800);
+  pool::TxPoolConfig pool;
+  bool replicated_execution = false;
+
+  // Byzantine setup (Table I): the last `byzantine` validators flood this
+  // many invalid transactions per proposed block, up to `flood_total` each
+  // (0 = unlimited).
+  std::uint32_t byzantine = 0;
+  std::uint32_t flood_invalid_per_block = 0;
+  std::uint64_t flood_total = 0;
+  /// Clients submit only to the first `client_target_count` validators
+  /// (0 = all). DIABLO points its clients at non-faulty endpoints, so the
+  /// Table I bench sets this to n - byzantine.
+  std::uint32_t client_target_count = 0;
+
+  /// §VI client retry: resend unacknowledged transactions to the next
+  /// validator after this timeout (0 = fire-once, DIABLO behaviour).
+  SimDuration client_resend_timeout = 0;
+};
+
+struct RunResult {
+  std::string system;
+  std::string workload;
+  std::uint64_t sent = 0;
+  std::uint64_t committed = 0;
+  double commit_pct = 0;
+  /// committed / (last commit - first send), the DIABLO average throughput.
+  double throughput_tps = 0;
+  double avg_latency_s = 0;
+  double p50_latency_s = 0;
+  double p95_latency_s = 0;
+  double max_latency_s = 0;
+
+  // Congestion diagnostics.
+  std::uint64_t eager_validations = 0;
+  std::uint64_t gossip_tx_messages = 0;
+  std::uint64_t network_messages = 0;
+  std::uint64_t network_bytes = 0;
+  std::uint64_t pool_drops = 0;
+  std::uint64_t invalid_discarded = 0;
+  std::uint64_t crashed_nodes = 0;
+  std::uint64_t slash_events = 0;
+  double valid_committed_per_validator_tps = 0;
+};
+
+RunResult run_experiment(const RunConfig& config);
+
+/// Shrink a full-scale (200-validator) configuration: validator count and
+/// offered rates scale together so per-validator load — and therefore the
+/// congestion behaviour — is preserved; modern-chain block caps scale with
+/// the committee so capacity/load ratios stay put.
+RunConfig scale_config(RunConfig config, double factor);
+
+}  // namespace srbb::diablo

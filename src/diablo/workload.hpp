@@ -1,0 +1,59 @@
+// DIABLO-style workloads (§V): pre-signed transactions sent on a fixed
+// per-second schedule against a DApp. The three real traces are reproduced
+// by their published statistics:
+//   NASDAQ — 3 min, avg 168 TPS with a 19 800 TPS burst (stock trades),
+//   Uber   — 2 min, avg 852 TPS, peak 900 (ride events),
+//   FIFA   — 3 min, avg 3483 TPS, peak 5305 (ticket sales).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/time.hpp"
+
+namespace srbb::diablo {
+
+enum class TxShape : std::uint8_t {
+  kTransfer,       // native payment
+  kExchangeTrade,  // exchange DApp: trade(stockId, price, volume)
+  kMobilityRide,   // mobility DApp: ride(rideId, fare)
+  kTicketBuy,      // ticketing DApp: buy(matchId, seat)
+};
+
+struct WorkloadSpec {
+  std::string name;
+  TxShape shape = TxShape::kTransfer;
+  /// Target send rate for each 1-second bucket.
+  std::vector<double> rates_per_second;
+
+  SimDuration duration() const { return seconds(rates_per_second.size()); }
+  std::uint64_t total_txs() const;
+  double average_tps() const;
+  double peak_tps() const;
+
+  /// Scale every rate (used to shrink full-scale runs proportionally).
+  WorkloadSpec scaled(double factor) const;
+
+  static WorkloadSpec nasdaq();
+  static WorkloadSpec uber();
+  static WorkloadSpec fifa();
+  /// Flat synthetic load (tests, Table I stress runs).
+  static WorkloadSpec constant(std::string name, double tps,
+                               std::uint32_t duration_s,
+                               TxShape shape = TxShape::kTransfer);
+};
+
+/// Exact send times derived from the per-second rates (evenly spaced within
+/// each bucket, as DIABLO's rate controller does).
+std::vector<SimTime> send_schedule(const WorkloadSpec& workload);
+
+/// CSV persistence: "second,rate" rows with a one-line header carrying name
+/// and shape, so custom traces can be captured and replayed.
+std::string to_csv(const WorkloadSpec& workload);
+Result<WorkloadSpec> from_csv(std::string_view csv);
+
+}  // namespace srbb::diablo

@@ -1,0 +1,210 @@
+#include "evm/asm.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace srbb::evm {
+
+Program& Program::op(Opcode opcode) {
+  code_.push_back(static_cast<std::uint8_t>(opcode));
+  return *this;
+}
+
+Program& Program::push(const U256& value) {
+  const Bytes be = value.be_bytes();
+  std::size_t first = 0;
+  while (first < 31 && be[first] == 0) ++first;
+  const std::size_t len = 32 - first;  // at least 1
+  code_.push_back(static_cast<std::uint8_t>(0x60 + len - 1));
+  code_.insert(code_.end(), be.begin() + static_cast<std::ptrdiff_t>(first),
+               be.end());
+  return *this;
+}
+
+Program& Program::push_label(const std::string& name) {
+  code_.push_back(static_cast<std::uint8_t>(Opcode::PUSH2));
+  fixups_.emplace_back(code_.size(), name);
+  code_.push_back(0);
+  code_.push_back(0);
+  return *this;
+}
+
+Program& Program::label(const std::string& name) {
+  labels_[name] = code_.size();
+  return op(Opcode::JUMPDEST);
+}
+
+Program& Program::raw(BytesView data) {
+  append(code_, data);
+  return *this;
+}
+
+Result<Bytes> Program::build() const {
+  Bytes out = code_;
+  for (const auto& [offset, name] : fixups_) {
+    const auto it = labels_.find(name);
+    if (it == labels_.end()) {
+      return Status::error("asm: undefined label '" + name + "'");
+    }
+    if (it->second > 0xffff) return Status::error("asm: label offset overflow");
+    out[offset] = static_cast<std::uint8_t>(it->second >> 8);
+    out[offset + 1] = static_cast<std::uint8_t>(it->second & 0xff);
+  }
+  return out;
+}
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+// Split source into tokens, dropping comments.
+std::vector<std::string> tokenize(std::string_view source) {
+  std::vector<std::string> tokens;
+  std::string current;
+  bool in_comment = false;
+  for (char c : source) {
+    if (c == '\n') in_comment = false;
+    if (in_comment) continue;
+    if (c == ';') {
+      in_comment = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+Result<U256> parse_number(const std::string& tok) {
+  if (tok.size() > 2 && tok[0] == '0' && (tok[1] == 'x' || tok[1] == 'X')) {
+    auto v = U256::from_hex(tok);
+    if (!v) return Status::error("asm: bad hex literal '" + tok + "'");
+    return *v;
+  }
+  auto v = U256::from_dec(tok);
+  if (!v) return Status::error("asm: bad numeric literal '" + tok + "'");
+  return *v;
+}
+
+}  // namespace
+
+Result<Bytes> assemble(std::string_view source) {
+  const std::vector<std::string> tokens = tokenize(source);
+  Program program;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok.size() > 1 && tok.back() == ':') {
+      program.label(tok.substr(0, tok.size() - 1));
+      continue;
+    }
+    std::string upper = tok;
+    for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+
+    // Bare PUSH: label reference (PUSH2) or auto-sized numeric literal.
+    if (upper == "PUSH") {
+      if (i + 1 >= tokens.size()) {
+        return Status::error("asm: PUSH requires an operand");
+      }
+      const std::string& operand = tokens[++i];
+      if (!operand.empty() && operand[0] == '@') {
+        program.push_label(operand.substr(1));
+        continue;
+      }
+      auto value = parse_number(operand);
+      if (!value) return value.status();
+      program.push(value.value());
+      continue;
+    }
+
+    const auto opcode = opcode_by_name(upper);
+    if (!opcode) return Status::error("asm: unknown mnemonic '" + tok + "'");
+
+    if (is_push(*opcode)) {
+      if (i + 1 >= tokens.size()) {
+        return Status::error("asm: PUSH requires an operand");
+      }
+      const std::string& operand = tokens[++i];
+      if (!operand.empty() && operand[0] == '@') {
+        program.push_label(operand.substr(1));
+        continue;
+      }
+      auto value = parse_number(operand);
+      if (!value) return value.status();
+      const unsigned width = immediate_size(*opcode);
+      const unsigned needed = std::max(1u, (value.value().bit_length() + 7) / 8);
+      if (needed > width) {
+        return Status::error("asm: literal too wide for " + upper);
+      }
+      // Emit the exact PUSHn the programmer asked for.
+      Bytes be = value.value().be_bytes();
+      Bytes imm{be.end() - static_cast<std::ptrdiff_t>(width), be.end()};
+      Bytes chunk;
+      chunk.push_back(*opcode);
+      append(chunk, imm);
+      program.raw(chunk);
+      continue;
+    }
+    const std::uint8_t byte = *opcode;
+    program.raw(BytesView{&byte, 1});
+  }
+  return program.build();
+}
+
+std::string disassemble(BytesView code) {
+  std::ostringstream out;
+  for (std::size_t pc = 0; pc < code.size();) {
+    const std::uint8_t op = code[pc];
+    const OpcodeInfo& info = opcode_info(op);
+    out << pc << ": ";
+    if (!info.defined) {
+      out << "UNDEFINED(0x" << to_hex(BytesView{&op, 1}) << ")\n";
+      ++pc;
+      continue;
+    }
+    out << info.name;
+    const unsigned imm = immediate_size(op);
+    if (imm > 0) {
+      const std::size_t take = std::min<std::size_t>(imm, code.size() - pc - 1);
+      out << " 0x" << to_hex(code.subspan(pc + 1, take));
+    }
+    out << "\n";
+    pc += 1 + imm;
+  }
+  return out.str();
+}
+
+Bytes make_deployer(BytesView runtime_code) {
+  // PUSH2 <len> DUP1 PUSH2 <offset-of-payload> PUSH1 0 CODECOPY
+  // PUSH1 0 RETURN <payload>
+  Bytes out;
+  const auto push2 = [&out](std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(Opcode::PUSH2));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  };
+  // Layout: PUSH2 len | DUP1 | PUSH2 off | PUSH1 0 | CODECOPY | PUSH1 0 |
+  //         RETURN | payload        => header is 3+1+3+2+1+2+1 = 13 bytes.
+  constexpr std::uint16_t kHeader = 13;
+  push2(static_cast<std::uint16_t>(runtime_code.size()));
+  out.push_back(static_cast<std::uint8_t>(Opcode::DUP1));
+  push2(kHeader);
+  out.push_back(static_cast<std::uint8_t>(Opcode::PUSH1));
+  out.push_back(0);
+  out.push_back(static_cast<std::uint8_t>(Opcode::CODECOPY));
+  out.push_back(static_cast<std::uint8_t>(Opcode::PUSH1));
+  out.push_back(0);
+  out.push_back(static_cast<std::uint8_t>(Opcode::RETURN));
+  append(out, runtime_code);
+  return out;
+}
+
+}  // namespace srbb::evm

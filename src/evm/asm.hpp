@@ -1,0 +1,62 @@
+// Bytecode authoring tools: a programmatic builder and a small two-pass text
+// assembler. Contracts in this repo are written against these instead of
+// Solidity; labels compile to PUSH2 immediates.
+//
+// Text syntax:
+//   ; comment until end of line
+//   label:            define a jump target (emits nothing by itself)
+//   JUMPDEST          ordinary mnemonics
+//   PUSH1 0x2a        push with numeric immediate (hex 0x.. or decimal)
+//   PUSH @label       pushes the 2-byte offset of `label` (PUSH2)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/u256.hpp"
+#include "evm/opcodes.hpp"
+
+namespace srbb::evm {
+
+/// Programmatic bytecode builder with label fixups.
+class Program {
+ public:
+  Program& op(Opcode opcode);
+  /// PUSHn with the smallest n that fits `value` (minimum PUSH1).
+  Program& push(const U256& value);
+  Program& push(std::uint64_t value) { return push(U256{value}); }
+  /// PUSH2 placeholder resolved to the label's offset at build time.
+  Program& push_label(const std::string& name);
+  /// Define `name` at the current offset and emit a JUMPDEST.
+  Program& label(const std::string& name);
+  /// Raw bytes (e.g. embedded data).
+  Program& raw(BytesView data);
+
+  /// Resolve labels and return the bytecode; error on unknown labels.
+  Result<Bytes> build() const;
+  std::size_t size() const { return code_.size(); }
+
+ private:
+  Bytes code_;
+  std::unordered_map<std::string, std::size_t> labels_;
+  std::vector<std::pair<std::size_t, std::string>> fixups_;  // offset -> label
+};
+
+/// Assemble text source (see syntax above).
+Result<Bytes> assemble(std::string_view source);
+
+/// Disassemble bytecode into one instruction per line (for debugging and
+/// golden tests).
+std::string disassemble(BytesView code);
+
+/// Wrap runtime bytecode in a standard deployer: the init code copies the
+/// runtime to memory and returns it, so `deployer(runtime)` can be used as a
+/// CREATE/deployment payload.
+Bytes make_deployer(BytesView runtime_code);
+
+}  // namespace srbb::evm

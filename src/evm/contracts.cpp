@@ -1,0 +1,342 @@
+#include "evm/contracts.hpp"
+
+#include "crypto/keccak.hpp"
+#include "evm/asm.hpp"
+#include "evm/opcodes.hpp"
+
+namespace srbb::evm {
+
+std::uint32_t selector(std::string_view signature) {
+  const Hash32 h = crypto::Keccak256::hash(
+      BytesView{reinterpret_cast<const std::uint8_t*>(signature.data()),
+                signature.size()});
+  return get_be32(h.data.data());
+}
+
+Bytes encode_call(std::uint32_t sel, const std::vector<U256>& args) {
+  Bytes out(4);
+  put_be32(out.data(), sel);
+  for (const U256& arg : args) append(out, arg.be_bytes());
+  return out;
+}
+
+Bytes encode_call(std::string_view signature, const std::vector<U256>& args) {
+  return encode_call(selector(signature), args);
+}
+
+namespace {
+
+// --- small emission helpers over Program ---
+
+// selector = calldata[0..4] >> 224, left on the stack.
+void emit_load_selector(Program& p) {
+  p.push(0).op(Opcode::CALLDATALOAD).push(224).op(Opcode::SHR);
+}
+
+// With the selector on top of the stack, jump to `label` when it matches.
+void emit_route(Program& p, std::string_view signature, const std::string& label) {
+  p.op(Opcode::DUP1).push(U256{selector(signature)}).op(Opcode::EQ);
+  p.push_label(label);
+  p.op(Opcode::JUMPI);
+}
+
+void emit_revert(Program& p) {
+  p.push(0).push(0).op(Opcode::REVERT);
+}
+
+// Push calldata argument `index` (32-byte words after the selector).
+void emit_arg(Program& p, unsigned index) {
+  p.push(4 + 32 * index).op(Opcode::CALLDATALOAD);
+}
+
+// Compute sha3(word_on_stack, tag) -> key on stack. Consumes the word.
+void emit_map_key(Program& p, std::uint64_t tag) {
+  p.push(0).op(Opcode::MSTORE);         // mem[0] = word
+  p.push(tag).push(32).op(Opcode::MSTORE);  // mem[32] = tag
+  p.push(64).push(0).op(Opcode::SHA3);
+}
+
+// storage[slot] += 1
+void emit_increment_slot(Program& p, std::uint64_t slot) {
+  p.push(slot).op(Opcode::SLOAD).push(1).op(Opcode::ADD);
+  p.push(slot).op(Opcode::SSTORE);
+}
+
+// Return the single word on top of the stack.
+void emit_return_top(Program& p) {
+  p.push(0).op(Opcode::MSTORE).push(32).push(0).op(Opcode::RETURN);
+}
+
+// View returning storage[slot].
+void emit_return_slot(Program& p, std::uint64_t slot) {
+  p.push(slot).op(Opcode::SLOAD);
+  emit_return_top(p);
+}
+
+Contract finish(Program& p) {
+  Contract out;
+  auto built = p.build();
+  out.runtime_code = built ? std::move(built).take() : Bytes{};
+  out.deploy_code = make_deployer(out.runtime_code);
+  return out;
+}
+
+Contract build_counter() {
+  Program p;
+  emit_load_selector(p);
+  emit_route(p, "increment()", "inc");
+  emit_route(p, "get()", "get");
+  emit_revert(p);
+
+  p.label("inc").op(Opcode::POP);
+  emit_increment_slot(p, 0);
+  p.op(Opcode::STOP);
+
+  p.label("get").op(Opcode::POP);
+  emit_return_slot(p, 0);
+  return finish(p);
+}
+
+Contract build_exchange() {
+  Program p;
+  emit_load_selector(p);
+  emit_route(p, "trade(uint256,uint256,uint256)", "trade");
+  emit_route(p, "quote(uint256)", "quote");
+  emit_route(p, "count()", "count");
+  emit_revert(p);
+
+  // trade(stockId, price, volume)
+  p.label("trade").op(Opcode::POP);
+  // lastPrice[stockId] = price
+  emit_arg(p, 1);         // [price]
+  emit_arg(p, 0);         // [price, stockId]
+  emit_map_key(p, 0);     // [price, key]
+  p.op(Opcode::SSTORE);   // storage[key] = price
+  // volume[stockId] += volume
+  emit_arg(p, 2);         // [volume]
+  emit_arg(p, 0);
+  emit_map_key(p, 1);     // [volume, key]
+  p.op(Opcode::DUP1).op(Opcode::SLOAD);  // [volume, key, cur]
+  p.op(Opcode::DUP3).op(Opcode::ADD);    // [volume, key, cur+volume]
+  p.op(Opcode::SWAP1).op(Opcode::SSTORE).op(Opcode::POP);
+  // trades++
+  emit_increment_slot(p, 0);
+  // emit Trade(stockId) as a log with one topic
+  p.push(U256{selector("Trade(uint256,uint256,uint256)")});
+  p.push(0).push(0);
+  p.op(static_cast<Opcode>(0xa1));  // LOG1
+  p.op(Opcode::STOP);
+
+  // quote(stockId) -> lastPrice
+  p.label("quote").op(Opcode::POP);
+  emit_arg(p, 0);
+  emit_map_key(p, 0);
+  p.op(Opcode::SLOAD);
+  emit_return_top(p);
+
+  p.label("count").op(Opcode::POP);
+  emit_return_slot(p, 0);
+  return finish(p);
+}
+
+Contract build_mobility() {
+  Program p;
+  emit_load_selector(p);
+  emit_route(p, "ride(uint256,uint256)", "ride");
+  emit_route(p, "fareOf(uint256)", "fare_of");
+  emit_route(p, "totalFares()", "total");
+  emit_route(p, "count()", "count");
+  emit_revert(p);
+
+  // ride(rideId, fare)
+  p.label("ride").op(Opcode::POP);
+  // fare[rideId] = fare
+  emit_arg(p, 1);
+  emit_arg(p, 0);
+  emit_map_key(p, 0);
+  p.op(Opcode::SSTORE);
+  // totalFares (slot 1) += fare
+  p.push(1).op(Opcode::SLOAD);
+  emit_arg(p, 1);
+  p.op(Opcode::ADD).push(1).op(Opcode::SSTORE);
+  // rides (slot 0) ++
+  emit_increment_slot(p, 0);
+  p.op(Opcode::STOP);
+
+  p.label("fare_of").op(Opcode::POP);
+  emit_arg(p, 0);
+  emit_map_key(p, 0);
+  p.op(Opcode::SLOAD);
+  emit_return_top(p);
+
+  p.label("total").op(Opcode::POP);
+  emit_return_slot(p, 1);
+
+  p.label("count").op(Opcode::POP);
+  emit_return_slot(p, 0);
+  return finish(p);
+}
+
+Contract build_ticketing() {
+  Program p;
+  emit_load_selector(p);
+  emit_route(p, "buy(uint256,uint256)", "buy");
+  emit_route(p, "ownerOf(uint256,uint256)", "owner_of");
+  emit_route(p, "sold()", "sold");
+  emit_revert(p);
+
+  // buy(matchId, seat): revert when the seat is taken.
+  p.label("buy").op(Opcode::POP);
+  emit_arg(p, 0);
+  p.push(0).op(Opcode::MSTORE);
+  emit_arg(p, 1);
+  p.push(32).op(Opcode::MSTORE);
+  p.push(64).push(0).op(Opcode::SHA3);   // [key]
+  p.op(Opcode::DUP1).op(Opcode::SLOAD);  // [key, cur]
+  p.push_label("taken").op(Opcode::JUMPI);  // jump if cur != 0, leaves [key]
+  p.op(Opcode::CALLER).op(Opcode::SWAP1).op(Opcode::SSTORE);  // seat -> caller
+  emit_increment_slot(p, 0);
+  p.op(Opcode::STOP);
+
+  p.label("taken");
+  emit_revert(p);
+
+  p.label("owner_of").op(Opcode::POP);
+  emit_arg(p, 0);
+  p.push(0).op(Opcode::MSTORE);
+  emit_arg(p, 1);
+  p.push(32).op(Opcode::MSTORE);
+  p.push(64).push(0).op(Opcode::SHA3);
+  p.op(Opcode::SLOAD);
+  emit_return_top(p);
+
+  p.label("sold").op(Opcode::POP);
+  emit_return_slot(p, 0);
+  return finish(p);
+}
+
+Contract build_staking() {
+  Program p;
+  emit_load_selector(p);
+  emit_route(p, "deposit()", "deposit");
+  emit_route(p, "stakeOf(uint256)", "stake_of");
+  emit_route(p, "totalStake()", "total");
+  emit_revert(p);
+
+  // deposit() payable: stake[caller] += callvalue; total (slot 0) += value.
+  p.label("deposit").op(Opcode::POP);
+  p.op(Opcode::CALLVALUE);  // [value]
+  p.op(Opcode::CALLER);
+  emit_map_key(p, 0);                    // [value, key]
+  p.op(Opcode::DUP1).op(Opcode::SLOAD);  // [value, key, cur]
+  p.op(Opcode::DUP3).op(Opcode::ADD);    // [value, key, cur+value]
+  p.op(Opcode::SWAP1).op(Opcode::SSTORE).op(Opcode::POP);
+  p.push(0).op(Opcode::SLOAD).op(Opcode::CALLVALUE).op(Opcode::ADD);
+  p.push(0).op(Opcode::SSTORE);
+  p.op(Opcode::STOP);
+
+  // stakeOf(addressWord)
+  p.label("stake_of").op(Opcode::POP);
+  emit_arg(p, 0);
+  emit_map_key(p, 0);
+  p.op(Opcode::SLOAD);
+  emit_return_top(p);
+
+  p.label("total").op(Opcode::POP);
+  emit_return_slot(p, 0);
+  return finish(p);
+}
+
+Contract build_token() {
+  Program p;
+  emit_load_selector(p);
+  emit_route(p, "mint(uint256,uint256)", "mint");
+  emit_route(p, "transfer(uint256,uint256)", "transfer");
+  emit_route(p, "balanceOf(uint256)", "balance_of");
+  emit_route(p, "totalSupply()", "supply");
+  emit_revert(p);
+
+  // mint(to, amount): balances[to] += amount; totalSupply (slot 0) += amount.
+  p.label("mint").op(Opcode::POP);
+  emit_arg(p, 1);                        // [amount]
+  emit_arg(p, 0);                        // [amount, to]
+  emit_map_key(p, 0);                    // [amount, key]
+  p.op(Opcode::DUP1).op(Opcode::SLOAD);  // [amount, key, cur]
+  p.op(Opcode::DUP3).op(Opcode::ADD);    // [amount, key, cur+amount]
+  p.op(Opcode::SWAP1).op(Opcode::SSTORE).op(Opcode::POP);
+  p.push(0).op(Opcode::SLOAD);
+  emit_arg(p, 1);
+  p.op(Opcode::ADD).push(0).op(Opcode::SSTORE);
+  p.op(Opcode::STOP);
+
+  // transfer(to, amount): revert unless balances[caller] >= amount.
+  p.label("transfer").op(Opcode::POP);
+  p.op(Opcode::CALLER);
+  emit_map_key(p, 0);                    // [key_from]
+  p.op(Opcode::DUP1).op(Opcode::SLOAD);  // [key_from, bal]
+  p.op(Opcode::DUP1);                    // [key_from, bal, bal]
+  emit_arg(p, 1);                        // [key_from, bal, bal, amount]
+  p.op(Opcode::GT);                      // amount > bal ?
+  p.push_label("insufficient").op(Opcode::JUMPI);  // [key_from, bal]
+  emit_arg(p, 1);                        // [key_from, bal, amount]
+  p.op(Opcode::SWAP1).op(Opcode::SUB);   // [key_from, bal-amount]
+  p.op(Opcode::SWAP1).op(Opcode::SSTORE);  // storage[key_from] = bal-amount
+  emit_arg(p, 1);                        // [amount]
+  emit_arg(p, 0);                        // [amount, to]
+  emit_map_key(p, 0);                    // [amount, key_to]
+  p.op(Opcode::DUP1).op(Opcode::SLOAD);  // [amount, key_to, cur]
+  p.op(Opcode::DUP3).op(Opcode::ADD);
+  p.op(Opcode::SWAP1).op(Opcode::SSTORE).op(Opcode::POP);
+  // Canonical Transfer event topic.
+  p.push(U256{selector("Transfer(address,address,uint256)")});
+  p.push(0).push(0);
+  p.op(static_cast<Opcode>(0xa1));  // LOG1
+  p.op(Opcode::STOP);
+
+  p.label("insufficient");
+  emit_revert(p);
+
+  p.label("balance_of").op(Opcode::POP);
+  emit_arg(p, 0);
+  emit_map_key(p, 0);
+  p.op(Opcode::SLOAD);
+  emit_return_top(p);
+
+  p.label("supply").op(Opcode::POP);
+  emit_return_slot(p, 0);
+  return finish(p);
+}
+
+}  // namespace
+
+const Contract& token_contract() {
+  static const Contract c = build_token();
+  return c;
+}
+
+const Contract& counter_contract() {
+  static const Contract c = build_counter();
+  return c;
+}
+
+const Contract& exchange_contract() {
+  static const Contract c = build_exchange();
+  return c;
+}
+
+const Contract& mobility_contract() {
+  static const Contract c = build_mobility();
+  return c;
+}
+
+const Contract& ticketing_contract() {
+  static const Contract c = build_ticketing();
+  return c;
+}
+
+const Contract& staking_contract() {
+  static const Contract c = build_staking();
+  return c;
+}
+
+}  // namespace srbb::evm

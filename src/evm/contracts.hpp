@@ -1,0 +1,60 @@
+// Canned DApp contracts written against the SRBB VM, mirroring the workloads
+// the paper evaluates: a stock exchange (NASDAQ trace), a mobility service
+// (Uber trace), a ticket shop (FIFA trace), plus a counter for quickstarts
+// and a staking contract demonstrating the on-chain deposit used by committee
+// membership (§IV-E).
+//
+// ABI convention: standard 4-byte keccak selectors followed by 32-byte
+// big-endian arguments.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+
+namespace srbb::evm {
+
+/// First 4 bytes of keccak256(signature), e.g. "trade(uint256,uint256,uint256)".
+std::uint32_t selector(std::string_view signature);
+
+/// selector ++ 32-byte big-endian args.
+Bytes encode_call(std::uint32_t selector, const std::vector<U256>& args);
+Bytes encode_call(std::string_view signature, const std::vector<U256>& args);
+
+struct Contract {
+  Bytes runtime_code;  // what lives at the account
+  Bytes deploy_code;   // init code that returns runtime_code
+};
+
+/// Slot 0 counter: increment() / get().
+const Contract& counter_contract();
+
+/// Exchange DApp: trade(uint256 stockId, uint256 price, uint256 volume)
+/// stores the last price, accumulates volume per stock and counts trades;
+/// quote(uint256 stockId) and count() are views. Emits a Trade log per trade.
+const Contract& exchange_contract();
+
+/// Mobility DApp: ride(uint256 rideId, uint256 fare) records the fare,
+/// accumulates total fares and counts rides; fareOf(uint256), totalFares(),
+/// count() are views.
+const Contract& mobility_contract();
+
+/// Ticketing DApp: buy(uint256 matchId, uint256 seat) assigns the seat to the
+/// caller or reverts if already sold; ownerOf(uint256,uint256) and sold() are
+/// views.
+const Contract& ticketing_contract();
+
+/// Staking: deposit() payable credits the caller, stakeOf(uint256 addrWord)
+/// and totalStake() are views.
+const Contract& staking_contract();
+
+/// ERC-20-style token: mint(uint256 toWord, uint256 amount),
+/// transfer(uint256 toWord, uint256 amount) (reverts on insufficient
+/// balance, emits a Transfer log), balanceOf(uint256 addrWord),
+/// totalSupply(). Addresses are passed as 32-byte words.
+const Contract& token_contract();
+
+}  // namespace srbb::evm

@@ -1,0 +1,771 @@
+#include "evm/interpreter.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "codec/rlp.hpp"
+#include "crypto/keccak.hpp"
+#include "evm/opcodes.hpp"
+#include "evm/precompiles.hpp"
+
+namespace srbb::evm {
+
+const char* to_string(ExecStatus status) {
+  switch (status) {
+    case ExecStatus::kSuccess: return "success";
+    case ExecStatus::kRevert: return "revert";
+    case ExecStatus::kOutOfGas: return "out of gas";
+    case ExecStatus::kStackUnderflow: return "stack underflow";
+    case ExecStatus::kStackOverflow: return "stack overflow";
+    case ExecStatus::kInvalidJump: return "invalid jump";
+    case ExecStatus::kInvalidOpcode: return "invalid opcode";
+    case ExecStatus::kStaticViolation: return "write in static context";
+    case ExecStatus::kDepthExceeded: return "call depth exceeded";
+    case ExecStatus::kInsufficientBalance: return "insufficient balance";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Valid JUMPDEST positions: JUMPDEST bytes that are not PUSH immediates.
+std::vector<bool> analyze_jumpdests(BytesView code) {
+  std::vector<bool> valid(code.size(), false);
+  for (std::size_t pc = 0; pc < code.size();) {
+    const std::uint8_t op = code[pc];
+    if (op == static_cast<std::uint8_t>(Opcode::JUMPDEST)) valid[pc] = true;
+    pc += 1 + immediate_size(op);
+  }
+  return valid;
+}
+
+std::uint64_t words_for(std::uint64_t bytes) { return (bytes + 31) / 32; }
+
+// Quadratic memory pricing, as in the yellow paper.
+std::uint64_t memory_cost(std::uint64_t size_bytes) {
+  const std::uint64_t w = words_for(size_bytes);
+  return 3 * w + (w * w) / 512;
+}
+
+class Frame {
+ public:
+  Frame(std::uint64_t gas) : gas_(gas) { stack_.reserve(64); }
+
+  // --- gas ---
+  bool charge(std::uint64_t amount) {
+    if (gas_ < amount) {
+      gas_ = 0;
+      return false;
+    }
+    gas_ -= amount;
+    return true;
+  }
+  std::uint64_t gas() const { return gas_; }
+  void refund_to(std::uint64_t amount) { gas_ = amount; }
+
+  // --- stack ---
+  bool require(std::size_t in, std::size_t out) {
+    if (stack_.size() < in) return false;
+    return stack_.size() - in + out <= kMaxStack;
+  }
+  U256 pop() {
+    U256 top = stack_.back();
+    stack_.pop_back();
+    return top;
+  }
+  void push(const U256& v) { stack_.push_back(v); }
+  U256& peek(std::size_t depth_from_top) {
+    return stack_[stack_.size() - 1 - depth_from_top];
+  }
+  std::size_t stack_size() const { return stack_.size(); }
+
+  // --- memory ---
+  /// Charge expansion to cover [offset, offset+size) and return false on OOG
+  /// or absurd ranges. size == 0 never expands.
+  bool expand_memory(const U256& offset, const U256& size) {
+    if (size.is_zero()) return true;
+    if (!offset.fits_u64() || !size.fits_u64()) return false;
+    const std::uint64_t end = offset.as_u64() + size.as_u64();
+    if (end < offset.as_u64() || end > (1ull << 32)) return false;
+    if (end <= memory_.size()) return true;
+    const std::uint64_t new_cost = memory_cost(end);
+    const std::uint64_t old_cost = memory_cost(memory_.size());
+    if (!charge(new_cost - old_cost)) return false;
+    memory_.resize(words_for(end) * 32, 0);
+    return true;
+  }
+  Bytes& memory() { return memory_; }
+  std::size_t memory_size() const { return memory_.size(); }
+
+  /// Copy `size` bytes out of memory (caller must have expanded).
+  Bytes read_memory(std::uint64_t offset, std::uint64_t size) const {
+    Bytes out(size, 0);
+    if (size > 0) std::memcpy(out.data(), memory_.data() + offset, size);
+    return out;
+  }
+  void write_memory(std::uint64_t offset, BytesView data) {
+    if (!data.empty()) std::memcpy(memory_.data() + offset, data.data(), data.size());
+  }
+
+ private:
+  std::uint64_t gas_;
+  std::vector<U256> stack_;
+  Bytes memory_;
+};
+
+U256 u256_from_address(const Address& a) { return U256::from_be(a.view()); }
+
+Address address_from_u256(const U256& v) {
+  const Bytes be = v.be_bytes();
+  Address out;
+  std::memcpy(out.data.data(), be.data() + 12, 20);
+  return out;
+}
+
+// Zero-padded read of `size` bytes at `offset` from a data buffer.
+Bytes padded_slice(BytesView data, const U256& offset, std::uint64_t size) {
+  Bytes out(size, 0);
+  if (!offset.fits_u64()) return out;
+  const std::uint64_t off = offset.as_u64();
+  if (off >= data.size()) return out;
+  const std::uint64_t available =
+      std::min<std::uint64_t>(size, data.size() - off);
+  std::memcpy(out.data(), data.data() + off, available);
+  return out;
+}
+
+}  // namespace
+
+Address create_address(const Address& creator, std::uint64_t nonce) {
+  rlp::ListBuilder rlp;
+  rlp.add_bytes(creator.view());
+  rlp.add_u64(nonce);
+  const Hash32 h = crypto::Keccak256::hash(rlp.build());
+  Address out;
+  std::memcpy(out.data.data(), h.data.data() + 12, 20);
+  return out;
+}
+
+Address Evm::compute_create_address(const Address& creator,
+                                    std::uint64_t nonce) {
+  return create_address(creator, nonce);
+}
+
+ExecResult Evm::execute(const Message& msg) {
+  ExecResult result;
+  result.gas_left = msg.gas;
+  if (msg.depth > kMaxCallDepth) {
+    result.status = ExecStatus::kDepthExceeded;
+    return result;
+  }
+
+  const state::StateDB::Snapshot snap = db_.snapshot();
+  const std::size_t logs_mark = logs_.size();
+
+  if (msg.is_create) {
+    // The creator's nonce was incremented by the caller (txn layer or CREATE
+    // opcode) before entering here; the address derives from the pre-bump
+    // value.
+    const std::uint64_t creator_nonce = db_.nonce(msg.caller);
+    const Address created =
+        compute_create_address(msg.caller, creator_nonce == 0 ? 0 : creator_nonce - 1);
+    if (db_.nonce(created) != 0 || !db_.code(created).empty()) {
+      result.status = ExecStatus::kInvalidOpcode;  // address collision
+      result.gas_left = 0;
+      return result;
+    }
+    db_.create_account(created);
+    db_.set_nonce(created, 1);
+    if (!msg.value.is_zero()) {
+      if (!db_.sub_balance(msg.caller, msg.value)) {
+        db_.revert_to(snap);
+        result.status = ExecStatus::kInsufficientBalance;
+        return result;
+      }
+      db_.add_balance(created, msg.value);
+    }
+    Message frame_msg = msg;
+    frame_msg.to = created;
+    ExecResult run_result = run(frame_msg, msg.data, created);
+    if (run_result.ok()) {
+      // Deployment: returned bytes become the account code.
+      const std::uint64_t deposit =
+          200 * static_cast<std::uint64_t>(run_result.output.size());
+      if (run_result.output.size() > kMaxCodeSize ||
+          run_result.gas_left < deposit) {
+        db_.revert_to(snap);
+        logs_.resize(logs_mark);
+        run_result.status = ExecStatus::kOutOfGas;
+        run_result.gas_left = 0;
+        run_result.output.clear();
+        return run_result;
+      }
+      run_result.gas_left -= deposit;
+      db_.set_code(created, run_result.output);
+      run_result.created_address = created;
+      run_result.output.clear();
+      return run_result;
+    }
+    db_.revert_to(snap);
+    logs_.resize(logs_mark);
+    if (run_result.status != ExecStatus::kRevert) run_result.gas_left = 0;
+    return run_result;
+  }
+
+  // Plain message call: transfer value, then run the target's code.
+  if (!msg.value.is_zero()) {
+    if (!db_.sub_balance(msg.caller, msg.value)) {
+      result.status = ExecStatus::kInsufficientBalance;
+      return result;
+    }
+    db_.create_account(msg.to);
+    db_.add_balance(msg.to, msg.value);
+  }
+  if (is_precompile(msg.to)) {
+    return run_precompile(msg.to, msg.data, msg.gas);
+  }
+  const Bytes code = db_.code(msg.to);
+  if (code.empty()) return result;  // simple transfer, success
+
+  ExecResult run_result = run(msg, code, msg.to);
+  if (!run_result.ok()) {
+    db_.revert_to(snap);
+    logs_.resize(logs_mark);
+    if (run_result.status != ExecStatus::kRevert) run_result.gas_left = 0;
+  }
+  return run_result;
+}
+
+ExecResult Evm::run(const Message& msg, BytesView code, const Address& self) {
+  ExecResult result;
+  Frame frame{msg.gas};
+  const std::vector<bool> jumpdests = analyze_jumpdests(code);
+  Bytes return_data;  // RETURNDATA buffer from the most recent child call
+
+  const auto fail = [&](ExecStatus status) {
+    result.status = status;
+    result.gas_left =
+        status == ExecStatus::kRevert ? frame.gas() : 0;
+    return result;
+  };
+
+  std::size_t pc = 0;
+  for (;;) {
+    if (pc >= code.size()) break;  // implicit STOP
+    const std::uint8_t op = code[pc];
+    const OpcodeInfo& info = opcode_info(op);
+    if (!info.defined) return fail(ExecStatus::kInvalidOpcode);
+    if (!frame.require(info.stack_in, info.stack_out)) {
+      return fail(frame.stack_size() < info.stack_in
+                      ? ExecStatus::kStackUnderflow
+                      : ExecStatus::kStackOverflow);
+    }
+    if (!frame.charge(info.base_gas)) return fail(ExecStatus::kOutOfGas);
+
+    const Opcode opcode = static_cast<Opcode>(op);
+    switch (opcode) {
+      case Opcode::STOP:
+        result.gas_left = frame.gas();
+        return result;
+
+      case Opcode::ADD: {
+        const U256 a = frame.pop(), b = frame.pop();
+        frame.push(a + b);
+        break;
+      }
+      case Opcode::MUL: {
+        const U256 a = frame.pop(), b = frame.pop();
+        frame.push(a * b);
+        break;
+      }
+      case Opcode::SUB: {
+        const U256 a = frame.pop(), b = frame.pop();
+        frame.push(a - b);
+        break;
+      }
+      case Opcode::DIV: {
+        const U256 a = frame.pop(), b = frame.pop();
+        frame.push(a / b);
+        break;
+      }
+      case Opcode::SDIV: {
+        const U256 a = frame.pop(), b = frame.pop();
+        frame.push(sdiv(a, b));
+        break;
+      }
+      case Opcode::MOD: {
+        const U256 a = frame.pop(), b = frame.pop();
+        frame.push(a % b);
+        break;
+      }
+      case Opcode::SMOD: {
+        const U256 a = frame.pop(), b = frame.pop();
+        frame.push(smod(a, b));
+        break;
+      }
+      case Opcode::ADDMOD: {
+        const U256 a = frame.pop(), b = frame.pop(), m = frame.pop();
+        frame.push(addmod(a, b, m));
+        break;
+      }
+      case Opcode::MULMOD: {
+        const U256 a = frame.pop(), b = frame.pop(), m = frame.pop();
+        frame.push(mulmod(a, b, m));
+        break;
+      }
+      case Opcode::EXP: {
+        const U256 base = frame.pop(), exponent = frame.pop();
+        const std::uint64_t exp_bytes = (exponent.bit_length() + 7) / 8;
+        if (!frame.charge(50 * exp_bytes)) return fail(ExecStatus::kOutOfGas);
+        frame.push(exp_pow(base, exponent));
+        break;
+      }
+      case Opcode::SIGNEXTEND: {
+        const U256 index = frame.pop(), value = frame.pop();
+        frame.push(index.fits_u64() && index.as_u64() < 32
+                       ? signextend(static_cast<unsigned>(index.as_u64()), value)
+                       : value);
+        break;
+      }
+
+      case Opcode::LT: {
+        const U256 a = frame.pop(), b = frame.pop();
+        frame.push(a < b ? U256::one() : U256::zero());
+        break;
+      }
+      case Opcode::GT: {
+        const U256 a = frame.pop(), b = frame.pop();
+        frame.push(a > b ? U256::one() : U256::zero());
+        break;
+      }
+      case Opcode::SLT: {
+        const U256 a = frame.pop(), b = frame.pop();
+        frame.push(slt(a, b) ? U256::one() : U256::zero());
+        break;
+      }
+      case Opcode::SGT: {
+        const U256 a = frame.pop(), b = frame.pop();
+        frame.push(sgt(a, b) ? U256::one() : U256::zero());
+        break;
+      }
+      case Opcode::EQ: {
+        const U256 a = frame.pop(), b = frame.pop();
+        frame.push(a == b ? U256::one() : U256::zero());
+        break;
+      }
+      case Opcode::ISZERO:
+        frame.push(frame.pop().is_zero() ? U256::one() : U256::zero());
+        break;
+      case Opcode::AND: {
+        const U256 a = frame.pop(), b = frame.pop();
+        frame.push(a & b);
+        break;
+      }
+      case Opcode::OR: {
+        const U256 a = frame.pop(), b = frame.pop();
+        frame.push(a | b);
+        break;
+      }
+      case Opcode::XOR: {
+        const U256 a = frame.pop(), b = frame.pop();
+        frame.push(a ^ b);
+        break;
+      }
+      case Opcode::NOT:
+        frame.push(~frame.pop());
+        break;
+      case Opcode::BYTE: {
+        const U256 index = frame.pop(), value = frame.pop();
+        frame.push(index.fits_u64() && index.as_u64() < 32
+                       ? U256{nth_byte(value, static_cast<unsigned>(index.as_u64()))}
+                       : U256::zero());
+        break;
+      }
+      case Opcode::SHL: {
+        const U256 shift = frame.pop(), value = frame.pop();
+        frame.push(shift.fits_u64() && shift.as_u64() < 256
+                       ? value << static_cast<unsigned>(shift.as_u64())
+                       : U256::zero());
+        break;
+      }
+      case Opcode::SHR: {
+        const U256 shift = frame.pop(), value = frame.pop();
+        frame.push(shift.fits_u64() && shift.as_u64() < 256
+                       ? value >> static_cast<unsigned>(shift.as_u64())
+                       : U256::zero());
+        break;
+      }
+      case Opcode::SAR: {
+        const U256 shift = frame.pop(), value = frame.pop();
+        const unsigned n = shift.fits_u64() && shift.as_u64() < 256
+                               ? static_cast<unsigned>(shift.as_u64())
+                               : 256;
+        frame.push(sar(value, n));
+        break;
+      }
+
+      case Opcode::SHA3: {
+        const U256 offset = frame.pop(), size = frame.pop();
+        if (!frame.expand_memory(offset, size)) return fail(ExecStatus::kOutOfGas);
+        if (!size.is_zero() && !frame.charge(6 * words_for(size.as_u64()))) {
+          return fail(ExecStatus::kOutOfGas);
+        }
+        const Bytes data = size.is_zero()
+                               ? Bytes{}
+                               : frame.read_memory(offset.as_u64(), size.as_u64());
+        frame.push(U256::from_be(crypto::Keccak256::hash(data).view()));
+        break;
+      }
+
+      case Opcode::ADDRESS:
+        frame.push(u256_from_address(self));
+        break;
+      case Opcode::BALANCE:
+        frame.push(db_.balance(address_from_u256(frame.pop())));
+        break;
+      case Opcode::ORIGIN:
+        frame.push(u256_from_address(tx_.origin));
+        break;
+      case Opcode::CALLER:
+        frame.push(u256_from_address(msg.caller));
+        break;
+      case Opcode::CALLVALUE:
+        frame.push(msg.value);
+        break;
+      case Opcode::CALLDATALOAD: {
+        const U256 offset = frame.pop();
+        const Bytes word = padded_slice(msg.data, offset, 32);
+        frame.push(U256::from_be(word));
+        break;
+      }
+      case Opcode::CALLDATASIZE:
+        frame.push(U256{msg.data.size()});
+        break;
+      case Opcode::CALLDATACOPY:
+      case Opcode::CODECOPY:
+      case Opcode::RETURNDATACOPY: {
+        const U256 mem_off = frame.pop(), src_off = frame.pop(), size = frame.pop();
+        if (!frame.expand_memory(mem_off, size)) return fail(ExecStatus::kOutOfGas);
+        if (!size.is_zero()) {
+          if (!frame.charge(3 * words_for(size.as_u64()))) {
+            return fail(ExecStatus::kOutOfGas);
+          }
+          const BytesView src = opcode == Opcode::CALLDATACOPY
+                                    ? BytesView{msg.data}
+                                : opcode == Opcode::CODECOPY
+                                    ? code
+                                    : BytesView{return_data};
+          const Bytes chunk = padded_slice(src, src_off, size.as_u64());
+          frame.write_memory(mem_off.as_u64(), chunk);
+        }
+        break;
+      }
+      case Opcode::CODESIZE:
+        frame.push(U256{code.size()});
+        break;
+      case Opcode::EXTCODECOPY: {
+        const Address target = address_from_u256(frame.pop());
+        const U256 mem_off = frame.pop(), src_off = frame.pop(), size = frame.pop();
+        if (!frame.expand_memory(mem_off, size)) return fail(ExecStatus::kOutOfGas);
+        if (!size.is_zero()) {
+          if (!frame.charge(3 * words_for(size.as_u64()))) {
+            return fail(ExecStatus::kOutOfGas);
+          }
+          const Bytes& ext_code = db_.code(target);
+          const Bytes chunk = padded_slice(ext_code, src_off, size.as_u64());
+          frame.write_memory(mem_off.as_u64(), chunk);
+        }
+        break;
+      }
+      case Opcode::GASPRICE:
+        frame.push(tx_.gas_price);
+        break;
+      case Opcode::EXTCODESIZE:
+        frame.push(U256{db_.code(address_from_u256(frame.pop())).size()});
+        break;
+      case Opcode::RETURNDATASIZE:
+        frame.push(U256{return_data.size()});
+        break;
+
+      case Opcode::BLOCKHASH:
+        frame.pop();
+        frame.push(U256::zero());  // historical hashes not modelled
+        break;
+      case Opcode::COINBASE:
+        frame.push(u256_from_address(block_.coinbase));
+        break;
+      case Opcode::TIMESTAMP:
+        frame.push(U256{block_.timestamp});
+        break;
+      case Opcode::NUMBER:
+        frame.push(U256{block_.number});
+        break;
+      case Opcode::DIFFICULTY:
+        frame.push(U256::zero());
+        break;
+      case Opcode::GASLIMIT:
+        frame.push(U256{block_.gas_limit});
+        break;
+      case Opcode::CHAINID:
+        frame.push(U256{block_.chain_id});
+        break;
+      case Opcode::SELFBALANCE:
+        frame.push(db_.balance(self));
+        break;
+
+      case Opcode::POP:
+        frame.pop();
+        break;
+      case Opcode::MLOAD: {
+        const U256 offset = frame.pop();
+        if (!frame.expand_memory(offset, U256{32})) return fail(ExecStatus::kOutOfGas);
+        frame.push(U256::from_be(frame.read_memory(offset.as_u64(), 32)));
+        break;
+      }
+      case Opcode::MSTORE: {
+        const U256 offset = frame.pop(), value = frame.pop();
+        if (!frame.expand_memory(offset, U256{32})) return fail(ExecStatus::kOutOfGas);
+        frame.write_memory(offset.as_u64(), value.be_bytes());
+        break;
+      }
+      case Opcode::MSTORE8: {
+        const U256 offset = frame.pop(), value = frame.pop();
+        if (!frame.expand_memory(offset, U256{1})) return fail(ExecStatus::kOutOfGas);
+        const std::uint8_t byte = static_cast<std::uint8_t>(value.limb[0] & 0xff);
+        frame.write_memory(offset.as_u64(), BytesView{&byte, 1});
+        break;
+      }
+      case Opcode::SLOAD: {
+        const Hash32 key = frame.pop().to_hash();
+        frame.push(db_.storage(self, key));
+        break;
+      }
+      case Opcode::SSTORE: {
+        if (msg.is_static) return fail(ExecStatus::kStaticViolation);
+        const Hash32 key = frame.pop().to_hash();
+        const U256 value = frame.pop();
+        const U256 current = db_.storage(self, key);
+        std::uint64_t cost = 200;
+        if (!(value == current)) {
+          cost = current.is_zero() && !value.is_zero() ? 20000 : 5000;
+        }
+        if (!frame.charge(cost)) return fail(ExecStatus::kOutOfGas);
+        db_.set_storage(self, key, value);
+        break;
+      }
+      case Opcode::JUMP: {
+        const U256 dest = frame.pop();
+        if (!dest.fits_u64() || dest.as_u64() >= code.size() ||
+            !jumpdests[dest.as_u64()]) {
+          return fail(ExecStatus::kInvalidJump);
+        }
+        pc = dest.as_u64();
+        continue;
+      }
+      case Opcode::JUMPI: {
+        const U256 dest = frame.pop(), condition = frame.pop();
+        if (!condition.is_zero()) {
+          if (!dest.fits_u64() || dest.as_u64() >= code.size() ||
+              !jumpdests[dest.as_u64()]) {
+            return fail(ExecStatus::kInvalidJump);
+          }
+          pc = dest.as_u64();
+          continue;
+        }
+        break;
+      }
+      case Opcode::PC:
+        frame.push(U256{pc});
+        break;
+      case Opcode::MSIZE:
+        frame.push(U256{frame.memory_size()});
+        break;
+      case Opcode::GAS:
+        frame.push(U256{frame.gas()});
+        break;
+      case Opcode::JUMPDEST:
+        break;
+
+      case Opcode::CREATE: {
+        if (msg.is_static) return fail(ExecStatus::kStaticViolation);
+        const U256 value = frame.pop(), offset = frame.pop(), size = frame.pop();
+        if (!frame.expand_memory(offset, size)) return fail(ExecStatus::kOutOfGas);
+        const Bytes init_code =
+            size.is_zero() ? Bytes{}
+                           : frame.read_memory(offset.as_u64(), size.as_u64());
+        db_.increment_nonce(self);
+        Message child;
+        child.caller = self;
+        child.value = value;
+        child.data = init_code;
+        child.gas = frame.gas() - frame.gas() / 64;
+        child.is_create = true;
+        child.depth = msg.depth + 1;
+        const std::uint64_t parent_reserve = frame.gas() - child.gas;
+        const ExecResult child_result = execute(child);
+        frame.refund_to(parent_reserve + child_result.gas_left);
+        return_data = child_result.output;
+        frame.push(child_result.ok()
+                       ? u256_from_address(child_result.created_address)
+                       : U256::zero());
+        break;
+      }
+
+      case Opcode::CALL:
+      case Opcode::DELEGATECALL:
+      case Opcode::STATICCALL: {
+        const U256 gas_req = frame.pop();
+        const Address target = address_from_u256(frame.pop());
+        const U256 value =
+            opcode == Opcode::CALL ? frame.pop() : U256::zero();
+        const U256 in_off = frame.pop(), in_size = frame.pop();
+        const U256 out_off = frame.pop(), out_size = frame.pop();
+
+        if (opcode == Opcode::CALL && msg.is_static && !value.is_zero()) {
+          return fail(ExecStatus::kStaticViolation);
+        }
+        if (!frame.expand_memory(in_off, in_size)) return fail(ExecStatus::kOutOfGas);
+        if (!frame.expand_memory(out_off, out_size)) return fail(ExecStatus::kOutOfGas);
+
+        std::uint64_t extra = 0;
+        if (!value.is_zero()) {
+          extra += 9000;
+          if (!db_.account_exists(target)) extra += 25000;
+        }
+        if (!frame.charge(extra)) return fail(ExecStatus::kOutOfGas);
+
+        std::uint64_t child_gas = frame.gas() - frame.gas() / 64;
+        if (gas_req.fits_u64() && gas_req.as_u64() < child_gas) {
+          child_gas = gas_req.as_u64();
+        }
+        const std::uint64_t parent_reserve = frame.gas() - child_gas;
+        if (!value.is_zero()) child_gas += 2300;  // call stipend
+
+        Message child;
+        child.depth = msg.depth + 1;
+        child.gas = child_gas;
+        child.data = in_size.is_zero()
+                         ? Bytes{}
+                         : frame.read_memory(in_off.as_u64(), in_size.as_u64());
+        if (opcode == Opcode::DELEGATECALL) {
+          // Run the target's code in the current account's context.
+          child.caller = msg.caller;
+          child.to = self;
+          child.value = msg.value;
+          child.is_static = msg.is_static;
+          const Bytes target_code = db_.code(target);
+          const state::StateDB::Snapshot snap = db_.snapshot();
+          const std::size_t logs_mark = logs_.size();
+          ExecResult child_result = run(child, target_code, self);
+          if (!child_result.ok()) {
+            db_.revert_to(snap);
+            logs_.resize(logs_mark);
+            if (child_result.status != ExecStatus::kRevert) {
+              child_result.gas_left = 0;
+            }
+          }
+          frame.refund_to(parent_reserve + child_result.gas_left);
+          return_data = child_result.output;
+          if (!out_size.is_zero()) {
+            Bytes chunk = padded_slice(return_data, U256::zero(),
+                                       out_size.as_u64());
+            frame.write_memory(out_off.as_u64(), chunk);
+          }
+          frame.push(child_result.ok() ? U256::one() : U256::zero());
+        } else {
+          child.caller = self;
+          child.to = target;
+          child.value = value;
+          child.is_static = opcode == Opcode::STATICCALL || msg.is_static;
+          const ExecResult child_result = execute(child);
+          frame.refund_to(parent_reserve + child_result.gas_left);
+          return_data = child_result.output;
+          if (!out_size.is_zero()) {
+            Bytes chunk = padded_slice(return_data, U256::zero(),
+                                       out_size.as_u64());
+            frame.write_memory(out_off.as_u64(), chunk);
+          }
+          frame.push(child_result.ok() ? U256::one() : U256::zero());
+        }
+        break;
+      }
+
+      case Opcode::RETURN:
+      case Opcode::REVERT: {
+        const U256 offset = frame.pop(), size = frame.pop();
+        if (!frame.expand_memory(offset, size)) return fail(ExecStatus::kOutOfGas);
+        result.output = size.is_zero()
+                            ? Bytes{}
+                            : frame.read_memory(offset.as_u64(), size.as_u64());
+        result.status = opcode == Opcode::RETURN ? ExecStatus::kSuccess
+                                                 : ExecStatus::kRevert;
+        result.gas_left = frame.gas();
+        return result;
+      }
+      case Opcode::INVALID:
+        return fail(ExecStatus::kInvalidOpcode);
+      case Opcode::SELFDESTRUCT: {
+        if (msg.is_static) return fail(ExecStatus::kStaticViolation);
+        const Address beneficiary = address_from_u256(frame.pop());
+        const U256 balance = db_.balance(self);
+        if (!balance.is_zero()) {
+          db_.create_account(beneficiary);
+          db_.add_balance(beneficiary, balance);
+        }
+        db_.delete_account(self);
+        result.gas_left = frame.gas();
+        return result;
+      }
+
+      default: {
+        if (is_push(op)) {
+          const unsigned n = immediate_size(op);
+          const std::size_t available =
+              pc + 1 <= code.size() ? code.size() - pc - 1 : 0;
+          const std::size_t take = std::min<std::size_t>(n, available);
+          // Missing immediate bytes read as zero (right-padded), as in Geth.
+          Bytes imm(code.begin() + static_cast<std::ptrdiff_t>(pc + 1),
+                    code.begin() + static_cast<std::ptrdiff_t>(pc + 1 + take));
+          imm.resize(n, 0);
+          frame.push(U256::from_be(imm));
+          pc += 1 + n;
+          continue;
+        }
+        if (op >= 0x80 && op <= 0x8f) {  // DUPn
+          frame.push(frame.peek(op - 0x80));
+          break;
+        }
+        if (op >= 0x90 && op <= 0x9f) {  // SWAPn
+          std::swap(frame.peek(0), frame.peek(op - 0x90 + 1));
+          break;
+        }
+        if (op >= 0xa0 && op <= 0xa4) {  // LOGn
+          if (msg.is_static) return fail(ExecStatus::kStaticViolation);
+          const unsigned topic_count = op - 0xa0;
+          const U256 offset = frame.pop(), size = frame.pop();
+          if (!frame.expand_memory(offset, size)) return fail(ExecStatus::kOutOfGas);
+          if (!size.is_zero() && !frame.charge(8 * size.as_u64())) {
+            return fail(ExecStatus::kOutOfGas);
+          }
+          LogEntry entry;
+          entry.address = self;
+          for (unsigned i = 0; i < topic_count; ++i) {
+            entry.topics.push_back(frame.pop().to_hash());
+          }
+          entry.data = size.is_zero()
+                           ? Bytes{}
+                           : frame.read_memory(offset.as_u64(), size.as_u64());
+          logs_.push_back(std::move(entry));
+          break;
+        }
+        return fail(ExecStatus::kInvalidOpcode);
+      }
+    }
+    pc += 1;
+  }
+
+  result.gas_left = frame.gas();
+  return result;
+}
+
+}  // namespace srbb::evm

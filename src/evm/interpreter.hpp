@@ -1,0 +1,50 @@
+// The SRBB VM interpreter: a 256-bit stack machine over the opcode set in
+// opcodes.hpp with gas metering, journaled state access, nested calls and
+// contract creation. This is the execution engine every validator replays
+// blocks through (Alg. 1 line 21 / lines 32-40 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "evm/types.hpp"
+#include "state/statedb.hpp"
+
+namespace srbb::evm {
+
+inline constexpr std::uint32_t kMaxCallDepth = 1024;
+inline constexpr std::size_t kMaxStack = 1024;
+inline constexpr std::size_t kMaxCodeSize = 24 * 1024;
+
+/// Contract address for a creation by `creator` at `nonce`:
+/// keccak256(rlp([creator, nonce]))[12:], as in Ethereum.
+Address create_address(const Address& creator, std::uint64_t nonce);
+
+class Evm {
+ public:
+  Evm(state::StateDB& db, BlockContext block, TxContext tx)
+      : db_(db), block_(block), tx_(tx) {}
+
+  /// Execute a message call or creation against the current state. State
+  /// mutations from failed frames are reverted; the caller is responsible
+  /// for charging intrinsic transaction gas beforehand.
+  ExecResult execute(const Message& msg);
+
+  /// Logs emitted by successful frames since the last clear.
+  const std::vector<LogEntry>& logs() const { return logs_; }
+  void clear_logs() { logs_.clear(); }
+
+  const BlockContext& block() const { return block_; }
+  state::StateDB& db() { return db_; }
+
+ private:
+  ExecResult run(const Message& msg, BytesView code, const Address& self);
+  Address compute_create_address(const Address& creator, std::uint64_t nonce);
+
+  state::StateDB& db_;
+  BlockContext block_;
+  TxContext tx_;
+  std::vector<LogEntry> logs_;
+};
+
+}  // namespace srbb::evm

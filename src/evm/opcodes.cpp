@@ -1,0 +1,173 @@
+#include "evm/opcodes.hpp"
+
+#include <array>
+#include <string>
+#include <unordered_map>
+
+namespace srbb::evm {
+
+namespace {
+
+struct Table {
+  std::array<OpcodeInfo, 256> info{};
+  std::unordered_map<std::string, std::uint8_t> by_name;
+
+  void set(Opcode op, std::string_view name, std::uint8_t in, std::uint8_t out,
+           std::uint32_t gas) {
+    const auto idx = static_cast<std::uint8_t>(op);
+    info[idx] = OpcodeInfo{name, in, out, gas, true};
+    by_name.emplace(std::string{name}, idx);
+  }
+};
+
+Table build_table() {
+  Table t;
+  // Gas costs follow the Ethereum "Istanbul-ish" schedule in spirit; exact
+  // parity is not required for the congestion study, relative costs are.
+  t.set(Opcode::STOP, "STOP", 0, 0, 0);
+  t.set(Opcode::ADD, "ADD", 2, 1, 3);
+  t.set(Opcode::MUL, "MUL", 2, 1, 5);
+  t.set(Opcode::SUB, "SUB", 2, 1, 3);
+  t.set(Opcode::DIV, "DIV", 2, 1, 5);
+  t.set(Opcode::SDIV, "SDIV", 2, 1, 5);
+  t.set(Opcode::MOD, "MOD", 2, 1, 5);
+  t.set(Opcode::SMOD, "SMOD", 2, 1, 5);
+  t.set(Opcode::ADDMOD, "ADDMOD", 3, 1, 8);
+  t.set(Opcode::MULMOD, "MULMOD", 3, 1, 8);
+  t.set(Opcode::EXP, "EXP", 2, 1, 10);  // +50 per exponent byte, dynamic
+  t.set(Opcode::SIGNEXTEND, "SIGNEXTEND", 2, 1, 5);
+
+  t.set(Opcode::LT, "LT", 2, 1, 3);
+  t.set(Opcode::GT, "GT", 2, 1, 3);
+  t.set(Opcode::SLT, "SLT", 2, 1, 3);
+  t.set(Opcode::SGT, "SGT", 2, 1, 3);
+  t.set(Opcode::EQ, "EQ", 2, 1, 3);
+  t.set(Opcode::ISZERO, "ISZERO", 1, 1, 3);
+  t.set(Opcode::AND, "AND", 2, 1, 3);
+  t.set(Opcode::OR, "OR", 2, 1, 3);
+  t.set(Opcode::XOR, "XOR", 2, 1, 3);
+  t.set(Opcode::NOT, "NOT", 1, 1, 3);
+  t.set(Opcode::BYTE, "BYTE", 2, 1, 3);
+  t.set(Opcode::SHL, "SHL", 2, 1, 3);
+  t.set(Opcode::SHR, "SHR", 2, 1, 3);
+  t.set(Opcode::SAR, "SAR", 2, 1, 3);
+
+  t.set(Opcode::SHA3, "SHA3", 2, 1, 30);  // +6 per word, dynamic
+
+  t.set(Opcode::ADDRESS, "ADDRESS", 0, 1, 2);
+  t.set(Opcode::BALANCE, "BALANCE", 1, 1, 100);
+  t.set(Opcode::ORIGIN, "ORIGIN", 0, 1, 2);
+  t.set(Opcode::CALLER, "CALLER", 0, 1, 2);
+  t.set(Opcode::CALLVALUE, "CALLVALUE", 0, 1, 2);
+  t.set(Opcode::CALLDATALOAD, "CALLDATALOAD", 1, 1, 3);
+  t.set(Opcode::CALLDATASIZE, "CALLDATASIZE", 0, 1, 2);
+  t.set(Opcode::CALLDATACOPY, "CALLDATACOPY", 3, 0, 3);  // +3 per word
+  t.set(Opcode::CODESIZE, "CODESIZE", 0, 1, 2);
+  t.set(Opcode::CODECOPY, "CODECOPY", 3, 0, 3);  // +3 per word
+  t.set(Opcode::GASPRICE, "GASPRICE", 0, 1, 2);
+  t.set(Opcode::EXTCODESIZE, "EXTCODESIZE", 1, 1, 100);
+  t.set(Opcode::EXTCODECOPY, "EXTCODECOPY", 4, 0, 100);  // +3 per word
+  t.set(Opcode::RETURNDATASIZE, "RETURNDATASIZE", 0, 1, 2);
+  t.set(Opcode::RETURNDATACOPY, "RETURNDATACOPY", 3, 0, 3);  // +3 per word
+
+  t.set(Opcode::BLOCKHASH, "BLOCKHASH", 1, 1, 20);
+  t.set(Opcode::COINBASE, "COINBASE", 0, 1, 2);
+  t.set(Opcode::TIMESTAMP, "TIMESTAMP", 0, 1, 2);
+  t.set(Opcode::NUMBER, "NUMBER", 0, 1, 2);
+  t.set(Opcode::DIFFICULTY, "DIFFICULTY", 0, 1, 2);
+  t.set(Opcode::GASLIMIT, "GASLIMIT", 0, 1, 2);
+  t.set(Opcode::CHAINID, "CHAINID", 0, 1, 2);
+  t.set(Opcode::SELFBALANCE, "SELFBALANCE", 0, 1, 5);
+
+  t.set(Opcode::POP, "POP", 1, 0, 2);
+  t.set(Opcode::MLOAD, "MLOAD", 1, 1, 3);
+  t.set(Opcode::MSTORE, "MSTORE", 2, 0, 3);
+  t.set(Opcode::MSTORE8, "MSTORE8", 2, 0, 3);
+  t.set(Opcode::SLOAD, "SLOAD", 1, 1, 200);
+  t.set(Opcode::SSTORE, "SSTORE", 2, 0, 0);  // fully dynamic
+  t.set(Opcode::JUMP, "JUMP", 1, 0, 8);
+  t.set(Opcode::JUMPI, "JUMPI", 2, 0, 10);
+  t.set(Opcode::PC, "PC", 0, 1, 2);
+  t.set(Opcode::MSIZE, "MSIZE", 0, 1, 2);
+  t.set(Opcode::GAS, "GAS", 0, 1, 2);
+  t.set(Opcode::JUMPDEST, "JUMPDEST", 0, 0, 1);
+
+  for (int i = 0; i < 32; ++i) {
+    const auto op = static_cast<std::uint8_t>(0x60 + i);
+    t.info[op] = OpcodeInfo{"", 0, 1, 3, true};
+    // Names registered below with owned storage.
+  }
+  for (int i = 0; i < 16; ++i) {
+    const auto dup = static_cast<std::uint8_t>(0x80 + i);
+    t.info[dup] =
+        OpcodeInfo{"", static_cast<std::uint8_t>(i + 1),
+                   static_cast<std::uint8_t>(i + 2), 3, true};
+    const auto swap = static_cast<std::uint8_t>(0x90 + i);
+    t.info[swap] =
+        OpcodeInfo{"", static_cast<std::uint8_t>(i + 2),
+                   static_cast<std::uint8_t>(i + 2), 3, true};
+  }
+  for (int i = 0; i <= 4; ++i) {
+    const auto log = static_cast<std::uint8_t>(0xa0 + i);
+    t.info[log] = OpcodeInfo{"", static_cast<std::uint8_t>(2 + i), 0,
+                             static_cast<std::uint32_t>(375 + 375 * i), true};
+  }
+
+  t.set(Opcode::CREATE, "CREATE", 3, 1, 32000);
+  t.set(Opcode::CALL, "CALL", 7, 1, 700);
+  t.set(Opcode::RETURN, "RETURN", 2, 0, 0);
+  t.set(Opcode::DELEGATECALL, "DELEGATECALL", 6, 1, 700);
+  t.set(Opcode::STATICCALL, "STATICCALL", 6, 1, 700);
+  t.set(Opcode::REVERT, "REVERT", 2, 0, 0);
+  t.set(Opcode::INVALID, "INVALID", 0, 0, 0);
+  t.set(Opcode::SELFDESTRUCT, "SELFDESTRUCT", 1, 0, 5000);
+
+  // Register families with owned names so string_views stay valid.
+  static std::array<std::string, 32> push_names;
+  static std::array<std::string, 16> dup_names;
+  static std::array<std::string, 16> swap_names;
+  static std::array<std::string, 5> log_names;
+  for (int i = 0; i < 32; ++i) {
+    push_names[i] = "PUSH" + std::to_string(i + 1);
+    const auto op = static_cast<std::uint8_t>(0x60 + i);
+    t.info[op].name = push_names[i];
+    t.by_name.emplace(push_names[i], op);
+  }
+  for (int i = 0; i < 16; ++i) {
+    dup_names[i] = "DUP" + std::to_string(i + 1);
+    swap_names[i] = "SWAP" + std::to_string(i + 1);
+    const auto dup = static_cast<std::uint8_t>(0x80 + i);
+    const auto swap = static_cast<std::uint8_t>(0x90 + i);
+    t.info[dup].name = dup_names[i];
+    t.info[swap].name = swap_names[i];
+    t.by_name.emplace(dup_names[i], dup);
+    t.by_name.emplace(swap_names[i], swap);
+  }
+  for (int i = 0; i <= 4; ++i) {
+    log_names[i] = "LOG" + std::to_string(i);
+    const auto log = static_cast<std::uint8_t>(0xa0 + i);
+    t.info[log].name = log_names[i];
+    t.by_name.emplace(log_names[i], log);
+  }
+  return t;
+}
+
+const Table& table() {
+  static const Table t = build_table();
+  return t;
+}
+
+}  // namespace
+
+const OpcodeInfo& opcode_info(std::uint8_t opcode) {
+  return table().info[opcode];
+}
+
+std::optional<std::uint8_t> opcode_by_name(std::string_view name) {
+  const auto& by_name = table().by_name;
+  const auto it = by_name.find(std::string{name});
+  if (it == by_name.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace srbb::evm

@@ -1,0 +1,128 @@
+// Opcode table for the SRBB VM: the Ethereum instruction set subset that the
+// paper's DApp workloads exercise, with per-opcode metadata (mnemonic, stack
+// effect, base gas) used by the interpreter and the assembler.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace srbb::evm {
+
+enum class Opcode : std::uint8_t {
+  STOP = 0x00,
+  ADD = 0x01,
+  MUL = 0x02,
+  SUB = 0x03,
+  DIV = 0x04,
+  SDIV = 0x05,
+  MOD = 0x06,
+  SMOD = 0x07,
+  ADDMOD = 0x08,
+  MULMOD = 0x09,
+  EXP = 0x0a,
+  SIGNEXTEND = 0x0b,
+
+  LT = 0x10,
+  GT = 0x11,
+  SLT = 0x12,
+  SGT = 0x13,
+  EQ = 0x14,
+  ISZERO = 0x15,
+  AND = 0x16,
+  OR = 0x17,
+  XOR = 0x18,
+  NOT = 0x19,
+  BYTE = 0x1a,
+  SHL = 0x1b,
+  SHR = 0x1c,
+  SAR = 0x1d,
+
+  SHA3 = 0x20,
+
+  ADDRESS = 0x30,
+  BALANCE = 0x31,
+  ORIGIN = 0x32,
+  CALLER = 0x33,
+  CALLVALUE = 0x34,
+  CALLDATALOAD = 0x35,
+  CALLDATASIZE = 0x36,
+  CALLDATACOPY = 0x37,
+  CODESIZE = 0x38,
+  CODECOPY = 0x39,
+  GASPRICE = 0x3a,
+  EXTCODESIZE = 0x3b,
+  EXTCODECOPY = 0x3c,
+  RETURNDATASIZE = 0x3d,
+  RETURNDATACOPY = 0x3e,
+
+  BLOCKHASH = 0x40,
+  COINBASE = 0x41,
+  TIMESTAMP = 0x42,
+  NUMBER = 0x43,
+  DIFFICULTY = 0x44,
+  GASLIMIT = 0x45,
+  CHAINID = 0x46,
+  SELFBALANCE = 0x47,
+
+  POP = 0x50,
+  MLOAD = 0x51,
+  MSTORE = 0x52,
+  MSTORE8 = 0x53,
+  SLOAD = 0x54,
+  SSTORE = 0x55,
+  JUMP = 0x56,
+  JUMPI = 0x57,
+  PC = 0x58,
+  MSIZE = 0x59,
+  GAS = 0x5a,
+  JUMPDEST = 0x5b,
+
+  PUSH1 = 0x60,  // PUSH1..PUSH32 are 0x60..0x7f
+  PUSH2 = 0x61,
+  PUSH4 = 0x63,
+  PUSH32 = 0x7f,
+  DUP1 = 0x80,  // DUP1..DUP16 are 0x80..0x8f
+  DUP2 = 0x81,
+  DUP3 = 0x82,
+  DUP16 = 0x8f,
+  SWAP1 = 0x90,  // SWAP1..SWAP16 are 0x90..0x9f
+  SWAP16 = 0x9f,
+  LOG0 = 0xa0,  // LOG0..LOG4 are 0xa0..0xa4
+  LOG4 = 0xa4,
+
+  CREATE = 0xf0,
+  CALL = 0xf1,
+  RETURN = 0xf3,
+  DELEGATECALL = 0xf4,
+  STATICCALL = 0xfa,
+  REVERT = 0xfd,
+  INVALID = 0xfe,
+  SELFDESTRUCT = 0xff,
+};
+
+struct OpcodeInfo {
+  std::string_view name;
+  std::uint8_t stack_in = 0;   // operands popped
+  std::uint8_t stack_out = 0;  // results pushed
+  std::uint32_t base_gas = 0;
+  bool defined = false;
+};
+
+/// Metadata for a raw opcode byte; `defined == false` for holes in the table.
+const OpcodeInfo& opcode_info(std::uint8_t opcode);
+
+/// Mnemonic lookup used by the assembler ("ADD", "PUSH1", "DUP3", ...).
+std::optional<std::uint8_t> opcode_by_name(std::string_view name);
+
+/// Number of immediate bytes following the opcode (nonzero only for PUSHes).
+constexpr unsigned immediate_size(std::uint8_t opcode) {
+  if (opcode >= 0x60 && opcode <= 0x7f) return opcode - 0x5f;
+  return 0;
+}
+
+constexpr bool is_push(std::uint8_t opcode) {
+  return opcode >= 0x60 && opcode <= 0x7f;
+}
+
+}  // namespace srbb::evm

@@ -1,0 +1,79 @@
+#include "evm/precompiles.hpp"
+
+#include <cstring>
+
+#include "crypto/ed25519.hpp"
+#include "crypto/sha256.hpp"
+
+namespace srbb::evm {
+
+namespace {
+
+constexpr std::uint8_t kSigVerify = 0x01;
+constexpr std::uint8_t kSha256 = 0x02;
+constexpr std::uint8_t kIdentity = 0x04;
+
+std::uint64_t words(std::size_t bytes) { return (bytes + 31) / 32; }
+
+ExecResult out_of_gas() {
+  ExecResult r;
+  r.status = ExecStatus::kOutOfGas;
+  r.gas_left = 0;
+  return r;
+}
+
+}  // namespace
+
+bool is_precompile(const Address& address) {
+  for (int i = 0; i < 19; ++i) {
+    if (address[i] != 0) return false;
+  }
+  const std::uint8_t tag = address[19];
+  return tag == kSigVerify || tag == kSha256 || tag == kIdentity;
+}
+
+ExecResult run_precompile(const Address& address, BytesView input,
+                          std::uint64_t gas) {
+  ExecResult result;
+  switch (address[19]) {
+    case kSigVerify: {
+      constexpr std::uint64_t kCost = 3000;
+      if (gas < kCost) return out_of_gas();
+      result.gas_left = gas - kCost;
+      // Malformed input verifies as false rather than failing the call,
+      // matching ecrecover's forgiving behaviour.
+      bool ok = false;
+      if (input.size() == 32 + 32 + 64) {
+        crypto::PublicKey pubkey;
+        crypto::Signature signature;
+        std::memcpy(pubkey.data(), input.data() + 32, 32);
+        std::memcpy(signature.data(), input.data() + 64, 64);
+        ok = crypto::ed25519_verify(input.subspan(0, 32), signature, pubkey);
+      }
+      result.output.assign(32, 0);
+      result.output[31] = ok ? 1 : 0;
+      return result;
+    }
+    case kSha256: {
+      const std::uint64_t cost = 60 + 12 * words(input.size());
+      if (gas < cost) return out_of_gas();
+      result.gas_left = gas - cost;
+      result.output = crypto::Sha256::hash(input).bytes();
+      return result;
+    }
+    case kIdentity: {
+      const std::uint64_t cost = 15 + 3 * words(input.size());
+      if (gas < cost) return out_of_gas();
+      result.gas_left = gas - cost;
+      result.output.assign(input.begin(), input.end());
+      return result;
+    }
+    default:
+      break;
+  }
+  result.status = ExecStatus::kInvalidOpcode;
+  result.gas_left = 0;
+  return result;
+}
+
+}  // namespace srbb::evm

@@ -1,0 +1,29 @@
+// Precompiled contracts, reachable at the low reserved addresses as in
+// Ethereum. The SRBB VM ships three:
+//   0x01  sigverify  — Ed25519 signature check (this chain's analogue of
+//                      ecrecover): input = msg_hash(32) ++ pubkey(32) ++
+//                      sig(64), output = 32-byte 1/0. Gas 3000.
+//   0x02  sha256     — FIPS SHA-256 of the input. Gas 60 + 12/word.
+//   0x04  identity   — returns the input. Gas 15 + 3/word.
+//
+// Precompiles execute on plain and static calls; DELEGATECALL to a
+// precompile behaves like a call to empty code (a documented divergence —
+// Geth runs them, but no contract in this repo relies on that).
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "evm/types.hpp"
+
+namespace srbb::evm {
+
+/// True when `address` designates a precompiled contract.
+bool is_precompile(const Address& address);
+
+/// Execute the precompile at `address` (must satisfy is_precompile).
+/// Returns the result with gas accounting applied against `gas`.
+ExecResult run_precompile(const Address& address, BytesView input,
+                          std::uint64_t gas);
+
+}  // namespace srbb::evm

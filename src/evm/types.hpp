@@ -1,0 +1,70 @@
+// Execution-context types shared by the interpreter and its callers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+
+namespace srbb::evm {
+
+/// Block-level environment visible to contracts (NUMBER, TIMESTAMP, ...).
+struct BlockContext {
+  std::uint64_t number = 0;
+  std::uint64_t timestamp = 0;
+  Address coinbase;
+  std::uint64_t gas_limit = 30'000'000;
+  std::uint64_t chain_id = 4242;  // SRBB simulation chain id
+};
+
+/// Transaction-level environment (ORIGIN, GASPRICE).
+struct TxContext {
+  Address origin;
+  U256 gas_price;
+};
+
+/// A message call or contract creation.
+struct Message {
+  Address caller;
+  Address to;          // ignored when is_create
+  U256 value;
+  Bytes data;          // calldata, or init code when is_create
+  std::uint64_t gas = 0;
+  bool is_create = false;
+  bool is_static = false;
+  std::uint32_t depth = 0;
+};
+
+struct LogEntry {
+  Address address;
+  std::vector<Hash32> topics;
+  Bytes data;
+};
+
+enum class ExecStatus : std::uint8_t {
+  kSuccess,
+  kRevert,
+  kOutOfGas,
+  kStackUnderflow,
+  kStackOverflow,
+  kInvalidJump,
+  kInvalidOpcode,
+  kStaticViolation,
+  kDepthExceeded,
+  kInsufficientBalance,
+};
+
+const char* to_string(ExecStatus status);
+
+struct ExecResult {
+  ExecStatus status = ExecStatus::kSuccess;
+  std::uint64_t gas_left = 0;
+  Bytes output;              // RETURN/REVERT data, or deployed code on create
+  Address created_address;   // set for successful creates
+
+  bool ok() const { return status == ExecStatus::kSuccess; }
+};
+
+}  // namespace srbb::evm

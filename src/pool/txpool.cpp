@@ -1,0 +1,55 @@
+#include "pool/txpool.hpp"
+
+namespace srbb::pool {
+
+TxPool::AddResult TxPool::add(txn::TxPtr tx, SimTime now) {
+  if (index_.contains(tx->hash)) return AddResult::kDuplicate;
+  if (entries_.size() >= config_.capacity) {
+    ++dropped_full_;
+    return AddResult::kFull;
+  }
+  index_.insert(tx->hash);
+  entries_.push_back(Entry{std::move(tx), now});
+  ++admitted_;
+  return AddResult::kAdded;
+}
+
+std::vector<txn::TxPtr> TxPool::take_batch(std::size_t max_count,
+                                           std::size_t max_bytes, SimTime now) {
+  std::vector<txn::TxPtr> batch;
+  std::size_t bytes = 0;
+  while (!entries_.empty() && batch.size() < max_count) {
+    Entry& front = entries_.front();
+    if (expired(front, now)) {
+      index_.erase(front.tx->hash);
+      entries_.pop_front();
+      ++dropped_expired_;
+      continue;
+    }
+    if (max_bytes != 0 && bytes + front.tx->size > max_bytes) break;
+    bytes += front.tx->size;
+    index_.erase(front.tx->hash);
+    batch.push_back(std::move(front.tx));
+    entries_.pop_front();
+  }
+  return batch;
+}
+
+void TxPool::remove_committed(const std::vector<Hash32>& committed) {
+  std::unordered_set<Hash32, Hash32Hasher> gone;
+  for (const Hash32& h : committed) {
+    if (index_.contains(h)) gone.insert(h);
+  }
+  if (gone.empty()) return;
+  std::deque<Entry> kept;
+  for (Entry& entry : entries_) {
+    if (gone.contains(entry.tx->hash)) {
+      index_.erase(entry.tx->hash);
+    } else {
+      kept.push_back(std::move(entry));
+    }
+  }
+  entries_ = std::move(kept);
+}
+
+}  // namespace srbb::pool

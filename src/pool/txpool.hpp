@@ -1,0 +1,69 @@
+// Bounded transaction pool: the pending queue `p` of Alg. 1. Saturation of
+// this queue under load is the paper's congestion mechanism — when it fills,
+// transactions are dropped and counted as lost. Entries also carry a TTL
+// (Alg. 1 line 8).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+#include "txn/txref.hpp"
+
+namespace srbb::pool {
+
+struct TxPoolConfig {
+  /// Pending-slot capacity (Geth defaults to 4096 executable + 1024 queued).
+  std::size_t capacity = 5120;
+  /// Entries older than this are dropped on access; 0 disables expiry.
+  SimDuration ttl = 0;
+};
+
+class TxPool {
+ public:
+  explicit TxPool(TxPoolConfig config = {}) : config_(config) {}
+
+  enum class AddResult : std::uint8_t { kAdded, kDuplicate, kFull };
+
+  AddResult add(txn::TxPtr tx, SimTime now);
+  bool contains(const Hash32& hash) const { return index_.contains(hash); }
+
+  /// Pop up to `max_count` transactions whose total wire size stays within
+  /// `max_bytes` (0 = unlimited), skipping expired entries.
+  std::vector<txn::TxPtr> take_batch(std::size_t max_count,
+                                     std::size_t max_bytes, SimTime now);
+
+  /// Drop any pending transactions that appear in `committed` (they made it
+  /// into a decided block proposed by someone else).
+  void remove_committed(const std::vector<Hash32>& committed);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  std::size_t capacity() const { return config_.capacity; }
+
+  // Congestion accounting.
+  std::uint64_t dropped_full() const { return dropped_full_; }
+  std::uint64_t dropped_expired() const { return dropped_expired_; }
+  std::uint64_t admitted() const { return admitted_; }
+
+ private:
+  struct Entry {
+    txn::TxPtr tx;
+    SimTime added_at = 0;
+  };
+
+  bool expired(const Entry& entry, SimTime now) const {
+    return config_.ttl != 0 && entry.added_at + config_.ttl <= now;
+  }
+
+  TxPoolConfig config_;
+  std::deque<Entry> entries_;
+  std::unordered_set<Hash32, Hash32Hasher> index_;
+  std::uint64_t dropped_full_ = 0;
+  std::uint64_t dropped_expired_ = 0;
+  std::uint64_t admitted_ = 0;
+};
+
+}  // namespace srbb::pool

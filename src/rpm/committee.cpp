@@ -1,0 +1,77 @@
+#include "rpm/committee.hpp"
+
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace srbb::rpm {
+
+bool CommitteeManager::add_candidate(const Address& addr, const U256& deposit) {
+  if (deposit < config_.min_deposit) return false;
+  auto [it, inserted] = candidates_.try_emplace(addr, Candidate{deposit, {}});
+  if (!inserted) {
+    it->second.deposit += deposit;  // top-up
+    it->second.withdraw_requested_epoch.reset();
+  }
+  return true;
+}
+
+void CommitteeManager::exclude(const Address& addr) { candidates_.erase(addr); }
+
+bool CommitteeManager::request_withdraw(const Address& addr,
+                                        std::uint64_t epoch) {
+  const auto it = candidates_.find(addr);
+  if (it == candidates_.end()) return false;
+  if (it->second.withdraw_requested_epoch.has_value()) return false;
+  it->second.withdraw_requested_epoch = epoch;
+  return true;
+}
+
+U256 CommitteeManager::claim_withdraw(const Address& addr,
+                                      std::uint64_t epoch) {
+  const auto it = candidates_.find(addr);
+  if (it == candidates_.end()) return U256::zero();
+  const auto requested = it->second.withdraw_requested_epoch;
+  if (!requested.has_value()) return U256::zero();
+  if (epoch < *requested + config_.withdraw_lock_epochs) return U256::zero();
+  const U256 amount = it->second.deposit;
+  candidates_.erase(it);
+  return amount;
+}
+
+U256 CommitteeManager::deposit_of(const Address& addr) const {
+  const auto it = candidates_.find(addr);
+  return it == candidates_.end() ? U256::zero() : it->second.deposit;
+}
+
+std::vector<Address> CommitteeManager::committee(
+    std::uint64_t epoch, const Hash32& randomness) const {
+  std::vector<Address> eligible;
+  eligible.reserve(candidates_.size());
+  for (const auto& [addr, candidate] : candidates_) {
+    // Candidates mid-withdrawal stay eligible until funds release; this
+    // keeps their stake slashable for the lock period.
+    eligible.push_back(addr);
+  }
+  if (eligible.empty()) return eligible;
+
+  // Seed from (epoch, randomness) so all replicas agree.
+  crypto::Sha256 h;
+  std::uint8_t epoch_be[8];
+  put_be64(epoch_be, epoch);
+  h.update(BytesView{epoch_be, 8});
+  h.update(randomness.view());
+  const Hash32 seed = h.finish();
+  Rng rng{get_be64(seed.data.data())};
+
+  // Partial Fisher-Yates: draw committee_size entries.
+  const std::size_t take =
+      std::min<std::size_t>(config_.committee_size, eligible.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j = i + rng.next_below(eligible.size() - i);
+    std::swap(eligible[i], eligible[j]);
+  }
+  eligible.resize(take);
+  return eligible;
+}
+
+}  // namespace srbb::rpm

@@ -1,0 +1,72 @@
+// Membership and committee reconfiguration (§IV-E): candidates lock a
+// deposit; every epoch a committee of n validators is drawn uniformly at
+// random from the candidate set, seeded by shared randomness (e.g. the hash
+// of the last block of the previous epoch), so every replica computes the
+// same committee. Deposits unlock after a configurable number of epochs;
+// slashed candidates are excluded permanently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+
+namespace srbb::rpm {
+
+struct CommitteeConfig {
+  std::uint32_t committee_size = 4;
+  /// Blocks per epoch; the committee rotates between epochs, which is what
+  /// bounds a slowly-adaptive adversary (§IV-A).
+  std::uint64_t epoch_length = 100;
+  U256 min_deposit = U256{1'000'000};
+  /// Epochs a withdrawn deposit stays locked (PoS-style recoverability).
+  std::uint64_t withdraw_lock_epochs = 2;
+};
+
+class CommitteeManager {
+ public:
+  explicit CommitteeManager(CommitteeConfig config) : config_(config) {}
+
+  /// Candidate applies with a deposit; false if below the minimum
+  /// (Sybil resistance: identities are as expensive as deposits).
+  bool add_candidate(const Address& addr, const U256& deposit);
+
+  /// Permanently remove a slashed validator (RPM exclusion event).
+  void exclude(const Address& addr);
+
+  /// Request withdrawal at `epoch`; funds release after the lock period.
+  bool request_withdraw(const Address& addr, std::uint64_t epoch);
+  /// Amount withdrawable at `epoch` (0 while locked); clears the candidate.
+  U256 claim_withdraw(const Address& addr, std::uint64_t epoch);
+
+  std::uint64_t epoch_of_block(std::uint64_t block_number) const {
+    return block_number / config_.epoch_length;
+  }
+
+  /// Deterministic committee for an epoch: a Fisher-Yates draw over the
+  /// eligible candidates seeded by (epoch, randomness). Identical at every
+  /// replica given identical candidate sets.
+  std::vector<Address> committee(std::uint64_t epoch,
+                                 const Hash32& randomness) const;
+
+  bool is_candidate(const Address& addr) const {
+    return candidates_.contains(addr);
+  }
+  std::size_t candidate_count() const { return candidates_.size(); }
+  U256 deposit_of(const Address& addr) const;
+
+ private:
+  struct Candidate {
+    U256 deposit;
+    std::optional<std::uint64_t> withdraw_requested_epoch;
+  };
+
+  CommitteeConfig config_;
+  // Ordered map: deterministic iteration for the committee draw.
+  std::map<Address, Candidate> candidates_;
+};
+
+}  // namespace srbb::rpm

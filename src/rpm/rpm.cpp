@@ -1,0 +1,127 @@
+#include "rpm/rpm.hpp"
+
+#include "crypto/keccak.hpp"
+#include "crypto/sha256.hpp"
+
+namespace srbb::rpm {
+
+namespace {
+
+Hash32 digest_of(std::initializer_list<BytesView> parts) {
+  crypto::Sha256 h;
+  for (const BytesView part : parts) h.update(part);
+  return h.finish();
+}
+
+Bytes be64(std::uint64_t v) {
+  Bytes out(8);
+  put_be64(out.data(), v);
+  return out;
+}
+
+}  // namespace
+
+void RewardPenaltyMechanism::register_validator(const Address& addr,
+                                                const U256& deposit) {
+  deposits_[addr] = deposit;
+}
+
+U256 RewardPenaltyMechanism::deposit_of(const Address& addr) const {
+  const auto it = deposits_.find(addr);
+  return it == deposits_.end() ? U256::zero() : it->second;
+}
+
+bool RewardPenaltyMechanism::certificate_valid(const BlockSummary& block,
+                                               Address* proposer) const {
+  const Address addr = crypto::address_from_pubkey(
+      BytesView{block.proposer_pubkey.data(), block.proposer_pubkey.size()});
+  // Alg. 2 line 16: the derived address must belong to the validator set V.
+  if (!deposits_.contains(addr)) return false;
+  // Alg. 2 line 19-20: recover h_t from (h_t)_Sk and compare with hash(T).
+  if (!config_.scheme->verify(block.tx_root.view(), block.signed_tx_root,
+                              block.proposer_pubkey)) {
+    return false;
+  }
+  *proposer = addr;
+  return true;
+}
+
+bool RewardPenaltyMechanism::prop_received(const Address& caller,
+                                           const BlockSummary& block,
+                                           std::uint32_t slot,
+                                           std::uint64_t round) {
+  if (!deposits_.contains(caller)) return false;  // only validators invoke
+
+  Address proposer;
+  if (!certificate_valid(block, &proposer)) return false;
+
+  // Alg. 2 line 21: count keyed by hash(P_k, T, i, r); a caller counts once
+  // (the set models both the invoked[] map and the duplicate-parse checker).
+  const Key key{digest_of({BytesView{block.proposer_pubkey.data(), 32},
+                           block.tx_root.view(),
+                           BytesView{be64(slot)},
+                           BytesView{be64(round)}})};
+  auto& invokers = prop_counts_[key];
+  if (!invokers.insert(caller).second) return false;  // duplicate invocation
+
+  if (invokers.size() >= config_.n - config_.f && !rewarded_.contains(key)) {
+    rewarded_.insert(key);
+    // Reward design (§IV-F c): R = I - C, I = r_b + sum(fees),
+    // C = c * |T|. Negative rewards clamp to zero growth (cannot happen with
+    // sane parameters; guarded for robustness).
+    const U256 incentive = config_.block_reward + block.total_fees;
+    const U256 cost = config_.validation_cost_per_tx * U256{block.tx_count};
+    if (incentive >= cost) {
+      const U256 reward = incentive - cost;
+      deposits_[proposer] += reward;
+      total_rewards_ += reward;
+    }
+  }
+  return true;
+}
+
+std::optional<SlashEvent> RewardPenaltyMechanism::report(
+    const Address& caller, const BlockSummary& block,
+    std::uint64_t block_number, const Hash32& invalid_tx,
+    const crypto::MerkleProof& proof) {
+  if (!deposits_.contains(caller)) return std::nullopt;
+
+  Address proposer;
+  if (!certificate_valid(block, &proposer)) return std::nullopt;
+  // Already slashed and excluded: deposit is zero, nothing more to take.
+  if (excluded_.contains(proposer)) return std::nullopt;
+  // Alg. 2 line 32: t must be in T — checked against the certified tx root,
+  // so false reports naming a transaction outside the block are rejected.
+  if (!crypto::merkle_verify(invalid_tx, proof, block.tx_root)) {
+    return std::nullopt;
+  }
+
+  const Key key{digest_of({BytesView{block.proposer_pubkey.data(), 32},
+                           BytesView{be64(block_number)},
+                           invalid_tx.view()})};
+  if (slashed_keys_.contains(key)) return std::nullopt;  // already punished
+  auto& reporters = report_counts_[key];
+  if (!reporters.insert(caller).second) return std::nullopt;  // duplicate
+
+  if (reporters.size() < config_.n - config_.f) return std::nullopt;
+  slashed_keys_.insert(key);
+
+  // Alg. 2 lines 38-41: P = K[address]; zero the deposit and share P among
+  // the other validators.
+  const U256 penalty = deposits_[proposer];
+  deposits_[proposer] = U256::zero();
+  excluded_.insert(proposer);
+  const std::uint64_t others = deposits_.size() > 1
+                                   ? static_cast<std::uint64_t>(deposits_.size() - 1)
+                                   : 1;
+  const U256 share = penalty / U256{others};
+  for (auto& [addr, deposit] : deposits_) {
+    if (addr != proposer) deposit += share;
+  }
+
+  SlashEvent event{proposer, penalty, block_number};
+  events_.push_back(event);
+  return event;
+}
+
+}  // namespace srbb::rpm

@@ -1,0 +1,34 @@
+#include "sim/event_loop.hpp"
+
+#include <utility>
+
+namespace srbb::sim {
+
+void Simulation::schedule_at(SimTime time, EventFn fn) {
+  if (time < now_) time = now_;  // no scheduling into the past
+  queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+void Simulation::run_until(SimTime end) {
+  while (!queue_.empty() && queue_.top().time <= end) {
+    // Copy out before pop so the handler may schedule freely.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+  if (now_ < end) now_ = end;
+}
+
+void Simulation::run_until_idle() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+}
+
+}  // namespace srbb::sim

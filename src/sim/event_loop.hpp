@@ -1,0 +1,53 @@
+// Deterministic discrete-event engine. Events fire in (time, insertion)
+// order, so a run is a pure function of its seed — the property every
+// experiment in EXPERIMENTS.md relies on for reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace srbb::sim {
+
+using EventFn = std::function<void()>;
+
+class Simulation {
+ public:
+  SimTime now() const { return now_; }
+
+  void schedule_at(SimTime time, EventFn fn);
+  void schedule_after(SimDuration delay, EventFn fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Process events up to and including `end`; the clock lands on `end`.
+  void run_until(SimTime end);
+  /// Process until the queue drains.
+  void run_until_idle();
+
+  std::uint64_t events_processed() const { return processed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace srbb::sim

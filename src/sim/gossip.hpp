@@ -1,0 +1,28 @@
+// Static random overlay used for per-transaction gossip in the modern-
+// blockchain protocol (Alg. 1 line 9) and for block dissemination. Each node
+// gets `fanout` distinct peers; the graph is connected by construction (a
+// random ring plus random extra edges), deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace srbb::sim {
+
+class GossipOverlay {
+ public:
+  GossipOverlay(std::size_t node_count, std::size_t fanout, std::uint64_t seed);
+
+  const std::vector<NodeId>& peers(NodeId node) const { return peers_[node]; }
+  std::size_t node_count() const { return peers_.size(); }
+
+  /// True when every node can reach every other (sanity check for tests).
+  bool connected() const;
+
+ private:
+  std::vector<std::vector<NodeId>> peers_;
+};
+
+}  // namespace srbb::sim

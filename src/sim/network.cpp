@@ -1,0 +1,63 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace srbb::sim {
+
+void SimNode::post_work(SimDuration cpu_cost, EventFn fn) {
+  const SimTime start = std::max(now(), cpu_free_at_);
+  const SimTime done = start + cpu_cost;
+  cpu_free_at_ = done;
+  stats_.cpu_busy += cpu_cost;
+  sim_.schedule_at(done, std::move(fn));
+}
+
+void SimNode::send(NodeId to, MessagePtr message) {
+  network_->send(id_, to, std::move(message));
+}
+
+void Network::attach(SimNode* node) {
+  assert(node->id() == nodes_.size());
+  node->network_ = this;
+  nodes_.push_back(node);
+  nics_.push_back(Nic{});
+}
+
+void Network::send(NodeId from, NodeId to, MessagePtr message) {
+  const std::size_t bytes = message->size_bytes();
+  SimNode* sender = nodes_[from];
+  SimNode* receiver = nodes_[to];
+
+  sender->stats_.messages_sent += 1;
+  sender->stats_.bytes_sent += bytes;
+  total_messages_ += 1;
+  total_bytes_ += bytes;
+
+  // Egress serialization: the sender's NIC pushes one message at a time.
+  const SimDuration tx_delay = transmission_delay(bytes);
+  Nic& sender_nic = nics_[from];
+  const SimTime egress_done =
+      std::max(sim_.now(), sender_nic.egress_free_at) + tx_delay;
+  sender_nic.egress_free_at = egress_done;
+
+  // Propagation across the wire.
+  const SimDuration propagation =
+      config_.latency.sample(sender->region(), receiver->region(), rng_);
+
+  // Ingress serialization at the receiver.
+  Nic& receiver_nic = nics_[to];
+  const SimTime arrival = egress_done + propagation;
+  const SimTime ingress_done =
+      std::max(arrival, receiver_nic.ingress_free_at) + tx_delay;
+  receiver_nic.ingress_free_at = ingress_done;
+
+  sim_.schedule_at(ingress_done, [receiver, from, message = std::move(message),
+                                  bytes]() {
+    receiver->stats_.messages_received += 1;
+    receiver->stats_.bytes_received += bytes;
+    receiver->handle_message(from, message);
+  });
+}
+
+}  // namespace srbb::sim

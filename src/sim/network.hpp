@@ -1,0 +1,119 @@
+// The simulated machine and wire: nodes with a FIFO CPU (one core of work at
+// a time, matching the per-validator service queue the paper's congestion
+// argument is about) and NICs with finite bandwidth, connected by the latency
+// model. All three contended resources — CPU cycles spent on eager
+// validation, bandwidth spent on per-transaction gossip, and pool slots —
+// live above this layer; this layer provides the queueing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/latency.hpp"
+
+namespace srbb::sim {
+
+using NodeId = std::uint32_t;
+
+/// Wire payloads: immutable, shared, size-accounted.
+struct Message {
+  virtual ~Message() = default;
+  virtual std::size_t size_bytes() const = 0;
+  virtual const char* type() const = 0;
+};
+using MessagePtr = std::shared_ptr<const Message>;
+
+struct NodeStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  SimDuration cpu_busy = 0;
+};
+
+class Network;
+
+/// Actor base class. Protocol nodes (validators, clients, load balancers)
+/// derive from this and receive messages via handle_message.
+class SimNode {
+ public:
+  SimNode(Simulation& simulation, NodeId id, RegionId region)
+      : sim_(simulation), id_(id), region_(region) {}
+  virtual ~SimNode() = default;
+
+  NodeId id() const { return id_; }
+  RegionId region() const { return region_; }
+  Simulation& sim() { return sim_; }
+  SimTime now() const { return sim_.now(); }
+  const NodeStats& stats() const { return stats_; }
+
+  virtual void handle_message(NodeId from, const MessagePtr& message) = 0;
+
+  /// Serialize `cpu_cost` of work on this node's single core, then run `fn`.
+  /// Work queues FIFO behind whatever the node is already doing — this is
+  /// where validation cost turns into queueing delay under load.
+  void post_work(SimDuration cpu_cost, EventFn fn);
+
+  /// Convenience: send via the attached network.
+  void send(NodeId to, MessagePtr message);
+
+ private:
+  friend class Network;
+  Simulation& sim_;
+  NodeId id_;
+  RegionId region_;
+  Network* network_ = nullptr;
+  SimTime cpu_free_at_ = 0;
+  NodeStats stats_;
+};
+
+struct NetworkConfig {
+  LatencyModel latency = LatencyModel::uniform(1, millis(1));
+  /// Per-node egress and ingress line rate. c5.2xlarge sustains ~2.5 Gbit/s;
+  /// the default is deliberately in that range.
+  double bandwidth_bps = 2.5e9;
+  std::uint64_t seed = 42;
+};
+
+class Network {
+ public:
+  Network(Simulation& simulation, NetworkConfig config)
+      : sim_(simulation), config_(std::move(config)), rng_(config_.seed) {}
+
+  /// Register a node (not owned). Its id must equal its registration order.
+  void attach(SimNode* node);
+
+  void send(NodeId from, NodeId to, MessagePtr message);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  SimNode* node(NodeId id) { return nodes_[id]; }
+  const LatencyModel& latency() const { return config_.latency; }
+
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  struct Nic {
+    SimTime egress_free_at = 0;
+    SimTime ingress_free_at = 0;
+  };
+
+  SimDuration transmission_delay(std::size_t bytes) const {
+    return static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 /
+                                    config_.bandwidth_bps * kSecond);
+  }
+
+  Simulation& sim_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<SimNode*> nodes_;
+  std::vector<Nic> nics_;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace srbb::sim

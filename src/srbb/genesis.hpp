@@ -1,0 +1,40 @@
+// Genesis state shared by every validator: pre-funded accounts and
+// pre-deployed contracts (the DIABLO DApps are installed at genesis, as the
+// benchmark deploys them before the measured run starts).
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+#include "state/statedb.hpp"
+
+namespace srbb::node {
+
+struct GenesisSpec {
+  struct FundedAccount {
+    Address address;
+    U256 balance;
+  };
+  struct PredeployedContract {
+    Address address;
+    Bytes runtime_code;
+  };
+
+  std::vector<FundedAccount> accounts;
+  std::vector<PredeployedContract> contracts;
+
+  void apply(state::StateDB& db) const {
+    for (const FundedAccount& account : accounts) {
+      db.add_balance(account.address, account.balance);
+    }
+    for (const PredeployedContract& contract : contracts) {
+      db.create_account(contract.address);
+      db.set_nonce(contract.address, 1);
+      db.set_code(contract.address, contract.runtime_code);
+    }
+    db.commit();
+  }
+};
+
+}  // namespace srbb::node

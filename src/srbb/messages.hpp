@@ -1,0 +1,39 @@
+// Client-facing and gossip messages of the blockchain layer (consensus wire
+// messages live in consensus/messages.hpp).
+#pragma once
+
+#include "sim/network.hpp"
+#include "txn/txref.hpp"
+
+namespace srbb::node {
+
+/// A client submits a pre-signed transaction to one validator (stage 1 of
+/// the SRBB transaction life cycle, §IV-C).
+struct ClientTxMsg final : sim::Message {
+  txn::TxPtr tx;
+
+  std::size_t size_bytes() const override { return tx->size; }
+  const char* type() const override { return "client-tx"; }
+};
+
+/// Individual transaction propagation between validators — Alg. 1 line 9,
+/// the step TVPR removes. Only the modern-blockchain/baseline configuration
+/// ever sends these.
+struct GossipTxMsg final : sim::Message {
+  txn::TxPtr tx;
+
+  std::size_t size_bytes() const override { return tx->size; }
+  const char* type() const override { return "gossip-tx"; }
+};
+
+/// Commit acknowledgement back to the sending client; the client's observed
+/// commit time defines latency, as in DIABLO.
+struct CommitAckMsg final : sim::Message {
+  Hash32 tx_hash;
+  bool executed_ok = false;  // false: included but reverted/failed
+
+  std::size_t size_bytes() const override { return 32 + 1 + 32; }
+  const char* type() const override { return "commit-ack"; }
+};
+
+}  // namespace srbb::node

@@ -1,0 +1,51 @@
+#include "srbb/oracle.hpp"
+
+namespace srbb::node {
+
+ExecutionOracle::ExecutionOracle(const GenesisSpec& genesis,
+                                 evm::BlockContext block_template,
+                                 const crypto::SignatureScheme& scheme)
+    : block_template_(block_template) {
+  genesis.apply(db_);
+  exec_config_.verify_signature = true;
+  exec_config_.scheme = &scheme;
+}
+
+const IndexExecResult& ExecutionOracle::execute(
+    std::uint64_t index, const std::vector<txn::BlockPtr>& blocks) {
+  if (const auto it = results_.find(index); it != results_.end()) {
+    return it->second;
+  }
+  IndexExecResult result;
+  evm::BlockContext block_ctx = block_template_;
+  block_ctx.number = index;
+
+  for (const txn::BlockPtr& block : blocks) {
+    BlockExecResult block_result;
+    block_result.proposer = block->header.proposer;
+    for (const txn::TxPtr& tx : block->txs) {
+      TxOutcome outcome;
+      outcome.hash = tx->hash;
+      auto receipt = txn::apply_transaction(tx->tx, db_, block_ctx,
+                                            exec_config_);
+      if (receipt.is_ok()) {
+        outcome.valid = true;
+        outcome.executed_ok = receipt.value().success;
+        outcome.gas_used = receipt.value().gas_used;
+        outcome.fee = tx->tx.gas_price * U256{receipt.value().gas_used};
+        ++result.total_valid;
+      } else {
+        // Invalid transaction: no state transition; discard from the block
+        // (Alg. 1 line 23).
+        ++result.total_invalid;
+      }
+      block_result.outcomes.push_back(std::move(outcome));
+    }
+    result.blocks.push_back(std::move(block_result));
+  }
+  db_.commit();
+  result.state_root = db_.state_root();
+  return results_.emplace(index, std::move(result)).first->second;
+}
+
+}  // namespace srbb::node

@@ -1,0 +1,70 @@
+// Deterministic block execution. The oracle owns a StateDB and replays
+// decided blocks index by index, exactly once per index, discarding invalid
+// transactions (Alg. 1 lines 19-26).
+//
+// Execution modes (see DESIGN.md):
+//  - Replicated: each validator owns a private oracle and really executes
+//    every block through the EVM — used by tests to check that replicas
+//    converge to identical state roots.
+//  - Shared: validators share one oracle; the first to commit an index
+//    executes it, the rest reuse the memoized result (identical by
+//    determinism) while still being charged the modelled CPU time. This is
+//    what makes 200-validator benchmark runs laptop-feasible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "evm/types.hpp"
+#include "srbb/genesis.hpp"
+#include "state/statedb.hpp"
+#include "txn/block.hpp"
+#include "txn/executor.hpp"
+
+namespace srbb::node {
+
+struct TxOutcome {
+  Hash32 hash;
+  bool valid = false;        // false -> discarded from the block (Alg.1 l.23)
+  bool executed_ok = false;  // EVM frame success (reverts are valid but fail)
+  std::uint64_t gas_used = 0;
+  U256 fee;                  // gas_used * gas_price
+};
+
+struct BlockExecResult {
+  std::uint64_t proposer = 0;
+  std::vector<TxOutcome> outcomes;
+};
+
+struct IndexExecResult {
+  std::vector<BlockExecResult> blocks;
+  Hash32 state_root;
+  std::uint64_t total_valid = 0;
+  std::uint64_t total_invalid = 0;
+};
+
+class ExecutionOracle {
+ public:
+  ExecutionOracle(const GenesisSpec& genesis, evm::BlockContext block_template,
+                  const crypto::SignatureScheme& scheme);
+
+  /// Execute the superblock for `index` (idempotent: repeated calls return
+  /// the memoized result). Indices must be executed in increasing order on
+  /// first call.
+  const IndexExecResult& execute(std::uint64_t index,
+                                 const std::vector<txn::BlockPtr>& blocks);
+
+  bool executed(std::uint64_t index) const { return results_.contains(index); }
+  const state::StateDB& db() const { return db_; }
+  state::StateDB& mutable_db() { return db_; }
+
+ private:
+  state::StateDB db_;
+  evm::BlockContext block_template_;
+  txn::ExecutionConfig exec_config_;
+  std::map<std::uint64_t, IndexExecResult> results_;
+};
+
+}  // namespace srbb::node

@@ -1,0 +1,389 @@
+#include "srbb/validator.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha256.hpp"
+#include "txn/validation.hpp"
+
+namespace srbb::node {
+
+using consensus::SuperblockCallbacks;
+using consensus::SuperblockConfig;
+using consensus::SuperblockInstance;
+
+ValidatorNode::ValidatorNode(sim::Simulation& simulation, sim::NodeId id,
+                             sim::RegionId region, ValidatorConfig config,
+                             std::shared_ptr<ExecutionOracle> oracle,
+                             std::shared_ptr<rpm::RewardPenaltyMechanism> rpm,
+                             const sim::GossipOverlay* overlay)
+    : sim::SimNode(simulation, id, region),
+      config_(std::move(config)),
+      identity_(config_.scheme->make_identity(config_.self)),
+      oracle_(std::move(oracle)),
+      rpm_(std::move(rpm)),
+      overlay_(overlay),
+      pool_(config_.pool) {}
+
+void ValidatorNode::start() {
+  if (started_ || config_.behavior.silent) return;
+  started_ = true;
+  begin_round(0);
+}
+
+// ---------------------------------------------------------------------------
+// Reception (Alg. 1 lines 4-9)
+// ---------------------------------------------------------------------------
+
+void ValidatorNode::handle_message(sim::NodeId from,
+                                   const sim::MessagePtr& message) {
+  if (config_.behavior.silent) return;
+  if (const auto* client = dynamic_cast<const ClientTxMsg*>(message.get())) {
+    on_client_tx(from, client->tx);
+    return;
+  }
+  if (const auto* gossip = dynamic_cast<const GossipTxMsg*>(message.get())) {
+    on_gossip_tx(from, gossip->tx);
+    return;
+  }
+  // Consensus traffic: route by index. Instances exist lazily so early
+  // messages for future rounds are absorbed by their (not yet begun)
+  // instance; PULLs for completed instances are answered by them too.
+  std::uint64_t index = 0;
+  if (const auto* p = dynamic_cast<const consensus::ProposeMsg*>(message.get())) {
+    index = p->index;
+  } else if (const auto* e = dynamic_cast<const consensus::EchoMsg*>(message.get())) {
+    index = e->index;
+  } else if (const auto* pl = dynamic_cast<const consensus::PullMsg*>(message.get())) {
+    index = pl->index;
+  } else if (const auto* b = dynamic_cast<const consensus::BinMsg*>(message.get())) {
+    index = b->index;
+  } else if (const auto* d = dynamic_cast<const consensus::DecidedMsg*>(message.get())) {
+    index = d->index;
+  } else {
+    return;  // unknown message type
+  }
+  instance_for(index).handle(from, message);
+}
+
+void ValidatorNode::on_client_tx(sim::NodeId from, const txn::TxPtr& tx) {
+  ++metrics_.client_txs_received;
+  // Eager validation burns CPU before the admission decision (this queueing
+  // is the congestion the paper measures).
+  post_work(config_.costs.eager_validation, [this, from, tx] {
+    ++metrics_.eager_validations;
+    if (committed_txs_.contains(tx->hash) || pool_.contains(tx->hash)) return;
+    const Status valid = txn::eager_validate(
+        tx->tx, oracle_->db(), *config_.scheme, config_.validation);
+    if (!valid) {
+      ++metrics_.eager_failures;
+      return;  // drop (Alg. 1: failed eager validation)
+    }
+    client_origins_.emplace(tx->hash, from);
+    admit_to_pool(tx);
+    if (!config_.tvpr) {
+      // Modern blockchain: propagate the individual transaction (line 9).
+      gossip_tx(tx, std::nullopt);
+    }
+  });
+}
+
+void ValidatorNode::on_gossip_tx(sim::NodeId from, const txn::TxPtr& tx) {
+  ++metrics_.gossip_txs_received;
+  // Cheap dedup before the expensive validation, as Geth does.
+  post_work(config_.costs.gossip_dedup, [this, from, tx] {
+    if (seen_gossip_.contains(tx->hash) || committed_txs_.contains(tx->hash) ||
+        pool_.contains(tx->hash)) {
+      return;
+    }
+    seen_gossip_.insert(tx->hash);
+    post_work(config_.costs.eager_validation, [this, from, tx] {
+      ++metrics_.eager_validations;  // the redundant validation TVPR removes
+      const Status valid = txn::eager_validate(
+          tx->tx, oracle_->db(), *config_.scheme, config_.validation);
+      if (!valid) {
+        ++metrics_.eager_failures;
+        return;
+      }
+      admit_to_pool(tx);
+      gossip_tx(tx, from);
+    });
+  });
+}
+
+void ValidatorNode::admit_to_pool(const txn::TxPtr& tx) {
+  pool_.add(tx, now());
+}
+
+void ValidatorNode::gossip_tx(const txn::TxPtr& tx,
+                              std::optional<sim::NodeId> skip) {
+  if (overlay_ == nullptr) return;
+  seen_gossip_.insert(tx->hash);
+  auto msg = std::make_shared<GossipTxMsg>();
+  msg->tx = tx;
+  for (const sim::NodeId peer : overlay_->peers(id())) {
+    if (peer >= config_.n) continue;  // only validators gossip
+    if (skip.has_value() && peer == *skip) continue;
+    ++metrics_.gossip_txs_sent;
+    send(peer, msg);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Consensus (Alg. 1 lines 10-18)
+// ---------------------------------------------------------------------------
+
+SuperblockInstance& ValidatorNode::instance_for(std::uint64_t index) {
+  auto it = instances_.find(index);
+  if (it != instances_.end()) return *it->second;
+
+  SuperblockConfig sb_config;
+  sb_config.n = config_.n;
+  sb_config.f = config_.f;
+  sb_config.self = config_.self;
+  sb_config.proposal_timeout = config_.proposal_timeout;
+  sb_config.pull_retry = config_.pull_retry;
+  sb_config.scheme = config_.scheme;
+
+  SuperblockCallbacks cb;
+  cb.broadcast = [this](sim::MessagePtr msg) {
+    for (std::uint32_t peer = 0; peer < config_.n; ++peer) {
+      if (peer != config_.self) send(peer, msg);
+    }
+  };
+  cb.send_to = [this](std::uint32_t peer, sim::MessagePtr msg) {
+    if (peer != config_.self && peer < config_.n) send(peer, std::move(msg));
+  };
+  cb.validate_header = [this](const txn::Block& block) {
+    return validate_header(block);
+  };
+  cb.expect_proposal = [this](std::uint32_t proposer) {
+    if (rpm_ == nullptr || !config_.rpm) return true;
+    const crypto::Identity who = config_.scheme->make_identity(proposer);
+    return !rpm_->is_excluded(who.address());
+  };
+  cb.on_superblock = [this, index](std::vector<txn::BlockPtr> blocks) {
+    on_superblock(index, std::move(blocks));
+  };
+  cb.set_timer = [this](SimDuration delay, std::function<void()> fn) {
+    sim().schedule_after(delay, std::move(fn));
+  };
+
+  it = instances_
+           .emplace(index, std::make_unique<SuperblockInstance>(
+                               sb_config, index, std::move(cb)))
+           .first;
+  return *it->second;
+}
+
+void ValidatorNode::begin_round(std::uint64_t index) {
+  current_round_ = index;
+  last_round_start_ = now();
+  instance_for(index).begin(build_proposal(index));
+}
+
+txn::BlockPtr ValidatorNode::build_proposal(std::uint64_t index) {
+  std::vector<txn::TxPtr> txs;
+  if (!config_.behavior.censor) {
+    txs = pool_.take_batch(config_.max_block_txs, config_.max_block_bytes,
+                           now());
+  }
+  // Flooding attack: a Byzantine proposer stuffs invalid transactions into
+  // its block, skipping eager validation to save cost (§III-B, §V-B).
+  for (std::uint32_t i = 0; i < config_.behavior.flood_invalid_per_block; ++i) {
+    if (config_.behavior.flood_total_limit != 0 &&
+        metrics_.invalid_txs_flooded >= config_.behavior.flood_total_limit) {
+      break;
+    }
+    txs.push_back(make_invalid_tx());
+    ++metrics_.invalid_txs_flooded;
+  }
+  ++metrics_.blocks_proposed;
+  return std::make_shared<const txn::Block>(
+      txn::make_block(index, config_.self, now(), parent_hash_, std::move(txs),
+                      identity_, *config_.scheme));
+}
+
+txn::TxPtr ValidatorNode::make_invalid_tx() {
+  // Properly signed, but the sender has 0 balance (the paper's construction)
+  // so lazy validation / execution rejects it.
+  const crypto::Identity broke = config_.scheme->make_identity(
+      0xF000'0000'0000'0000ull + (static_cast<std::uint64_t>(config_.self) << 32) +
+      invalid_tx_counter_++);
+  txn::TxParams params;
+  params.kind = txn::TxKind::kTransfer;
+  params.nonce = 0;
+  params.gas_price = U256{1};
+  params.gas_limit = 21'000;
+  params.to = identity_.address();
+  params.value = U256{1};
+  return txn::make_tx_ptr(txn::make_signed(params, broke, *config_.scheme));
+}
+
+bool ValidatorNode::validate_header(const txn::Block& block) const {
+  if (block.header.proposer >= config_.n) return false;
+  // The certificate key must be the known key of the claimed rank, so a
+  // Byzantine validator cannot propose under another's slot.
+  const crypto::Identity expected =
+      config_.scheme->make_identity(block.header.proposer);
+  if (block.header.cert.proposer_pubkey != expected.public_key) return false;
+  // RPM exclusion (Alg. 2 line 42): correct validators drop blocks from
+  // slashed proposers.
+  if (rpm_ != nullptr && config_.rpm &&
+      rpm_->is_excluded(expected.address())) {
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Commit (Alg. 1 lines 19-31)
+// ---------------------------------------------------------------------------
+
+void ValidatorNode::on_superblock(std::uint64_t index,
+                                  std::vector<txn::BlockPtr> blocks) {
+  pending_superblocks_[index] = std::move(blocks);
+  try_commit();
+}
+
+void ValidatorNode::try_commit() {
+  if (commit_in_flight_) return;
+  const auto it = pending_superblocks_.find(next_commit_);
+  if (it == pending_superblocks_.end()) return;
+  commit_in_flight_ = true;
+
+  const std::uint64_t index = it->first;
+  // Execute (memoized in shared mode, deterministic either way) to learn the
+  // attempt/valid split, then charge the commit-path CPU before finalizing:
+  // every attempt pays lazy validation + signature recovery, valid
+  // transactions additionally pay the EVM apply.
+  const IndexExecResult& result = oracle_->execute(index, it->second);
+  std::size_t attempts = 0;
+  for (const txn::BlockPtr& block : it->second) attempts += block->txs.size();
+  const SimDuration cost =
+      static_cast<SimDuration>(attempts) *
+          (config_.costs.lazy_validation + config_.costs.sig_check_exec) +
+      static_cast<SimDuration>(result.total_valid) *
+          config_.costs.execution_per_tx;
+  post_work(cost, [this, index] {
+    const auto pending = pending_superblocks_.find(index);
+    commit_index(index, pending->second);
+    pending_superblocks_.erase(pending);
+    commit_in_flight_ = false;
+    try_commit();  // next superblock may already be waiting
+  });
+}
+
+void ValidatorNode::commit_index(std::uint64_t index,
+                                 const std::vector<txn::BlockPtr>& blocks) {
+  const IndexExecResult& result = oracle_->execute(index, blocks);
+
+  std::vector<Hash32> committed_hashes;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const txn::BlockPtr& block = blocks[b];
+    const BlockExecResult& block_result = result.blocks[b];
+    for (std::size_t t = 0; t < block->txs.size(); ++t) {
+      const TxOutcome& outcome = block_result.outcomes[t];
+      if (outcome.valid) {
+        ++metrics_.txs_committed_valid;
+        committed_txs_.insert(outcome.hash);
+        committed_hashes.push_back(outcome.hash);
+        const auto origin = client_origins_.find(outcome.hash);
+        if (origin != client_origins_.end()) {
+          auto ack = std::make_shared<CommitAckMsg>();
+          ack->tx_hash = outcome.hash;
+          ack->executed_ok = outcome.executed_ok;
+          send(origin->second, ack);
+          client_origins_.erase(origin);
+        }
+      } else {
+        ++metrics_.txs_discarded_invalid;
+      }
+    }
+  }
+  pool_.remove_committed(committed_hashes);
+
+  // Chain digest for safety checks: previous digest + block hashes + root.
+  crypto::Sha256 digest;
+  digest.update(parent_hash_.view());
+  for (const txn::BlockPtr& block : blocks) {
+    digest.update(block->hash().view());
+  }
+  digest.update(result.state_root.view());
+  parent_hash_ = digest.finish();
+  chain_.push_back(parent_hash_);
+  last_state_root_ = result.state_root;
+  ++metrics_.superblocks_committed;
+
+  if (rpm_ != nullptr && config_.rpm) run_rpm_hooks(index, blocks, result);
+  recycle_undecided(index);
+
+  ++next_commit_;
+  // Schedule the next round, pacing by the configured block interval.
+  const std::uint64_t next_round = index + 1;
+  if (next_round > current_round_) {
+    const SimTime earliest = last_round_start_ + config_.min_block_interval;
+    if (now() >= earliest) {
+      begin_round(next_round);
+    } else {
+      sim().schedule_at(earliest, [this, next_round] {
+        if (next_round > current_round_) begin_round(next_round);
+      });
+    }
+  }
+}
+
+void ValidatorNode::recycle_undecided(std::uint64_t index) {
+  // Alg. 1 lines 27-31: transactions of received-but-undecided blocks are
+  // eagerly validated and returned to the pool for a future block.
+  const auto it = instances_.find(index);
+  if (it == instances_.end()) return;
+  for (const txn::BlockPtr& block : it->second->undecided_blocks()) {
+    for (const txn::TxPtr& tx : block->txs) {
+      if (committed_txs_.contains(tx->hash) || pool_.contains(tx->hash)) {
+        continue;
+      }
+      ++metrics_.eager_validations;
+      if (txn::eager_validate(tx->tx, oracle_->db(), *config_.scheme,
+                              config_.validation)) {
+        if (pool_.add(tx, now()) == pool::TxPool::AddResult::kAdded) {
+          ++metrics_.txs_recycled;
+        }
+      } else {
+        ++metrics_.eager_failures;
+      }
+    }
+  }
+  // The instance has served its purpose; keep only a window for late PULLs.
+  if (index >= 4) instances_.erase(instances_.begin(),
+                                   instances_.lower_bound(index - 3));
+}
+
+void ValidatorNode::run_rpm_hooks(std::uint64_t index,
+                                  const std::vector<txn::BlockPtr>& blocks,
+                                  const IndexExecResult& result) {
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const txn::BlockPtr& block = blocks[b];
+    rpm::BlockSummary summary;
+    summary.proposer_pubkey = block->header.cert.proposer_pubkey;
+    summary.signed_tx_root = block->header.cert.signed_tx_root;
+    summary.tx_root = block->header.tx_root;
+    summary.tx_count = static_cast<std::uint32_t>(block->txs.size());
+    for (const TxOutcome& outcome : result.blocks[b].outcomes) {
+      summary.total_fees += outcome.fee;
+    }
+    rpm_->prop_received(identity_.address(), summary,
+                        static_cast<std::uint32_t>(b), index);
+
+    // Report every invalid transaction with its Merkle inclusion proof.
+    std::vector<Hash32> leaves;
+    leaves.reserve(block->txs.size());
+    for (const txn::TxPtr& tx : block->txs) leaves.push_back(tx->hash);
+    for (std::size_t t = 0; t < block->txs.size(); ++t) {
+      if (result.blocks[b].outcomes[t].valid) continue;
+      const crypto::MerkleProof proof = crypto::merkle_prove(leaves, t);
+      rpm_->report(identity_.address(), summary, index, leaves[t], proof);
+    }
+  }
+}
+
+}  // namespace srbb::node

@@ -1,0 +1,168 @@
+// The SRBB validator node: Alg. 1 wired onto the simulated network.
+//
+//   Reception  — client transactions are eagerly validated once and pooled;
+//                with TVPR disabled (modern/baseline mode) they are also
+//                gossiped to peers, each of which re-validates and re-gossips
+//                (Alg. 1 line 9, the step SRBB removes).
+//   Consensus  — every round each validator proposes a block from its pool;
+//                the superblock layer (consensus/) decides the block set.
+//   Commit     — decided blocks are executed in order; invalid transactions
+//                are discarded (lines 19-26); valid transactions from
+//                received-but-undecided blocks are recycled into the pool
+//                (lines 27-31); commit ACKs flow back to the sending client.
+//   RPM        — on commit, validators invoke propReceived per decided block
+//                and report invalid transactions with Merkle proofs; slashed
+//                proposers are excluded from future headers (Alg. 2).
+//
+// Byzantine behaviours (silent, censoring, invalid-transaction flooding) are
+// switched per node to drive the paper's §V-B experiments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "consensus/superblock.hpp"
+#include "pool/txpool.hpp"
+#include "rpm/rpm.hpp"
+#include "sim/gossip.hpp"
+#include "sim/network.hpp"
+#include "srbb/messages.hpp"
+#include "srbb/oracle.hpp"
+#include "txn/validation.hpp"
+
+namespace srbb::node {
+
+/// CPU cost model, calibrated from bench_micro_crypto / bench_micro_evm and
+/// Geth-order-of-magnitude figures. The commit path charges, per transaction
+/// *attempt* in a decided block, lazy validation plus the execution-path
+/// signature recovery (check (i) of §IV-D — Geth ecrecovers every
+/// transaction before applying it), and the EVM apply cost only for valid
+/// transactions. This is what makes duplicate proposals in the EVM+DBFT
+/// baseline so expensive: a superblock with n near-identical blocks costs
+/// n * (lazy + sig) per unique transaction.
+struct CostModel {
+  SimDuration eager_validation = micros(100);  // signature verify dominates
+  SimDuration lazy_validation = micros(5);     // nonce/gas/balance checks
+  SimDuration sig_check_exec = micros(150);    // ecrecover on the commit path
+  SimDuration execution_per_tx = micros(250);  // EVM apply + state update
+  SimDuration gossip_dedup = micros(1);        // seen-set lookup
+};
+
+struct ValidatorBehavior {
+  bool silent = false;  // crash fault
+  bool censor = false;  // propose empty blocks (§VI censorship discussion)
+  /// Flooding attack (§V-B): include this many invalid transactions (zero-
+  /// balance senders, skipping eager validation) in every proposal.
+  std::uint32_t flood_invalid_per_block = 0;
+  /// Stop flooding after this many invalid transactions (0 = unlimited);
+  /// Table I's attacker sends 10K total.
+  std::uint64_t flood_total_limit = 0;
+};
+
+struct ValidatorConfig {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  std::uint32_t self = 0;  // rank; validators own network ids 0..n-1
+  bool tvpr = true;        // SRBB; false = modern/EVM+DBFT per-tx gossip
+  bool rpm = true;
+  CostModel costs;
+  pool::TxPoolConfig pool;
+  std::size_t max_block_txs = 4096;
+  std::size_t max_block_bytes = 4 * 1024 * 1024;
+  SimDuration min_block_interval = millis(400);
+  SimDuration proposal_timeout = millis(800);
+  SimDuration pull_retry = millis(200);
+  txn::ValidationConfig validation;
+  const crypto::SignatureScheme* scheme = &crypto::SignatureScheme::fast_sim();
+  ValidatorBehavior behavior;
+};
+
+class ValidatorNode : public sim::SimNode {
+ public:
+  struct Metrics {
+    std::uint64_t client_txs_received = 0;
+    std::uint64_t eager_validations = 0;
+    std::uint64_t eager_failures = 0;
+    std::uint64_t gossip_txs_received = 0;
+    std::uint64_t gossip_txs_sent = 0;
+    std::uint64_t blocks_proposed = 0;
+    std::uint64_t superblocks_committed = 0;
+    std::uint64_t txs_committed_valid = 0;
+    std::uint64_t txs_discarded_invalid = 0;
+    std::uint64_t txs_recycled = 0;
+    std::uint64_t invalid_txs_flooded = 0;
+  };
+
+  ValidatorNode(sim::Simulation& simulation, sim::NodeId id,
+                sim::RegionId region, ValidatorConfig config,
+                std::shared_ptr<ExecutionOracle> oracle,
+                std::shared_ptr<rpm::RewardPenaltyMechanism> rpm,
+                const sim::GossipOverlay* overlay);
+
+  /// Kick off consensus (call after all nodes are attached).
+  void start();
+
+  void handle_message(sim::NodeId from, const sim::MessagePtr& message) override;
+
+  // --- inspection ---
+  const Metrics& metrics() const { return metrics_; }
+  const pool::TxPool& tx_pool() const { return pool_; }
+  std::uint64_t chain_height() const { return next_commit_; }
+  const std::vector<Hash32>& chain() const { return chain_; }
+  Hash32 last_state_root() const { return last_state_root_; }
+  const crypto::Identity& identity() const { return identity_; }
+  ExecutionOracle& oracle() { return *oracle_; }
+
+ private:
+  void on_client_tx(sim::NodeId from, const txn::TxPtr& tx);
+  void on_gossip_tx(sim::NodeId from, const txn::TxPtr& tx);
+  void admit_to_pool(const txn::TxPtr& tx);
+  void gossip_tx(const txn::TxPtr& tx, std::optional<sim::NodeId> skip);
+
+  consensus::SuperblockInstance& instance_for(std::uint64_t index);
+  void begin_round(std::uint64_t index);
+  txn::BlockPtr build_proposal(std::uint64_t index);
+  txn::TxPtr make_invalid_tx();
+  bool validate_header(const txn::Block& block) const;
+  void on_superblock(std::uint64_t index, std::vector<txn::BlockPtr> blocks);
+  void try_commit();
+  void commit_index(std::uint64_t index,
+                    const std::vector<txn::BlockPtr>& blocks);
+  void recycle_undecided(std::uint64_t index);
+  void run_rpm_hooks(std::uint64_t index,
+                     const std::vector<txn::BlockPtr>& blocks,
+                     const IndexExecResult& result);
+
+  ValidatorConfig config_;
+  crypto::Identity identity_;
+  std::shared_ptr<ExecutionOracle> oracle_;
+  std::shared_ptr<rpm::RewardPenaltyMechanism> rpm_;
+  const sim::GossipOverlay* overlay_;
+
+  pool::TxPool pool_;
+  std::unordered_set<Hash32, Hash32Hasher> seen_gossip_;
+  std::unordered_set<Hash32, Hash32Hasher> committed_txs_;
+  std::unordered_map<Hash32, sim::NodeId, Hash32Hasher> client_origins_;
+
+  std::map<std::uint64_t, std::unique_ptr<consensus::SuperblockInstance>>
+      instances_;
+  std::map<std::uint64_t, std::vector<txn::BlockPtr>> pending_superblocks_;
+  std::uint64_t current_round_ = 0;   // highest index begun
+  std::uint64_t next_commit_ = 0;     // next index to commit
+  bool commit_in_flight_ = false;
+  SimTime last_round_start_ = 0;
+  Hash32 parent_hash_;
+  std::vector<Hash32> chain_;
+  Hash32 last_state_root_;
+  std::uint64_t invalid_tx_counter_ = 0;
+  bool started_ = false;
+
+  Metrics metrics_;
+};
+
+}  // namespace srbb::node

@@ -1,0 +1,26 @@
+// Account model: externally owned accounts (balance + nonce) and contract
+// accounts (code + storage), matching the Ethereum world-state shape the
+// SRBB VM replicates.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+
+namespace srbb::state {
+
+struct Account {
+  std::uint64_t nonce = 0;
+  U256 balance;
+  Bytes code;
+  std::unordered_map<Hash32, U256, Hash32Hasher> storage;
+
+  bool is_contract() const { return !code.empty(); }
+  bool is_empty() const {
+    return nonce == 0 && balance.is_zero() && code.empty() && storage.empty();
+  }
+};
+
+}  // namespace srbb::state

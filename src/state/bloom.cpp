@@ -1,0 +1,48 @@
+#include "state/bloom.hpp"
+
+#include "crypto/keccak.hpp"
+
+namespace srbb::state {
+
+namespace {
+
+// The three bit indices for a datum: low 11 bits of digest byte pairs
+// (0,1), (2,3), (4,5) — the yellow paper's M3:2048 function.
+std::array<std::uint32_t, 3> bloom_bits(BytesView datum) {
+  const Hash32 digest = crypto::Keccak256::hash(datum);
+  std::array<std::uint32_t, 3> out{};
+  for (int i = 0; i < 3; ++i) {
+    out[i] = ((static_cast<std::uint32_t>(digest[2 * i]) << 8) |
+              digest[2 * i + 1]) &
+             0x7ff;
+  }
+  return out;
+}
+
+}  // namespace
+
+void LogBloom::add(BytesView datum) {
+  for (const std::uint32_t bit : bloom_bits(datum)) {
+    bits_[kBytes - 1 - bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+bool LogBloom::may_contain(BytesView datum) const {
+  for (const std::uint32_t bit : bloom_bits(datum)) {
+    if ((bits_[kBytes - 1 - bit / 8] & (1u << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+void LogBloom::merge(const LogBloom& other) {
+  for (std::size_t i = 0; i < kBytes; ++i) bits_[i] |= other.bits_[i];
+}
+
+bool LogBloom::empty() const {
+  for (const std::uint8_t byte : bits_) {
+    if (byte != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace srbb::state

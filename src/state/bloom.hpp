@@ -1,0 +1,36 @@
+// 2048-bit log bloom filter, Ethereum-style: each datum sets three bits
+// selected by the low 11 bits of three Keccak-256 digest pairs. Blocks carry
+// the union of their receipts' blooms so light clients can skip blocks that
+// cannot contain a topic of interest.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace srbb::state {
+
+class LogBloom {
+ public:
+  static constexpr std::size_t kBytes = 256;  // 2048 bits
+
+  /// Set the three bits for `datum` (an address or a topic).
+  void add(BytesView datum);
+  /// True when all three bits for `datum` are set (may be a false positive,
+  /// never a false negative).
+  bool may_contain(BytesView datum) const;
+
+  /// Union with another bloom (block bloom = union of receipt blooms).
+  void merge(const LogBloom& other);
+
+  bool empty() const;
+  const std::array<std::uint8_t, kBytes>& bits() const { return bits_; }
+
+  friend bool operator==(const LogBloom&, const LogBloom&) = default;
+
+ private:
+  std::array<std::uint8_t, kBytes> bits_{};
+};
+
+}  // namespace srbb::state

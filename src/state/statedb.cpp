@@ -1,0 +1,203 @@
+#include "state/statedb.hpp"
+
+#include <algorithm>
+
+#include "codec/rlp.hpp"
+#include "crypto/keccak.hpp"
+#include "crypto/sha256.hpp"
+#include "state/trie.hpp"
+
+namespace srbb::state {
+
+namespace {
+const Bytes kEmptyCode;
+}
+
+const Account* StateDB::find(const Address& addr) const {
+  const auto it = accounts_.find(addr);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+Account& StateDB::mutable_account(const Address& addr) {
+  auto it = accounts_.find(addr);
+  if (it == accounts_.end()) {
+    journal_.push_back(JournalEntry{.op = Op::kCreateAccount, .addr = addr});
+    it = accounts_.emplace(addr, Account{}).first;
+  }
+  return it->second;
+}
+
+bool StateDB::account_exists(const Address& addr) const {
+  return find(addr) != nullptr;
+}
+
+U256 StateDB::balance(const Address& addr) const {
+  const Account* acc = find(addr);
+  return acc ? acc->balance : U256::zero();
+}
+
+std::uint64_t StateDB::nonce(const Address& addr) const {
+  const Account* acc = find(addr);
+  return acc ? acc->nonce : 0;
+}
+
+const Bytes& StateDB::code(const Address& addr) const {
+  const Account* acc = find(addr);
+  return acc ? acc->code : kEmptyCode;
+}
+
+Hash32 StateDB::code_hash(const Address& addr) const {
+  return crypto::Sha256::hash(code(addr));
+}
+
+U256 StateDB::storage(const Address& addr, const Hash32& key) const {
+  const Account* acc = find(addr);
+  if (acc == nullptr) return U256::zero();
+  const auto it = acc->storage.find(key);
+  return it == acc->storage.end() ? U256::zero() : it->second;
+}
+
+void StateDB::create_account(const Address& addr) { mutable_account(addr); }
+
+void StateDB::set_balance(const Address& addr, const U256& value) {
+  Account& acc = mutable_account(addr);
+  journal_.push_back(JournalEntry{
+      .op = Op::kBalanceChange, .addr = addr, .prev_value = acc.balance});
+  acc.balance = value;
+}
+
+void StateDB::add_balance(const Address& addr, const U256& delta) {
+  set_balance(addr, balance(addr) + delta);
+}
+
+bool StateDB::sub_balance(const Address& addr, const U256& delta) {
+  const U256 current = balance(addr);
+  if (current < delta) return false;
+  set_balance(addr, current - delta);
+  return true;
+}
+
+void StateDB::set_nonce(const Address& addr, std::uint64_t nonce) {
+  Account& acc = mutable_account(addr);
+  journal_.push_back(JournalEntry{
+      .op = Op::kNonceChange, .addr = addr, .prev_nonce = acc.nonce});
+  acc.nonce = nonce;
+}
+
+void StateDB::increment_nonce(const Address& addr) {
+  set_nonce(addr, nonce(addr) + 1);
+}
+
+void StateDB::set_code(const Address& addr, Bytes code) {
+  Account& acc = mutable_account(addr);
+  JournalEntry entry{.op = Op::kCodeChange, .addr = addr};
+  entry.prev_code = acc.code;
+  journal_.push_back(std::move(entry));
+  acc.code = std::move(code);
+}
+
+void StateDB::set_storage(const Address& addr, const Hash32& key,
+                          const U256& value) {
+  Account& acc = mutable_account(addr);
+  const auto it = acc.storage.find(key);
+  JournalEntry entry{.op = Op::kStorageChange, .addr = addr, .key = key};
+  entry.prev_existed = it != acc.storage.end();
+  if (entry.prev_existed) entry.prev_value = it->second;
+  journal_.push_back(std::move(entry));
+  if (value.is_zero()) {
+    acc.storage.erase(key);  // zero writes clear the slot, as in the EVM
+  } else {
+    acc.storage[key] = value;
+  }
+}
+
+void StateDB::delete_account(const Address& addr) {
+  const auto it = accounts_.find(addr);
+  if (it == accounts_.end()) return;
+  JournalEntry entry{.op = Op::kDeleteAccount, .addr = addr};
+  entry.prev_account = it->second;
+  journal_.push_back(std::move(entry));
+  accounts_.erase(it);
+}
+
+void StateDB::revert_to(Snapshot snapshot) {
+  while (journal_.size() > snapshot) {
+    JournalEntry& entry = journal_.back();
+    switch (entry.op) {
+      case Op::kCreateAccount:
+        accounts_.erase(entry.addr);
+        break;
+      case Op::kBalanceChange:
+        accounts_[entry.addr].balance = entry.prev_value;
+        break;
+      case Op::kNonceChange:
+        accounts_[entry.addr].nonce = entry.prev_nonce;
+        break;
+      case Op::kCodeChange:
+        accounts_[entry.addr].code = std::move(entry.prev_code);
+        break;
+      case Op::kStorageChange: {
+        auto& storage = accounts_[entry.addr].storage;
+        if (entry.prev_existed) {
+          storage[entry.key] = entry.prev_value;
+        } else {
+          storage.erase(entry.key);
+        }
+        break;
+      }
+      case Op::kDeleteAccount:
+        accounts_[entry.addr] = std::move(entry.prev_account);
+        break;
+    }
+    journal_.pop_back();
+  }
+}
+
+void StateDB::commit() { journal_.clear(); }
+
+Hash32 StateDB::state_root() const {
+  std::vector<Address> addresses;
+  addresses.reserve(accounts_.size());
+  for (const auto& [addr, acc] : accounts_) addresses.push_back(addr);
+  std::sort(addresses.begin(), addresses.end());
+
+  crypto::Sha256 root;
+  for (const Address& addr : addresses) {
+    const Account& acc = accounts_.at(addr);
+    root.update(addr.view());
+    std::uint8_t nonce_be[8];
+    put_be64(nonce_be, acc.nonce);
+    root.update(BytesView{nonce_be, 8});
+    root.update(acc.balance.be_bytes());
+    root.update(crypto::Sha256::hash(acc.code).view());
+
+    std::vector<Hash32> keys;
+    keys.reserve(acc.storage.size());
+    for (const auto& [key, value] : acc.storage) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (const Hash32& key : keys) {
+      root.update(key.view());
+      root.update(acc.storage.at(key).be_bytes());
+    }
+  }
+  return root.finish();
+}
+
+Hash32 StateDB::state_root_mpt() const {
+  MerklePatriciaTrie state_trie;
+  for (const auto& [addr, acc] : accounts_) {
+    MerklePatriciaTrie storage_trie;
+    for (const auto& [key, value] : acc.storage) {
+      storage_trie.put(key.view(), rlp::encode_u256(value));
+    }
+    rlp::ListBuilder body;
+    body.add_u64(acc.nonce);
+    body.add_u256(acc.balance);
+    body.add_bytes(storage_trie.root_hash().view());
+    body.add_bytes(crypto::Keccak256::hash(acc.code).view());
+    state_trie.put(addr.view(), body.build());
+  }
+  return state_trie.root_hash();
+}
+
+}  // namespace srbb::state

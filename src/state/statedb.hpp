@@ -1,0 +1,90 @@
+// World state with journaled mutation: every write appends an undo record so
+// the EVM can snapshot before a call frame and revert on failure, exactly the
+// mechanism transaction execution needs for REVERT/out-of-gas semantics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+#include "state/account.hpp"
+
+namespace srbb::state {
+
+class StateDB {
+ public:
+  using Snapshot = std::size_t;
+
+  // --- Reads (never create accounts) ---
+  bool account_exists(const Address& addr) const;
+  U256 balance(const Address& addr) const;
+  std::uint64_t nonce(const Address& addr) const;
+  const Bytes& code(const Address& addr) const;
+  Hash32 code_hash(const Address& addr) const;
+  U256 storage(const Address& addr, const Hash32& key) const;
+  std::size_t account_count() const { return accounts_.size(); }
+
+  // --- Writes (journaled) ---
+  void create_account(const Address& addr);
+  void set_balance(const Address& addr, const U256& value);
+  void add_balance(const Address& addr, const U256& delta);
+  /// False (no mutation) if the balance is insufficient.
+  bool sub_balance(const Address& addr, const U256& delta);
+  void set_nonce(const Address& addr, std::uint64_t nonce);
+  void increment_nonce(const Address& addr);
+  void set_code(const Address& addr, Bytes code);
+  void set_storage(const Address& addr, const Hash32& key, const U256& value);
+  /// Remove the account entirely (SELFDESTRUCT).
+  void delete_account(const Address& addr);
+
+  // --- Journal control ---
+  Snapshot snapshot() const { return journal_.size(); }
+  void revert_to(Snapshot snapshot);
+  /// Drop undo history (end of transaction); state stays as-is.
+  void commit();
+
+  /// Deterministic digest of the entire world state. Accounts are hashed in
+  /// address order, storage in key order, so two replicas that executed the
+  /// same blocks produce identical roots. O(n log n) per call; this is the
+  /// root the protocol uses.
+  Hash32 state_root() const;
+
+  /// Ethereum-shaped commitment: a Merkle Patricia Trie over accounts, each
+  /// leaf rlp([nonce, balance, storage_trie_root, code_hash]) with a nested
+  /// storage trie per contract. Binding like state_root() but additionally
+  /// supports trie inclusion proofs; rebuilds the tries on every call, so
+  /// use it at commitment points, not per transaction.
+  Hash32 state_root_mpt() const;
+
+ private:
+  enum class Op : std::uint8_t {
+    kCreateAccount,   // undo: erase account
+    kBalanceChange,   // undo: restore prev_value
+    kNonceChange,     // undo: restore prev_nonce
+    kCodeChange,      // undo: restore prev_code
+    kStorageChange,   // undo: restore prev_value / erase if !prev_existed
+    kDeleteAccount,   // undo: restore prev_account
+  };
+
+  struct JournalEntry {
+    Op op;
+    Address addr;
+    Hash32 key;                 // storage ops
+    U256 prev_value;            // balance / storage
+    std::uint64_t prev_nonce = 0;
+    bool prev_existed = false;  // storage slot existed before write
+    Bytes prev_code;
+    Account prev_account;  // delete undo
+  };
+
+  Account& mutable_account(const Address& addr);
+  const Account* find(const Address& addr) const;
+
+  std::unordered_map<Address, Account, AddressHasher> accounts_;
+  std::vector<JournalEntry> journal_;
+};
+
+}  // namespace srbb::state

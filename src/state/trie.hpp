@@ -1,0 +1,68 @@
+// Merkle Patricia Trie: the authenticated key-value structure Ethereum uses
+// for its state and receipt commitments, implemented from scratch (leaf /
+// extension / branch nodes over nibble paths, hex-prefix encoding, Keccak
+// over RLP node encodings).
+//
+// One deliberate simplification relative to the yellow paper: child nodes
+// are always referenced by their 32-byte hash (Ethereum inlines nodes whose
+// encoding is shorter than 32 bytes). Roots are therefore self-consistent
+// within this implementation but not byte-identical to Geth's — commitment
+// semantics (binding, order-independence, proof of absence of collisions)
+// are unaffected.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace srbb::state {
+
+class MerklePatriciaTrie {
+ public:
+  MerklePatriciaTrie();
+  ~MerklePatriciaTrie();
+  MerklePatriciaTrie(MerklePatriciaTrie&&) noexcept;
+  MerklePatriciaTrie& operator=(MerklePatriciaTrie&&) noexcept;
+
+  /// Insert or overwrite. Empty values are legal and distinct from absence.
+  void put(BytesView key, Bytes value);
+  std::optional<Bytes> get(BytesView key) const;
+  /// Remove a key; no-op when absent.
+  void erase(BytesView key);
+
+  bool empty() const { return root_ == nullptr; }
+  std::size_t size() const { return size_; }
+
+  /// keccak256 of the RLP encoding of the root node; a fixed sentinel for
+  /// the empty trie.
+  Hash32 root_hash() const;
+
+ private:
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+
+  static NodePtr insert(NodePtr node, std::span<const std::uint8_t> nibbles,
+                        Bytes value, bool& inserted);
+  static const Node* lookup(const Node* node,
+                            std::span<const std::uint8_t> nibbles);
+  static NodePtr remove(NodePtr node, std::span<const std::uint8_t> nibbles,
+                        bool& removed);
+  /// Re-normalise a node whose children changed (collapse single-child
+  /// branches into extensions/leaves).
+  static NodePtr normalize(NodePtr node);
+  static Bytes encode(const Node& node);
+
+  NodePtr root_;
+  std::size_t size_ = 0;
+};
+
+/// Nibble helpers (exposed for tests).
+std::vector<std::uint8_t> to_nibbles(BytesView key);
+/// Hex-prefix encoding of a nibble path with the leaf flag (yellow paper
+/// appendix C).
+Bytes hex_prefix_encode(std::span<const std::uint8_t> nibbles, bool is_leaf);
+
+}  // namespace srbb::state

@@ -1,0 +1,119 @@
+#include "txn/block.hpp"
+
+#include <cstring>
+
+#include "codec/rlp.hpp"
+#include "crypto/sha256.hpp"
+
+namespace srbb::txn {
+
+Hash32 Block::compute_tx_root() const {
+  std::vector<Hash32> leaves;
+  leaves.reserve(txs.size());
+  for (const TxPtr& tx : txs) leaves.push_back(tx->hash);
+  return crypto::merkle_root(leaves);
+}
+
+Hash32 Block::hash() const {
+  crypto::Sha256 h;
+  std::uint8_t buf[8];
+  put_be64(buf, header.index);
+  h.update(BytesView{buf, 8});
+  put_be64(buf, header.proposer);
+  h.update(BytesView{buf, 8});
+  put_be64(buf, header.timestamp);
+  h.update(BytesView{buf, 8});
+  h.update(header.parent_hash.view());
+  h.update(header.tx_root.view());
+  h.update(BytesView{header.cert.proposer_pubkey.data(), 32});
+  return h.finish();
+}
+
+std::size_t Block::wire_size() const {
+  // Header fields + certificate: index/proposer/timestamp (24) + parent and
+  // root hashes (64) + pubkey (32) + signature (64).
+  std::size_t size = 184;
+  for (const TxPtr& tx : txs) size += tx->size;
+  return size;
+}
+
+bool verify_block_certificate(const Block& block,
+                              const crypto::SignatureScheme& scheme) {
+  if (block.compute_tx_root() != block.header.tx_root) return false;
+  return scheme.verify(block.header.tx_root.view(),
+                       block.header.cert.signed_tx_root,
+                       block.header.cert.proposer_pubkey);
+}
+
+Bytes encode_block(const Block& block) {
+  rlp::ListBuilder rlp;
+  rlp.add_u64(block.header.index);
+  rlp.add_u64(block.header.proposer);
+  rlp.add_u64(block.header.timestamp);
+  rlp.add_bytes(block.header.parent_hash.view());
+  rlp.add_bytes(block.header.tx_root.view());
+  rlp.add_bytes(BytesView{block.header.cert.proposer_pubkey.data(), 32});
+  rlp.add_bytes(BytesView{block.header.cert.signed_tx_root.data(), 64});
+  rlp::ListBuilder tx_list;
+  for (const TxPtr& tx : block.txs) tx_list.add_bytes(tx->tx.encode());
+  rlp.add_raw(tx_list.build());
+  return rlp.build();
+}
+
+Result<Block> decode_block(BytesView wire) {
+  auto doc = rlp::decode(wire);
+  if (!doc) return doc.status();
+  const rlp::Item& root = doc.value();
+  if (!root.is_list || root.items.size() != 8) {
+    return Status::error("block: expected 8-item list");
+  }
+  Block block;
+  auto index = root.items[0].as_u64();
+  if (!index) return index.status();
+  block.header.index = index.value();
+  auto proposer = root.items[1].as_u64();
+  if (!proposer) return proposer.status();
+  block.header.proposer = proposer.value();
+  auto timestamp = root.items[2].as_u64();
+  if (!timestamp) return timestamp.status();
+  block.header.timestamp = timestamp.value();
+  if (root.items[3].payload.size() != 32 || root.items[4].payload.size() != 32) {
+    return Status::error("block: bad hash field");
+  }
+  block.header.parent_hash = Hash32{BytesView{root.items[3].payload}};
+  block.header.tx_root = Hash32{BytesView{root.items[4].payload}};
+  if (root.items[5].payload.size() != 32 || root.items[6].payload.size() != 64) {
+    return Status::error("block: bad certificate field");
+  }
+  std::memcpy(block.header.cert.proposer_pubkey.data(),
+              root.items[5].payload.data(), 32);
+  std::memcpy(block.header.cert.signed_tx_root.data(),
+              root.items[6].payload.data(), 64);
+  if (!root.items[7].is_list) return Status::error("block: bad tx list");
+  for (const rlp::Item& item : root.items[7].items) {
+    if (item.is_list) return Status::error("block: bad tx entry");
+    auto tx = Transaction::decode(item.payload);
+    if (!tx) return tx.status();
+    block.txs.push_back(make_tx_ptr(std::move(tx).take()));
+  }
+  return block;
+}
+
+Block make_block(std::uint64_t index, std::uint64_t proposer_id,
+                 std::uint64_t timestamp, const Hash32& parent_hash,
+                 std::vector<TxPtr> txs, const crypto::Identity& proposer,
+                 const crypto::SignatureScheme& scheme) {
+  Block block;
+  block.header.index = index;
+  block.header.proposer = proposer_id;
+  block.header.timestamp = timestamp;
+  block.header.parent_hash = parent_hash;
+  block.txs = std::move(txs);
+  block.header.tx_root = block.compute_tx_root();
+  block.header.cert.proposer_pubkey = proposer.public_key;
+  block.header.cert.signed_tx_root =
+      scheme.sign(proposer, block.header.tx_root.view());
+  return block;
+}
+
+}  // namespace srbb::txn

@@ -1,0 +1,41 @@
+// Transaction execution against the world state — the paper's execute(t)
+// (Alg. 1 lines 32-40): lazy-validate, then ApplyTransaction. Returns an
+// error (no state transition) for *invalid* transactions, which the commit
+// loop discards from the block; a *valid* transaction that merely reverts
+// still consumes gas and is recorded with a failed receipt.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "crypto/signature.hpp"
+#include "evm/interpreter.hpp"
+#include "state/statedb.hpp"
+#include "txn/transaction.hpp"
+
+namespace srbb::txn {
+
+struct Receipt {
+  Hash32 tx_hash;
+  bool success = false;       // false when the EVM frame reverted/failed
+  std::uint64_t gas_used = 0;
+  Address contract_address;   // set for deployments
+  std::vector<evm::LogEntry> logs;
+};
+
+struct ExecutionConfig {
+  /// Re-check the signature during execution (check (i) of §IV-D: the VM
+  /// raises the equivalent of ErrInvalidSig). Skippable when the caller
+  /// already eagerly validated this transaction.
+  bool verify_signature = true;
+  const crypto::SignatureScheme* scheme = &crypto::SignatureScheme::ed25519();
+};
+
+/// Execute one transaction. Status error == invalid transaction (lazy
+/// validation or signature failed): state is untouched and the caller should
+/// discard the transaction (Alg. 1 line 23).
+Result<Receipt> apply_transaction(const Transaction& tx, state::StateDB& db,
+                                  const evm::BlockContext& block,
+                                  const ExecutionConfig& config);
+
+}  // namespace srbb::txn

@@ -1,0 +1,110 @@
+#include "txn/transaction.hpp"
+
+#include <cstring>
+
+#include "codec/rlp.hpp"
+#include "crypto/keccak.hpp"
+
+namespace srbb::txn {
+
+namespace {
+
+rlp::ListBuilder unsigned_fields(const Transaction& tx) {
+  rlp::ListBuilder rlp;
+  rlp.add_u64(static_cast<std::uint64_t>(tx.kind));
+  rlp.add_u64(tx.nonce);
+  rlp.add_u256(tx.gas_price);
+  rlp.add_u64(tx.gas_limit);
+  rlp.add_bytes(tx.to.view());
+  rlp.add_u256(tx.value);
+  rlp.add_bytes(tx.data);
+  return rlp;
+}
+
+}  // namespace
+
+Address Transaction::sender() const {
+  return crypto::address_from_pubkey(
+      BytesView{sender_pubkey.data(), sender_pubkey.size()});
+}
+
+Hash32 Transaction::signing_hash() const {
+  return crypto::Keccak256::hash(unsigned_fields(*this).build());
+}
+
+Hash32 Transaction::hash() const {
+  return crypto::Keccak256::hash(encode());
+}
+
+Bytes Transaction::encode() const {
+  rlp::ListBuilder rlp = unsigned_fields(*this);
+  rlp.add_bytes(BytesView{sender_pubkey.data(), sender_pubkey.size()});
+  rlp.add_bytes(BytesView{signature.data(), signature.size()});
+  return rlp.build();
+}
+
+std::size_t Transaction::wire_size() const { return encode().size(); }
+
+Result<Transaction> Transaction::decode(BytesView wire) {
+  auto doc = rlp::decode(wire);
+  if (!doc) return doc.status();
+  const rlp::Item& root = doc.value();
+  if (!root.is_list || root.items.size() != 9) {
+    return Status::error("tx: expected 9-item list");
+  }
+  Transaction tx;
+  auto kind = root.items[0].as_u64();
+  if (!kind || kind.value() > 2) return Status::error("tx: bad kind");
+  tx.kind = static_cast<TxKind>(kind.value());
+  auto nonce = root.items[1].as_u64();
+  if (!nonce) return nonce.status();
+  tx.nonce = nonce.value();
+  auto gas_price = root.items[2].as_u256();
+  if (!gas_price) return gas_price.status();
+  tx.gas_price = gas_price.value();
+  auto gas_limit = root.items[3].as_u64();
+  if (!gas_limit) return gas_limit.status();
+  tx.gas_limit = gas_limit.value();
+  if (root.items[4].is_list || root.items[4].payload.size() != 20) {
+    return Status::error("tx: bad to-address");
+  }
+  tx.to = Address{BytesView{root.items[4].payload}};
+  auto value = root.items[5].as_u256();
+  if (!value) return value.status();
+  tx.value = value.value();
+  if (root.items[6].is_list) return Status::error("tx: bad data field");
+  tx.data = root.items[6].payload;
+  if (root.items[7].is_list || root.items[7].payload.size() != 32) {
+    return Status::error("tx: bad public key");
+  }
+  std::memcpy(tx.sender_pubkey.data(), root.items[7].payload.data(), 32);
+  if (root.items[8].is_list || root.items[8].payload.size() != 64) {
+    return Status::error("tx: bad signature");
+  }
+  std::memcpy(tx.signature.data(), root.items[8].payload.data(), 64);
+  return tx;
+}
+
+Transaction make_signed(const TxParams& params, const crypto::Identity& identity,
+                        const crypto::SignatureScheme& scheme) {
+  Transaction tx;
+  tx.kind = params.kind;
+  tx.nonce = params.nonce;
+  tx.gas_price = params.gas_price;
+  tx.gas_limit = params.gas_limit;
+  tx.to = params.to;
+  tx.value = params.value;
+  tx.data = params.data;
+  tx.sender_pubkey = identity.public_key;
+  const Hash32 digest = tx.signing_hash();
+  tx.signature = scheme.sign(identity, digest.view());
+  return tx;
+}
+
+bool verify_signature(const Transaction& tx,
+                      const crypto::SignatureScheme& scheme) {
+  const Hash32 digest = tx.signing_hash();
+  return scheme.verify(digest.view(), tx.signature, tx.sender_pubkey);
+}
+
+}  // namespace srbb::txn

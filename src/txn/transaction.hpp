@@ -1,0 +1,65 @@
+// Transactions: the three kinds the paper names (§II-A) — native payments,
+// smart-contract deployments and smart-contract invocations — with Ed25519
+// sender authentication and an RLP wire format.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/u256.hpp"
+#include "crypto/signature.hpp"
+
+namespace srbb::txn {
+
+enum class TxKind : std::uint8_t {
+  kTransfer = 0,  // native payment
+  kDeploy = 1,    // contract creation (data = init code)
+  kInvoke = 2,    // contract call (data = ABI calldata)
+};
+
+struct Transaction {
+  TxKind kind = TxKind::kTransfer;
+  std::uint64_t nonce = 0;
+  U256 gas_price;
+  std::uint64_t gas_limit = 0;
+  Address to;  // unused for kDeploy
+  U256 value;
+  Bytes data;
+  crypto::PublicKey sender_pubkey{};
+  crypto::Signature signature{};
+
+  /// Keccak address of the sender public key.
+  Address sender() const;
+  /// Digest signed by the sender (all fields except the signature).
+  Hash32 signing_hash() const;
+  /// Transaction id: keccak of the full wire encoding.
+  Hash32 hash() const;
+
+  Bytes encode() const;
+  static Result<Transaction> decode(BytesView wire);
+  /// Size of the wire encoding in bytes (drives bandwidth accounting).
+  std::size_t wire_size() const;
+
+  friend bool operator==(const Transaction&, const Transaction&) = default;
+};
+
+/// Build and sign a transaction with `identity` under `scheme`.
+struct TxParams {
+  TxKind kind = TxKind::kTransfer;
+  std::uint64_t nonce = 0;
+  U256 gas_price = U256{1};
+  std::uint64_t gas_limit = 1'000'000;
+  Address to;
+  U256 value;
+  Bytes data;
+};
+
+Transaction make_signed(const TxParams& params, const crypto::Identity& identity,
+                        const crypto::SignatureScheme& scheme);
+
+/// Verify the sender signature under `scheme`.
+bool verify_signature(const Transaction& tx,
+                      const crypto::SignatureScheme& scheme);
+
+}  // namespace srbb::txn

@@ -1,0 +1,33 @@
+// Shared transaction handles. Hash and wire size are computed once at
+// creation — nodes across the simulation share one immutable object, which is
+// also how the event-driven network avoids re-serializing payloads.
+#pragma once
+
+#include <memory>
+
+#include "crypto/keccak.hpp"
+#include "txn/transaction.hpp"
+
+namespace srbb::txn {
+
+struct CachedTx {
+  Transaction tx;
+  Hash32 hash;
+  std::size_t size = 0;      // wire bytes
+  Address sender;
+
+  explicit CachedTx(Transaction t) : tx(std::move(t)) {
+    const Bytes wire = tx.encode();
+    hash = crypto::Keccak256::hash(wire);
+    size = wire.size();
+    sender = tx.sender();
+  }
+};
+
+using TxPtr = std::shared_ptr<const CachedTx>;
+
+inline TxPtr make_tx_ptr(Transaction t) {
+  return std::make_shared<const CachedTx>(std::move(t));
+}
+
+}  // namespace srbb::txn

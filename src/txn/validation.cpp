@@ -1,0 +1,67 @@
+#include "txn/validation.hpp"
+
+namespace srbb::txn {
+
+std::uint64_t intrinsic_gas(const Transaction& tx) {
+  std::uint64_t gas = 21'000;
+  for (const std::uint8_t b : tx.data) gas += (b == 0) ? 4 : 16;
+  if (tx.kind == TxKind::kDeploy) gas += 32'000;
+  return gas;
+}
+
+namespace {
+
+// Maximum wei the transaction can cost: gas budget plus transferred value.
+U256 max_cost(const Transaction& tx) {
+  return tx.gas_price * U256{tx.gas_limit} + tx.value;
+}
+
+}  // namespace
+
+Status eager_validate(const Transaction& tx, const state::StateDB& db,
+                      const crypto::SignatureScheme& scheme,
+                      const ValidationConfig& config) {
+  // (ii) size limit first: cheap and bounds later work.
+  if (tx.wire_size() > config.max_tx_size) {
+    return Status::error("eager: transaction exceeds size limit");
+  }
+  if (tx.gas_limit < config.min_gas_limit ||
+      tx.gas_limit < intrinsic_gas(tx)) {
+    return Status::error("eager: gas limit below intrinsic cost");
+  }
+  // (i) signature — the expensive check that TVPR avoids repeating n times.
+  if (!verify_signature(tx, scheme)) {
+    return Status::error("eager: invalid signature");
+  }
+  const Address sender = tx.sender();
+  // (iii) nonce must not be in the past, and not absurdly far in the future.
+  const std::uint64_t account_nonce = db.nonce(sender);
+  if (tx.nonce < account_nonce) {
+    return Status::error("eager: stale nonce");
+  }
+  if (tx.nonce > account_nonce + config.nonce_window) {
+    return Status::error("eager: nonce too far in the future");
+  }
+  // (iv) + (v) the account can afford worst-case gas plus the value moved.
+  if (db.balance(sender) < max_cost(tx)) {
+    return Status::error("eager: insufficient balance for gas + value");
+  }
+  return Status::ok();
+}
+
+Status lazy_validate(const Transaction& tx, const state::StateDB& db) {
+  const Address sender = tx.sender();
+  const std::uint64_t account_nonce = db.nonce(sender);
+  if (tx.nonce != account_nonce) {
+    return Status::error("lazy: nonce is not the next sequence number");
+  }
+  if (tx.gas_limit < intrinsic_gas(tx)) {
+    return Status::error("lazy: gas limit below intrinsic cost");
+  }
+  if (db.balance(sender) < max_cost(tx)) {
+    return Status::error("lazy: insufficient balance for gas + value");
+  }
+  return Status::ok();
+}
+
+}  // namespace srbb::txn

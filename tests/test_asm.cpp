@@ -1,0 +1,164 @@
+#include "evm/asm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "evm/opcodes.hpp"
+
+namespace srbb::evm {
+namespace {
+
+TEST(Assembler, SimpleMnemonics) {
+  auto code = assemble("PUSH1 1 PUSH1 2 ADD STOP");
+  ASSERT_TRUE(code.is_ok()) << code.message();
+  EXPECT_EQ(code.value(), (Bytes{0x60, 0x01, 0x60, 0x02, 0x01, 0x00}));
+}
+
+TEST(Assembler, CaseInsensitiveMnemonics) {
+  auto code = assemble("push1 1 Add stop");
+  ASSERT_TRUE(code.is_ok());
+  // push1 needs an operand; "1" consumed; then Add, stop.
+  EXPECT_EQ(code.value(), (Bytes{0x60, 0x01, 0x01, 0x00}));
+}
+
+TEST(Assembler, HexAndDecimalLiterals) {
+  auto code = assemble("PUSH1 0x2a PUSH1 42");
+  ASSERT_TRUE(code.is_ok());
+  EXPECT_EQ(code.value(), (Bytes{0x60, 0x2a, 0x60, 0x2a}));
+}
+
+TEST(Assembler, WidePushes) {
+  auto code = assemble("PUSH4 0xdeadbeef");
+  ASSERT_TRUE(code.is_ok());
+  EXPECT_EQ(code.value(), (Bytes{0x63, 0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Assembler, PushLiteralPaddedToRequestedWidth) {
+  auto code = assemble("PUSH4 1");
+  ASSERT_TRUE(code.is_ok());
+  EXPECT_EQ(code.value(), (Bytes{0x63, 0x00, 0x00, 0x00, 0x01}));
+}
+
+TEST(Assembler, LiteralTooWideRejected) {
+  EXPECT_FALSE(assemble("PUSH1 256").is_ok());
+  EXPECT_TRUE(assemble("PUSH2 256").is_ok());
+}
+
+TEST(Assembler, CommentsIgnored) {
+  auto code = assemble("PUSH1 1 ; this is a comment\n ADD ; trailing");
+  ASSERT_TRUE(code.is_ok());
+  EXPECT_EQ(code.value(), (Bytes{0x60, 0x01, 0x01}));
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  auto code = assemble("start: PUSH @end JUMP end: PUSH @start JUMP");
+  ASSERT_TRUE(code.is_ok()) << code.message();
+  const Bytes& c = code.value();
+  // start: JUMPDEST @0; PUSH2 end; JUMP; end: JUMPDEST @5 ...
+  EXPECT_EQ(c[0], 0x5b);
+  EXPECT_EQ(c[1], 0x61);  // PUSH2
+  EXPECT_EQ((c[2] << 8) | c[3], 5);
+  EXPECT_EQ(c[5], 0x5b);
+  EXPECT_EQ(c[6], 0x61);  // PUSH2 @start
+  EXPECT_EQ((c[7] << 8) | c[8], 0);
+}
+
+TEST(Assembler, UndefinedLabelRejected) {
+  EXPECT_FALSE(assemble("PUSH @nowhere JUMP").is_ok());
+}
+
+TEST(Assembler, UnknownMnemonicRejected) {
+  EXPECT_FALSE(assemble("FROBNICATE").is_ok());
+}
+
+TEST(Assembler, MissingPushOperandRejected) {
+  EXPECT_FALSE(assemble("PUSH1").is_ok());
+}
+
+TEST(Assembler, BadLiteralRejected) {
+  EXPECT_FALSE(assemble("PUSH1 zz").is_ok());
+  EXPECT_FALSE(assemble("PUSH1 0xgg").is_ok());
+}
+
+TEST(ProgramBuilder, AutoSizedPush) {
+  Program p;
+  p.push(U256{0});
+  p.push(U256{0xff});
+  p.push(U256{0x100});
+  auto code = p.build();
+  ASSERT_TRUE(code.is_ok());
+  EXPECT_EQ(code.value(),
+            (Bytes{0x60, 0x00, 0x60, 0xff, 0x61, 0x01, 0x00}));
+}
+
+TEST(ProgramBuilder, Push32Max) {
+  Program p;
+  p.push(U256::max());
+  auto code = p.build();
+  ASSERT_TRUE(code.is_ok());
+  EXPECT_EQ(code.value().size(), 33u);
+  EXPECT_EQ(code.value()[0], 0x7f);  // PUSH32
+}
+
+TEST(ProgramBuilder, LabelFixups) {
+  Program p;
+  p.push_label("target");
+  p.op(Opcode::JUMP);
+  p.label("target");
+  p.op(Opcode::STOP);
+  auto code = p.build();
+  ASSERT_TRUE(code.is_ok());
+  const Bytes& c = code.value();
+  EXPECT_EQ((c[1] << 8) | c[2], 4);  // label after PUSH2(3) + JUMP(1)
+  EXPECT_EQ(c[4], 0x5b);
+}
+
+TEST(ProgramBuilder, MissingLabelErrors) {
+  Program p;
+  p.push_label("ghost");
+  EXPECT_FALSE(p.build().is_ok());
+}
+
+TEST(Disassembler, RoundReadable) {
+  auto code = assemble("PUSH1 0x2a PUSH2 0x0102 ADD STOP");
+  ASSERT_TRUE(code.is_ok());
+  const std::string text = disassemble(code.value());
+  EXPECT_NE(text.find("PUSH1 0x2a"), std::string::npos);
+  EXPECT_NE(text.find("PUSH2 0x0102"), std::string::npos);
+  EXPECT_NE(text.find("ADD"), std::string::npos);
+  EXPECT_NE(text.find("STOP"), std::string::npos);
+}
+
+TEST(Disassembler, UndefinedBytesFlagged) {
+  const Bytes code{0x0c, 0x00};
+  const std::string text = disassemble(code);
+  EXPECT_NE(text.find("UNDEFINED"), std::string::npos);
+}
+
+TEST(Deployer, WrapsRuntime) {
+  const Bytes runtime{0x60, 0x01, 0x60, 0x02, 0x01, 0x00};
+  const Bytes deploy = make_deployer(runtime);
+  // Header is 13 bytes, then the payload verbatim.
+  ASSERT_EQ(deploy.size(), 13 + runtime.size());
+  EXPECT_EQ(Bytes(deploy.begin() + 13, deploy.end()), runtime);
+}
+
+TEST(OpcodeTable, NamesRoundTrip) {
+  for (int op = 0; op < 256; ++op) {
+    const OpcodeInfo& info = opcode_info(static_cast<std::uint8_t>(op));
+    if (!info.defined) continue;
+    const auto back = opcode_by_name(info.name);
+    ASSERT_TRUE(back.has_value()) << info.name;
+    EXPECT_EQ(*back, op) << info.name;
+  }
+}
+
+TEST(OpcodeTable, ImmediateSizes) {
+  EXPECT_EQ(immediate_size(0x60), 1u);
+  EXPECT_EQ(immediate_size(0x7f), 32u);
+  EXPECT_EQ(immediate_size(0x01), 0u);
+  EXPECT_TRUE(is_push(0x60));
+  EXPECT_FALSE(is_push(0x5f));
+}
+
+}  // namespace
+}  // namespace srbb::evm

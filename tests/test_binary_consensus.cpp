@@ -1,0 +1,253 @@
+// Agreement / validity / termination tests for the binary DBFT machine in
+// isolation, driven through a deterministic message bus with crash and
+// two-faced (equivocating) Byzantine behaviours.
+#include "consensus/binary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace srbb::consensus {
+namespace {
+
+// A deterministic bus: broadcasts enqueue per-recipient deliveries which are
+// drained FIFO. Byzantine nodes are modelled by injecting raw messages.
+struct Bus {
+  struct Delivery {
+    std::uint32_t to;
+    std::uint32_t from;
+    enum Kind { kEst, kAux, kDecided } kind;
+    std::uint32_t round;
+    bool value;
+  };
+
+  explicit Bus(std::uint32_t n, std::uint32_t f) : n_(n), f_(f) {
+    nodes_.resize(n);
+    decided_.resize(n);
+    decision_.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      BinaryConsensus::Callbacks cb;
+      cb.send_est = [this, i](std::uint32_t r, bool v) {
+        enqueue_broadcast(i, Delivery::kEst, r, v);
+        nodes_[i]->on_est(i, r, v);  // self-delivery
+      };
+      cb.send_aux = [this, i](std::uint32_t r, bool v) {
+        enqueue_broadcast(i, Delivery::kAux, r, v);
+        nodes_[i]->on_aux(i, r, v);
+      };
+      cb.send_decided = [this, i](bool v) {
+        enqueue_broadcast(i, Delivery::kDecided, 0, v);
+      };
+      cb.send_decided_to = [this, i](std::uint32_t peer, bool v) {
+        queue_.push_back(Delivery{peer, i, Delivery::kDecided, 0, v});
+      };
+      cb.on_decide = [this, i](bool v) {
+        decided_[i] = true;
+        decision_[i] = v;
+      };
+      nodes_[i] = std::make_unique<BinaryConsensus>(n, f, std::move(cb));
+    }
+  }
+
+  void enqueue_broadcast(std::uint32_t from, Delivery::Kind kind,
+                         std::uint32_t round, bool value) {
+    for (std::uint32_t to = 0; to < n_; ++to) {
+      if (to == from) continue;
+      if (crashed_.size() > to && crashed_[to]) continue;
+      queue_.push_back(Delivery{to, from, kind, round, value});
+    }
+  }
+
+  void crash(std::uint32_t node) {
+    crashed_.resize(n_, false);
+    crashed_[node] = true;
+  }
+
+  void drain(std::size_t max_steps = 1'000'000) {
+    std::size_t steps = 0;
+    while (!queue_.empty() && steps++ < max_steps) {
+      const Delivery d = queue_.front();
+      queue_.pop_front();
+      if (crashed_.size() > d.to && crashed_[d.to]) continue;
+      BinaryConsensus& node = *nodes_[d.to];
+      switch (d.kind) {
+        case Delivery::kEst:
+          node.on_est(d.from, d.round, d.value);
+          break;
+        case Delivery::kAux:
+          node.on_aux(d.from, d.round, d.value);
+          break;
+        case Delivery::kDecided:
+          node.on_decided(d.from, d.value);
+          break;
+      }
+    }
+    ASSERT_TRUE(queue_.empty()) << "message explosion / livelock";
+  }
+
+  std::uint32_t n_;
+  std::uint32_t f_;
+  std::vector<std::unique_ptr<BinaryConsensus>> nodes_;
+  std::vector<bool> decided_;
+  std::vector<bool> decision_;
+  std::vector<bool> crashed_;
+  std::deque<Delivery> queue_;
+};
+
+void expect_agreement(const Bus& bus, std::optional<bool> expected = {}) {
+  std::optional<bool> value;
+  for (std::uint32_t i = 0; i < bus.n_; ++i) {
+    if (bus.crashed_.size() > i && bus.crashed_[i]) continue;
+    EXPECT_TRUE(bus.decided_[i]) << "node " << i << " undecided";
+    if (!bus.decided_[i]) continue;
+    if (!value.has_value()) value = bus.decision_[i];
+    EXPECT_EQ(bus.decision_[i], *value) << "disagreement at node " << i;
+  }
+  if (expected.has_value() && value.has_value()) {
+    EXPECT_EQ(*value, *expected);
+  }
+}
+
+struct ShapeParam {
+  std::uint32_t n;
+  std::uint32_t f;
+};
+
+class BinShapes : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(BinShapes, UnanimousOneDecidesOne) {
+  const auto [n, f] = GetParam();
+  Bus bus{n, f};
+  for (std::uint32_t i = 0; i < n; ++i) bus.nodes_[i]->start(true);
+  bus.drain();
+  expect_agreement(bus, true);
+}
+
+TEST_P(BinShapes, UnanimousZeroDecidesZero) {
+  const auto [n, f] = GetParam();
+  Bus bus{n, f};
+  for (std::uint32_t i = 0; i < n; ++i) bus.nodes_[i]->start(false);
+  bus.drain();
+  expect_agreement(bus, false);
+}
+
+TEST_P(BinShapes, MixedInputsStillAgree) {
+  const auto [n, f] = GetParam();
+  Bus bus{n, f};
+  for (std::uint32_t i = 0; i < n; ++i) bus.nodes_[i]->start(i % 2 == 0);
+  bus.drain();
+  expect_agreement(bus);
+}
+
+TEST_P(BinShapes, ToleratesCrashFaults) {
+  const auto [n, f] = GetParam();
+  Bus bus{n, f};
+  for (std::uint32_t i = 0; i < f; ++i) bus.crash(i);  // f silent nodes
+  for (std::uint32_t i = f; i < n; ++i) bus.nodes_[i]->start(true);
+  bus.drain();
+  expect_agreement(bus, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BinShapes,
+                         ::testing::Values(ShapeParam{4, 1}, ShapeParam{7, 2},
+                                           ShapeParam{10, 3},
+                                           ShapeParam{16, 5}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "f" +
+                                  std::to_string(info.param.f);
+                         });
+
+TEST(BinaryConsensus, ValidityOnlyProposedValuesDecided) {
+  // With unanimous correct input v, the only decidable value is v even when
+  // a Byzantine node pushes the opposite: 2t+1 copies are needed to bind a
+  // value, and only v has that many proposers.
+  Bus bus{4, 1};
+  // Node 3 is Byzantine: floods EST(0) at rounds 0..3 without joining.
+  bus.crash(3);  // it ignores incoming traffic
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    for (std::uint32_t to = 0; to < 3; ++to) {
+      bus.queue_.push_back(Bus::Delivery{to, 3, Bus::Delivery::kEst, r, false});
+    }
+  }
+  for (std::uint32_t i = 0; i < 3; ++i) bus.nodes_[i]->start(true);
+  bus.drain();
+  expect_agreement(bus, true);
+}
+
+TEST(BinaryConsensus, TwoFacedByzantineCannotSplitAgreement) {
+  // Byzantine node 3 tells nodes {0} EST(1) and {1,2} EST(0) every round.
+  Bus bus{4, 1};
+  bus.crash(3);
+  for (std::uint32_t r = 0; r < 6; ++r) {
+    bus.queue_.push_back(Bus::Delivery{0, 3, Bus::Delivery::kEst, r, true});
+    bus.queue_.push_back(Bus::Delivery{1, 3, Bus::Delivery::kEst, r, false});
+    bus.queue_.push_back(Bus::Delivery{2, 3, Bus::Delivery::kEst, r, false});
+    bus.queue_.push_back(Bus::Delivery{0, 3, Bus::Delivery::kAux, r, true});
+    bus.queue_.push_back(Bus::Delivery{1, 3, Bus::Delivery::kAux, r, false});
+  }
+  bus.nodes_[0]->start(true);
+  bus.nodes_[1]->start(false);
+  bus.nodes_[2]->start(false);
+  bus.drain();
+  expect_agreement(bus);
+}
+
+TEST(BinaryConsensus, ForgedDecidedBelowThresholdIgnored) {
+  Bus bus{4, 1};
+  // A single (Byzantine) DECIDED(0) must not force a decision: threshold is
+  // f+1 = 2.
+  bus.nodes_[0]->on_decided(3, false);
+  EXPECT_FALSE(bus.nodes_[0]->decided());
+  // Proper run still decides 1.
+  for (std::uint32_t i = 0; i < 4; ++i) bus.nodes_[i]->start(true);
+  bus.drain();
+  expect_agreement(bus, true);
+}
+
+TEST(BinaryConsensus, DecidedFastPathAtThreshold) {
+  Bus bus{4, 1};
+  bus.nodes_[0]->on_decided(1, true);
+  bus.nodes_[0]->on_decided(2, true);  // f+1 = 2 matching decisions
+  EXPECT_TRUE(bus.nodes_[0]->decided());
+  EXPECT_TRUE(bus.nodes_[0]->decision());
+}
+
+TEST(BinaryConsensus, MixedDecidedValuesNeedPerValueThreshold) {
+  Bus bus{4, 1};
+  bus.nodes_[0]->on_decided(1, true);
+  bus.nodes_[0]->on_decided(2, false);
+  EXPECT_FALSE(bus.nodes_[0]->decided());
+  bus.nodes_[0]->on_decided(3, false);
+  EXPECT_TRUE(bus.nodes_[0]->decided());
+  EXPECT_FALSE(bus.nodes_[0]->decision());
+}
+
+TEST(BinaryConsensus, StartIsIdempotent) {
+  Bus bus{4, 1};
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    bus.nodes_[i]->start(true);
+    bus.nodes_[i]->start(false);  // second start ignored
+  }
+  bus.drain();
+  expect_agreement(bus, true);
+}
+
+TEST(BinaryConsensus, DuplicateMessagesAreHarmless) {
+  Bus bus{4, 1};
+  for (std::uint32_t i = 0; i < 4; ++i) bus.nodes_[i]->start(true);
+  bus.drain();
+  expect_agreement(bus, true);
+  // Replay EST floods after decision: no crash, no change.
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    bus.nodes_[0]->on_est(1, r, true);
+    bus.nodes_[0]->on_est(1, r, false);
+  }
+  EXPECT_TRUE(bus.nodes_[0]->decided());
+  EXPECT_TRUE(bus.nodes_[0]->decision());
+}
+
+}  // namespace
+}  // namespace srbb::consensus

@@ -1,0 +1,80 @@
+#include "state/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace srbb::state {
+namespace {
+
+Bytes bytes_of(const std::string& s) { return Bytes{s.begin(), s.end()}; }
+
+TEST(Bloom, EmptyContainsNothing) {
+  LogBloom bloom;
+  EXPECT_TRUE(bloom.empty());
+  EXPECT_FALSE(bloom.may_contain(bytes_of("anything")));
+}
+
+TEST(Bloom, NoFalseNegatives) {
+  LogBloom bloom;
+  std::vector<Bytes> added;
+  for (int i = 0; i < 50; ++i) {
+    added.push_back(bytes_of("topic-" + std::to_string(i)));
+    bloom.add(added.back());
+  }
+  for (const Bytes& datum : added) {
+    EXPECT_TRUE(bloom.may_contain(datum));
+  }
+  EXPECT_FALSE(bloom.empty());
+}
+
+TEST(Bloom, FalsePositiveRateIsLowWhenSparse) {
+  LogBloom bloom;
+  for (int i = 0; i < 20; ++i) bloom.add(bytes_of("present-" + std::to_string(i)));
+  int false_positives = 0;
+  const int probes = 2000;
+  for (int i = 0; i < probes; ++i) {
+    if (bloom.may_contain(bytes_of("absent-" + std::to_string(i)))) {
+      ++false_positives;
+    }
+  }
+  // 20 items * 3 bits in 2048 bits: fp rate ~ (60/2048)^3 ~ 2.5e-5.
+  EXPECT_LT(false_positives, 3);
+}
+
+TEST(Bloom, MergeIsUnion) {
+  LogBloom a;
+  LogBloom b;
+  a.add(bytes_of("alpha"));
+  b.add(bytes_of("beta"));
+  a.merge(b);
+  EXPECT_TRUE(a.may_contain(bytes_of("alpha")));
+  EXPECT_TRUE(a.may_contain(bytes_of("beta")));
+  EXPECT_FALSE(b.may_contain(bytes_of("alpha")));
+}
+
+TEST(Bloom, ExactlyThreeBitsPerDatum) {
+  LogBloom bloom;
+  bloom.add(bytes_of("one-datum"));
+  int set_bits = 0;
+  for (const std::uint8_t byte : bloom.bits()) {
+    set_bits += __builtin_popcount(byte);
+  }
+  EXPECT_GE(set_bits, 1);
+  EXPECT_LE(set_bits, 3);  // may collide internally, never exceed 3
+}
+
+TEST(Bloom, DeterministicAndEqualityComparable) {
+  LogBloom a;
+  LogBloom b;
+  a.add(bytes_of("same"));
+  b.add(bytes_of("same"));
+  EXPECT_EQ(a, b);
+  b.add(bytes_of("more"));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace srbb::state

@@ -1,0 +1,69 @@
+#include "common/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace srbb {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q{4};
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(*q.pop(), 1);
+  EXPECT_EQ(*q.pop(), 2);
+  EXPECT_EQ(*q.pop(), 3);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, DropsWhenFullAndCounts) {
+  BoundedQueue<int> q{2};
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_FALSE(q.push(3));
+  EXPECT_FALSE(q.push(4));
+  EXPECT_EQ(q.dropped(), 2u);
+  EXPECT_TRUE(q.full());
+  // Popping frees a slot.
+  q.pop();
+  EXPECT_TRUE(q.push(5));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, PeekDoesNotConsume) {
+  BoundedQueue<std::string> q{2};
+  EXPECT_EQ(q.peek(), nullptr);
+  q.push("front");
+  ASSERT_NE(q.peek(), nullptr);
+  EXPECT_EQ(*q.peek(), "front");
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedQueue, IterationSeesContents) {
+  BoundedQueue<int> q{8};
+  for (int i = 0; i < 5; ++i) q.push(i);
+  int expected = 0;
+  for (const int v : q) EXPECT_EQ(v, expected++);
+  EXPECT_EQ(expected, 5);
+}
+
+TEST(BoundedQueue, MoveOnlyPayloads) {
+  BoundedQueue<std::unique_ptr<int>> q{2};
+  q.push(std::make_unique<int>(7));
+  auto out = q.pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 7);
+}
+
+TEST(BoundedQueue, ZeroCapacityDropsEverything) {
+  BoundedQueue<int> q{0};
+  EXPECT_FALSE(q.push(1));
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace srbb

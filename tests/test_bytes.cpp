@@ -1,0 +1,110 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace srbb {
+namespace {
+
+TEST(Hex, EncodeEmpty) { EXPECT_EQ(to_hex(BytesView{}), ""); }
+
+TEST(Hex, EncodeKnown) {
+  const Bytes data{0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+}
+
+TEST(Hex, DecodeRoundTrip) {
+  const Bytes data{0xde, 0xad, 0xbe, 0xef, 0x00, 0x7f};
+  const auto decoded = from_hex(to_hex(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(Hex, DecodeAccepts0xPrefixAndMixedCase) {
+  const auto decoded = from_hex("0xDeadBEEF");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Hex, DecodeRejectsOddLength) { EXPECT_FALSE(from_hex("abc").has_value()); }
+
+TEST(Hex, DecodeRejectsNonHex) { EXPECT_FALSE(from_hex("zz").has_value()); }
+
+TEST(Hex, DecodeEmptyIsEmpty) {
+  const auto decoded = from_hex("");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(FixedBytes, DefaultIsZero) {
+  Hash32 h;
+  EXPECT_TRUE(h.is_zero());
+  EXPECT_EQ(h.hex(), std::string(64, '0'));
+}
+
+TEST(FixedBytes, ConstructFromView) {
+  Bytes raw(20, 0x42);
+  Address a{BytesView{raw.data(), raw.size()}};
+  EXPECT_FALSE(a.is_zero());
+  EXPECT_EQ(a[0], 0x42);
+  EXPECT_EQ(a[19], 0x42);
+}
+
+TEST(FixedBytes, WrongSizeViewYieldsZero) {
+  Bytes raw(5, 0x42);
+  Address a{BytesView{raw.data(), raw.size()}};
+  EXPECT_TRUE(a.is_zero());
+}
+
+TEST(FixedBytes, FromHexStr) {
+  const auto a = Address::from_hex_str("0x" + std::string(40, '1'));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ((*a)[0], 0x11);
+  EXPECT_FALSE(Address::from_hex_str("0x1234").has_value());
+}
+
+TEST(FixedBytes, Ordering) {
+  Hash32 a, b;
+  b[31] = 1;
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  a[31] = 1;
+  EXPECT_EQ(a, b);
+}
+
+TEST(FixedBytes, Hashable) {
+  std::unordered_set<Hash32> set;
+  Hash32 a;
+  Hash32 b;
+  b[0] = 1;
+  set.insert(a);
+  set.insert(b);
+  set.insert(a);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(BigEndian, RoundTrip32) {
+  std::uint8_t buf[4];
+  put_be32(buf, 0x12345678u);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(buf[3], 0x78);
+  EXPECT_EQ(get_be32(buf), 0x12345678u);
+}
+
+TEST(BigEndian, RoundTrip64) {
+  std::uint8_t buf[8];
+  put_be64(buf, 0x0123456789abcdefull);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xef);
+  EXPECT_EQ(get_be64(buf), 0x0123456789abcdefull);
+}
+
+TEST(BytesHelpers, Concat) {
+  const Bytes a{1, 2};
+  const Bytes b{3};
+  EXPECT_EQ(concat(a, b), (Bytes{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace srbb

@@ -1,0 +1,137 @@
+#include "rpm/committee.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace srbb::rpm {
+namespace {
+
+Address addr(std::uint8_t tag) {
+  Address a;
+  a[19] = tag;
+  return a;
+}
+
+CommitteeConfig small_config() {
+  CommitteeConfig c;
+  c.committee_size = 4;
+  c.epoch_length = 10;
+  c.min_deposit = U256{100};
+  c.withdraw_lock_epochs = 2;
+  return c;
+}
+
+TEST(Committee, RejectsBelowMinimumDeposit) {
+  CommitteeManager mgr{small_config()};
+  EXPECT_FALSE(mgr.add_candidate(addr(1), U256{99}));
+  EXPECT_TRUE(mgr.add_candidate(addr(1), U256{100}));
+  EXPECT_TRUE(mgr.is_candidate(addr(1)));
+}
+
+TEST(Committee, TopUpAccumulates) {
+  CommitteeManager mgr{small_config()};
+  mgr.add_candidate(addr(1), U256{100});
+  mgr.add_candidate(addr(1), U256{150});
+  EXPECT_EQ(mgr.deposit_of(addr(1)), U256{250});
+  EXPECT_EQ(mgr.candidate_count(), 1u);
+}
+
+TEST(Committee, EpochOfBlock) {
+  CommitteeManager mgr{small_config()};
+  EXPECT_EQ(mgr.epoch_of_block(0), 0u);
+  EXPECT_EQ(mgr.epoch_of_block(9), 0u);
+  EXPECT_EQ(mgr.epoch_of_block(10), 1u);
+  EXPECT_EQ(mgr.epoch_of_block(25), 2u);
+}
+
+TEST(Committee, SelectionDeterministicAndSized) {
+  CommitteeManager mgr{small_config()};
+  for (std::uint8_t i = 0; i < 10; ++i) mgr.add_candidate(addr(i), U256{100});
+  Hash32 rand;
+  rand[0] = 7;
+  const auto a = mgr.committee(3, rand);
+  const auto b = mgr.committee(3, rand);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 4u);
+  // All members are distinct candidates.
+  std::set<Address> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(Committee, RotatesAcrossEpochs) {
+  CommitteeManager mgr{small_config()};
+  for (std::uint8_t i = 0; i < 20; ++i) mgr.add_candidate(addr(i), U256{100});
+  Hash32 rand;
+  bool changed = false;
+  const auto first = mgr.committee(0, rand);
+  for (std::uint64_t epoch = 1; epoch < 10; ++epoch) {
+    if (mgr.committee(epoch, rand) != first) changed = true;
+  }
+  EXPECT_TRUE(changed);  // a slowly-adaptive adversary cannot pin a committee
+}
+
+TEST(Committee, EveryCandidateEventuallySelected) {
+  // §IV-E: selection is random and periodic, so each candidate is eventually
+  // chosen.
+  CommitteeManager mgr{small_config()};
+  for (std::uint8_t i = 0; i < 8; ++i) mgr.add_candidate(addr(i), U256{100});
+  Hash32 rand;
+  std::set<Address> seen;
+  for (std::uint64_t epoch = 0; epoch < 200 && seen.size() < 8; ++epoch) {
+    for (const Address& a : mgr.committee(epoch, rand)) seen.insert(a);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Committee, SmallCandidatePoolYieldsAllOfThem) {
+  CommitteeManager mgr{small_config()};
+  mgr.add_candidate(addr(1), U256{100});
+  mgr.add_candidate(addr(2), U256{100});
+  Hash32 rand;
+  const auto committee = mgr.committee(0, rand);
+  EXPECT_EQ(committee.size(), 2u);
+}
+
+TEST(Committee, ExcludedCandidateNeverSelected) {
+  CommitteeManager mgr{small_config()};
+  for (std::uint8_t i = 0; i < 6; ++i) mgr.add_candidate(addr(i), U256{100});
+  mgr.exclude(addr(3));
+  Hash32 rand;
+  for (std::uint64_t epoch = 0; epoch < 50; ++epoch) {
+    const auto committee = mgr.committee(epoch, rand);
+    EXPECT_EQ(std::find(committee.begin(), committee.end(), addr(3)),
+              committee.end());
+  }
+}
+
+TEST(Committee, WithdrawLockedThenClaimable) {
+  CommitteeManager mgr{small_config()};
+  mgr.add_candidate(addr(1), U256{500});
+  EXPECT_TRUE(mgr.request_withdraw(addr(1), 10));
+  EXPECT_FALSE(mgr.request_withdraw(addr(1), 10));  // double request
+  // Locked for 2 epochs.
+  EXPECT_EQ(mgr.claim_withdraw(addr(1), 10), U256::zero());
+  EXPECT_EQ(mgr.claim_withdraw(addr(1), 11), U256::zero());
+  EXPECT_EQ(mgr.claim_withdraw(addr(1), 12), U256{500});
+  EXPECT_FALSE(mgr.is_candidate(addr(1)));  // fully exited
+}
+
+TEST(Committee, WithdrawOfUnknownIsZero) {
+  CommitteeManager mgr{small_config()};
+  EXPECT_FALSE(mgr.request_withdraw(addr(9), 0));
+  EXPECT_EQ(mgr.claim_withdraw(addr(9), 100), U256::zero());
+}
+
+TEST(Committee, DifferentRandomnessDifferentDraws) {
+  CommitteeManager mgr{small_config()};
+  for (std::uint8_t i = 0; i < 30; ++i) mgr.add_candidate(addr(i), U256{100});
+  Hash32 r1;
+  Hash32 r2;
+  r2[5] = 0x44;
+  EXPECT_NE(mgr.committee(0, r1), mgr.committee(0, r2));
+}
+
+}  // namespace
+}  // namespace srbb::rpm

@@ -1,0 +1,128 @@
+// Property test: binary consensus agreement/termination must hold under
+// ANY message delivery order. Each seed drives a different random schedule
+// (random delays, random interleavings); all correct nodes must decide the
+// same value, and with unanimous correct input the decision must be that
+// input (validity) regardless of scheduling.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "consensus/binary.hpp"
+#include "sim/event_loop.hpp"
+
+namespace srbb::consensus {
+namespace {
+
+struct RandomizedCluster {
+  sim::Simulation sim;
+  Rng rng;
+  std::uint32_t n;
+  std::uint32_t f;
+  std::vector<std::unique_ptr<BinaryConsensus>> nodes;
+  std::vector<bool> decided;
+  std::vector<bool> decision;
+
+  RandomizedCluster(std::uint32_t n_, std::uint32_t f_, std::uint64_t seed)
+      : rng(seed), n(n_), f(f_) {
+    nodes.resize(n);
+    decided.resize(n, false);
+    decision.resize(n, false);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      BinaryConsensus::Callbacks cb;
+      cb.send_est = [this, i](std::uint32_t r, bool v) {
+        fan_out(i, r, v, /*est=*/true);
+        nodes[i]->on_est(i, r, v);
+      };
+      cb.send_aux = [this, i](std::uint32_t r, bool v) {
+        fan_out(i, r, v, /*est=*/false);
+        nodes[i]->on_aux(i, r, v);
+      };
+      cb.send_decided = [this, i](bool v) {
+        for (std::uint32_t to = 0; to < n; ++to) {
+          if (to == i) continue;
+          schedule([this, to, i, v] { nodes[to]->on_decided(i, v); });
+        }
+      };
+      cb.send_decided_to = [this, i](std::uint32_t to, bool v) {
+        schedule([this, to, i, v] { nodes[to]->on_decided(i, v); });
+      };
+      cb.on_decide = [this, i](bool v) {
+        decided[i] = true;
+        decision[i] = v;
+      };
+      nodes[i] = std::make_unique<BinaryConsensus>(n, f, std::move(cb));
+    }
+  }
+
+  void schedule(std::function<void()> fn) {
+    // Random delay in [1, 1000] gives arbitrary interleavings.
+    sim.schedule_after(1 + rng.next_below(1000), std::move(fn));
+  }
+
+  void fan_out(std::uint32_t from, std::uint32_t round, bool value, bool est) {
+    for (std::uint32_t to = 0; to < n; ++to) {
+      if (to == from) continue;
+      schedule([this, to, from, round, value, est] {
+        if (est) {
+          nodes[to]->on_est(from, round, value);
+        } else {
+          nodes[to]->on_aux(from, round, value);
+        }
+      });
+    }
+  }
+
+  void run(const std::vector<bool>& inputs) {
+    for (std::uint32_t i = 0; i < n; ++i) nodes[i]->start(inputs[i]);
+    sim.run_until_idle();
+  }
+};
+
+class RandomSchedules : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSchedules, UnanimousInputIsDecided) {
+  for (const bool input : {false, true}) {
+    RandomizedCluster cluster{7, 2, GetParam() ^ (input ? 0xF00D : 0)};
+    cluster.run(std::vector<bool>(7, input));
+    for (std::uint32_t i = 0; i < 7; ++i) {
+      ASSERT_TRUE(cluster.decided[i]) << "node " << i;
+      EXPECT_EQ(cluster.decision[i], input) << "node " << i;
+    }
+  }
+}
+
+TEST_P(RandomSchedules, MixedInputsAgree) {
+  RandomizedCluster cluster{7, 2, GetParam()};
+  std::vector<bool> inputs(7);
+  Rng input_rng{GetParam() * 31 + 7};
+  for (std::size_t i = 0; i < 7; ++i) inputs[i] = input_rng.next_bool(0.5);
+  cluster.run(inputs);
+  for (std::uint32_t i = 1; i < 7; ++i) {
+    ASSERT_TRUE(cluster.decided[i]);
+    EXPECT_EQ(cluster.decision[i], cluster.decision[0]);
+  }
+  // Validity: the decision was somebody's input.
+  bool proposed[2] = {false, false};
+  for (const bool input : inputs) proposed[input ? 1 : 0] = true;
+  EXPECT_TRUE(proposed[cluster.decision[0] ? 1 : 0]);
+}
+
+TEST_P(RandomSchedules, SurvivesSilentFaults) {
+  RandomizedCluster cluster{10, 3, GetParam()};
+  // Ranks 7..9 never start (crash before proposing). Quorums still close.
+  for (std::uint32_t i = 0; i < 7; ++i) cluster.nodes[i]->start(true);
+  cluster.sim.run_until_idle();
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    ASSERT_TRUE(cluster.decided[i]) << i;
+    EXPECT_TRUE(cluster.decision[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSchedules,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull, 55ull,
+                                           66ull, 77ull, 88ull));
+
+}  // namespace
+}  // namespace srbb::consensus

@@ -1,0 +1,323 @@
+// End-to-end tests of the canned DApp contracts: deploy via CREATE, invoke
+// through the ABI, observe storage/returns — exercising the full interpreter
+// call path the blockchain nodes use.
+#include "evm/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "evm/interpreter.hpp"
+
+namespace srbb::evm {
+namespace {
+
+using state::StateDB;
+
+Address addr(std::uint8_t tag) {
+  Address a;
+  a[19] = tag;
+  return a;
+}
+
+const Address kAlice = addr(0xA1);
+const Address kBob = addr(0xB2);
+
+struct Chain {
+  StateDB db;
+  BlockContext block;
+  TxContext tx;
+
+  Chain() {
+    tx.origin = kAlice;
+    db.add_balance(kAlice, U256{1'000'000'000});
+    db.add_balance(kBob, U256{1'000'000'000});
+  }
+
+  Address deploy(const Contract& contract, const Address& from = kAlice) {
+    Evm evm{db, block, tx};
+    Message msg;
+    msg.caller = from;
+    msg.is_create = true;
+    msg.data = contract.deploy_code;
+    msg.gas = 10'000'000;
+    db.increment_nonce(from);  // txn layer behaviour
+    const ExecResult r = evm.execute(msg);
+    EXPECT_TRUE(r.ok()) << to_string(r.status);
+    EXPECT_EQ(db.code(r.created_address), contract.runtime_code);
+    return r.created_address;
+  }
+
+  ExecResult call(const Address& to, const Bytes& data,
+                  const Address& from = kAlice, U256 value = U256::zero()) {
+    Evm evm{db, block, tx};
+    Message msg;
+    msg.caller = from;
+    msg.to = to;
+    msg.data = data;
+    msg.value = value;
+    msg.gas = 5'000'000;
+    ExecResult r = evm.execute(msg);
+    logs = evm.logs();
+    return r;
+  }
+
+  U256 call_view(const Address& to, const Bytes& data) {
+    const ExecResult r = call(to, data);
+    EXPECT_TRUE(r.ok()) << to_string(r.status);
+    return U256::from_be(r.output);
+  }
+
+  std::vector<LogEntry> logs;
+};
+
+TEST(CounterContract, IncrementAndGet) {
+  Chain chain;
+  const Address counter = chain.deploy(counter_contract());
+  EXPECT_EQ(chain.call_view(counter, encode_call("get()", {})), U256::zero());
+  for (int i = 0; i < 5; ++i) {
+    const ExecResult r = chain.call(counter, encode_call("increment()", {}));
+    ASSERT_TRUE(r.ok()) << to_string(r.status);
+  }
+  EXPECT_EQ(chain.call_view(counter, encode_call("get()", {})), U256{5});
+}
+
+TEST(CounterContract, UnknownSelectorReverts) {
+  Chain chain;
+  const Address counter = chain.deploy(counter_contract());
+  const ExecResult r = chain.call(counter, encode_call("nope()", {}));
+  EXPECT_EQ(r.status, ExecStatus::kRevert);
+}
+
+TEST(CounterContract, EmptyCalldataReverts) {
+  Chain chain;
+  const Address counter = chain.deploy(counter_contract());
+  const ExecResult r = chain.call(counter, Bytes{});
+  EXPECT_EQ(r.status, ExecStatus::kRevert);
+}
+
+TEST(ExchangeContract, TradeUpdatesPriceVolumeCount) {
+  Chain chain;
+  const Address ex = chain.deploy(exchange_contract());
+  const U256 apple{1};
+  ASSERT_TRUE(chain
+                  .call(ex, encode_call("trade(uint256,uint256,uint256)",
+                                        {apple, U256{150}, U256{10}}))
+                  .ok());
+  ASSERT_TRUE(chain
+                  .call(ex, encode_call("trade(uint256,uint256,uint256)",
+                                        {apple, U256{155}, U256{5}}))
+                  .ok());
+  EXPECT_EQ(chain.call_view(ex, encode_call("quote(uint256)", {apple})),
+            U256{155});  // last price wins
+  EXPECT_EQ(chain.call_view(ex, encode_call("count()", {})), U256{2});
+}
+
+TEST(ExchangeContract, IndependentStocks) {
+  Chain chain;
+  const Address ex = chain.deploy(exchange_contract());
+  chain.call(ex, encode_call("trade(uint256,uint256,uint256)",
+                             {U256{1}, U256{100}, U256{1}}));
+  chain.call(ex, encode_call("trade(uint256,uint256,uint256)",
+                             {U256{2}, U256{200}, U256{1}}));
+  EXPECT_EQ(chain.call_view(ex, encode_call("quote(uint256)", {U256{1}})),
+            U256{100});
+  EXPECT_EQ(chain.call_view(ex, encode_call("quote(uint256)", {U256{2}})),
+            U256{200});
+}
+
+TEST(ExchangeContract, EmitsTradeLog) {
+  Chain chain;
+  const Address ex = chain.deploy(exchange_contract());
+  chain.call(ex, encode_call("trade(uint256,uint256,uint256)",
+                             {U256{1}, U256{100}, U256{1}}));
+  ASSERT_EQ(chain.logs.size(), 1u);
+  EXPECT_EQ(chain.logs[0].address, ex);
+  ASSERT_EQ(chain.logs[0].topics.size(), 1u);
+}
+
+TEST(MobilityContract, RidesAccumulate) {
+  Chain chain;
+  const Address mob = chain.deploy(mobility_contract());
+  ASSERT_TRUE(
+      chain.call(mob, encode_call("ride(uint256,uint256)", {U256{1}, U256{25}}))
+          .ok());
+  ASSERT_TRUE(
+      chain.call(mob, encode_call("ride(uint256,uint256)", {U256{2}, U256{40}}))
+          .ok());
+  EXPECT_EQ(chain.call_view(mob, encode_call("fareOf(uint256)", {U256{1}})),
+            U256{25});
+  EXPECT_EQ(chain.call_view(mob, encode_call("fareOf(uint256)", {U256{2}})),
+            U256{40});
+  EXPECT_EQ(chain.call_view(mob, encode_call("totalFares()", {})), U256{65});
+  EXPECT_EQ(chain.call_view(mob, encode_call("count()", {})), U256{2});
+}
+
+TEST(TicketingContract, SeatsAssignedToCaller) {
+  Chain chain;
+  const Address tix = chain.deploy(ticketing_contract());
+  ASSERT_TRUE(chain
+                  .call(tix, encode_call("buy(uint256,uint256)",
+                                         {U256{1}, U256{10}}),
+                        kAlice)
+                  .ok());
+  const U256 owner =
+      chain.call_view(tix, encode_call("ownerOf(uint256,uint256)",
+                                       {U256{1}, U256{10}}));
+  EXPECT_EQ(owner, U256::from_be(kAlice.view()));
+  EXPECT_EQ(chain.call_view(tix, encode_call("sold()", {})), U256::one());
+}
+
+TEST(TicketingContract, DoubleSellReverts) {
+  Chain chain;
+  const Address tix = chain.deploy(ticketing_contract());
+  ASSERT_TRUE(chain
+                  .call(tix, encode_call("buy(uint256,uint256)",
+                                         {U256{1}, U256{10}}),
+                        kAlice)
+                  .ok());
+  const ExecResult r = chain.call(
+      tix, encode_call("buy(uint256,uint256)", {U256{1}, U256{10}}), kBob);
+  EXPECT_EQ(r.status, ExecStatus::kRevert);
+  // Seat still Alice's; count unchanged.
+  EXPECT_EQ(chain.call_view(tix, encode_call("ownerOf(uint256,uint256)",
+                                             {U256{1}, U256{10}})),
+            U256::from_be(kAlice.view()));
+  EXPECT_EQ(chain.call_view(tix, encode_call("sold()", {})), U256::one());
+}
+
+TEST(TicketingContract, DifferentSeatsBothSell) {
+  Chain chain;
+  const Address tix = chain.deploy(ticketing_contract());
+  ASSERT_TRUE(chain.call(tix, encode_call("buy(uint256,uint256)", {U256{1}, U256{10}}), kAlice).ok());
+  ASSERT_TRUE(chain.call(tix, encode_call("buy(uint256,uint256)", {U256{1}, U256{11}}), kBob).ok());
+  EXPECT_EQ(chain.call_view(tix, encode_call("sold()", {})), U256{2});
+}
+
+TEST(StakingContract, DepositsTrackCallersAndTotal) {
+  Chain chain;
+  const Address stake = chain.deploy(staking_contract());
+  ASSERT_TRUE(chain.call(stake, encode_call("deposit()", {}), kAlice, U256{500}).ok());
+  ASSERT_TRUE(chain.call(stake, encode_call("deposit()", {}), kBob, U256{300}).ok());
+  ASSERT_TRUE(chain.call(stake, encode_call("deposit()", {}), kAlice, U256{200}).ok());
+  EXPECT_EQ(chain.call_view(stake, encode_call("stakeOf(uint256)",
+                                               {U256::from_be(kAlice.view())})),
+            U256{700});
+  EXPECT_EQ(chain.call_view(stake, encode_call("stakeOf(uint256)",
+                                               {U256::from_be(kBob.view())})),
+            U256{300});
+  EXPECT_EQ(chain.call_view(stake, encode_call("totalStake()", {})), U256{1000});
+  // Ether actually moved to the contract.
+  EXPECT_EQ(chain.db.balance(stake), U256{1000});
+}
+
+TEST(Deployment, DistinctAddressesPerNonce) {
+  Chain chain;
+  const Address first = chain.deploy(counter_contract());
+  const Address second = chain.deploy(counter_contract());
+  EXPECT_NE(first, second);
+}
+
+TEST(Deployment, StateIsolatedBetweenInstances) {
+  Chain chain;
+  const Address c1 = chain.deploy(counter_contract());
+  const Address c2 = chain.deploy(counter_contract());
+  chain.call(c1, encode_call("increment()", {}));
+  EXPECT_EQ(chain.call_view(c1, encode_call("get()", {})), U256::one());
+  EXPECT_EQ(chain.call_view(c2, encode_call("get()", {})), U256::zero());
+}
+
+TEST(TokenContract, MintAndSupply) {
+  Chain chain;
+  const Address token = chain.deploy(token_contract());
+  const U256 alice_word = U256::from_be(kAlice.view());
+  ASSERT_TRUE(chain
+                  .call(token, encode_call("mint(uint256,uint256)",
+                                           {alice_word, U256{1000}}))
+                  .ok());
+  EXPECT_EQ(chain.call_view(token, encode_call("balanceOf(uint256)", {alice_word})),
+            U256{1000});
+  EXPECT_EQ(chain.call_view(token, encode_call("totalSupply()", {})),
+            U256{1000});
+}
+
+TEST(TokenContract, TransferMovesBalance) {
+  Chain chain;
+  const Address token = chain.deploy(token_contract());
+  const U256 alice_word = U256::from_be(kAlice.view());
+  const U256 bob_word = U256::from_be(kBob.view());
+  chain.call(token, encode_call("mint(uint256,uint256)", {alice_word, U256{500}}));
+  ASSERT_TRUE(chain
+                  .call(token, encode_call("transfer(uint256,uint256)",
+                                           {bob_word, U256{200}}),
+                        kAlice)
+                  .ok());
+  // Emits the canonical Transfer topic (checked before views overwrite the
+  // captured logs).
+  ASSERT_EQ(chain.logs.size(), 1u);
+  EXPECT_EQ(chain.logs[0].address, token);
+  EXPECT_EQ(chain.call_view(token, encode_call("balanceOf(uint256)", {alice_word})),
+            U256{300});
+  EXPECT_EQ(chain.call_view(token, encode_call("balanceOf(uint256)", {bob_word})),
+            U256{200});
+}
+
+TEST(TokenContract, InsufficientBalanceReverts) {
+  Chain chain;
+  const Address token = chain.deploy(token_contract());
+  const U256 alice_word = U256::from_be(kAlice.view());
+  const U256 bob_word = U256::from_be(kBob.view());
+  chain.call(token, encode_call("mint(uint256,uint256)", {alice_word, U256{100}}));
+  const ExecResult r = chain.call(
+      token, encode_call("transfer(uint256,uint256)", {bob_word, U256{101}}),
+      kAlice);
+  EXPECT_EQ(r.status, ExecStatus::kRevert);
+  // Balances untouched.
+  EXPECT_EQ(chain.call_view(token, encode_call("balanceOf(uint256)", {alice_word})),
+            U256{100});
+  EXPECT_EQ(chain.call_view(token, encode_call("balanceOf(uint256)", {bob_word})),
+            U256::zero());
+}
+
+TEST(TokenContract, ExactBalanceTransferSucceeds) {
+  Chain chain;
+  const Address token = chain.deploy(token_contract());
+  const U256 alice_word = U256::from_be(kAlice.view());
+  const U256 bob_word = U256::from_be(kBob.view());
+  chain.call(token, encode_call("mint(uint256,uint256)", {alice_word, U256{50}}));
+  ASSERT_TRUE(chain
+                  .call(token, encode_call("transfer(uint256,uint256)",
+                                           {bob_word, U256{50}}),
+                        kAlice)
+                  .ok());
+  EXPECT_EQ(chain.call_view(token, encode_call("balanceOf(uint256)", {alice_word})),
+            U256::zero());
+}
+
+TEST(TokenContract, SelfTransferIsBalancePreserving) {
+  Chain chain;
+  const Address token = chain.deploy(token_contract());
+  const U256 alice_word = U256::from_be(kAlice.view());
+  chain.call(token, encode_call("mint(uint256,uint256)", {alice_word, U256{70}}));
+  ASSERT_TRUE(chain
+                  .call(token, encode_call("transfer(uint256,uint256)",
+                                           {alice_word, U256{30}}),
+                        kAlice)
+                  .ok());
+  EXPECT_EQ(chain.call_view(token, encode_call("balanceOf(uint256)", {alice_word})),
+            U256{70});
+}
+
+TEST(Selectors, MatchKeccakPrefix) {
+  // Canonical example: transfer(address,uint256) -> 0xa9059cbb.
+  EXPECT_EQ(selector("transfer(address,uint256)"), 0xa9059cbbu);
+}
+
+TEST(Selectors, EncodeCallLayout) {
+  const Bytes call = encode_call(0x01020304u, {U256{5}});
+  ASSERT_EQ(call.size(), 36u);
+  EXPECT_EQ(call[0], 0x01);
+  EXPECT_EQ(call[3], 0x04);
+  EXPECT_EQ(call[35], 5);
+}
+
+}  // namespace
+}  // namespace srbb::evm

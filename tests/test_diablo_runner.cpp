@@ -1,0 +1,171 @@
+// Integration tests of the experiment runner at small scale: SRBB vs the
+// EVM+DBFT baseline vs a modern-chain model on a light workload, checking
+// the qualitative relationships the paper's evaluation rests on.
+#include "diablo/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chains/presets.hpp"
+#include "diablo/report.hpp"
+
+namespace srbb::diablo {
+namespace {
+
+RunConfig base_config(double tps, std::uint32_t duration_s) {
+  RunConfig config;
+  config.validators = 4;
+  config.clients = 2;
+  config.workload = WorkloadSpec::constant("test", tps, duration_s);
+  config.latency = sim::LatencyModel::uniform(2, millis(20));
+  config.drain = seconds(30);
+  config.min_block_interval = millis(200);
+  config.proposal_timeout = millis(400);
+  return config;
+}
+
+TEST(DiabloRunner, SrbbCommitsLightLoadFully) {
+  RunConfig config = base_config(20, 5);
+  config.kind = SystemKind::kSrbb;
+  const RunResult result = run_experiment(config);
+  EXPECT_EQ(result.sent, 100u);
+  EXPECT_EQ(result.committed, 100u);
+  EXPECT_NEAR(result.commit_pct, 100.0, 0.01);
+  EXPECT_GT(result.throughput_tps, 0.0);
+  EXPECT_GT(result.avg_latency_s, 0.0);
+  EXPECT_LT(result.avg_latency_s, 10.0);
+  EXPECT_EQ(result.gossip_tx_messages, 0u);  // TVPR
+}
+
+TEST(DiabloRunner, EvmDbftGossipsAndValidatesMore) {
+  RunConfig srbb = base_config(20, 5);
+  srbb.kind = SystemKind::kSrbb;
+  RunConfig baseline = base_config(20, 5);
+  baseline.kind = SystemKind::kEvmDbft;
+  baseline.system_name = "EVM+DBFT";
+
+  const RunResult srbb_result = run_experiment(srbb);
+  const RunResult baseline_result = run_experiment(baseline);
+
+  EXPECT_GT(baseline_result.gossip_tx_messages, 0u);
+  // Redundant eager validation: ~n per tx vs ~1 per tx (§III-A).
+  EXPECT_GT(baseline_result.eager_validations,
+            3 * srbb_result.eager_validations);
+  // Both commit a light load.
+  EXPECT_EQ(baseline_result.committed, baseline_result.sent);
+}
+
+TEST(DiabloRunner, ModernChainModelCommitsLightLoad) {
+  RunConfig config = base_config(10, 5);
+  config.kind = SystemKind::kModern;
+  config.preset = chains::preset_quorum_ibft();
+  config.system_name = config.preset.name;
+  const RunResult result = run_experiment(config);
+  EXPECT_EQ(result.sent, 50u);
+  EXPECT_GT(result.committed, 45u);  // allow stragglers at window edge
+  EXPECT_GT(result.gossip_tx_messages, 0u);
+}
+
+TEST(DiabloRunner, OverloadedModernChainLosesTransactions) {
+  // Offered load far above the preset's commit capacity saturates pools.
+  RunConfig config = base_config(500, 20);
+  config.kind = SystemKind::kModern;
+  config.preset = chains::preset_avalanche();  // ~60 TPS ceiling
+  config.system_name = config.preset.name;
+  config.drain = seconds(30);
+  const RunResult result = run_experiment(config);
+  EXPECT_LT(result.commit_pct, 60.0);
+  EXPECT_GT(result.pool_drops, 0u);
+}
+
+TEST(DiabloRunner, SrbbSurvivesTheSameOverload) {
+  RunConfig config = base_config(500, 20);
+  config.kind = SystemKind::kSrbb;
+  config.drain = seconds(30);
+  const RunResult result = run_experiment(config);
+  EXPECT_GT(result.commit_pct, 99.0);
+}
+
+TEST(DiabloRunner, ByzantineFloodingDiscardsInvalidOnly) {
+  RunConfig config = base_config(50, 5);
+  config.kind = SystemKind::kSrbb;
+  config.byzantine = 1;
+  config.flood_invalid_per_block = 30;
+  config.rpm = false;
+  const RunResult result = run_experiment(config);
+  EXPECT_EQ(result.committed, result.sent);  // no valid tx dropped (Table I)
+  EXPECT_GT(result.invalid_discarded, 0u);
+}
+
+TEST(DiabloRunner, RpmSlashesFlooder) {
+  RunConfig config = base_config(50, 5);
+  config.kind = SystemKind::kSrbb;
+  config.byzantine = 1;
+  config.flood_invalid_per_block = 30;
+  config.rpm = true;
+  // After exclusion, transactions sent to the slashed validator need the
+  // §VI client retry to land elsewhere.
+  config.client_resend_timeout = seconds(5);
+  const RunResult result = run_experiment(config);
+  EXPECT_GE(result.slash_events, 1u);
+  EXPECT_EQ(result.committed, result.sent);
+}
+
+TEST(DiabloRunner, ScaleConfigShrinksConsistently) {
+  RunConfig config;
+  config.validators = 200;
+  config.workload = WorkloadSpec::fifa();
+  config.preset = chains::preset_quorum_ibft();
+  const RunConfig scaled = scale_config(config, 0.1);
+  EXPECT_EQ(scaled.validators, 20u);
+  EXPECT_NEAR(scaled.workload.average_tps(), 348.3, 2.0);
+  EXPECT_EQ(scaled.preset.max_block_txs, 180u);
+  // Scaling up is a no-op.
+  const RunConfig same = scale_config(config, 1.0);
+  EXPECT_EQ(same.validators, 200u);
+}
+
+TEST(DiabloRunner, SharedAndReplicatedExecutionAgree) {
+  // Execution mode is a performance switch, not a semantics switch: the same
+  // run must commit the same transactions either way (determinism of the
+  // execution oracle).
+  RunConfig shared_cfg = base_config(40, 5);
+  shared_cfg.kind = SystemKind::kSrbb;
+  shared_cfg.replicated_execution = false;
+  RunConfig replicated_cfg = shared_cfg;
+  replicated_cfg.replicated_execution = true;
+  const RunResult shared = run_experiment(shared_cfg);
+  const RunResult replicated = run_experiment(replicated_cfg);
+  EXPECT_EQ(shared.committed, replicated.committed);
+  EXPECT_EQ(shared.sent, replicated.sent);
+  EXPECT_DOUBLE_EQ(shared.avg_latency_s, replicated.avg_latency_s);
+}
+
+TEST(DiabloRunner, DeterministicForSameSeed) {
+  RunConfig config = base_config(30, 4);
+  config.kind = SystemKind::kSrbb;
+  config.seed = 9;
+  const RunResult a = run_experiment(config);
+  const RunResult b = run_experiment(config);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_DOUBLE_EQ(a.avg_latency_s, b.avg_latency_s);
+  EXPECT_EQ(a.network_messages, b.network_messages);
+}
+
+TEST(DiabloReport, FormatsRows) {
+  RunResult r;
+  r.system = "SRBB";
+  r.workload = "FIFA";
+  r.throughput_tps = 1819.0;
+  r.commit_pct = 98.0;
+  r.avg_latency_s = 64.0;
+  const std::string row = format_row(r);
+  EXPECT_NE(row.find("SRBB"), std::string::npos);
+  EXPECT_NE(row.find("1819.00"), std::string::npos);
+  EXPECT_NE(row.find("98.0%"), std::string::npos);
+  const std::string table = format_table({r});
+  EXPECT_NE(table.find("tput(TPS)"), std::string::npos);
+  EXPECT_NE(format_diagnostics(r).find("sent="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace srbb::diablo

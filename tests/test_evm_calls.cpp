@@ -1,0 +1,257 @@
+// Inter-contract call semantics: CALL / STATICCALL / DELEGATECALL context
+// rules, nested CREATE, return-data plumbing, value flow, the 63/64 gas
+// rule and SELFDESTRUCT.
+#include <gtest/gtest.h>
+
+#include "evm/asm.hpp"
+#include "evm/interpreter.hpp"
+
+namespace srbb::evm {
+namespace {
+
+using state::StateDB;
+
+Address addr(std::uint8_t tag) {
+  Address a;
+  a[19] = tag;
+  return a;
+}
+
+const Address kCaller = addr(0xAA);
+const Address kA = addr(0x0A);  // outer contract
+const Address kB = addr(0x0B);  // inner contract
+
+struct World {
+  StateDB db;
+  BlockContext block;
+  TxContext tx;
+
+  World() { db.add_balance(kCaller, U256{1'000'000}); }
+
+  void install(const Address& where, const std::string& source) {
+    auto code = assemble(source);
+    ASSERT_TRUE(code.is_ok()) << code.message();
+    db.set_code(where, code.value());
+  }
+
+  ExecResult run(const Address& to, std::uint64_t gas = 1'000'000,
+                 U256 value = U256::zero(), Bytes data = {}) {
+    Evm evm{db, block, tx};
+    Message msg;
+    msg.caller = kCaller;
+    msg.to = to;
+    msg.gas = gas;
+    msg.value = value;
+    msg.data = std::move(data);
+    return evm.execute(msg);
+  }
+};
+
+// Inner contract: stores CALLER at slot 0, CALLVALUE at slot 1, returns 42.
+constexpr const char* kInner = R"(
+  CALLER PUSH1 0 SSTORE
+  CALLVALUE PUSH1 1 SSTORE
+  PUSH1 42 PUSH1 0 MSTORE PUSH1 32 PUSH1 0 RETURN
+)";
+
+TEST(EvmCall, CallSwitchesContextToCallee) {
+  World w;
+  w.install(kB, kInner);
+  // Outer: call B with value 5, copy return word to output.
+  w.install(kA, R"(
+    PUSH1 32 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 5 PUSH1 0x0B GAS CALL
+    POP
+    PUSH1 32 PUSH1 0 RETURN
+  )");
+  w.db.add_balance(kA, U256{100});
+  const ExecResult r = w.run(kA);
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  EXPECT_EQ(U256::from_be(r.output), U256{42});
+  // Inside B: caller is A, storage written to B, value moved A -> B.
+  EXPECT_EQ(w.db.storage(kB, U256{0}.to_hash()), U256::from_be(kA.view()));
+  EXPECT_EQ(w.db.storage(kB, U256{1}.to_hash()), U256{5});
+  EXPECT_EQ(w.db.balance(kB), U256{5});
+  EXPECT_EQ(w.db.balance(kA), U256{95});
+}
+
+TEST(EvmCall, DelegatecallKeepsCallerContextAndStorage) {
+  World w;
+  w.install(kB, kInner);
+  w.install(kA, R"(
+    PUSH1 32 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0x0B GAS DELEGATECALL
+    POP
+    PUSH1 32 PUSH1 0 RETURN
+  )");
+  const ExecResult r = w.run(kA, 1'000'000, U256{7});
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  EXPECT_EQ(U256::from_be(r.output), U256{42});
+  // B's code ran in A's context: storage landed in A, caller is the EOA,
+  // value is the original call value, and B is untouched.
+  EXPECT_EQ(w.db.storage(kA, U256{0}.to_hash()), U256::from_be(kCaller.view()));
+  EXPECT_EQ(w.db.storage(kA, U256{1}.to_hash()), U256{7});
+  EXPECT_EQ(w.db.storage(kB, U256{0}.to_hash()), U256::zero());
+}
+
+TEST(EvmCall, StaticcallBlocksWrites) {
+  World w;
+  w.install(kB, kInner);  // kInner writes storage -> must fail statically
+  w.install(kA, R"(
+    PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0x0B GAS STATICCALL
+    PUSH1 0 MSTORE PUSH1 32 PUSH1 0 RETURN
+  )");
+  const ExecResult r = w.run(kA);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(U256::from_be(r.output), U256::zero());  // child failed
+  EXPECT_EQ(w.db.storage(kB, U256{0}.to_hash()), U256::zero());
+}
+
+TEST(EvmCall, StaticContextPropagatesThroughNestedCall) {
+  World w;
+  w.install(kB, kInner);
+  // A does a *plain* CALL to B, but A itself is entered via STATICCALL:
+  // the write in B must still fail.
+  w.install(kA, R"(
+    PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0x0B GAS CALL
+    PUSH1 0 MSTORE PUSH1 32 PUSH1 0 RETURN
+  )");
+  Address outer = addr(0x0C);
+  w.install(outer, R"(
+    PUSH1 32 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0x0A GAS STATICCALL
+    POP
+    PUSH1 32 PUSH1 0 RETURN
+  )");
+  const ExecResult r = w.run(outer);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(U256::from_be(r.output), U256::zero());  // inner write rejected
+}
+
+TEST(EvmCall, ReturndataSizeAndCopy) {
+  World w;
+  w.install(kB, kInner);
+  w.install(kA, R"(
+    PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0x0B GAS CALL
+    POP
+    RETURNDATASIZE PUSH1 0 MSTORE
+    PUSH1 32 PUSH1 0 PUSH1 32 RETURNDATACOPY
+    PUSH1 64 PUSH1 0 RETURN
+  )");
+  const ExecResult r = w.run(kA);
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  BytesView out{r.output};
+  EXPECT_EQ(U256::from_be(out.subspan(0, 32)), U256{32});  // returndatasize
+  EXPECT_EQ(U256::from_be(out.subspan(32, 32)), U256{42});  // copied data
+}
+
+TEST(EvmCall, FailedChildRevertsItsStateOnly) {
+  World w;
+  // B writes then reverts.
+  w.install(kB, "PUSH1 9 PUSH1 0 SSTORE PUSH1 0 PUSH1 0 REVERT");
+  // A writes slot 7, calls B, stores B's success flag in slot 8.
+  w.install(kA, R"(
+    PUSH1 1 PUSH1 7 SSTORE
+    PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0x0B GAS CALL
+    PUSH1 8 SSTORE
+    STOP
+  )");
+  const ExecResult r = w.run(kA);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(w.db.storage(kA, U256{7}.to_hash()), U256::one());   // kept
+  EXPECT_EQ(w.db.storage(kA, U256{8}.to_hash()), U256::zero());  // failed
+  EXPECT_EQ(w.db.storage(kB, U256{0}.to_hash()), U256::zero());  // reverted
+}
+
+TEST(EvmCall, NestedCreateDeploysRuntime) {
+  World w;
+  // Factory: deploys 2-byte runtime {PUSH1 0? no...} — runtime must be
+  // returned by init code. Init: returns a single STOP byte.
+  //   mstore8(0, 0x00)            ; runtime = STOP
+  //   create(0, 0, 1)             ; value 0, offset 0, size 1 of init? init
+  // CREATE runs the init code; so memory holds INIT code. Use init that
+  // returns one zero byte: PUSH1 1 PUSH1 0 RETURN  -> 0x60 0x01 0x60 0x00 0xF3
+  w.install(kA, R"(
+    PUSH1 0x60 PUSH1 0 MSTORE8
+    PUSH1 0x01 PUSH1 1 MSTORE8
+    PUSH1 0x60 PUSH1 2 MSTORE8
+    PUSH1 0x00 PUSH1 3 MSTORE8
+    PUSH1 0xf3 PUSH1 4 MSTORE8
+    PUSH1 5 PUSH1 0 PUSH1 0 CREATE
+    PUSH1 0 MSTORE PUSH1 32 PUSH1 0 RETURN
+  )");
+  const ExecResult r = w.run(kA);
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  const U256 created_word = U256::from_be(r.output);
+  EXPECT_FALSE(created_word.is_zero());
+  // The created account holds the 1-byte runtime (a single zero byte).
+  Address created;
+  const Bytes be = created_word.be_bytes();
+  std::copy(be.begin() + 12, be.end(), created.begin());
+  EXPECT_EQ(w.db.code(created), Bytes{0x00});
+  EXPECT_EQ(w.db.nonce(created), 1u);
+}
+
+TEST(EvmCall, GasForwardingLeavesReserve) {
+  World w;
+  // B burns everything it gets (infinite loop until out of gas).
+  w.install(kB, "loop: PUSH @loop JUMP");
+  w.install(kA, R"(
+    PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0x0B GAS CALL
+    PUSH1 0 MSTORE PUSH1 32 PUSH1 0 RETURN
+  )");
+  const ExecResult r = w.run(kA, 200'000);
+  // A survives thanks to the 1/64 reserve and reports B's failure.
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  EXPECT_EQ(U256::from_be(r.output), U256::zero());
+  EXPECT_GT(r.gas_left, 0u);
+}
+
+TEST(EvmCall, ExtcodesizeAndExtcodecopy) {
+  World w;
+  w.install(kB, "STOP");  // 1-byte code at B
+  w.install(kA, R"(
+    PUSH1 0x0B EXTCODESIZE PUSH1 0 MSTORE
+    PUSH1 32 PUSH1 0 PUSH1 32 PUSH1 0x0B EXTCODECOPY
+    PUSH1 64 PUSH1 0 RETURN
+  )");
+  const ExecResult r = w.run(kA);
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  BytesView out{r.output};
+  EXPECT_EQ(U256::from_be(out.subspan(0, 32)), U256::one());  // size of B
+  // Copied code: first byte is STOP (0x00), rest zero-padded.
+  for (std::size_t i = 32; i < 64; ++i) EXPECT_EQ(out[i], 0x00);
+}
+
+TEST(EvmCall, ExtcodecopyOfEmptyAccountZeroFills) {
+  World w;
+  w.install(kA, R"(
+    PUSH1 0xEE PUSH1 0 MSTORE8
+    PUSH1 1 PUSH1 0 PUSH1 0 PUSH1 0x77 EXTCODECOPY
+    PUSH1 32 PUSH1 0 RETURN
+  )");
+  const ExecResult r = w.run(kA);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.output[0], 0x00);  // the 0xEE byte was overwritten with zero
+}
+
+TEST(EvmCall, SelfdestructMovesBalanceAndRemovesAccount) {
+  World w;
+  w.install(kB, "PUSH1 0x0A SELFDESTRUCT");
+  w.db.add_balance(kB, U256{77});
+  const ExecResult r = w.run(kB);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(w.db.account_exists(kB));
+  EXPECT_EQ(w.db.balance(kA), U256{77});
+}
+
+TEST(EvmCall, CallDepthLimitEnforced) {
+  World w;
+  // A calls itself recursively; depth must bottom out without crashing.
+  w.install(kA, R"(
+    PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0x0A GAS CALL
+    POP STOP
+  )");
+  const ExecResult r = w.run(kA, 10'000'000);
+  EXPECT_TRUE(r.ok());  // outermost frame still succeeds
+}
+
+}  // namespace
+}  // namespace srbb::evm

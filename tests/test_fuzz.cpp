@@ -1,0 +1,127 @@
+// Randomized robustness tests: hostile inputs must produce clean errors,
+// never crashes, hangs or resource blowups. These are the paths a Byzantine
+// peer controls (wire bytes, bytecode inside deployments).
+#include <gtest/gtest.h>
+
+#include "codec/rlp.hpp"
+#include "common/rng.hpp"
+#include "evm/interpreter.hpp"
+#include "evm/opcodes.hpp"
+#include "txn/block.hpp"
+#include "txn/transaction.hpp"
+
+namespace srbb {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t max_len) {
+  Bytes out(rng.next_below(max_len));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, RlpDecodeNeverCrashesAndRoundTrips) {
+  Rng rng{GetParam()};
+  for (int i = 0; i < 2000; ++i) {
+    const Bytes input = random_bytes(rng, 64);
+    auto item = rlp::decode(input);
+    if (!item.is_ok()) continue;
+    // Anything that decodes must re-encode to the identical canonical bytes.
+    std::function<Bytes(const rlp::Item&)> reencode =
+        [&](const rlp::Item& node) -> Bytes {
+      if (!node.is_list) return rlp::encode_bytes(node.payload);
+      std::vector<Bytes> parts;
+      for (const rlp::Item& child : node.items) parts.push_back(reencode(child));
+      return rlp::encode_list(parts);
+    };
+    EXPECT_EQ(reencode(item.value()), input);
+  }
+}
+
+TEST_P(FuzzSeeds, TransactionDecodeNeverCrashes) {
+  Rng rng{GetParam()};
+  for (int i = 0; i < 1000; ++i) {
+    const Bytes input = random_bytes(rng, 300);
+    (void)txn::Transaction::decode(input);  // must not crash or leak
+  }
+  // Mutations of a valid transaction: decode either fails or yields a
+  // transaction whose signature no longer verifies (unless untouched).
+  const auto& scheme = crypto::SignatureScheme::ed25519();
+  txn::TxParams params;
+  params.gas_limit = 30'000;
+  const txn::Transaction tx =
+      txn::make_signed(params, scheme.make_identity(1), scheme);
+  const Bytes wire = tx.encode();
+  for (int i = 0; i < 200; ++i) {
+    Bytes mutated = wire;
+    mutated[rng.next_below(mutated.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+    auto decoded = txn::Transaction::decode(mutated);
+    if (!decoded.is_ok()) continue;
+    if (decoded.value() == tx) continue;  // mutation hit redundant encoding
+    EXPECT_FALSE(verify_signature(decoded.value(), scheme));
+  }
+}
+
+TEST_P(FuzzSeeds, BlockDecodeNeverCrashes) {
+  Rng rng{GetParam()};
+  for (int i = 0; i < 500; ++i) {
+    (void)txn::decode_block(random_bytes(rng, 400));
+  }
+}
+
+TEST_P(FuzzSeeds, RandomBytecodeTerminatesCleanly) {
+  Rng rng{GetParam()};
+  state::StateDB db;
+  Address contract;
+  contract[19] = 0xFC;
+  Address caller;
+  caller[19] = 0xCA;
+  db.add_balance(caller, U256{1'000'000});
+  for (int i = 0; i < 300; ++i) {
+    const Bytes code = random_bytes(rng, 200);
+    db.set_code(contract, code);
+    evm::Evm evm{db, {}, {}};
+    evm::Message msg;
+    msg.caller = caller;
+    msg.to = contract;
+    msg.gas = 100'000;
+    msg.data = random_bytes(rng, 64);
+    const evm::ExecResult result = evm.execute(msg);
+    // Whatever happened, gas cannot be created.
+    EXPECT_LE(result.gas_left, 100'000u);
+  }
+}
+
+TEST_P(FuzzSeeds, RandomValidOpcodeSoupTerminates) {
+  // Bias toward defined opcodes so deeper interpreter paths are reached.
+  Rng rng{GetParam() ^ 0xBEEF};
+  std::vector<std::uint8_t> defined;
+  for (int op = 0; op < 256; ++op) {
+    if (evm::opcode_info(static_cast<std::uint8_t>(op)).defined) {
+      defined.push_back(static_cast<std::uint8_t>(op));
+    }
+  }
+  state::StateDB db;
+  Address contract;
+  contract[19] = 0xFD;
+  for (int i = 0; i < 300; ++i) {
+    Bytes code(rng.next_below(300));
+    for (auto& b : code) b = defined[rng.next_below(defined.size())];
+    db.set_code(contract, code);
+    evm::Evm evm{db, {}, {}};
+    evm::Message msg;
+    msg.to = contract;
+    msg.gas = 200'000;
+    const evm::ExecResult result = evm.execute(msg);
+    EXPECT_LE(result.gas_left, 200'000u);
+    db.commit();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Values(101ull, 202ull, 303ull));
+
+}  // namespace
+}  // namespace srbb

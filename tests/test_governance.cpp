@@ -1,0 +1,158 @@
+// Cross-module governance test (§IV-E + §IV-F): candidates stake deposits,
+// committees rotate per epoch, an RPM slashing event removes the culprit
+// from the candidate pool, and honest candidates recover their stake after
+// the lock period. This is the life cycle that makes re-joining with a fresh
+// wallet unprofitable (the paper's argument against simple address bans).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/merkle.hpp"
+#include "rpm/committee.hpp"
+#include "rpm/rpm.hpp"
+
+namespace srbb::rpm {
+namespace {
+
+const crypto::SignatureScheme& scheme() {
+  return crypto::SignatureScheme::ed25519();
+}
+
+struct Governance {
+  CommitteeConfig committee_config;
+  CommitteeManager committee;
+  std::vector<crypto::Identity> candidates;
+
+  Governance() : committee_config(make_config()), committee(committee_config) {
+    for (std::uint64_t i = 0; i < 12; ++i) {
+      candidates.push_back(scheme().make_identity(i));
+      EXPECT_TRUE(committee.add_candidate(candidates.back().address(),
+                                          U256{1'000'000}));
+    }
+  }
+
+  static CommitteeConfig make_config() {
+    CommitteeConfig c;
+    c.committee_size = 4;
+    c.epoch_length = 10;
+    c.min_deposit = U256{1'000'000};
+    c.withdraw_lock_epochs = 2;
+    return c;
+  }
+
+  Hash32 randomness_for_epoch(std::uint64_t epoch) const {
+    Hash32 r;
+    put_be64(r.data.data(), epoch * 1234567);
+    return r;
+  }
+};
+
+TEST(Governance, SlashedValidatorNeverRejoinsCommittees) {
+  Governance gov;
+
+  // Epoch 0 committee; pick one member and register the committee in RPM.
+  const auto epoch0 = gov.committee.committee(0, gov.randomness_for_epoch(0));
+  ASSERT_EQ(epoch0.size(), 4u);
+
+  RpmConfig rpm_config;
+  rpm_config.n = 4;
+  rpm_config.f = 1;
+  rpm_config.scheme = &scheme();
+  RewardPenaltyMechanism rpm{rpm_config};
+  for (const Address& member : epoch0) {
+    rpm.register_validator(member, gov.committee.deposit_of(member));
+  }
+
+  // The member at slot 0 proposes a block with an invalid transaction.
+  crypto::Identity culprit;
+  for (const auto& candidate : gov.candidates) {
+    if (candidate.address() == epoch0[0]) culprit = candidate;
+  }
+  std::vector<Hash32> leaves(3);
+  leaves[1][0] = 0xBB;
+  BlockSummary bad;
+  bad.proposer_pubkey = culprit.public_key;
+  bad.tx_root = crypto::merkle_root(leaves);
+  bad.signed_tx_root = scheme().sign(culprit, bad.tx_root.view());
+  bad.tx_count = 3;
+
+  const auto proof = crypto::merkle_prove(leaves, 1);
+  std::optional<SlashEvent> slash;
+  for (const Address& reporter : epoch0) {
+    if (reporter == culprit.address()) continue;
+    const auto event = rpm.report(reporter, bad, 5, leaves[1], proof);
+    if (event.has_value()) slash = event;
+  }
+  ASSERT_TRUE(slash.has_value());
+
+  // The exclusion event feeds committee reconfiguration.
+  gov.committee.exclude(slash->validator);
+  EXPECT_FALSE(gov.committee.is_candidate(culprit.address()));
+
+  // The culprit never appears in any later committee.
+  for (std::uint64_t epoch = 1; epoch < 60; ++epoch) {
+    const auto members =
+        gov.committee.committee(epoch, gov.randomness_for_epoch(epoch));
+    for (const Address& member : members) {
+      EXPECT_NE(member, culprit.address()) << "epoch " << epoch;
+    }
+  }
+
+  // Rejoining with a NEW wallet requires a fresh full deposit while the old
+  // one is gone: the economics the paper relies on.
+  const crypto::Identity fresh = scheme().make_identity(999);
+  EXPECT_FALSE(gov.committee.add_candidate(fresh.address(), U256{999'999}));
+  EXPECT_TRUE(gov.committee.add_candidate(fresh.address(), U256{1'000'000}));
+  EXPECT_EQ(rpm.deposit_of(culprit.address()), U256::zero());
+}
+
+TEST(Governance, HonestLifecycleStakeRotateWithdraw) {
+  Governance gov;
+  const Address leaver = gov.candidates[5].address();
+
+  // The candidate serves in some committee eventually.
+  bool served = false;
+  for (std::uint64_t epoch = 0; epoch < 40 && !served; ++epoch) {
+    const auto members =
+        gov.committee.committee(epoch, gov.randomness_for_epoch(epoch));
+    for (const Address& member : members) served |= member == leaver;
+  }
+  EXPECT_TRUE(served);
+
+  // Requests withdrawal at epoch 40; stake stays locked (and slashable)
+  // until epoch 42.
+  ASSERT_TRUE(gov.committee.request_withdraw(leaver, 40));
+  EXPECT_EQ(gov.committee.claim_withdraw(leaver, 41), U256::zero());
+  EXPECT_TRUE(gov.committee.is_candidate(leaver));
+  EXPECT_EQ(gov.committee.claim_withdraw(leaver, 42), U256{1'000'000});
+  EXPECT_FALSE(gov.committee.is_candidate(leaver));
+
+  // Future committees never include the departed candidate.
+  for (std::uint64_t epoch = 42; epoch < 60; ++epoch) {
+    const auto members =
+        gov.committee.committee(epoch, gov.randomness_for_epoch(epoch));
+    for (const Address& member : members) EXPECT_NE(member, leaver);
+  }
+}
+
+TEST(Governance, EpochOfBlockDrivesRotationCadence) {
+  Governance gov;
+  EXPECT_EQ(gov.committee.epoch_of_block(0), 0u);
+  EXPECT_EQ(gov.committee.epoch_of_block(9), 0u);
+  EXPECT_EQ(gov.committee.epoch_of_block(10), 1u);
+  // Committees within one epoch are stable; across epochs they rotate.
+  const auto ca = gov.committee.committee(
+      gov.committee.epoch_of_block(3), gov.randomness_for_epoch(0));
+  const auto cb = gov.committee.committee(
+      gov.committee.epoch_of_block(7), gov.randomness_for_epoch(0));
+  EXPECT_EQ(ca, cb);
+  std::set<std::vector<Address>> distinct;
+  for (std::uint64_t epoch = 0; epoch < 10; ++epoch) {
+    distinct.insert(gov.committee.committee(epoch,
+                                            gov.randomness_for_epoch(epoch)));
+  }
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+}  // namespace
+}  // namespace srbb::rpm

@@ -1,0 +1,106 @@
+#include "srbb/load_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace srbb::node {
+namespace {
+
+const crypto::SignatureScheme& scheme() {
+  return crypto::SignatureScheme::fast_sim();
+}
+
+struct Recorder : sim::SimNode {
+  using sim::SimNode::SimNode;
+  void handle_message(sim::NodeId from, const sim::MessagePtr& message) override {
+    if (const auto* tx = dynamic_cast<const ClientTxMsg*>(message.get())) {
+      received.push_back(tx->tx->hash);
+      last_from = from;
+    }
+    if (const auto* ack = dynamic_cast<const CommitAckMsg*>(message.get())) {
+      acks.push_back(ack->tx_hash);
+    }
+  }
+  std::vector<Hash32> received;
+  std::vector<Hash32> acks;
+  sim::NodeId last_from = 0;
+};
+
+txn::TxPtr make_tx(std::uint64_t nonce) {
+  txn::TxParams params;
+  params.nonce = nonce;
+  return txn::make_tx_ptr(
+      txn::make_signed(params, scheme().make_identity(1), scheme()));
+}
+
+struct Fixture {
+  sim::Simulation sim;
+  sim::Network net{sim, sim::NetworkConfig{}};
+  std::vector<std::unique_ptr<Recorder>> validators;  // ids 0..3
+  std::unique_ptr<LoadBalancerNode> balancer;         // id 4
+  std::unique_ptr<Recorder> client;                   // id 5
+
+  Fixture() {
+    for (sim::NodeId i = 0; i < 4; ++i) {
+      validators.push_back(std::make_unique<Recorder>(sim, i, 0u));
+      net.attach(validators.back().get());
+    }
+    balancer = std::make_unique<LoadBalancerNode>(sim, 4, 0u, 4, 9);
+    net.attach(balancer.get());
+    client = std::make_unique<Recorder>(sim, 5, 0u);
+    net.attach(client.get());
+  }
+};
+
+TEST(LoadBalancer, SpreadsAcrossValidators) {
+  Fixture f;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    auto msg = std::make_shared<ClientTxMsg>();
+    msg->tx = make_tx(i);
+    f.client->send(4, msg);
+  }
+  f.sim.run_until_idle();
+  EXPECT_EQ(f.balancer->forwarded(), 64u);
+  std::size_t total = 0;
+  std::size_t nonempty = 0;
+  for (const auto& validator : f.validators) {
+    total += validator->received.size();
+    nonempty += validator->received.empty() ? 0 : 1;
+  }
+  EXPECT_EQ(total, 64u);
+  EXPECT_EQ(nonempty, 4u);  // random spread touches every validator
+}
+
+TEST(LoadBalancer, RelaysAcksBackToTheClient) {
+  Fixture f;
+  const txn::TxPtr tx = make_tx(0);
+  auto msg = std::make_shared<ClientTxMsg>();
+  msg->tx = tx;
+  f.client->send(4, msg);
+  f.sim.run_until_idle();
+  // Whichever validator got it acks through the balancer.
+  sim::NodeId holder = 0;
+  for (sim::NodeId i = 0; i < 4; ++i) {
+    if (!f.validators[i]->received.empty()) holder = i;
+  }
+  auto ack = std::make_shared<CommitAckMsg>();
+  ack->tx_hash = tx->hash;
+  ack->executed_ok = true;
+  f.validators[holder]->send(4, ack);
+  f.sim.run_until_idle();
+  ASSERT_EQ(f.client->acks.size(), 1u);
+  EXPECT_EQ(f.client->acks[0], tx->hash);
+}
+
+TEST(LoadBalancer, UnknownAckIsDropped) {
+  Fixture f;
+  auto ack = std::make_shared<CommitAckMsg>();
+  ack->tx_hash[0] = 0x77;
+  f.validators[0]->send(4, ack);
+  f.sim.run_until_idle();
+  EXPECT_TRUE(f.client->acks.empty());
+}
+
+}  // namespace
+}  // namespace srbb::node

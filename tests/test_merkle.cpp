@@ -1,0 +1,103 @@
+#include "crypto/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+
+namespace srbb::crypto {
+namespace {
+
+Hash32 leaf(std::uint8_t tag) {
+  return Sha256::hash(BytesView{&tag, 1});
+}
+
+std::vector<Hash32> make_leaves(std::size_t n) {
+  std::vector<Hash32> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(leaf(static_cast<std::uint8_t>(i)));
+  return out;
+}
+
+TEST(Merkle, EmptyRootIsHashOfEmpty) {
+  EXPECT_EQ(merkle_root({}), Sha256::hash(BytesView{}));
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+  const auto leaves = make_leaves(1);
+  EXPECT_EQ(merkle_root(leaves), leaves[0]);
+}
+
+TEST(Merkle, TwoLeavesRootIsPairHash) {
+  const auto leaves = make_leaves(2);
+  Sha256 h;
+  h.update(leaves[0].view());
+  h.update(leaves[1].view());
+  EXPECT_EQ(merkle_root(leaves), h.finish());
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  auto leaves = make_leaves(8);
+  const Hash32 root = merkle_root(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i][0] ^= 0xff;
+    EXPECT_NE(merkle_root(mutated), root) << "leaf " << i;
+  }
+}
+
+TEST(Merkle, OrderMatters) {
+  auto leaves = make_leaves(4);
+  const Hash32 root = merkle_root(leaves);
+  std::swap(leaves[0], leaves[1]);
+  EXPECT_NE(merkle_root(leaves), root);
+}
+
+class MerkleProofSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofSweep, EveryLeafProves) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const Hash32 root = merkle_root(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MerkleProof proof = merkle_prove(leaves, i);
+    EXPECT_TRUE(merkle_verify(leaves[i], proof, root)) << "leaf " << i;
+  }
+}
+
+TEST_P(MerkleProofSweep, WrongLeafFailsProof) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;
+  const auto leaves = make_leaves(n);
+  const Hash32 root = merkle_root(leaves);
+  const MerkleProof proof = merkle_prove(leaves, 0);
+  EXPECT_FALSE(merkle_verify(leaves[1], proof, root));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u,
+                                           31u, 33u, 100u));
+
+TEST(MerkleProof, OutOfRangeIndexYieldsEmptyProof) {
+  const auto leaves = make_leaves(4);
+  EXPECT_TRUE(merkle_prove(leaves, 10).empty());
+}
+
+TEST(MerkleProof, TamperedProofFails) {
+  const auto leaves = make_leaves(8);
+  const Hash32 root = merkle_root(leaves);
+  MerkleProof proof = merkle_prove(leaves, 3);
+  ASSERT_FALSE(proof.empty());
+  proof[0].sibling[5] ^= 0x01;
+  EXPECT_FALSE(merkle_verify(leaves[3], proof, root));
+}
+
+TEST(MerkleProof, ProofAgainstWrongRootFails) {
+  const auto leaves = make_leaves(8);
+  const MerkleProof proof = merkle_prove(leaves, 2);
+  Hash32 wrong_root = merkle_root(leaves);
+  wrong_root[0] ^= 1;
+  EXPECT_FALSE(merkle_verify(leaves[2], proof, wrong_root));
+}
+
+}  // namespace
+}  // namespace srbb::crypto

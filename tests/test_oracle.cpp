@@ -1,0 +1,133 @@
+#include "srbb/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "evm/contracts.hpp"
+
+namespace srbb::node {
+namespace {
+
+const crypto::SignatureScheme& scheme() {
+  return crypto::SignatureScheme::fast_sim();
+}
+
+txn::TxPtr transfer(std::uint64_t sender, std::uint64_t nonce,
+                    std::uint64_t value = 10) {
+  txn::TxParams params;
+  params.nonce = nonce;
+  params.gas_limit = 30'000;
+  params.to = scheme().make_identity(4242).address();
+  params.value = U256{value};
+  return txn::make_tx_ptr(
+      txn::make_signed(params, scheme().make_identity(sender), scheme()));
+}
+
+txn::BlockPtr block_of(std::uint64_t index, std::uint64_t proposer,
+                       std::vector<txn::TxPtr> txs) {
+  return std::make_shared<const txn::Block>(
+      txn::make_block(index, proposer, 0, Hash32{}, std::move(txs),
+                      scheme().make_identity(proposer), scheme()));
+}
+
+GenesisSpec rich_genesis() {
+  GenesisSpec genesis;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    genesis.accounts.push_back(
+        {scheme().make_identity(i).address(), U256{1'000'000'000}});
+  }
+  return genesis;
+}
+
+TEST(Oracle, GenesisApplied) {
+  ExecutionOracle oracle{rich_genesis(), {}, scheme()};
+  EXPECT_EQ(oracle.db().balance(scheme().make_identity(0).address()),
+            U256{1'000'000'000});
+  EXPECT_EQ(oracle.db().balance(scheme().make_identity(99).address()),
+            U256::zero());
+}
+
+TEST(Oracle, ExecutesAndMemoizes) {
+  ExecutionOracle oracle{rich_genesis(), {}, scheme()};
+  const std::vector<txn::BlockPtr> blocks = {block_of(0, 0, {transfer(0, 0)})};
+  const IndexExecResult& first = oracle.execute(0, blocks);
+  EXPECT_EQ(first.total_valid, 1u);
+  EXPECT_EQ(first.total_invalid, 0u);
+  EXPECT_TRUE(oracle.executed(0));
+
+  // Second call returns the identical memoized object; even a different
+  // block set cannot re-execute the index.
+  const IndexExecResult& second = oracle.execute(0, {});
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(Oracle, DuplicateTxAcrossBlocksDiscarded) {
+  ExecutionOracle oracle{rich_genesis(), {}, scheme()};
+  const txn::TxPtr tx = transfer(1, 0);
+  // Two proposers included the same transaction (the EVM+DBFT situation).
+  const std::vector<txn::BlockPtr> blocks = {block_of(0, 0, {tx}),
+                                             block_of(0, 1, {tx})};
+  const IndexExecResult& result = oracle.execute(0, blocks);
+  EXPECT_EQ(result.total_valid, 1u);
+  EXPECT_EQ(result.total_invalid, 1u);  // nonce reuse fails lazy validation
+  ASSERT_EQ(result.blocks.size(), 2u);
+  EXPECT_TRUE(result.blocks[0].outcomes[0].valid);
+  EXPECT_FALSE(result.blocks[1].outcomes[0].valid);
+  // Value moved exactly once.
+  EXPECT_EQ(oracle.db().balance(scheme().make_identity(4242).address()),
+            U256{10});
+}
+
+TEST(Oracle, InvalidZeroBalanceSenderDiscarded) {
+  ExecutionOracle oracle{rich_genesis(), {}, scheme()};
+  const txn::TxPtr broke = transfer(777, 0);  // unfunded sender
+  const IndexExecResult& result = oracle.execute(0, {block_of(0, 0, {broke})});
+  EXPECT_EQ(result.total_valid, 0u);
+  EXPECT_EQ(result.total_invalid, 1u);
+}
+
+TEST(Oracle, SequentialIndicesChainState) {
+  ExecutionOracle oracle{rich_genesis(), {}, scheme()};
+  oracle.execute(0, {block_of(0, 0, {transfer(2, 0)})});
+  const Hash32 root0 = oracle.execute(0, {}).state_root;
+  oracle.execute(1, {block_of(1, 0, {transfer(2, 1)})});
+  const Hash32 root1 = oracle.execute(1, {}).state_root;
+  EXPECT_NE(root0, root1);
+  EXPECT_EQ(oracle.db().nonce(scheme().make_identity(2).address()), 2u);
+}
+
+TEST(Oracle, TwoReplicasConverge) {
+  // Replicated-execution equivalence: independent oracles fed the same
+  // blocks produce identical roots and outcomes.
+  ExecutionOracle a{rich_genesis(), {}, scheme()};
+  ExecutionOracle b{rich_genesis(), {}, scheme()};
+  const std::vector<txn::BlockPtr> blocks = {
+      block_of(0, 0, {transfer(0, 0), transfer(1, 0)}),
+      block_of(0, 1, {transfer(2, 0), transfer(0, 0)})};  // one duplicate
+  const IndexExecResult& ra = a.execute(0, blocks);
+  const IndexExecResult& rb = b.execute(0, blocks);
+  EXPECT_EQ(ra.state_root, rb.state_root);
+  EXPECT_EQ(ra.total_valid, rb.total_valid);
+  EXPECT_EQ(ra.total_invalid, rb.total_invalid);
+  EXPECT_EQ(a.db().state_root(), b.db().state_root());
+}
+
+TEST(Oracle, FeesComputedPerOutcome) {
+  ExecutionOracle oracle{rich_genesis(), {}, scheme()};
+  txn::TxParams params;
+  params.nonce = 0;
+  params.gas_limit = 30'000;
+  params.gas_price = U256{3};
+  params.to = scheme().make_identity(4242).address();
+  params.value = U256{1};
+  const txn::TxPtr tx = txn::make_tx_ptr(
+      txn::make_signed(params, scheme().make_identity(3), scheme()));
+  const IndexExecResult& result = oracle.execute(0, {block_of(0, 0, {tx})});
+  ASSERT_EQ(result.blocks[0].outcomes.size(), 1u);
+  const TxOutcome& outcome = result.blocks[0].outcomes[0];
+  EXPECT_TRUE(outcome.valid);
+  EXPECT_EQ(outcome.gas_used, 21'000u);
+  EXPECT_EQ(outcome.fee, U256{3 * 21'000});
+}
+
+}  // namespace
+}  // namespace srbb::node

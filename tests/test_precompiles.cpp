@@ -1,0 +1,129 @@
+#include "evm/precompiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/ed25519.hpp"
+#include "crypto/sha256.hpp"
+#include "evm/asm.hpp"
+#include "evm/interpreter.hpp"
+
+namespace srbb::evm {
+namespace {
+
+Address precompile_addr(std::uint8_t tag) {
+  Address a;
+  a[19] = tag;
+  return a;
+}
+
+TEST(Precompiles, AddressRecognition) {
+  EXPECT_TRUE(is_precompile(precompile_addr(0x01)));
+  EXPECT_TRUE(is_precompile(precompile_addr(0x02)));
+  EXPECT_TRUE(is_precompile(precompile_addr(0x04)));
+  EXPECT_FALSE(is_precompile(precompile_addr(0x03)));
+  EXPECT_FALSE(is_precompile(precompile_addr(0x00)));
+  Address high;
+  high[0] = 1;
+  high[19] = 0x02;
+  EXPECT_FALSE(is_precompile(high));
+}
+
+TEST(Precompiles, Sha256MatchesLibrary) {
+  const Bytes input{0x01, 0x02, 0x03};
+  const ExecResult r = run_precompile(precompile_addr(0x02), input, 100000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.output, crypto::Sha256::hash(input).bytes());
+  EXPECT_EQ(r.gas_left, 100000u - 60 - 12);
+}
+
+TEST(Precompiles, IdentityCopies) {
+  const Bytes input(77, 0xAB);
+  const ExecResult r = run_precompile(precompile_addr(0x04), input, 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.output, input);
+  EXPECT_EQ(r.gas_left, 1000u - 15 - 3 * 3);
+}
+
+TEST(Precompiles, OutOfGasFails) {
+  const Bytes input(32, 0);
+  EXPECT_EQ(run_precompile(precompile_addr(0x02), input, 10).status,
+            ExecStatus::kOutOfGas);
+  EXPECT_EQ(run_precompile(precompile_addr(0x01), input, 100).status,
+            ExecStatus::kOutOfGas);
+}
+
+TEST(Precompiles, SigVerifyAcceptsValid) {
+  const auto kp = crypto::ed25519_keypair_from_id(5);
+  const Hash32 digest = crypto::Sha256::hash(Bytes{1, 2, 3});
+  const crypto::Signature sig = crypto::ed25519_sign(digest.view(), kp);
+  Bytes input;
+  append(input, digest.view());
+  append(input, BytesView{kp.public_key.data(), 32});
+  append(input, BytesView{sig.data(), 64});
+  const ExecResult r = run_precompile(precompile_addr(0x01), input, 10000);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.output.size(), 32u);
+  EXPECT_EQ(r.output[31], 1);
+}
+
+TEST(Precompiles, SigVerifyRejectsInvalidAndMalformed) {
+  const auto kp = crypto::ed25519_keypair_from_id(6);
+  const Hash32 digest = crypto::Sha256::hash(Bytes{9});
+  crypto::Signature sig = crypto::ed25519_sign(digest.view(), kp);
+  sig[0] ^= 1;
+  Bytes input;
+  append(input, digest.view());
+  append(input, BytesView{kp.public_key.data(), 32});
+  append(input, BytesView{sig.data(), 64});
+  const ExecResult bad = run_precompile(precompile_addr(0x01), input, 10000);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.output[31], 0);
+  // Wrong length -> false, not failure.
+  const ExecResult short_input =
+      run_precompile(precompile_addr(0x01), Bytes(10, 0), 10000);
+  ASSERT_TRUE(short_input.ok());
+  EXPECT_EQ(short_input.output[31], 0);
+}
+
+TEST(Precompiles, ReachableViaStaticcallFromContract) {
+  // Contract hashes its 32-byte calldata through the sha256 precompile:
+  //   calldatacopy(0, 0, 32)
+  //   staticcall(gas, 0x02, 0, 32, 32, 32)
+  //   return(32, 32)
+  state::StateDB db;
+  const auto code = assemble(R"(
+    PUSH1 32 PUSH1 0 PUSH1 0 CALLDATACOPY
+    PUSH1 32 PUSH1 32 PUSH1 32 PUSH1 0 PUSH1 2 GAS STATICCALL
+    POP
+    PUSH1 32 PUSH1 32 RETURN
+  )");
+  ASSERT_TRUE(code.is_ok()) << code.message();
+  Address contract;
+  contract[19] = 0xCC;
+  db.set_code(contract, code.value());
+  Evm evm{db, {}, {}};
+  Message msg;
+  msg.to = contract;
+  msg.gas = 1'000'000;
+  msg.data = Bytes(32, 0x5A);
+  const ExecResult r = evm.execute(msg);
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  EXPECT_EQ(r.output, crypto::Sha256::hash(Bytes(32, 0x5A)).bytes());
+}
+
+TEST(Precompiles, UnknownReservedAddressIsPlainAccount) {
+  // Address 0x03 is not implemented: calls to it behave like empty code.
+  state::StateDB db;
+  Evm evm{db, {}, {}};
+  Message msg;
+  msg.to = precompile_addr(0x03);
+  msg.gas = 1000;
+  const ExecResult r = evm.execute(msg);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.output.empty());
+}
+
+}  // namespace
+}  // namespace srbb::evm

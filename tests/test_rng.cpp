@@ -1,0 +1,100 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace srbb {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng{6};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng{8};
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{9};
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, BoolProbability) {
+  Rng rng{10};
+  int trues = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) trues += rng.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(trues) / n, 0.25, 0.02);
+}
+
+TEST(Rng, ForkIndependence) {
+  // Consuming from a fork must not change the parent's future output.
+  Rng a{11};
+  Rng b{11};
+  Rng fork_a = a.fork();
+  Rng fork_b = b.fork();
+  for (int i = 0; i < 10; ++i) (void)fork_a.next_u64();  // drain one fork only
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  // And the forks themselves agree.
+  Rng c{11};
+  Rng fork_c = c.fork();
+  for (int i = 0; i < 10; ++i) (void)fork_c.next_u64();
+  EXPECT_EQ(fork_c.next_u64(), fork_a.next_u64());
+  (void)fork_b;
+}
+
+}  // namespace
+}  // namespace srbb

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+
+namespace srbb::crypto {
+namespace {
+
+BytesView sv(const std::string& s) {
+  return BytesView{reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+// FIPS 180-4 known-answer tests.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(Sha256::hash(BytesView{}).hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::hash(sv("abc")).hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::hash(sv("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")).hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(sv(chunk));
+  EXPECT_EQ(h.finish().hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog, twice";
+  const Hash32 oneshot = Sha256::hash(sv(msg));
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(sv(msg.substr(0, split)));
+    h.update(sv(msg.substr(split)));
+    EXPECT_EQ(h.finish(), oneshot) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // Lengths around the 64-byte block and 56-byte padding boundary.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 a;
+    a.update(sv(msg));
+    const Hash32 incr = a.finish();
+    EXPECT_EQ(incr, Sha256::hash(sv(msg))) << len;
+  }
+}
+
+// RFC 4231 test case 2 (HMAC-SHA-256, key "Jefe").
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(hmac_sha256(sv("Jefe"), sv("what do ya want for nothing?")).hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  const std::string long_key(200, 'k');
+  const std::string msg = "payload";
+  // Must not crash and must differ from a different key.
+  const Hash32 a = hmac_sha256(sv(long_key), sv(msg));
+  const Hash32 b = hmac_sha256(sv(long_key + "x"), sv(msg));
+  EXPECT_NE(a, b);
+}
+
+TEST(Sha512, EmptyString) {
+  const Hash64 h = Sha512::hash(BytesView{});
+  EXPECT_EQ(to_hex(BytesView{h.data(), h.size()}),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  const Hash64 h = Sha512::hash(sv("abc"));
+  EXPECT_EQ(to_hex(BytesView{h.data(), h.size()}),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, IncrementalMatchesOneShot) {
+  const std::string msg(300, 'z');
+  Sha512 h;
+  h.update(sv(msg.substr(0, 100)));
+  h.update(sv(msg.substr(100)));
+  EXPECT_EQ(h.finish(), Sha512::hash(sv(msg)));
+}
+
+TEST(Sha512, BlockBoundaryLengths) {
+  for (std::size_t len : {111u, 112u, 113u, 127u, 128u, 129u, 255u, 256u}) {
+    const std::string msg(len, 'q');
+    Sha512 a;
+    a.update(sv(msg));
+    EXPECT_EQ(a.finish(), Sha512::hash(sv(msg))) << len;
+  }
+}
+
+}  // namespace
+}  // namespace srbb::crypto

@@ -1,0 +1,240 @@
+#include "state/statedb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace srbb::state {
+namespace {
+
+Address addr(std::uint8_t tag) {
+  Address a;
+  a[19] = tag;
+  return a;
+}
+
+Hash32 key(std::uint8_t tag) {
+  Hash32 k;
+  k[31] = tag;
+  return k;
+}
+
+TEST(StateDB, MissingAccountReadsAreZero) {
+  StateDB db;
+  EXPECT_FALSE(db.account_exists(addr(1)));
+  EXPECT_EQ(db.balance(addr(1)), U256::zero());
+  EXPECT_EQ(db.nonce(addr(1)), 0u);
+  EXPECT_TRUE(db.code(addr(1)).empty());
+  EXPECT_EQ(db.storage(addr(1), key(1)), U256::zero());
+}
+
+TEST(StateDB, BalanceLifecycle) {
+  StateDB db;
+  db.add_balance(addr(1), U256{100});
+  EXPECT_TRUE(db.account_exists(addr(1)));
+  EXPECT_EQ(db.balance(addr(1)), U256{100});
+  EXPECT_TRUE(db.sub_balance(addr(1), U256{30}));
+  EXPECT_EQ(db.balance(addr(1)), U256{70});
+  EXPECT_FALSE(db.sub_balance(addr(1), U256{71}));
+  EXPECT_EQ(db.balance(addr(1)), U256{70});  // unchanged on failure
+}
+
+TEST(StateDB, NonceIncrement) {
+  StateDB db;
+  db.increment_nonce(addr(2));
+  db.increment_nonce(addr(2));
+  EXPECT_EQ(db.nonce(addr(2)), 2u);
+}
+
+TEST(StateDB, CodeAndHash) {
+  StateDB db;
+  const Bytes code{0x60, 0x01};
+  db.set_code(addr(3), code);
+  EXPECT_EQ(db.code(addr(3)), code);
+  EXPECT_NE(db.code_hash(addr(3)), db.code_hash(addr(4)));  // vs empty
+}
+
+TEST(StateDB, StorageZeroWriteClearsSlot) {
+  StateDB db;
+  db.set_storage(addr(1), key(1), U256{9});
+  EXPECT_EQ(db.storage(addr(1), key(1)), U256{9});
+  db.set_storage(addr(1), key(1), U256::zero());
+  EXPECT_EQ(db.storage(addr(1), key(1)), U256::zero());
+}
+
+TEST(StateDB, DeleteAccount) {
+  StateDB db;
+  db.add_balance(addr(5), U256{10});
+  db.set_storage(addr(5), key(1), U256{1});
+  db.delete_account(addr(5));
+  EXPECT_FALSE(db.account_exists(addr(5)));
+  EXPECT_EQ(db.storage(addr(5), key(1)), U256::zero());
+}
+
+TEST(StateDBJournal, RevertUndoesEverything) {
+  StateDB db;
+  db.add_balance(addr(1), U256{100});
+  db.commit();
+  const Hash32 base_root = db.state_root();
+
+  const auto snap = db.snapshot();
+  db.add_balance(addr(1), U256{5});
+  db.increment_nonce(addr(1));
+  db.set_code(addr(2), Bytes{0x01});
+  db.set_storage(addr(1), key(7), U256{7});
+  db.create_account(addr(9));
+  db.delete_account(addr(1));
+  db.revert_to(snap);
+
+  EXPECT_EQ(db.state_root(), base_root);
+  EXPECT_EQ(db.balance(addr(1)), U256{100});
+  EXPECT_EQ(db.nonce(addr(1)), 0u);
+  EXPECT_FALSE(db.account_exists(addr(2)));
+  EXPECT_FALSE(db.account_exists(addr(9)));
+}
+
+TEST(StateDBJournal, NestedSnapshots) {
+  StateDB db;
+  db.add_balance(addr(1), U256{10});
+  const auto outer = db.snapshot();
+  db.add_balance(addr(1), U256{10});
+  const auto inner = db.snapshot();
+  db.add_balance(addr(1), U256{10});
+  EXPECT_EQ(db.balance(addr(1)), U256{30});
+  db.revert_to(inner);
+  EXPECT_EQ(db.balance(addr(1)), U256{20});
+  db.revert_to(outer);
+  EXPECT_EQ(db.balance(addr(1)), U256{10});
+}
+
+TEST(StateDBJournal, RevertRestoresDeletedAccountFully) {
+  StateDB db;
+  db.add_balance(addr(1), U256{10});
+  db.set_storage(addr(1), key(1), U256{5});
+  db.set_code(addr(1), Bytes{0xaa});
+  db.commit();
+  const auto snap = db.snapshot();
+  db.delete_account(addr(1));
+  db.revert_to(snap);
+  EXPECT_EQ(db.balance(addr(1)), U256{10});
+  EXPECT_EQ(db.storage(addr(1), key(1)), U256{5});
+  EXPECT_EQ(db.code(addr(1)), (Bytes{0xaa}));
+}
+
+TEST(StateDBJournal, CommitMakesChangesPermanentAgainstRevert) {
+  StateDB db;
+  const auto snap = db.snapshot();
+  db.add_balance(addr(1), U256{10});
+  db.commit();
+  db.revert_to(snap);  // no-op: journal is empty after commit
+  EXPECT_EQ(db.balance(addr(1)), U256{10});
+}
+
+TEST(StateDBJournal, RevertStorageToPreviousNonZero) {
+  StateDB db;
+  db.set_storage(addr(1), key(1), U256{1});
+  db.commit();
+  const auto snap = db.snapshot();
+  db.set_storage(addr(1), key(1), U256{2});
+  db.set_storage(addr(1), key(1), U256::zero());
+  db.revert_to(snap);
+  EXPECT_EQ(db.storage(addr(1), key(1)), U256{1});
+}
+
+TEST(StateRoot, DeterministicAcrossInsertionOrder) {
+  StateDB a;
+  StateDB b;
+  // Insert the same accounts in opposite orders.
+  for (int i = 0; i < 20; ++i) {
+    a.add_balance(addr(static_cast<std::uint8_t>(i)), U256{static_cast<std::uint64_t>(i)});
+    a.set_storage(addr(static_cast<std::uint8_t>(i)), key(1), U256{7});
+  }
+  for (int i = 19; i >= 0; --i) {
+    b.set_storage(addr(static_cast<std::uint8_t>(i)), key(1), U256{7});
+    b.add_balance(addr(static_cast<std::uint8_t>(i)), U256{static_cast<std::uint64_t>(i)});
+  }
+  EXPECT_EQ(a.state_root(), b.state_root());
+}
+
+TEST(StateRoot, SensitiveToEveryField) {
+  StateDB base;
+  base.add_balance(addr(1), U256{1});
+  const Hash32 root = base.state_root();
+
+  StateDB balance_diff;
+  balance_diff.add_balance(addr(1), U256{2});
+  EXPECT_NE(balance_diff.state_root(), root);
+
+  StateDB nonce_diff;
+  nonce_diff.add_balance(addr(1), U256{1});
+  nonce_diff.increment_nonce(addr(1));
+  EXPECT_NE(nonce_diff.state_root(), root);
+
+  StateDB code_diff;
+  code_diff.add_balance(addr(1), U256{1});
+  code_diff.set_code(addr(1), Bytes{0x00});
+  EXPECT_NE(code_diff.state_root(), root);
+
+  StateDB storage_diff;
+  storage_diff.add_balance(addr(1), U256{1});
+  storage_diff.set_storage(addr(1), key(1), U256{1});
+  EXPECT_NE(storage_diff.state_root(), root);
+
+  StateDB addr_diff;
+  addr_diff.add_balance(addr(2), U256{1});
+  EXPECT_NE(addr_diff.state_root(), root);
+}
+
+TEST(StateRoot, EmptyStatesAgree) {
+  StateDB a;
+  StateDB b;
+  EXPECT_EQ(a.state_root(), b.state_root());
+}
+
+TEST(StateRootMpt, DeterministicAcrossInsertionOrder) {
+  StateDB a;
+  StateDB b;
+  for (int i = 0; i < 15; ++i) {
+    a.add_balance(addr(static_cast<std::uint8_t>(i)), U256{7});
+    a.set_storage(addr(static_cast<std::uint8_t>(i)), key(2), U256{9});
+  }
+  for (int i = 14; i >= 0; --i) {
+    b.set_storage(addr(static_cast<std::uint8_t>(i)), key(2), U256{9});
+    b.add_balance(addr(static_cast<std::uint8_t>(i)), U256{7});
+  }
+  EXPECT_EQ(a.state_root_mpt(), b.state_root_mpt());
+}
+
+TEST(StateRootMpt, SensitiveToEveryField) {
+  StateDB base;
+  base.add_balance(addr(1), U256{1});
+  const Hash32 root = base.state_root_mpt();
+
+  StateDB nonce_diff;
+  nonce_diff.add_balance(addr(1), U256{1});
+  nonce_diff.increment_nonce(addr(1));
+  EXPECT_NE(nonce_diff.state_root_mpt(), root);
+
+  StateDB storage_diff;
+  storage_diff.add_balance(addr(1), U256{1});
+  storage_diff.set_storage(addr(1), key(1), U256{1});
+  EXPECT_NE(storage_diff.state_root_mpt(), root);
+
+  StateDB code_diff;
+  code_diff.add_balance(addr(1), U256{1});
+  code_diff.set_code(addr(1), Bytes{0x60});
+  EXPECT_NE(code_diff.state_root_mpt(), root);
+}
+
+TEST(StateRootMpt, TracksRevert) {
+  StateDB db;
+  db.add_balance(addr(1), U256{5});
+  db.commit();
+  const Hash32 before = db.state_root_mpt();
+  const auto snap = db.snapshot();
+  db.add_balance(addr(2), U256{9});
+  EXPECT_NE(db.state_root_mpt(), before);
+  db.revert_to(snap);
+  EXPECT_EQ(db.state_root_mpt(), before);
+}
+
+}  // namespace
+}  // namespace srbb::state

@@ -1,0 +1,65 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace srbb {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool{2};
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool{1};
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool{2};
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool{8};
+  std::atomic<int> counter{0};
+  pool.parallel_for(3, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool{2};
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(100, [&sum](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(sum.load(), 5 * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace srbb

@@ -1,0 +1,293 @@
+#include "common/u256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace srbb {
+namespace {
+
+U256 rand_u256(Rng& rng) {
+  return U256{rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()};
+}
+
+TEST(U256Basic, ZeroAndOne) {
+  EXPECT_TRUE(U256::zero().is_zero());
+  EXPECT_FALSE(U256::one().is_zero());
+  EXPECT_EQ(U256::one().as_u64(), 1u);
+  EXPECT_EQ(U256::one().bit_length(), 1u);
+  EXPECT_EQ(U256::zero().bit_length(), 0u);
+  EXPECT_EQ(U256::max().bit_length(), 256u);
+}
+
+TEST(U256Basic, AddCarriesAcrossLimbs) {
+  const U256 a{~0ull, 0, 0, 0};
+  const U256 r = a + U256::one();
+  EXPECT_EQ(r, (U256{0, 1, 0, 0}));
+}
+
+TEST(U256Basic, AddWrapsAt2Pow256) {
+  EXPECT_EQ(U256::max() + U256::one(), U256::zero());
+}
+
+TEST(U256Basic, SubBorrowsAcrossLimbs) {
+  const U256 a{0, 1, 0, 0};
+  EXPECT_EQ(a - U256::one(), (U256{~0ull, 0, 0, 0}));
+}
+
+TEST(U256Basic, SubWraps) {
+  EXPECT_EQ(U256::zero() - U256::one(), U256::max());
+}
+
+TEST(U256Basic, MulSmall) {
+  EXPECT_EQ(U256{7} * U256{6}, U256{42});
+}
+
+TEST(U256Basic, MulCrossLimb) {
+  const U256 a{1ull << 63, 0, 0, 0};
+  EXPECT_EQ(a * U256{2}, (U256{0, 1, 0, 0}));
+}
+
+TEST(U256Basic, DivByZeroIsZero) {
+  EXPECT_EQ(U256{5} / U256::zero(), U256::zero());
+  EXPECT_EQ(U256{5} % U256::zero(), U256::zero());
+}
+
+TEST(U256Basic, ShiftsRoundTrip) {
+  const U256 v{0x1234567890abcdefull};
+  for (unsigned n : {0u, 1u, 7u, 63u, 64u, 65u, 128u, 191u}) {
+    EXPECT_EQ((v << n) >> n, v) << "n=" << n;
+  }
+  EXPECT_EQ(v << 256, U256::zero());
+  EXPECT_EQ(v >> 256, U256::zero());
+}
+
+TEST(U256Basic, CompareAcrossLimbs) {
+  const U256 lo{~0ull, ~0ull, ~0ull, 0};
+  const U256 hi{0, 0, 0, 1};
+  EXPECT_LT(lo, hi);
+  EXPECT_GT(hi, lo);
+  EXPECT_LE(lo, lo);
+  EXPECT_GE(hi, hi);
+}
+
+TEST(U256Codec, BigEndianRoundTrip) {
+  Rng rng{7};
+  for (int i = 0; i < 100; ++i) {
+    const U256 v = rand_u256(rng);
+    EXPECT_EQ(U256::from_be(v.be_bytes()), v);
+  }
+}
+
+TEST(U256Codec, FromBeShorterIsRightAligned) {
+  const Bytes raw{0x01, 0x02};
+  EXPECT_EQ(U256::from_be(raw), U256{0x0102});
+}
+
+TEST(U256Codec, DecStringRoundTrip) {
+  Rng rng{8};
+  for (int i = 0; i < 50; ++i) {
+    const U256 v = rand_u256(rng);
+    const auto back = U256::from_dec(v.to_dec());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(U256Codec, KnownDecimal) {
+  // 2^128 = 340282366920938463463374607431768211456
+  const auto v = U256::from_dec("340282366920938463463374607431768211456");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, U256::one() << 128);
+  EXPECT_EQ(v->to_dec(), "340282366920938463463374607431768211456");
+}
+
+TEST(U256Codec, FromDecRejectsJunkAndOverflow) {
+  EXPECT_FALSE(U256::from_dec("").has_value());
+  EXPECT_FALSE(U256::from_dec("12a").has_value());
+  // 2^256 overflows.
+  EXPECT_FALSE(U256::from_dec("115792089237316195423570985008687907853"
+                              "269984665640564039457584007913129639936")
+                   .has_value());
+  // 2^256 - 1 is fine.
+  const auto max = U256::from_dec("115792089237316195423570985008687907853"
+                                  "269984665640564039457584007913129639935");
+  ASSERT_TRUE(max.has_value());
+  EXPECT_EQ(*max, U256::max());
+}
+
+TEST(U256Codec, HexStrings) {
+  const auto v = U256::from_hex("0xff");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, U256{255});
+  EXPECT_EQ(v->to_hex(), "0xff");
+  EXPECT_EQ(U256::zero().to_hex(), "0x0");
+  EXPECT_FALSE(U256::from_hex(std::string(65, 'f')).has_value());
+}
+
+// Property check against native 128-bit arithmetic on values that fit.
+TEST(U256PropertySmall, MatchesNative128) {
+  Rng rng{42};
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a64 = rng.next_u64();
+    const std::uint64_t b64 = rng.next_u64() | 1;  // avoid div by zero
+    const U256 a{a64};
+    const U256 b{b64};
+    EXPECT_EQ((a + b).limb[0], a64 + b64);
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(a64) * b64;
+    const U256 p = a * b;
+    EXPECT_EQ(p.limb[0], static_cast<std::uint64_t>(prod));
+    EXPECT_EQ(p.limb[1], static_cast<std::uint64_t>(prod >> 64));
+    EXPECT_EQ((a / b).limb[0], a64 / b64);
+    EXPECT_EQ((a % b).limb[0], a64 % b64);
+  }
+}
+
+// divmod invariant: a == q*b + r with r < b, for full-width operands.
+TEST(U256PropertyWide, DivModInvariant) {
+  Rng rng{43};
+  for (int i = 0; i < 500; ++i) {
+    const U256 a = rand_u256(rng);
+    U256 b = rand_u256(rng);
+    // Mix widths: sometimes shrink divisor to exercise both division paths.
+    if (i % 3 == 0) b = U256{b.limb[0]};
+    if (i % 3 == 1) b = U256{b.limb[0], b.limb[1], 0, 0};
+    if (b.is_zero()) b = U256::one();
+    const auto [q, r] = a.divmod(b);
+    EXPECT_LT(r, b);
+    EXPECT_EQ(q * b + r, a);
+  }
+}
+
+TEST(U256PropertyWide, MulDistributesOverAdd) {
+  Rng rng{44};
+  for (int i = 0; i < 300; ++i) {
+    const U256 a = rand_u256(rng);
+    const U256 b = rand_u256(rng);
+    const U256 c = rand_u256(rng);
+    EXPECT_EQ(a * (b + c), a * b + a * c);  // mod 2^256
+  }
+}
+
+TEST(U256PropertyWide, FullMulMatchesWrappedLow) {
+  Rng rng{45};
+  for (int i = 0; i < 300; ++i) {
+    const U256 a = rand_u256(rng);
+    const U256 b = rand_u256(rng);
+    EXPECT_EQ(a.full_mul(b).lo, a * b);
+  }
+}
+
+TEST(U256Signed, SignBitAndNegate) {
+  EXPECT_FALSE(sign_bit(U256{1}));
+  EXPECT_TRUE(sign_bit(U256::max()));  // -1
+  EXPECT_EQ(negate(U256::one()), U256::max());
+  EXPECT_EQ(negate(U256::zero()), U256::zero());
+  EXPECT_EQ(negate(negate(U256{12345})), U256{12345});
+}
+
+TEST(U256Signed, SltSgt) {
+  const U256 minus_one = U256::max();
+  const U256 minus_two = U256::max() - U256::one();
+  EXPECT_TRUE(slt(minus_one, U256::zero()));
+  EXPECT_TRUE(slt(minus_two, minus_one));
+  EXPECT_TRUE(sgt(U256::one(), minus_one));
+  EXPECT_FALSE(slt(U256::one(), U256::one()));
+}
+
+TEST(U256Signed, SdivSmodMatchNativeSigned) {
+  Rng rng{46};
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t a = static_cast<std::int64_t>(rng.next_u64());
+    std::int64_t b = static_cast<std::int64_t>(rng.next_u64());
+    if (b == 0) b = 1;
+    if (a == INT64_MIN || b == INT64_MIN) continue;
+    const U256 ua = a < 0 ? negate(U256{static_cast<std::uint64_t>(-a)})
+                          : U256{static_cast<std::uint64_t>(a)};
+    const U256 ub = b < 0 ? negate(U256{static_cast<std::uint64_t>(-b)})
+                          : U256{static_cast<std::uint64_t>(b)};
+    const std::int64_t q = a / b;
+    const std::int64_t r = a % b;
+    const U256 uq = q < 0 ? negate(U256{static_cast<std::uint64_t>(-q)})
+                          : U256{static_cast<std::uint64_t>(q)};
+    const U256 ur = r < 0 ? negate(U256{static_cast<std::uint64_t>(-r)})
+                          : U256{static_cast<std::uint64_t>(r)};
+    EXPECT_EQ(sdiv(ua, ub), uq) << a << "/" << b;
+    EXPECT_EQ(smod(ua, ub), ur) << a << "%" << b;
+  }
+}
+
+TEST(U256Signed, SdivByZeroIsZero) {
+  EXPECT_EQ(sdiv(U256{5}, U256::zero()), U256::zero());
+  EXPECT_EQ(smod(U256{5}, U256::zero()), U256::zero());
+}
+
+TEST(U256Signed, SarShiftsInSignBit) {
+  const U256 minus_8 = negate(U256{8});
+  EXPECT_EQ(sar(minus_8, 1), negate(U256{4}));
+  EXPECT_EQ(sar(minus_8, 300), U256::max());  // saturates to -1
+  EXPECT_EQ(sar(U256{8}, 1), U256{4});
+  EXPECT_EQ(sar(U256{8}, 300), U256::zero());
+  EXPECT_EQ(sar(minus_8, 0), minus_8);
+}
+
+TEST(U256Signed, SignExtend) {
+  // 0xff at byte 0 sign-extends to -1.
+  EXPECT_EQ(signextend(0, U256{0xff}), U256::max());
+  // 0x7f stays positive.
+  EXPECT_EQ(signextend(0, U256{0x7f}), U256{0x7f});
+  // Extension also clears stray high bits for positive values.
+  EXPECT_EQ(signextend(0, U256{0x17f}), U256{0x7f});
+  // byte_index >= 31 is the identity.
+  const U256 v{0xdeadbeef};
+  EXPECT_EQ(signextend(31, v), v);
+  EXPECT_EQ(signextend(200, v), v);
+}
+
+TEST(U256Evm, NthByte) {
+  const U256 v = U256{0xaabbccdd};
+  EXPECT_EQ(nth_byte(v, 31), 0xdd);
+  EXPECT_EQ(nth_byte(v, 30), 0xcc);
+  EXPECT_EQ(nth_byte(v, 0), 0x00);
+  EXPECT_EQ(nth_byte(v, 32), 0x00);
+}
+
+TEST(U256Evm, AddModMulMod) {
+  // (2^256 - 1 + 1) mod 7 == 2^256 mod 7.
+  // 2^256 mod 7: 2^3=1 mod 7, 256 = 3*85+1 -> 2^256 = 2 mod 7.
+  EXPECT_EQ(addmod(U256::max(), U256::one(), U256{7}), U256{2});
+  EXPECT_EQ(addmod(U256{5}, U256{6}, U256{7}), U256{4});
+  EXPECT_EQ(addmod(U256{5}, U256{6}, U256::zero()), U256::zero());
+  EXPECT_EQ(mulmod(U256{5}, U256{6}, U256{7}), U256{2});
+  EXPECT_EQ(mulmod(U256::max(), U256::max(), U256::max() - U256::one()),
+            U256::one());  // (m+1)^2 mod m with m = 2^256-2: wait, checked below
+}
+
+TEST(U256Evm, MulModProperty) {
+  Rng rng{47};
+  for (int i = 0; i < 200; ++i) {
+    const U256 a = rand_u256(rng);
+    const U256 b = rand_u256(rng);
+    U256 m = rand_u256(rng);
+    if (m.is_zero()) m = U256{3};
+    // mulmod(a,b,m) == full 512-bit product mod m; cross-check with the
+    // identity (a mod m)*(b mod m) mod m.
+    EXPECT_EQ(mulmod(a, b, m), mulmod(a % m, b % m, m));
+    EXPECT_LT(mulmod(a, b, m), m);
+    EXPECT_EQ(addmod(a, b, m), addmod(b, a, m));
+  }
+}
+
+TEST(U256Evm, ExpPow) {
+  EXPECT_EQ(exp_pow(U256{2}, U256{10}), U256{1024});
+  EXPECT_EQ(exp_pow(U256{0}, U256{0}), U256::one());  // EVM: 0^0 == 1
+  EXPECT_EQ(exp_pow(U256{0}, U256{5}), U256::zero());
+  EXPECT_EQ(exp_pow(U256{3}, U256::zero()), U256::one());
+  // Wrapping: 2^256 == 0 mod 2^256.
+  EXPECT_EQ(exp_pow(U256{2}, U256{256}), U256::zero());
+  EXPECT_EQ(exp_pow(U256{2}, U256{255}), U256::one() << 255);
+}
+
+}  // namespace
+}  // namespace srbb

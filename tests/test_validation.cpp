@@ -1,0 +1,326 @@
+// Tests for the paper's eager/lazy validation split (§II-B) and the
+// execute(t) semantics of Alg. 1 lines 32-40.
+#include "txn/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "evm/contracts.hpp"
+#include "txn/executor.hpp"
+
+namespace srbb::txn {
+namespace {
+
+const crypto::SignatureScheme& scheme() {
+  return crypto::SignatureScheme::ed25519();
+}
+
+struct World {
+  state::StateDB db;
+  evm::BlockContext block;
+  ValidationConfig vcfg;
+  crypto::Identity alice = scheme().make_identity(1);
+  crypto::Identity bob = scheme().make_identity(2);
+
+  World() {
+    db.add_balance(alice.address(), U256{10'000'000});
+    db.add_balance(bob.address(), U256{10'000'000});
+    block.coinbase = scheme().make_identity(99).address();
+  }
+
+  Transaction transfer(const crypto::Identity& from, const Address& to,
+                       std::uint64_t value, std::uint64_t nonce) {
+    TxParams params;
+    params.nonce = nonce;
+    params.to = to;
+    params.value = U256{value};
+    params.gas_limit = 30'000;
+    params.gas_price = U256{1};
+    return make_signed(params, from, scheme());
+  }
+};
+
+TEST(EagerValidation, AcceptsWellFormed) {
+  World w;
+  const Transaction tx = w.transfer(w.alice, w.bob.address(), 100, 0);
+  EXPECT_TRUE(eager_validate(tx, w.db, scheme(), w.vcfg).is_ok());
+}
+
+TEST(EagerValidation, RejectsBadSignature) {
+  World w;
+  Transaction tx = w.transfer(w.alice, w.bob.address(), 100, 0);
+  tx.signature[5] ^= 1;
+  const Status s = eager_validate(tx, w.db, scheme(), w.vcfg);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("signature"), std::string::npos);
+}
+
+TEST(EagerValidation, RejectsOversized) {
+  World w;
+  TxParams params;
+  params.data = Bytes(w.vcfg.max_tx_size + 1, 0xaa);
+  params.gas_limit = 10'000'000;
+  const Transaction tx = make_signed(params, w.alice, scheme());
+  const Status s = eager_validate(tx, w.db, scheme(), w.vcfg);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("size"), std::string::npos);
+}
+
+TEST(EagerValidation, RejectsStaleNonce) {
+  World w;
+  w.db.set_nonce(w.alice.address(), 5);
+  const Transaction tx = w.transfer(w.alice, w.bob.address(), 100, 4);
+  EXPECT_FALSE(eager_validate(tx, w.db, scheme(), w.vcfg).is_ok());
+}
+
+TEST(EagerValidation, AcceptsFutureNonceInWindow) {
+  World w;
+  const Transaction tx = w.transfer(w.alice, w.bob.address(), 100, 10);
+  EXPECT_TRUE(eager_validate(tx, w.db, scheme(), w.vcfg).is_ok());
+}
+
+TEST(EagerValidation, RejectsNonceBeyondWindow) {
+  World w;
+  const Transaction tx =
+      w.transfer(w.alice, w.bob.address(), 100, w.vcfg.nonce_window + 1);
+  EXPECT_FALSE(eager_validate(tx, w.db, scheme(), w.vcfg).is_ok());
+}
+
+TEST(EagerValidation, RejectsInsufficientBalance) {
+  World w;
+  // The flooding-attack construction from §V-B: sender balance is zero.
+  const Transaction tx = w.transfer(scheme().make_identity(77),
+                                    w.bob.address(), 100, 0);
+  const Status s = eager_validate(tx, w.db, scheme(), w.vcfg);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("balance"), std::string::npos);
+}
+
+TEST(EagerValidation, RejectsGasBelowIntrinsic) {
+  World w;
+  TxParams params;
+  params.gas_limit = 20'000;  // below the 21000 floor
+  params.to = w.bob.address();
+  const Transaction tx = make_signed(params, w.alice, scheme());
+  EXPECT_FALSE(eager_validate(tx, w.db, scheme(), w.vcfg).is_ok());
+}
+
+TEST(LazyValidation, RequiresExactNonce) {
+  World w;
+  EXPECT_TRUE(
+      lazy_validate(w.transfer(w.alice, w.bob.address(), 1, 0), w.db).is_ok());
+  EXPECT_FALSE(
+      lazy_validate(w.transfer(w.alice, w.bob.address(), 1, 1), w.db).is_ok());
+  w.db.set_nonce(w.alice.address(), 3);
+  EXPECT_TRUE(
+      lazy_validate(w.transfer(w.alice, w.bob.address(), 1, 3), w.db).is_ok());
+  EXPECT_FALSE(
+      lazy_validate(w.transfer(w.alice, w.bob.address(), 1, 2), w.db).is_ok());
+}
+
+TEST(LazyValidation, DoesNotCheckSignature) {
+  World w;
+  Transaction tx = w.transfer(w.alice, w.bob.address(), 100, 0);
+  tx.signature[0] ^= 0xff;  // lazy validation is weaker than eager (§II-B)
+  EXPECT_TRUE(lazy_validate(tx, w.db).is_ok());
+}
+
+TEST(EagerValidation, SizeBoundaryIsInclusive) {
+  World w;
+  // Find a data size whose wire encoding lands exactly at the limit: build
+  // one tx, measure overhead, then construct at/over the boundary.
+  // Probe with data large enough that the RLP length headers have the same
+  // width as at the limit (both > 65535 bytes -> 3-byte lengths).
+  TxParams probe;
+  probe.gas_limit = 10'000'000;
+  probe.data = Bytes(100'000, 0xaa);
+  const std::size_t overhead =
+      make_signed(probe, w.alice, scheme()).wire_size() - 100'000;
+  TxParams at_limit;
+  at_limit.gas_limit = 10'000'000;
+  at_limit.data = Bytes(w.vcfg.max_tx_size - overhead, 0xaa);
+  const Transaction ok_tx = make_signed(at_limit, w.alice, scheme());
+  ASSERT_EQ(ok_tx.wire_size(), w.vcfg.max_tx_size);
+  EXPECT_TRUE(eager_validate(ok_tx, w.db, scheme(), w.vcfg).is_ok());
+
+  at_limit.data.push_back(0xaa);
+  const Transaction big_tx = make_signed(at_limit, w.alice, scheme());
+  EXPECT_FALSE(eager_validate(big_tx, w.db, scheme(), w.vcfg).is_ok());
+}
+
+TEST(EagerValidation, BalanceMustCoverGasPlusValueExactly) {
+  World w;
+  // Give a fresh account exactly gas*price + value.
+  const crypto::Identity tight = scheme().make_identity(71);
+  w.db.add_balance(tight.address(), U256{21'000 * 2 + 500});
+  TxParams params;
+  params.gas_limit = 21'000;
+  params.gas_price = U256{2};
+  params.to = w.bob.address();
+  params.value = U256{500};
+  const Transaction exact = make_signed(params, tight, scheme());
+  EXPECT_TRUE(eager_validate(exact, w.db, scheme(), w.vcfg).is_ok());
+  params.value = U256{501};
+  const Transaction over = make_signed(params, tight, scheme());
+  EXPECT_FALSE(eager_validate(over, w.db, scheme(), w.vcfg).is_ok());
+}
+
+TEST(IntrinsicGas, CountsDataBytes) {
+  World w;
+  TxParams params;
+  params.data = Bytes{0x00, 0x00, 0x01, 0x02};
+  const Transaction tx = make_signed(params, w.alice, scheme());
+  EXPECT_EQ(intrinsic_gas(tx), 21'000u + 2 * 4 + 2 * 16);
+}
+
+TEST(IntrinsicGas, DeploySurcharge) {
+  World w;
+  TxParams params;
+  params.kind = TxKind::kDeploy;
+  const Transaction tx = make_signed(params, w.alice, scheme());
+  EXPECT_EQ(intrinsic_gas(tx), 21'000u + 32'000u);
+}
+
+// --- execution ---
+
+TEST(Executor, TransferMovesValueAndChargesGas) {
+  World w;
+  const U256 alice_before = w.db.balance(w.alice.address());
+  const Transaction tx = w.transfer(w.alice, w.bob.address(), 1000, 0);
+  ExecutionConfig cfg;
+  auto receipt = apply_transaction(tx, w.db, w.block, cfg);
+  ASSERT_TRUE(receipt.is_ok()) << receipt.message();
+  EXPECT_TRUE(receipt.value().success);
+  EXPECT_EQ(receipt.value().gas_used, 21'000u);
+  EXPECT_EQ(w.db.balance(w.bob.address()), U256{10'001'000});
+  EXPECT_EQ(w.db.balance(w.alice.address()),
+            alice_before - U256{1000} - U256{21'000});
+  EXPECT_EQ(w.db.nonce(w.alice.address()), 1u);
+  // Coinbase earned the fee.
+  EXPECT_EQ(w.db.balance(w.block.coinbase), U256{21'000});
+}
+
+TEST(Executor, InvalidSignatureIsExecutionError) {
+  World w;
+  Transaction tx = w.transfer(w.alice, w.bob.address(), 1000, 0);
+  tx.signature[3] ^= 1;
+  ExecutionConfig cfg;
+  auto receipt = apply_transaction(tx, w.db, w.block, cfg);
+  EXPECT_FALSE(receipt.is_ok());
+  EXPECT_NE(receipt.message().find("ErrInvalidSig"), std::string::npos);
+  // No state transition for invalid transactions.
+  EXPECT_EQ(w.db.nonce(w.alice.address()), 0u);
+  EXPECT_EQ(w.db.balance(w.bob.address()), U256{10'000'000});
+}
+
+TEST(Executor, WrongNonceIsInvalidNoTransition) {
+  World w;
+  const Transaction tx = w.transfer(w.alice, w.bob.address(), 1000, 5);
+  ExecutionConfig cfg;
+  auto receipt = apply_transaction(tx, w.db, w.block, cfg);
+  EXPECT_FALSE(receipt.is_ok());
+  EXPECT_EQ(w.db.balance(w.bob.address()), U256{10'000'000});
+}
+
+TEST(Executor, ZeroBalanceSenderIsInvalid) {
+  World w;
+  const Transaction tx =
+      w.transfer(scheme().make_identity(55), w.bob.address(), 1, 0);
+  ExecutionConfig cfg;
+  auto receipt = apply_transaction(tx, w.db, w.block, cfg);
+  EXPECT_FALSE(receipt.is_ok());
+}
+
+TEST(Executor, DeployInvokeEndToEnd) {
+  World w;
+  // Deploy the counter.
+  TxParams deploy;
+  deploy.kind = TxKind::kDeploy;
+  deploy.nonce = 0;
+  deploy.gas_limit = 5'000'000;
+  deploy.data = evm::counter_contract().deploy_code;
+  const Transaction dtx = make_signed(deploy, w.alice, scheme());
+  ExecutionConfig cfg;
+  auto dreceipt = apply_transaction(dtx, w.db, w.block, cfg);
+  ASSERT_TRUE(dreceipt.is_ok()) << dreceipt.message();
+  ASSERT_TRUE(dreceipt.value().success);
+  const Address counter = dreceipt.value().contract_address;
+  EXPECT_FALSE(counter.is_zero());
+  EXPECT_EQ(w.db.code(counter), evm::counter_contract().runtime_code);
+
+  // Invoke increment twice.
+  for (std::uint64_t n = 1; n <= 2; ++n) {
+    TxParams invoke;
+    invoke.kind = TxKind::kInvoke;
+    invoke.nonce = n;
+    invoke.gas_limit = 200'000;
+    invoke.to = counter;
+    invoke.data = evm::encode_call("increment()", {});
+    const Transaction itx = make_signed(invoke, w.alice, scheme());
+    auto ireceipt = apply_transaction(itx, w.db, w.block, cfg);
+    ASSERT_TRUE(ireceipt.is_ok());
+    EXPECT_TRUE(ireceipt.value().success);
+  }
+  EXPECT_EQ(w.db.storage(counter, U256{0}.to_hash()), U256{2});
+}
+
+TEST(Executor, RevertedInvokeStillConsumesGasAndNonce) {
+  World w;
+  TxParams deploy;
+  deploy.kind = TxKind::kDeploy;
+  deploy.gas_limit = 5'000'000;
+  deploy.data = evm::ticketing_contract().deploy_code;
+  const Transaction dtx = make_signed(deploy, w.alice, scheme());
+  ExecutionConfig cfg;
+  auto dreceipt = apply_transaction(dtx, w.db, w.block, cfg);
+  ASSERT_TRUE(dreceipt.is_ok());
+  const Address tix = dreceipt.value().contract_address;
+
+  // Alice buys seat (1,1); Bob tries the same seat -> revert.
+  TxParams buy;
+  buy.kind = TxKind::kInvoke;
+  buy.nonce = 1;
+  buy.gas_limit = 200'000;
+  buy.to = tix;
+  buy.data = evm::encode_call("buy(uint256,uint256)", {U256{1}, U256{1}});
+  ASSERT_TRUE(apply_transaction(make_signed(buy, w.alice, scheme()), w.db,
+                                w.block, cfg)
+                  .is_ok());
+  buy.nonce = 0;
+  auto bob_receipt = apply_transaction(make_signed(buy, w.bob, scheme()), w.db,
+                                       w.block, cfg);
+  ASSERT_TRUE(bob_receipt.is_ok());  // valid transaction...
+  EXPECT_FALSE(bob_receipt.value().success);  // ...that reverted
+  EXPECT_GT(bob_receipt.value().gas_used, 21'000u);
+  EXPECT_EQ(w.db.nonce(w.bob.address()), 1u);  // nonce still consumed
+}
+
+TEST(Executor, SkipSignatureCheckWhenPreValidated) {
+  World w;
+  Transaction tx = w.transfer(w.alice, w.bob.address(), 10, 0);
+  tx.signature[0] ^= 1;
+  ExecutionConfig cfg;
+  cfg.verify_signature = false;  // models a node that eagerly validated
+  auto receipt = apply_transaction(tx, w.db, w.block, cfg);
+  EXPECT_TRUE(receipt.is_ok());
+}
+
+TEST(Executor, GasRefundForUnusedGas) {
+  World w;
+  TxParams params;
+  params.nonce = 0;
+  params.to = w.bob.address();
+  params.value = U256{1};
+  params.gas_limit = 500'000;  // way more than needed
+  params.gas_price = U256{2};
+  const Transaction tx = make_signed(params, w.alice, scheme());
+  const U256 before = w.db.balance(w.alice.address());
+  ExecutionConfig cfg;
+  auto receipt = apply_transaction(tx, w.db, w.block, cfg);
+  ASSERT_TRUE(receipt.is_ok());
+  // Charged only for gas_used at gas_price 2, not the full limit.
+  EXPECT_EQ(w.db.balance(w.alice.address()),
+            before - U256{1} - U256{2 * 21'000});
+}
+
+}  // namespace
+}  // namespace srbb::txn

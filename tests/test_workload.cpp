@@ -1,0 +1,112 @@
+#include "diablo/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace srbb::diablo {
+namespace {
+
+TEST(Workload, NasdaqMatchesPublishedStats) {
+  const WorkloadSpec w = WorkloadSpec::nasdaq();
+  EXPECT_EQ(w.rates_per_second.size(), 180u);  // 3 minutes
+  EXPECT_NEAR(w.average_tps(), 168.0, 1.0);
+  EXPECT_NEAR(w.peak_tps(), 19'800.0, 1.0);
+  EXPECT_EQ(w.shape, TxShape::kExchangeTrade);
+}
+
+TEST(Workload, UberMatchesPublishedStats) {
+  const WorkloadSpec w = WorkloadSpec::uber();
+  EXPECT_EQ(w.rates_per_second.size(), 120u);  // 2 minutes
+  EXPECT_NEAR(w.average_tps(), 852.0, 2.0);
+  EXPECT_LE(w.peak_tps(), 901.0);
+  EXPECT_GE(w.peak_tps(), 890.0);
+  EXPECT_EQ(w.shape, TxShape::kMobilityRide);
+}
+
+TEST(Workload, FifaMatchesPublishedStats) {
+  const WorkloadSpec w = WorkloadSpec::fifa();
+  EXPECT_EQ(w.rates_per_second.size(), 180u);
+  EXPECT_NEAR(w.average_tps(), 3483.0, 5.0);
+  EXPECT_NEAR(w.peak_tps(), 5305.0, 120.0);
+  EXPECT_EQ(w.shape, TxShape::kTicketBuy);
+}
+
+TEST(Workload, ConstantIsFlat) {
+  const WorkloadSpec w = WorkloadSpec::constant("flat", 100.0, 10);
+  EXPECT_EQ(w.total_txs(), 1000u);
+  EXPECT_DOUBLE_EQ(w.peak_tps(), 100.0);
+  EXPECT_EQ(w.duration(), seconds(10));
+}
+
+TEST(Workload, ScaledPreservesShape) {
+  const WorkloadSpec w = WorkloadSpec::fifa().scaled(0.1);
+  EXPECT_NEAR(w.average_tps(), 348.3, 2.0);
+  EXPECT_NEAR(w.peak_tps(), 530.5, 15.0);
+  EXPECT_EQ(w.duration(), WorkloadSpec::fifa().duration());
+}
+
+TEST(Schedule, CountMatchesTotal) {
+  const WorkloadSpec w = WorkloadSpec::constant("flat", 50.0, 4);
+  const auto schedule = send_schedule(w);
+  EXPECT_EQ(schedule.size(), w.total_txs());
+}
+
+TEST(Schedule, TimesAreOrderedAndWithinDuration) {
+  const WorkloadSpec w = WorkloadSpec::uber();
+  const auto schedule = send_schedule(w);
+  EXPECT_EQ(schedule.size(), w.total_txs());
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_LE(schedule[i - 1], schedule[i]);
+  }
+  EXPECT_LT(schedule.back(), w.duration());
+}
+
+TEST(Schedule, FractionalRatesAccumulate) {
+  // 0.5 TPS over 10 s must yield ~5 sends, not 0.
+  const WorkloadSpec w = WorkloadSpec::constant("slow", 0.5, 10);
+  EXPECT_EQ(send_schedule(w).size(), 5u);
+}
+
+TEST(TraceCsv, RoundTripAllBuiltins) {
+  for (const WorkloadSpec& w :
+       {WorkloadSpec::nasdaq(), WorkloadSpec::uber(), WorkloadSpec::fifa()}) {
+    auto back = from_csv(to_csv(w));
+    ASSERT_TRUE(back.is_ok()) << back.message();
+    EXPECT_EQ(back.value().name, w.name);
+    EXPECT_EQ(back.value().shape, w.shape);
+    ASSERT_EQ(back.value().rates_per_second.size(), w.rates_per_second.size());
+    for (std::size_t s = 0; s < w.rates_per_second.size(); ++s) {
+      EXPECT_NEAR(back.value().rates_per_second[s], w.rates_per_second[s],
+                  1e-4);
+    }
+  }
+}
+
+TEST(TraceCsv, RejectsMalformed) {
+  EXPECT_FALSE(from_csv("").is_ok());
+  EXPECT_FALSE(from_csv("second,rate\n").is_ok());      // no rows
+  EXPECT_FALSE(from_csv("0,5\n1,6\n").is_ok());          // missing header
+  EXPECT_FALSE(from_csv("second,rate\n0,-5\n").is_ok()); // negative rate
+  EXPECT_FALSE(from_csv("second,rate\nbroken\n").is_ok());
+  EXPECT_FALSE(from_csv("# shape=9\nsecond,rate\n0,1\n").is_ok());
+}
+
+TEST(TraceCsv, CustomTraceParses) {
+  const auto w = from_csv("# name=mytrace shape=1\nsecond,rate\n0,10\n1,20\n");
+  ASSERT_TRUE(w.is_ok());
+  EXPECT_EQ(w.value().name, "mytrace");
+  EXPECT_EQ(w.value().shape, TxShape::kExchangeTrade);
+  EXPECT_EQ(w.value().total_txs(), 30u);
+}
+
+TEST(Schedule, SpikeSecondIsDense) {
+  const WorkloadSpec w = WorkloadSpec::nasdaq();
+  const auto schedule = send_schedule(w);
+  std::uint64_t in_spike = 0;
+  for (const SimTime t : schedule) {
+    if (t >= seconds(60) && t < seconds(61)) ++in_spike;
+  }
+  EXPECT_NEAR(static_cast<double>(in_spike), 19'800.0, 2.0);
+}
+
+}  // namespace
+}  // namespace srbb::diablo
