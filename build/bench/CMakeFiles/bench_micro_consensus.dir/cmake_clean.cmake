@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_consensus.dir/bench_micro_consensus.cpp.o"
+  "CMakeFiles/bench_micro_consensus.dir/bench_micro_consensus.cpp.o.d"
+  "bench_micro_consensus"
+  "bench_micro_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_evm.dir/bench_micro_evm.cpp.o"
+  "CMakeFiles/bench_micro_evm.dir/bench_micro_evm.cpp.o.d"
+  "bench_micro_evm"
+  "bench_micro_evm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_evm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_u256.dir/bench_micro_u256.cpp.o"
+  "CMakeFiles/bench_micro_u256.dir/bench_micro_u256.cpp.o.d"
+  "bench_micro_u256"
+  "bench_micro_u256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_u256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tvpr_ablation.cpp" "bench/CMakeFiles/bench_tvpr_ablation.dir/bench_tvpr_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_tvpr_ablation.dir/bench_tvpr_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/diablo/CMakeFiles/srbb_diablo.dir/DependInfo.cmake"
+  "/root/repo/build/src/chains/CMakeFiles/srbb_chains.dir/DependInfo.cmake"
+  "/root/repo/build/src/srbb/CMakeFiles/srbb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/srbb_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/srbb_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/srbb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpm/CMakeFiles/srbb_rpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/srbb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/srbb_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/srbb_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/srbb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/srbb_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/srbb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tvpr_ablation.dir/bench_tvpr_ablation.cpp.o"
+  "CMakeFiles/bench_tvpr_ablation.dir/bench_tvpr_ablation.cpp.o.d"
+  "bench_tvpr_ablation"
+  "bench_tvpr_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tvpr_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

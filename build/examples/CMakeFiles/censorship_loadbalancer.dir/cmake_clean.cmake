@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censorship_loadbalancer.dir/censorship_loadbalancer.cpp.o"
+  "CMakeFiles/censorship_loadbalancer.dir/censorship_loadbalancer.cpp.o.d"
+  "censorship_loadbalancer"
+  "censorship_loadbalancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censorship_loadbalancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapp_exchange.dir/dapp_exchange.cpp.o"
+  "CMakeFiles/dapp_exchange.dir/dapp_exchange.cpp.o.d"
+  "dapp_exchange"
+  "dapp_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapp_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

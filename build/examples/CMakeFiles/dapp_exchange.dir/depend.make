@@ -1,0 +1,2 @@
+# Empty dependencies file for dapp_exchange.
+# This may be replaced when dependencies are built.

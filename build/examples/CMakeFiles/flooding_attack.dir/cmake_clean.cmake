@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flooding_attack.dir/flooding_attack.cpp.o"
+  "CMakeFiles/flooding_attack.dir/flooding_attack.cpp.o.d"
+  "flooding_attack"
+  "flooding_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flooding_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

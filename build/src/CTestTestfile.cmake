@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("codec")
+subdirs("state")
+subdirs("evm")
+subdirs("txn")
+subdirs("pool")
+subdirs("sim")
+subdirs("consensus")
+subdirs("rpm")
+subdirs("srbb")
+subdirs("chains")
+subdirs("diablo")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srbb_chains.dir/gossip_chain.cpp.o"
+  "CMakeFiles/srbb_chains.dir/gossip_chain.cpp.o.d"
+  "CMakeFiles/srbb_chains.dir/presets.cpp.o"
+  "CMakeFiles/srbb_chains.dir/presets.cpp.o.d"
+  "libsrbb_chains.a"
+  "libsrbb_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srbb_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

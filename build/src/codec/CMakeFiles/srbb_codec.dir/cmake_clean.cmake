@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srbb_codec.dir/rlp.cpp.o"
+  "CMakeFiles/srbb_codec.dir/rlp.cpp.o.d"
+  "libsrbb_codec.a"
+  "libsrbb_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srbb_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srbb_common.dir/bytes.cpp.o"
+  "CMakeFiles/srbb_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/srbb_common.dir/rng.cpp.o"
+  "CMakeFiles/srbb_common.dir/rng.cpp.o.d"
+  "CMakeFiles/srbb_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/srbb_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/srbb_common.dir/u256.cpp.o"
+  "CMakeFiles/srbb_common.dir/u256.cpp.o.d"
+  "libsrbb_common.a"
+  "libsrbb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srbb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

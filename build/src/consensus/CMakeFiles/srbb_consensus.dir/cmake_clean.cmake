@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srbb_consensus.dir/binary.cpp.o"
+  "CMakeFiles/srbb_consensus.dir/binary.cpp.o.d"
+  "CMakeFiles/srbb_consensus.dir/superblock.cpp.o"
+  "CMakeFiles/srbb_consensus.dir/superblock.cpp.o.d"
+  "libsrbb_consensus.a"
+  "libsrbb_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srbb_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

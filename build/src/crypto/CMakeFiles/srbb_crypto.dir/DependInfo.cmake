@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/batch.cpp" "src/crypto/CMakeFiles/srbb_crypto.dir/batch.cpp.o" "gcc" "src/crypto/CMakeFiles/srbb_crypto.dir/batch.cpp.o.d"
+  "/root/repo/src/crypto/ed25519.cpp" "src/crypto/CMakeFiles/srbb_crypto.dir/ed25519.cpp.o" "gcc" "src/crypto/CMakeFiles/srbb_crypto.dir/ed25519.cpp.o.d"
+  "/root/repo/src/crypto/keccak.cpp" "src/crypto/CMakeFiles/srbb_crypto.dir/keccak.cpp.o" "gcc" "src/crypto/CMakeFiles/srbb_crypto.dir/keccak.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/srbb_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/srbb_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/srbb_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/srbb_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sha512.cpp" "src/crypto/CMakeFiles/srbb_crypto.dir/sha512.cpp.o" "gcc" "src/crypto/CMakeFiles/srbb_crypto.dir/sha512.cpp.o.d"
+  "/root/repo/src/crypto/signature.cpp" "src/crypto/CMakeFiles/srbb_crypto.dir/signature.cpp.o" "gcc" "src/crypto/CMakeFiles/srbb_crypto.dir/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/srbb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srbb_crypto.dir/batch.cpp.o"
+  "CMakeFiles/srbb_crypto.dir/batch.cpp.o.d"
+  "CMakeFiles/srbb_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/srbb_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/srbb_crypto.dir/keccak.cpp.o"
+  "CMakeFiles/srbb_crypto.dir/keccak.cpp.o.d"
+  "CMakeFiles/srbb_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/srbb_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/srbb_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/srbb_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/srbb_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/srbb_crypto.dir/sha512.cpp.o.d"
+  "CMakeFiles/srbb_crypto.dir/signature.cpp.o"
+  "CMakeFiles/srbb_crypto.dir/signature.cpp.o.d"
+  "libsrbb_crypto.a"
+  "libsrbb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srbb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srbb_diablo.dir/client.cpp.o"
+  "CMakeFiles/srbb_diablo.dir/client.cpp.o.d"
+  "CMakeFiles/srbb_diablo.dir/report.cpp.o"
+  "CMakeFiles/srbb_diablo.dir/report.cpp.o.d"
+  "CMakeFiles/srbb_diablo.dir/runner.cpp.o"
+  "CMakeFiles/srbb_diablo.dir/runner.cpp.o.d"
+  "CMakeFiles/srbb_diablo.dir/workload.cpp.o"
+  "CMakeFiles/srbb_diablo.dir/workload.cpp.o.d"
+  "libsrbb_diablo.a"
+  "libsrbb_diablo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srbb_diablo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

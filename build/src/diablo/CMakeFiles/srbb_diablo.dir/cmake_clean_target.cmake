@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsrbb_diablo.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for srbb_diablo.
+# This may be replaced when dependencies are built.

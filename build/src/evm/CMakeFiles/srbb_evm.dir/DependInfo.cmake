@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evm/asm.cpp" "src/evm/CMakeFiles/srbb_evm.dir/asm.cpp.o" "gcc" "src/evm/CMakeFiles/srbb_evm.dir/asm.cpp.o.d"
+  "/root/repo/src/evm/contracts.cpp" "src/evm/CMakeFiles/srbb_evm.dir/contracts.cpp.o" "gcc" "src/evm/CMakeFiles/srbb_evm.dir/contracts.cpp.o.d"
+  "/root/repo/src/evm/interpreter.cpp" "src/evm/CMakeFiles/srbb_evm.dir/interpreter.cpp.o" "gcc" "src/evm/CMakeFiles/srbb_evm.dir/interpreter.cpp.o.d"
+  "/root/repo/src/evm/opcodes.cpp" "src/evm/CMakeFiles/srbb_evm.dir/opcodes.cpp.o" "gcc" "src/evm/CMakeFiles/srbb_evm.dir/opcodes.cpp.o.d"
+  "/root/repo/src/evm/precompiles.cpp" "src/evm/CMakeFiles/srbb_evm.dir/precompiles.cpp.o" "gcc" "src/evm/CMakeFiles/srbb_evm.dir/precompiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/srbb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/srbb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/srbb_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/srbb_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

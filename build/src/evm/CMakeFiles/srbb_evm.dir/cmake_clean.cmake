@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srbb_evm.dir/asm.cpp.o"
+  "CMakeFiles/srbb_evm.dir/asm.cpp.o.d"
+  "CMakeFiles/srbb_evm.dir/contracts.cpp.o"
+  "CMakeFiles/srbb_evm.dir/contracts.cpp.o.d"
+  "CMakeFiles/srbb_evm.dir/interpreter.cpp.o"
+  "CMakeFiles/srbb_evm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/srbb_evm.dir/opcodes.cpp.o"
+  "CMakeFiles/srbb_evm.dir/opcodes.cpp.o.d"
+  "CMakeFiles/srbb_evm.dir/precompiles.cpp.o"
+  "CMakeFiles/srbb_evm.dir/precompiles.cpp.o.d"
+  "libsrbb_evm.a"
+  "libsrbb_evm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srbb_evm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

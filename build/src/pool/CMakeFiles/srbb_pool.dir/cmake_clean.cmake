@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srbb_pool.dir/txpool.cpp.o"
+  "CMakeFiles/srbb_pool.dir/txpool.cpp.o.d"
+  "libsrbb_pool.a"
+  "libsrbb_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srbb_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

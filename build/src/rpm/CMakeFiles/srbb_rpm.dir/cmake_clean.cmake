@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srbb_rpm.dir/committee.cpp.o"
+  "CMakeFiles/srbb_rpm.dir/committee.cpp.o.d"
+  "CMakeFiles/srbb_rpm.dir/rpm.cpp.o"
+  "CMakeFiles/srbb_rpm.dir/rpm.cpp.o.d"
+  "libsrbb_rpm.a"
+  "libsrbb_rpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srbb_rpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srbb_sim.dir/event_loop.cpp.o"
+  "CMakeFiles/srbb_sim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/srbb_sim.dir/gossip.cpp.o"
+  "CMakeFiles/srbb_sim.dir/gossip.cpp.o.d"
+  "CMakeFiles/srbb_sim.dir/latency.cpp.o"
+  "CMakeFiles/srbb_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/srbb_sim.dir/network.cpp.o"
+  "CMakeFiles/srbb_sim.dir/network.cpp.o.d"
+  "libsrbb_sim.a"
+  "libsrbb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srbb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srbb_core.dir/oracle.cpp.o"
+  "CMakeFiles/srbb_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/srbb_core.dir/validator.cpp.o"
+  "CMakeFiles/srbb_core.dir/validator.cpp.o.d"
+  "libsrbb_core.a"
+  "libsrbb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srbb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srbb_state.dir/bloom.cpp.o"
+  "CMakeFiles/srbb_state.dir/bloom.cpp.o.d"
+  "CMakeFiles/srbb_state.dir/statedb.cpp.o"
+  "CMakeFiles/srbb_state.dir/statedb.cpp.o.d"
+  "CMakeFiles/srbb_state.dir/trie.cpp.o"
+  "CMakeFiles/srbb_state.dir/trie.cpp.o.d"
+  "libsrbb_state.a"
+  "libsrbb_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srbb_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

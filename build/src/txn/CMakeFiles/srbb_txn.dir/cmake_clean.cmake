@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srbb_txn.dir/block.cpp.o"
+  "CMakeFiles/srbb_txn.dir/block.cpp.o.d"
+  "CMakeFiles/srbb_txn.dir/executor.cpp.o"
+  "CMakeFiles/srbb_txn.dir/executor.cpp.o.d"
+  "CMakeFiles/srbb_txn.dir/transaction.cpp.o"
+  "CMakeFiles/srbb_txn.dir/transaction.cpp.o.d"
+  "CMakeFiles/srbb_txn.dir/validation.cpp.o"
+  "CMakeFiles/srbb_txn.dir/validation.cpp.o.d"
+  "libsrbb_txn.a"
+  "libsrbb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srbb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

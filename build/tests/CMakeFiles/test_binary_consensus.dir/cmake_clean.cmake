@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binary_consensus.dir/test_binary_consensus.cpp.o"
+  "CMakeFiles/test_binary_consensus.dir/test_binary_consensus.cpp.o.d"
+  "test_binary_consensus"
+  "test_binary_consensus.pdb"
+  "test_binary_consensus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binary_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

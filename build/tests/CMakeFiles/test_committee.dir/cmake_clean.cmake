@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_committee.dir/test_committee.cpp.o"
+  "CMakeFiles/test_committee.dir/test_committee.cpp.o.d"
+  "test_committee"
+  "test_committee.pdb"
+  "test_committee[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_committee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consensus_schedules.dir/test_consensus_schedules.cpp.o"
+  "CMakeFiles/test_consensus_schedules.dir/test_consensus_schedules.cpp.o.d"
+  "test_consensus_schedules"
+  "test_consensus_schedules.pdb"
+  "test_consensus_schedules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consensus_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evm_differential.dir/test_evm_differential.cpp.o"
+  "CMakeFiles/test_evm_differential.dir/test_evm_differential.cpp.o.d"
+  "test_evm_differential"
+  "test_evm_differential.pdb"
+  "test_evm_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evm_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gossip_chain.dir/test_gossip_chain.cpp.o"
+  "CMakeFiles/test_gossip_chain.dir/test_gossip_chain.cpp.o.d"
+  "test_gossip_chain"
+  "test_gossip_chain.pdb"
+  "test_gossip_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gossip_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

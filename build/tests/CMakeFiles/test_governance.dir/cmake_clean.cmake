@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_governance.dir/test_governance.cpp.o"
+  "CMakeFiles/test_governance.dir/test_governance.cpp.o.d"
+  "test_governance"
+  "test_governance.pdb"
+  "test_governance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_governance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keccak.dir/test_keccak.cpp.o"
+  "CMakeFiles/test_keccak.dir/test_keccak.cpp.o.d"
+  "test_keccak"
+  "test_keccak.pdb"
+  "test_keccak[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keccak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rlp.dir/test_rlp.cpp.o"
+  "CMakeFiles/test_rlp.dir/test_rlp.cpp.o.d"
+  "test_rlp"
+  "test_rlp.pdb"
+  "test_rlp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

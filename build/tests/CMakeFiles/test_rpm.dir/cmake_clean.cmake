@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpm.dir/test_rpm.cpp.o"
+  "CMakeFiles/test_rpm.dir/test_rpm.cpp.o.d"
+  "test_rpm"
+  "test_rpm.pdb"
+  "test_rpm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

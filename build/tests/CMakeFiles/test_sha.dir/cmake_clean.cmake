@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sha.dir/test_sha.cpp.o"
+  "CMakeFiles/test_sha.dir/test_sha.cpp.o.d"
+  "test_sha"
+  "test_sha.pdb"
+  "test_sha[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srbb_node.dir/test_srbb_node.cpp.o"
+  "CMakeFiles/test_srbb_node.dir/test_srbb_node.cpp.o.d"
+  "test_srbb_node"
+  "test_srbb_node.pdb"
+  "test_srbb_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srbb_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statedb.dir/test_statedb.cpp.o"
+  "CMakeFiles/test_statedb.dir/test_statedb.cpp.o.d"
+  "test_statedb"
+  "test_statedb.pdb"
+  "test_statedb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statedb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

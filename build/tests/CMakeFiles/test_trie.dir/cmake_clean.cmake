@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trie.dir/test_trie.cpp.o"
+  "CMakeFiles/test_trie.dir/test_trie.cpp.o.d"
+  "test_trie"
+  "test_trie.pdb"
+  "test_trie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_txpool.dir/test_txpool.cpp.o"
+  "CMakeFiles/test_txpool.dir/test_txpool.cpp.o.d"
+  "test_txpool"
+  "test_txpool.pdb"
+  "test_txpool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_txpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srbb-sim.dir/srbb_sim_main.cpp.o"
+  "CMakeFiles/srbb-sim.dir/srbb_sim_main.cpp.o.d"
+  "srbb-sim"
+  "srbb-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srbb-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
