@@ -150,10 +150,29 @@ void BM_StateRoot(benchmark::State& state) {
     db.add_balance(a, U256{static_cast<std::uint64_t>(i)});
   }
   for (auto _ : state) {
+    // Dirty one account so each iteration measures a full recompute rather
+    // than the memoized fast path (BM_StateRootMemoized covers that).
+    db.add_balance(addr(1), U256{1});
     benchmark::DoNotOptimize(db.state_root());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_StateRoot)->Arg(100)->Arg(1000);
+
+void BM_StateRootMemoized(benchmark::State& state) {
+  // Repeated calls with no intervening writes hit the dirty-flag cache —
+  // the common oracle pattern (root per index, few accounts changing).
+  state::StateDB db;
+  for (int i = 0; i < state.range(0); ++i) {
+    Address a;
+    put_be32(a.data.data(), static_cast<std::uint32_t>(i));
+    db.add_balance(a, U256{static_cast<std::uint64_t>(i)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.state_root());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateRootMemoized)->Arg(1000);
 
 }  // namespace

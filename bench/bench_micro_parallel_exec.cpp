@@ -1,0 +1,198 @@
+// Sequential vs optimistic-parallel superblock execution (Block-STM style,
+// DESIGN.md "Parallel execution") across conflict regimes:
+//   disjoint  — every transaction touches its own accounts (best case),
+//   medium    — mostly disjoint transfers with a shared-counter hot spot,
+//   hot       — every transaction increments the same storage slot (worst
+//               case: the commit prefix degenerates to one tx per round),
+// plus the three DApp call shapes the DIABLO traces replay (exchange trade /
+// mobility ride / ticketing buy). Note the paper's DApps all bump a global
+// stats slot per call, so they are inherently conflict-heavy — the per-arm
+// conflict_rate counter makes that visible.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "evm/contracts.hpp"
+#include "state/statedb.hpp"
+#include "txn/parallel_executor.hpp"
+
+namespace {
+
+using namespace srbb;
+
+const crypto::SignatureScheme& scheme() {
+  return crypto::SignatureScheme::fast_sim();
+}
+
+constexpr std::size_t kTxCount = 512;
+
+Address contract_addr(std::uint8_t tag) {
+  Address a;
+  a[0] = 0xC0;
+  a[19] = tag;
+  return a;
+}
+
+const Address kCounter = contract_addr(1);
+const Address kExchange = contract_addr(2);
+const Address kMobility = contract_addr(3);
+const Address kTicketing = contract_addr(4);
+
+enum WorkloadKind : std::int64_t {
+  kDisjoint = 0,
+  kMedium,
+  kHot,
+  kNasdaq,
+  kUber,
+  kFifa,
+};
+
+struct Workload {
+  state::StateDB genesis;
+  std::vector<txn::Transaction> txs;
+};
+
+txn::Transaction make_tx(std::uint64_t sender, txn::TxParams params) {
+  return txn::make_signed(params, scheme().make_identity(sender), scheme());
+}
+
+Workload build_workload(WorkloadKind kind) {
+  Workload w;
+  for (std::uint64_t s = 0; s < kTxCount; ++s) {
+    w.genesis.add_balance(scheme().make_identity(s).address(),
+                          U256{1'000'000'000});
+  }
+  auto deploy = [&w](const Address& at, const evm::Contract& contract) {
+    w.genesis.create_account(at);
+    w.genesis.set_nonce(at, 1);
+    w.genesis.set_code(at, contract.runtime_code);
+  };
+  deploy(kCounter, evm::counter_contract());
+  deploy(kExchange, evm::exchange_contract());
+  deploy(kMobility, evm::mobility_contract());
+  deploy(kTicketing, evm::ticketing_contract());
+  w.genesis.commit();
+
+  auto invoke = [](std::uint64_t sender, const Address& to, Bytes data) {
+    txn::TxParams params;
+    params.kind = txn::TxKind::kInvoke;
+    params.gas_limit = 300'000;
+    params.to = to;
+    params.data = std::move(data);
+    return make_tx(sender, params);
+  };
+  for (std::uint64_t i = 0; i < kTxCount; ++i) {
+    switch (kind) {
+      case kDisjoint: {
+        txn::TxParams params;
+        params.gas_limit = 30'000;
+        params.to = scheme().make_identity(1'000'000 + i).address();
+        params.value = U256{5};
+        w.txs.push_back(make_tx(i, params));
+        break;
+      }
+      case kMedium:  // one shared-counter hit per 8 disjoint transfers
+        if (i % 8 == 0) {
+          w.txs.push_back(
+              invoke(i, kCounter, evm::encode_call("increment()", {})));
+        } else {
+          txn::TxParams params;
+          params.gas_limit = 30'000;
+          params.to = scheme().make_identity(1'000'000 + i).address();
+          params.value = U256{5};
+          w.txs.push_back(make_tx(i, params));
+        }
+        break;
+      case kHot:
+        w.txs.push_back(
+            invoke(i, kCounter, evm::encode_call("increment()", {})));
+        break;
+      case kNasdaq:  // trade(stockId, price, volume) over 5 hot stocks
+        w.txs.push_back(invoke(
+            i, kExchange,
+            evm::encode_call("trade(uint256,uint256,uint256)",
+                             {U256{i % 5}, U256{100 + i % 7}, U256{1}})));
+        break;
+      case kUber:  // ride(rideId, fare), unique ride ids
+        w.txs.push_back(invoke(i, kMobility,
+                               evm::encode_call("ride(uint256,uint256)",
+                                                {U256{i}, U256{25}})));
+        break;
+      case kFifa:  // buy(matchId, seat), unique seats across 8 matches
+        w.txs.push_back(invoke(
+            i, kTicketing,
+            evm::encode_call("buy(uint256,uint256)", {U256{i % 8}, U256{i}})));
+        break;
+    }
+  }
+  return w;
+}
+
+const Workload& workload(WorkloadKind kind) {
+  static Workload cache[kFifa + 1];
+  Workload& w = cache[kind];
+  if (w.txs.empty()) w = build_workload(kind);
+  return w;
+}
+
+txn::ExecutionConfig exec_config() {
+  txn::ExecutionConfig config;
+  config.scheme = &scheme();
+  return config;
+}
+
+void BM_SequentialExec(benchmark::State& state) {
+  const Workload& w = workload(static_cast<WorkloadKind>(state.range(0)));
+  const txn::ExecutionConfig config = exec_config();
+  for (auto _ : state) {
+    state::StateDB db = w.genesis;
+    std::uint64_t gas = 0;
+    for (const txn::Transaction& tx : w.txs) {
+      const auto receipt = txn::apply_transaction(tx, db, {}, config);
+      if (receipt.is_ok()) gas += receipt.value().gas_used;
+    }
+    db.commit();
+    benchmark::DoNotOptimize(gas);
+    benchmark::DoNotOptimize(db.state_root());
+  }
+  state.SetItemsProcessed(state.iterations() * kTxCount);
+}
+BENCHMARK(BM_SequentialExec)
+    ->Arg(kDisjoint)->Arg(kMedium)->Arg(kHot)
+    ->Arg(kNasdaq)->Arg(kUber)->Arg(kFifa)
+    ->Unit(benchmark::kMillisecond)->ArgNames({"workload"});
+
+void BM_ParallelExec(benchmark::State& state) {
+  const Workload& w = workload(static_cast<WorkloadKind>(state.range(0)));
+  const txn::ExecutionConfig config = exec_config();
+  const std::size_t workers = static_cast<std::size_t>(state.range(1));
+  txn::ParallelExecutor executor{workers, /*max_retries=*/3};
+  std::vector<const txn::Transaction*> ptrs;
+  for (const txn::Transaction& tx : w.txs) ptrs.push_back(&tx);
+  txn::ParallelExecStats stats;
+  for (auto _ : state) {
+    state::StateDB db = w.genesis;
+    const auto receipts = executor.execute_block(ptrs, db, {}, config, &stats);
+    db.commit();
+    std::uint64_t gas = 0;
+    for (const auto& receipt : receipts) {
+      if (receipt.is_ok()) gas += receipt.value().gas_used;
+    }
+    benchmark::DoNotOptimize(gas);
+    benchmark::DoNotOptimize(db.state_root());
+  }
+  state.SetItemsProcessed(state.iterations() * kTxCount);
+  state.counters["conflict_rate"] = stats.conflict_rate();
+  state.counters["fallback_txs"] =
+      static_cast<double>(stats.fallback_txs) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ParallelExec)
+    ->Args({kDisjoint, 2})->Args({kDisjoint, 4})->Args({kDisjoint, 8})
+    ->Args({kMedium, 4})->Args({kMedium, 8})
+    ->Args({kHot, 4})
+    ->Args({kNasdaq, 4})->Args({kUber, 4})->Args({kFifa, 4})
+    ->Unit(benchmark::kMillisecond)->ArgNames({"workload", "workers"});
+
+}  // namespace

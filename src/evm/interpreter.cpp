@@ -159,7 +159,7 @@ ExecResult Evm::execute(const Message& msg) {
     return result;
   }
 
-  const state::StateDB::Snapshot snap = db_.snapshot();
+  const state::StateView::Snapshot snap = db_.snapshot();
   const std::size_t logs_mark = logs_.size();
 
   if (msg.is_create) {
@@ -654,7 +654,7 @@ ExecResult Evm::run(const Message& msg, BytesView code, const Address& self) {
           child.value = msg.value;
           child.is_static = msg.is_static;
           const Bytes target_code = db_.code(target);
-          const state::StateDB::Snapshot snap = db_.snapshot();
+          const state::StateView::Snapshot snap = db_.snapshot();
           const std::size_t logs_mark = logs_.size();
           ExecResult child_result = run(child, target_code, self);
           if (!child_result.ok()) {

@@ -22,7 +22,7 @@ Address create_address(const Address& creator, std::uint64_t nonce);
 
 class Evm {
  public:
-  Evm(state::StateDB& db, BlockContext block, TxContext tx)
+  Evm(state::StateView& db, BlockContext block, TxContext tx)
       : db_(db), block_(block), tx_(tx) {}
 
   /// Execute a message call or creation against the current state. State
@@ -35,13 +35,13 @@ class Evm {
   void clear_logs() { logs_.clear(); }
 
   const BlockContext& block() const { return block_; }
-  state::StateDB& db() { return db_; }
+  state::StateView& db() { return db_; }
 
  private:
   ExecResult run(const Message& msg, BytesView code, const Address& self);
   Address compute_create_address(const Address& creator, std::uint64_t nonce);
 
-  state::StateDB& db_;
+  state::StateView& db_;
   BlockContext block_;
   TxContext tx_;
   std::vector<LogEntry> logs_;

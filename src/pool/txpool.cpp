@@ -36,20 +36,18 @@ std::vector<txn::TxPtr> TxPool::take_batch(std::size_t max_count,
 }
 
 void TxPool::remove_committed(const std::vector<Hash32>& committed) {
+  if (entries_.empty() || committed.empty()) return;
+  // One O(m) pass builds the pruning set (and drops the hashes from the
+  // index as a side effect), then one O(n) in-place sweep over the deque:
+  // O(n+m) total with a single hash lookup per element on either side.
   std::unordered_set<Hash32, Hash32Hasher> gone;
+  gone.reserve(committed.size());
   for (const Hash32& h : committed) {
-    if (index_.contains(h)) gone.insert(h);
+    if (index_.erase(h) != 0) gone.insert(h);
   }
   if (gone.empty()) return;
-  std::deque<Entry> kept;
-  for (Entry& entry : entries_) {
-    if (gone.contains(entry.tx->hash)) {
-      index_.erase(entry.tx->hash);
-    } else {
-      kept.push_back(std::move(entry));
-    }
-  }
-  entries_ = std::move(kept);
+  std::erase_if(entries_,
+                [&](const Entry& entry) { return gone.contains(entry.tx->hash); });
 }
 
 }  // namespace srbb::pool

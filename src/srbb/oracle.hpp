@@ -22,6 +22,7 @@
 #include "state/statedb.hpp"
 #include "txn/block.hpp"
 #include "txn/executor.hpp"
+#include "txn/parallel_executor.hpp"
 
 namespace srbb::node {
 
@@ -43,6 +44,9 @@ struct IndexExecResult {
   Hash32 state_root;
   std::uint64_t total_valid = 0;
   std::uint64_t total_invalid = 0;
+  /// Optimistic-execution counters for this index (all zero when the
+  /// superblock was executed sequentially).
+  txn::ParallelExecStats parallel;
 };
 
 class ExecutionOracle {
@@ -60,10 +64,17 @@ class ExecutionOracle {
   const state::StateDB& db() const { return db_; }
   state::StateDB& mutable_db() { return db_; }
 
+  /// Execution knobs (parallelism, signature re-checking). Changing
+  /// `workers` after the first parallel execution has no effect: the worker
+  /// pool is created lazily on first use and then kept.
+  txn::ExecutionConfig& exec_config() { return exec_config_; }
+  const txn::ExecutionConfig& exec_config() const { return exec_config_; }
+
  private:
   state::StateDB db_;
   evm::BlockContext block_template_;
   txn::ExecutionConfig exec_config_;
+  std::unique_ptr<txn::ParallelExecutor> parallel_;
   std::map<std::uint64_t, IndexExecResult> results_;
 };
 

@@ -1,0 +1,246 @@
+#include "state/overlay.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace srbb::state {
+
+namespace {
+const Bytes kEmptyCode;
+}
+
+const OverlayState::OverlayAccount* OverlayState::find(
+    const Address& addr) const {
+  const auto it = entries_.find(addr);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool OverlayState::record_exists(const Address& addr) const {
+  const bool exists = base_.account_exists(addr);
+  exists_reads_.try_emplace(addr, exists);
+  return exists;
+}
+
+bool OverlayState::account_exists(const Address& addr) const {
+  if (const OverlayAccount* acc = find(addr)) {
+    return acc->masks_base ? acc->exists : true;
+  }
+  return record_exists(addr);
+}
+
+U256 OverlayState::balance(const Address& addr) const {
+  if (const OverlayAccount* acc = find(addr)) {
+    if (acc->balance) return *acc->balance;
+    if (acc->masks_base) return U256::zero();
+  }
+  const U256 value = base_.balance(addr);
+  balance_reads_.try_emplace(addr, value);
+  return value;
+}
+
+std::uint64_t OverlayState::nonce(const Address& addr) const {
+  if (const OverlayAccount* acc = find(addr)) {
+    if (acc->nonce) return *acc->nonce;
+    if (acc->masks_base) return 0;
+  }
+  const std::uint64_t value = base_.nonce(addr);
+  nonce_reads_.try_emplace(addr, value);
+  return value;
+}
+
+const Bytes& OverlayState::code(const Address& addr) const {
+  if (const OverlayAccount* acc = find(addr)) {
+    if (acc->code) return *acc->code;
+    if (acc->masks_base) return kEmptyCode;
+  }
+  const Bytes& value = base_.code(addr);
+  code_reads_.try_emplace(addr, value);
+  return value;
+}
+
+Hash32 OverlayState::code_hash(const Address& addr) const {
+  return crypto::Sha256::hash(code(addr));
+}
+
+U256 OverlayState::storage(const Address& addr, const Hash32& key) const {
+  if (const OverlayAccount* acc = find(addr)) {
+    const auto it = acc->storage.find(key);
+    if (it != acc->storage.end()) {
+      return it->second ? *it->second : U256::zero();
+    }
+    if (acc->masks_base) return U256::zero();
+  }
+  const U256 value = base_.storage(addr, key);
+  storage_reads_[addr].try_emplace(key, value);
+  return value;
+}
+
+OverlayState::OverlayAccount& OverlayState::touch(const Address& addr) {
+  auto it = entries_.find(addr);
+  if (it == entries_.end()) {
+    // The fresh-vs-existing decision depends on base state, so it is a read.
+    const bool base_exists = record_exists(addr);
+    journal_.push_back(JournalEntry{.op = Op::kCreateEntry, .addr = addr});
+    it = entries_.emplace(addr, OverlayAccount{}).first;
+    if (!base_exists) it->second.masks_base = true;
+    return it->second;
+  }
+  OverlayAccount& acc = it->second;
+  if (acc.masks_base && !acc.exists) {
+    // Writing to a locally deleted account resurrects it empty, mirroring
+    // StateDB::mutable_account after delete_account.
+    JournalEntry entry{.op = Op::kWhole, .addr = addr};
+    entry.prev_whole = acc;
+    journal_.push_back(std::move(entry));
+    acc = OverlayAccount{};
+    acc.masks_base = true;
+  }
+  return acc;
+}
+
+void OverlayState::create_account(const Address& addr) { touch(addr); }
+
+void OverlayState::set_balance(const Address& addr, const U256& value) {
+  OverlayAccount& acc = touch(addr);
+  journal_.push_back(JournalEntry{
+      .op = Op::kBalance, .addr = addr, .prev_balance = acc.balance});
+  acc.balance = value;
+}
+
+void OverlayState::add_balance(const Address& addr, const U256& delta) {
+  set_balance(addr, balance(addr) + delta);
+}
+
+bool OverlayState::sub_balance(const Address& addr, const U256& delta) {
+  const U256 current = balance(addr);
+  if (current < delta) return false;
+  set_balance(addr, current - delta);
+  return true;
+}
+
+void OverlayState::set_nonce(const Address& addr, std::uint64_t nonce) {
+  OverlayAccount& acc = touch(addr);
+  journal_.push_back(
+      JournalEntry{.op = Op::kNonce, .addr = addr, .prev_nonce = acc.nonce});
+  acc.nonce = nonce;
+}
+
+void OverlayState::increment_nonce(const Address& addr) {
+  set_nonce(addr, nonce(addr) + 1);
+}
+
+void OverlayState::set_code(const Address& addr, Bytes code) {
+  OverlayAccount& acc = touch(addr);
+  JournalEntry entry{.op = Op::kCode, .addr = addr};
+  entry.prev_code = std::move(acc.code);
+  journal_.push_back(std::move(entry));
+  acc.code = std::move(code);
+}
+
+void OverlayState::set_storage(const Address& addr, const Hash32& key,
+                               const U256& value) {
+  OverlayAccount& acc = touch(addr);
+  const auto it = acc.storage.find(key);
+  JournalEntry entry{.op = Op::kStorage, .addr = addr, .key = key};
+  entry.slot_was_buffered = it != acc.storage.end();
+  if (entry.slot_was_buffered) entry.prev_slot = it->second;
+  journal_.push_back(std::move(entry));
+  if (value.is_zero()) {
+    acc.storage[key] = std::nullopt;  // erase marker (EVM zero-write)
+  } else {
+    acc.storage[key] = value;
+  }
+}
+
+void OverlayState::delete_account(const Address& addr) {
+  if (!account_exists(addr)) return;  // mirrors StateDB::delete_account
+  auto it = entries_.find(addr);
+  if (it == entries_.end()) {
+    journal_.push_back(JournalEntry{.op = Op::kCreateEntry, .addr = addr});
+    it = entries_.emplace(addr, OverlayAccount{}).first;
+  } else {
+    JournalEntry entry{.op = Op::kWhole, .addr = addr};
+    entry.prev_whole = it->second;
+    journal_.push_back(std::move(entry));
+  }
+  it->second = OverlayAccount{};
+  it->second.masks_base = true;
+  it->second.exists = false;
+}
+
+void OverlayState::revert_to(Snapshot snapshot) {
+  while (journal_.size() > snapshot) {
+    JournalEntry& entry = journal_.back();
+    const auto it = entries_.find(entry.addr);
+    switch (entry.op) {
+      case Op::kCreateEntry:
+        entries_.erase(entry.addr);
+        break;
+      case Op::kBalance:
+        it->second.balance = entry.prev_balance;
+        break;
+      case Op::kNonce:
+        it->second.nonce = entry.prev_nonce;
+        break;
+      case Op::kCode:
+        it->second.code = std::move(entry.prev_code);
+        break;
+      case Op::kStorage:
+        if (entry.slot_was_buffered) {
+          it->second.storage[entry.key] = entry.prev_slot;
+        } else {
+          it->second.storage.erase(entry.key);
+        }
+        break;
+      case Op::kWhole:
+        it->second = std::move(*entry.prev_whole);
+        break;
+    }
+    journal_.pop_back();
+  }
+}
+
+bool OverlayState::validate(const StateDB& base) const {
+  for (const auto& [addr, exists] : exists_reads_) {
+    if (base.account_exists(addr) != exists) return false;
+  }
+  for (const auto& [addr, value] : balance_reads_) {
+    if (base.balance(addr) != value) return false;
+  }
+  for (const auto& [addr, value] : nonce_reads_) {
+    if (base.nonce(addr) != value) return false;
+  }
+  for (const auto& [addr, value] : code_reads_) {
+    if (base.code(addr) != value) return false;
+  }
+  for (const auto& [addr, slots] : storage_reads_) {
+    for (const auto& [key, value] : slots) {
+      if (base.storage(addr, key) != value) return false;
+    }
+  }
+  return true;
+}
+
+void OverlayState::apply_to(StateDB& base) const {
+  for (const auto& [addr, acc] : entries_) {
+    if (acc.masks_base) {
+      base.delete_account(addr);  // no-op when the base never had it
+      if (!acc.exists) continue;  // tombstone: deletion was the write
+      base.create_account(addr);
+    }
+    if (acc.balance) base.set_balance(addr, *acc.balance);
+    if (acc.nonce) base.set_nonce(addr, *acc.nonce);
+    if (acc.code) base.set_code(addr, *acc.code);
+    for (const auto& [key, value] : acc.storage) {
+      base.set_storage(addr, key, value ? *value : U256::zero());
+    }
+  }
+}
+
+std::size_t OverlayState::read_set_size() const {
+  std::size_t n = exists_reads_.size() + balance_reads_.size() +
+                  nonce_reads_.size() + code_reads_.size();
+  for (const auto& [addr, slots] : storage_reads_) n += slots.size();
+  return n;
+}
+
+}  // namespace srbb::state

@@ -19,6 +19,7 @@ const Account* StateDB::find(const Address& addr) const {
 }
 
 Account& StateDB::mutable_account(const Address& addr) {
+  root_dirty_ = true;  // every write path funnels through here
   auto it = accounts_.find(addr);
   if (it == accounts_.end()) {
     journal_.push_back(JournalEntry{.op = Op::kCreateAccount, .addr = addr});
@@ -114,6 +115,7 @@ void StateDB::set_storage(const Address& addr, const Hash32& key,
 void StateDB::delete_account(const Address& addr) {
   const auto it = accounts_.find(addr);
   if (it == accounts_.end()) return;
+  root_dirty_ = true;
   JournalEntry entry{.op = Op::kDeleteAccount, .addr = addr};
   entry.prev_account = it->second;
   journal_.push_back(std::move(entry));
@@ -121,6 +123,7 @@ void StateDB::delete_account(const Address& addr) {
 }
 
 void StateDB::revert_to(Snapshot snapshot) {
+  if (journal_.size() > snapshot) root_dirty_ = true;
   while (journal_.size() > snapshot) {
     JournalEntry& entry = journal_.back();
     switch (entry.op) {
@@ -156,6 +159,7 @@ void StateDB::revert_to(Snapshot snapshot) {
 void StateDB::commit() { journal_.clear(); }
 
 Hash32 StateDB::state_root() const {
+  if (!root_dirty_) return root_cache_;
   std::vector<Address> addresses;
   addresses.reserve(accounts_.size());
   for (const auto& [addr, acc] : accounts_) addresses.push_back(addr);
@@ -180,7 +184,9 @@ Hash32 StateDB::state_root() const {
       root.update(acc.storage.at(key).be_bytes());
     }
   }
-  return root.finish();
+  root_cache_ = root.finish();
+  root_dirty_ = false;
+  return root_cache_;
 }
 
 Hash32 StateDB::state_root_mpt() const {

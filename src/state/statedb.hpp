@@ -1,6 +1,11 @@
 // World state with journaled mutation: every write appends an undo record so
 // the EVM can snapshot before a call frame and revert on failure, exactly the
 // mechanism transaction execution needs for REVERT/out-of-gas semantics.
+//
+// StateView is the abstract interface the EVM and the transaction executor
+// run against; StateDB is the canonical backing store and OverlayState
+// (overlay.hpp) is the speculative copy-on-write view the parallel executor
+// uses for optimistic execution.
 #pragma once
 
 #include <cstddef>
@@ -14,42 +19,81 @@
 
 namespace srbb::state {
 
-class StateDB {
+/// Abstract world-state view: the exact surface the interpreter and
+/// apply_transaction need. Reads never create accounts; writes are journaled
+/// so snapshot()/revert_to() give call-frame semantics.
+class StateView {
  public:
   using Snapshot = std::size_t;
 
+  virtual ~StateView() = default;
+
   // --- Reads (never create accounts) ---
-  bool account_exists(const Address& addr) const;
-  U256 balance(const Address& addr) const;
-  std::uint64_t nonce(const Address& addr) const;
-  const Bytes& code(const Address& addr) const;
-  Hash32 code_hash(const Address& addr) const;
-  U256 storage(const Address& addr, const Hash32& key) const;
+  virtual bool account_exists(const Address& addr) const = 0;
+  virtual U256 balance(const Address& addr) const = 0;
+  virtual std::uint64_t nonce(const Address& addr) const = 0;
+  virtual const Bytes& code(const Address& addr) const = 0;
+  virtual Hash32 code_hash(const Address& addr) const = 0;
+  virtual U256 storage(const Address& addr, const Hash32& key) const = 0;
+
+  // --- Writes (journaled) ---
+  virtual void create_account(const Address& addr) = 0;
+  virtual void set_balance(const Address& addr, const U256& value) = 0;
+  virtual void add_balance(const Address& addr, const U256& delta) = 0;
+  /// False (no mutation) if the balance is insufficient.
+  virtual bool sub_balance(const Address& addr, const U256& delta) = 0;
+  virtual void set_nonce(const Address& addr, std::uint64_t nonce) = 0;
+  virtual void increment_nonce(const Address& addr) = 0;
+  virtual void set_code(const Address& addr, Bytes code) = 0;
+  virtual void set_storage(const Address& addr, const Hash32& key,
+                           const U256& value) = 0;
+  /// Remove the account entirely (SELFDESTRUCT).
+  virtual void delete_account(const Address& addr) = 0;
+
+  // --- Journal control ---
+  virtual Snapshot snapshot() const = 0;
+  virtual void revert_to(Snapshot snapshot) = 0;
+};
+
+class StateDB final : public StateView {
+ public:
+  using Snapshot = StateView::Snapshot;
+
+  // --- Reads (never create accounts) ---
+  bool account_exists(const Address& addr) const override;
+  U256 balance(const Address& addr) const override;
+  std::uint64_t nonce(const Address& addr) const override;
+  const Bytes& code(const Address& addr) const override;
+  Hash32 code_hash(const Address& addr) const override;
+  U256 storage(const Address& addr, const Hash32& key) const override;
   std::size_t account_count() const { return accounts_.size(); }
 
   // --- Writes (journaled) ---
-  void create_account(const Address& addr);
-  void set_balance(const Address& addr, const U256& value);
-  void add_balance(const Address& addr, const U256& delta);
+  void create_account(const Address& addr) override;
+  void set_balance(const Address& addr, const U256& value) override;
+  void add_balance(const Address& addr, const U256& delta) override;
   /// False (no mutation) if the balance is insufficient.
-  bool sub_balance(const Address& addr, const U256& delta);
-  void set_nonce(const Address& addr, std::uint64_t nonce);
-  void increment_nonce(const Address& addr);
-  void set_code(const Address& addr, Bytes code);
-  void set_storage(const Address& addr, const Hash32& key, const U256& value);
+  bool sub_balance(const Address& addr, const U256& delta) override;
+  void set_nonce(const Address& addr, std::uint64_t nonce) override;
+  void increment_nonce(const Address& addr) override;
+  void set_code(const Address& addr, Bytes code) override;
+  void set_storage(const Address& addr, const Hash32& key,
+                   const U256& value) override;
   /// Remove the account entirely (SELFDESTRUCT).
-  void delete_account(const Address& addr);
+  void delete_account(const Address& addr) override;
 
   // --- Journal control ---
-  Snapshot snapshot() const { return journal_.size(); }
-  void revert_to(Snapshot snapshot);
+  Snapshot snapshot() const override { return journal_.size(); }
+  void revert_to(Snapshot snapshot) override;
   /// Drop undo history (end of transaction); state stays as-is.
   void commit();
 
   /// Deterministic digest of the entire world state. Accounts are hashed in
   /// address order, storage in key order, so two replicas that executed the
-  /// same blocks produce identical roots. O(n log n) per call; this is the
-  /// root the protocol uses.
+  /// same blocks produce identical roots. O(n log n) per recompute; the
+  /// result is memoized and reused until the next journaled write, so
+  /// back-to-back calls (oracle indexing, convergence tests) are O(1).
+  /// Not safe to call concurrently with writes or with itself.
   Hash32 state_root() const;
 
   /// Ethereum-shaped commitment: a Merkle Patricia Trie over accounts, each
@@ -85,6 +129,9 @@ class StateDB {
 
   std::unordered_map<Address, Account, AddressHasher> accounts_;
   std::vector<JournalEntry> journal_;
+  // state_root() memoization: any journaled write (or revert) invalidates.
+  mutable Hash32 root_cache_;
+  mutable bool root_dirty_ = true;
 };
 
 }  // namespace srbb::state

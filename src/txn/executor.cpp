@@ -4,7 +4,7 @@
 
 namespace srbb::txn {
 
-Result<Receipt> apply_transaction(const Transaction& tx, state::StateDB& db,
+Result<Receipt> apply_transaction(const Transaction& tx, state::StateView& db,
                                   const evm::BlockContext& block,
                                   const ExecutionConfig& config) {
   // Lazy validation: checks (iii)-(v). Failure -> invalid, no transition.
@@ -19,7 +19,7 @@ Result<Receipt> apply_transaction(const Transaction& tx, state::StateDB& db,
   const Address sender = tx.sender();
   const U256 gas_prepay = tx.gas_price * U256{tx.gas_limit};
 
-  const state::StateDB::Snapshot tx_snapshot = db.snapshot();
+  const state::StateView::Snapshot tx_snapshot = db.snapshot();
   // Buy gas and bump the nonce; from here on the transaction is committed to
   // the block even if the EVM frame fails.
   if (!db.sub_balance(sender, gas_prepay)) {

@@ -29,12 +29,23 @@ struct ExecutionConfig {
   /// already eagerly validated this transaction.
   bool verify_signature = true;
   const crypto::SignatureScheme* scheme = &crypto::SignatureScheme::ed25519();
+
+  // --- Parallel optimistic execution (parallel_executor.hpp) ---
+  /// Execute superblocks with the Block-STM-style optimistic executor
+  /// instead of one transaction at a time. Results are bit-identical to
+  /// sequential execution; off by default until callers opt in.
+  bool parallel = false;
+  /// Speculation threads (0 = hardware concurrency).
+  std::size_t workers = 0;
+  /// Optimistic rounds before the remaining transactions fall back to
+  /// sequential execution.
+  std::size_t max_retries = 3;
 };
 
 /// Execute one transaction. Status error == invalid transaction (lazy
 /// validation or signature failed): state is untouched and the caller should
 /// discard the transaction (Alg. 1 line 23).
-Result<Receipt> apply_transaction(const Transaction& tx, state::StateDB& db,
+Result<Receipt> apply_transaction(const Transaction& tx, state::StateView& db,
                                   const evm::BlockContext& block,
                                   const ExecutionConfig& config);
 

@@ -1,0 +1,110 @@
+#include "txn/parallel_executor.hpp"
+
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "state/overlay.hpp"
+
+namespace srbb::txn {
+
+namespace {
+
+// A speculative execution kept across rounds: the overlay (read-set +
+// buffered writes) and the receipt it produced.
+struct Speculation {
+  std::unique_ptr<state::OverlayState> overlay;
+  std::optional<Result<Receipt>> result;
+};
+
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(std::size_t workers,
+                                   std::size_t max_retries)
+    : pool_(workers), max_retries_(max_retries) {}
+
+std::vector<Result<Receipt>> ParallelExecutor::execute_block(
+    const std::vector<const Transaction*>& txs, state::StateDB& db,
+    const evm::BlockContext& block, const ExecutionConfig& config,
+    ParallelExecStats* stats) {
+  ParallelExecStats local;
+  local.txs = txs.size();
+  std::vector<Result<Receipt>> out(txs.size(),
+                                   Status::error("exec: not executed"));
+
+  std::vector<std::size_t> pending(txs.size());
+  std::iota(pending.begin(), pending.end(), std::size_t{0});
+  std::unordered_map<std::size_t, Speculation> specs;
+
+  for (std::size_t round = 0; !pending.empty() && round <= max_retries_;
+       ++round) {
+    ++local.rounds;
+    // Speculation: run every pending transaction that has no carried-over
+    // speculation against its own overlay of the committed state. The base
+    // StateDB is read-only until the pool is idle again, so concurrent
+    // overlay reads are safe. Transactions deferred (not aborted) by the
+    // previous commit pass keep their overlay and are merely re-validated.
+    std::vector<std::size_t> to_run;
+    for (const std::size_t idx : pending) {
+      if (!specs.contains(idx)) to_run.push_back(idx);
+    }
+    std::vector<Speculation> fresh(to_run.size());
+    pool_.parallel_for(to_run.size(), [&](std::size_t j) {
+      fresh[j].overlay = std::make_unique<state::OverlayState>(db);
+      fresh[j].result =
+          apply_transaction(*txs[to_run[j]], *fresh[j].overlay, block, config);
+    });
+    for (std::size_t j = 0; j < to_run.size(); ++j) {
+      specs[to_run[j]] = std::move(fresh[j]);
+    }
+    local.speculative_runs += to_run.size();
+
+    // Commit pass: walk the pending transactions in canonical order and
+    // commit the longest prefix whose read-sets validate against the live
+    // state. The first validation failure stops the prefix — later
+    // transactions may depend on the aborted one's eventual writes, so
+    // committing past it would break sequential equivalence. Everything
+    // after the failure is deferred with its speculation intact (a
+    // later-round validation may still prove it untouched).
+    std::vector<std::size_t> retry;
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      const std::size_t idx = pending[j];
+      if (!retry.empty()) {  // behind an abort: defer, keep the speculation
+        retry.push_back(idx);
+        continue;
+      }
+      Speculation& spec = specs.at(idx);
+      if (spec.overlay->validate(db)) {
+        spec.overlay->apply_to(db);
+        out[idx] = std::move(*spec.result);
+        specs.erase(idx);
+        continue;
+      }
+      ++local.aborts;
+      specs.erase(idx);  // stale: the read-set no longer holds
+      if (j == 0) {
+        // Every earlier transaction is final, so executing the head inline
+        // is sequential execution — commit it directly. This guarantees at
+        // least one commit per round.
+        out[idx] = apply_transaction(*txs[idx], db, block, config);
+      } else {
+        retry.push_back(idx);
+      }
+    }
+    pending = std::move(retry);
+  }
+
+  // Sequential fallback for transactions still unresolved after the
+  // optimistic rounds.
+  local.fallback_txs = pending.size();
+  for (const std::size_t i : pending) {
+    out[i] = apply_transaction(*txs[i], db, block, config);
+  }
+
+  if (stats != nullptr) *stats += local;
+  return out;
+}
+
+}  // namespace srbb::txn

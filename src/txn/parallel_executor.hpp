@@ -1,0 +1,74 @@
+// Optimistic parallel superblock execution (Block-STM / Reddio style).
+//
+// Every pending transaction of a superblock executes speculatively, in
+// parallel, against an OverlayState view of the committed StateDB: reads are
+// recorded, writes buffered. A deterministic commit pass then walks the
+// transactions in canonical order, re-validates each recorded read against
+// the live state and either commits the buffered write-set or schedules the
+// transaction for re-execution in the next round. The first pending
+// transaction always validates (its speculation base equals the live state
+// at its commit point), so every round commits at least one transaction;
+// after `max_retries` rounds the remainder executes sequentially. The final
+// receipts and state are bit-identical to sequential execution — see
+// DESIGN.md "Parallel execution" for the argument.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "state/statedb.hpp"
+#include "txn/executor.hpp"
+
+namespace srbb::txn {
+
+/// Per-superblock counters surfaced through IndexExecResult.
+struct ParallelExecStats {
+  std::uint64_t txs = 0;               // transactions executed
+  std::uint64_t speculative_runs = 0;  // overlay executions (>= txs)
+  std::uint64_t aborts = 0;            // failed validations (re-runs)
+  std::uint64_t fallback_txs = 0;      // committed via sequential fallback
+  std::uint64_t rounds = 0;            // optimistic rounds used
+
+  /// Fraction of speculative executions that had to be thrown away.
+  double conflict_rate() const {
+    return speculative_runs == 0
+               ? 0.0
+               : static_cast<double>(aborts) /
+                     static_cast<double>(speculative_runs);
+  }
+
+  ParallelExecStats& operator+=(const ParallelExecStats& other) {
+    txs += other.txs;
+    speculative_runs += other.speculative_runs;
+    aborts += other.aborts;
+    fallback_txs += other.fallback_txs;
+    rounds += other.rounds;
+    return *this;
+  }
+};
+
+class ParallelExecutor {
+ public:
+  /// `workers` == 0 selects hardware concurrency.
+  explicit ParallelExecutor(std::size_t workers = 0,
+                            std::size_t max_retries = 3);
+
+  /// Execute `txs` (canonical superblock order) against `db`, mutating it
+  /// exactly as the equivalent sequence of apply_transaction calls would.
+  /// Returns one Result<Receipt> per transaction, in order; errors mark
+  /// invalid transactions (discarded, no state transition), exactly as in
+  /// sequential execution.
+  std::vector<Result<Receipt>> execute_block(
+      const std::vector<const Transaction*>& txs, state::StateDB& db,
+      const evm::BlockContext& block, const ExecutionConfig& config,
+      ParallelExecStats* stats = nullptr);
+
+  std::size_t worker_count() const { return pool_.thread_count(); }
+
+ private:
+  ThreadPool pool_;
+  std::size_t max_retries_;
+};
+
+}  // namespace srbb::txn

@@ -18,7 +18,7 @@ U256 max_cost(const Transaction& tx) {
 
 }  // namespace
 
-Status eager_validate(const Transaction& tx, const state::StateDB& db,
+Status eager_validate(const Transaction& tx, const state::StateView& db,
                       const crypto::SignatureScheme& scheme,
                       const ValidationConfig& config) {
   // (ii) size limit first: cheap and bounds later work.
@@ -49,7 +49,7 @@ Status eager_validate(const Transaction& tx, const state::StateDB& db,
   return Status::ok();
 }
 
-Status lazy_validate(const Transaction& tx, const state::StateDB& db) {
+Status lazy_validate(const Transaction& tx, const state::StateView& db) {
   const Address sender = tx.sender();
   const std::uint64_t account_nonce = db.nonce(sender);
   if (tx.nonce != account_nonce) {

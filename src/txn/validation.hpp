@@ -27,13 +27,13 @@ struct ValidationConfig {
 
 /// Full check: signature (i), size (ii), nonce window (iii), gas
 /// affordability (iv), transferred value coverage (v).
-Status eager_validate(const Transaction& tx, const state::StateDB& db,
+Status eager_validate(const Transaction& tx, const state::StateView& db,
                       const crypto::SignatureScheme& scheme,
                       const ValidationConfig& config);
 
 /// Cheap pre-execution check: (iii) nonce is next, (iv) gas covered,
 /// (v) value covered. No signature verification.
-Status lazy_validate(const Transaction& tx, const state::StateDB& db);
+Status lazy_validate(const Transaction& tx, const state::StateView& db);
 
 /// 21000 + calldata pricing + creation surcharge; transactions whose gas
 /// limit cannot cover this are invalid.

@@ -224,6 +224,25 @@ TEST(StateRootMpt, SensitiveToEveryField) {
   EXPECT_NE(code_diff.state_root_mpt(), root);
 }
 
+TEST(StateRoot, MemoizedRootTracksWritesAndReverts) {
+  // state_root() is cached until the next journaled write; the cached value
+  // must stay indistinguishable from a fresh recompute.
+  StateDB db;
+  db.add_balance(addr(1), U256{5});
+  const Hash32 first = db.state_root();
+  EXPECT_EQ(db.state_root(), first);  // cache hit, same digest
+  db.add_balance(addr(2), U256{9});
+  const Hash32 second = db.state_root();
+  EXPECT_NE(second, first);
+  const auto snap = db.snapshot();
+  db.set_storage(addr(2), key(1), U256{3});
+  EXPECT_NE(db.state_root(), second);
+  db.revert_to(snap);  // revert must invalidate the cache too
+  EXPECT_EQ(db.state_root(), second);
+  db.delete_account(addr(2));
+  EXPECT_EQ(db.state_root(), first);
+}
+
 TEST(StateRootMpt, TracksRevert) {
   StateDB db;
   db.add_balance(addr(1), U256{5});
