@@ -1,0 +1,38 @@
+// Block and superblock frame harness: the sync/persistence path decodes
+// frames received from untrusted peers. Decode must never crash; decoded
+// frames must round-trip through the canonical encoder, and certificate
+// verification must tolerate arbitrary certificate bytes.
+#include "crypto/signature.hpp"
+#include "harness.hpp"
+#include "txn/block.hpp"
+
+using namespace srbb;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const BytesView input{data, size};
+
+  if (auto block = txn::decode_block(input); block.is_ok()) {
+    const Bytes wire = txn::encode_block(block.value());
+    auto again = txn::decode_block(wire);
+    FUZZ_ASSERT(again.is_ok());
+    FUZZ_ASSERT(txn::encode_block(again.value()) == wire);
+    FUZZ_ASSERT(again.value().hash() == block.value().hash());
+    (void)txn::verify_block_certificate(block.value(),
+                                        crypto::SignatureScheme::ed25519());
+  }
+
+  if (auto sb = txn::decode_superblock(input); sb.is_ok()) {
+    const Bytes wire =
+        txn::encode_superblock(sb.value().index, sb.value().blocks);
+    auto again = txn::decode_superblock(wire);
+    FUZZ_ASSERT(again.is_ok());
+    FUZZ_ASSERT(again.value().index == sb.value().index);
+    FUZZ_ASSERT(again.value().blocks.size() == sb.value().blocks.size());
+    for (std::size_t i = 0; i < sb.value().blocks.size(); ++i) {
+      FUZZ_ASSERT(again.value().blocks[i]->hash() ==
+                  sb.value().blocks[i]->hash());
+    }
+  }
+  return 0;
+}

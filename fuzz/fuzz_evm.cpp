@@ -1,0 +1,50 @@
+// EVM assembler + interpreter harness. The input is used twice:
+//  1. as assembler source text — assemble() must cleanly reject or produce
+//     bytecode, and assembled bytecode must disassemble without faulting;
+//  2. as raw bytecode executed in a fresh deterministic StateDB — whatever
+//     the code does, execution must terminate within the gas budget and
+//     never create gas (the conservation property a consensus EVM owes).
+#include "evm/asm.hpp"
+#include "evm/interpreter.hpp"
+#include "harness.hpp"
+#include "state/statedb.hpp"
+
+using namespace srbb;
+
+namespace {
+
+constexpr std::uint64_t kGasBudget = 200'000;
+
+void run_code(const Bytes& code, const Bytes& calldata) {
+  state::StateDB db;
+  Address contract;
+  contract[19] = 0xFC;
+  Address caller;
+  caller[19] = 0xCA;
+  db.add_balance(caller, U256{1'000'000});
+  db.set_code(contract, code);
+  db.commit();
+
+  evm::Evm evm{db, {}, {}};
+  evm::Message msg;
+  msg.caller = caller;
+  msg.to = contract;
+  msg.gas = kGasBudget;
+  msg.data = calldata;
+  const evm::ExecResult result = evm.execute(msg);
+  FUZZ_ASSERT(result.gas_left <= kGasBudget);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view source{reinterpret_cast<const char*>(data), size};
+  if (auto assembled = evm::assemble(source); assembled.is_ok()) {
+    (void)evm::disassemble(assembled.value());
+    run_code(assembled.value(), {});
+  }
+
+  run_code(Bytes{data, data + size}, {});
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Transaction codec harness: wire bytes a Byzantine peer controls. Decode
+// must never crash; anything that decodes must re-encode/re-decode to the
+// same transaction with a stable hash, and signature verification must run
+// without faulting on arbitrary key/signature material.
+#include "crypto/signature.hpp"
+#include "harness.hpp"
+#include "txn/transaction.hpp"
+
+using namespace srbb;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const BytesView input{data, size};
+  auto decoded = txn::Transaction::decode(input);
+  if (!decoded.is_ok()) return 0;
+  const txn::Transaction& tx = decoded.value();
+
+  // Codec idempotence: decode(encode(tx)) == tx, and the id hash is stable.
+  const Bytes wire = tx.encode();
+  auto again = txn::Transaction::decode(wire);
+  FUZZ_ASSERT(again.is_ok());
+  FUZZ_ASSERT(again.value() == tx);
+  FUZZ_ASSERT(again.value().hash() == tx.hash());
+  FUZZ_ASSERT(tx.wire_size() == wire.size());
+
+  // Must tolerate arbitrary pubkey/signature bytes (no crash either way).
+  (void)txn::verify_signature(tx, crypto::SignatureScheme::ed25519());
+  return 0;
+}

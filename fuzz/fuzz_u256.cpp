@@ -1,0 +1,32 @@
+// U256 parsing harness: the input bytes are tried as a decimal string, a hex
+// string, and a big-endian byte image. Successful parses must round-trip
+// through their formatters — U256 values feed gas accounting and RLP
+// integer fields, so a parse/format mismatch is a consensus hazard.
+#include <string_view>
+
+#include "common/u256.hpp"
+#include "harness.hpp"
+
+using namespace srbb;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text{reinterpret_cast<const char*>(data), size};
+
+  if (const auto dec = U256::from_dec(text)) {
+    const auto again = U256::from_dec(dec->to_dec());
+    FUZZ_ASSERT(again.has_value() && *again == *dec);
+  }
+  if (const auto hex = U256::from_hex(text)) {
+    const auto again = U256::from_hex(hex->to_hex());
+    FUZZ_ASSERT(again.has_value() && *again == *hex);
+  }
+
+  // from_be accepts up to 32 bytes (right-aligned); be_bytes() is the full
+  // 32-byte image, so value equality (not byte equality) is the invariant.
+  if (size <= 32) {
+    const U256 value = U256::from_be(BytesView{data, size});
+    FUZZ_ASSERT(U256::from_be(value.be_bytes()) == value);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Shared scaffolding for the fuzz entry points. Every harness defines
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size)
+// so the same translation unit links against libFuzzer (Clang,
+// -fsanitize=fuzzer) or against replay_driver.cpp, which feeds checked-in
+// corpus files through the harness under plain ctest.
+//
+// Harness rules (docs/CORRECTNESS.md "Fuzzing"):
+//  - deterministic: no clocks, no global RNG — the input bytes are the only
+//    source of variation, so every corpus file replays bit-identically;
+//  - property-checking: FUZZ_ASSERT aborts on violated round-trip /
+//    conservation properties, which both libFuzzer and the replay driver
+//    report as a crash on the offending input.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#define FUZZ_ASSERT(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FUZZ_ASSERT failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);

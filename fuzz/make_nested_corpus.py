@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Regenerates the deep-nesting corpus seeds: `depth` single-element lists
+wrapped around an empty list, with correct RLP length headers at every
+level (a run of bare 0xc1 bytes does NOT nest — each header must cover the
+whole inner encoding, so the decoder rejects it as truncated at depth 2)."""
+from pathlib import Path
+
+
+def nested(depth: int) -> bytes:
+    sizes = [1]
+    for _ in range(depth):
+        inner = sizes[-1]
+        header = 1 if inner <= 55 else 1 + (inner.bit_length() + 7) // 8
+        sizes.append(header + inner)
+    out = bytearray()
+    for k in range(depth, 0, -1):
+        inner = sizes[k - 1]
+        if inner <= 55:
+            out.append(0xC0 + inner)
+        else:
+            be = inner.to_bytes((inner.bit_length() + 7) // 8, "big")
+            out.append(0xF7 + len(be))
+            out += be
+    out.append(0xC0)
+    return bytes(out)
+
+
+here = Path(__file__).parent
+(here / "corpus" / "rlp" / "deep_nesting_64.bin").write_bytes(nested(64))
+(here / "corpus" / "rlp" / "deep_nesting_600.bin").write_bytes(nested(600))
+(here / "corpus" / "rlp" / "deep_nesting_100k.bin").write_bytes(nested(100_000))

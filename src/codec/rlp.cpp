@@ -97,6 +97,14 @@ Result<U256> Item::as_u256() const {
 
 namespace {
 
+// Nesting deeper than this is rejected. The recursive decoder consumes stack
+// per level, so without a cap a Byzantine peer could crash a validator with a
+// few hundred KB of correctly-framed nested lists (stack overflow; reproduced
+// by fuzz/corpus/rlp/deep_nesting_100k.bin). 512 levels is far beyond any
+// legitimate SRBB structure (blocks nest 3 deep) yet well within stack
+// budget on every platform we run on.
+constexpr std::size_t kMaxDepth = 512;
+
 Result<std::size_t> read_long_length(BytesView& data, std::size_t len_of_len) {
   if (data.size() < len_of_len) return Status::error("rlp: truncated length");
   if (len_of_len > 8) return Status::error("rlp: length too large");
@@ -110,9 +118,8 @@ Result<std::size_t> read_long_length(BytesView& data, std::size_t len_of_len) {
   return length;
 }
 
-}  // namespace
-
-Result<Item> decode_prefix(BytesView& data) {
+Result<Item> decode_prefix_at(BytesView& data, std::size_t depth) {
+  if (depth > kMaxDepth) return Status::error("rlp: nesting too deep");
   if (data.empty()) return Status::error("rlp: empty input");
   const std::uint8_t prefix = data[0];
   data = data.subspan(1);
@@ -157,11 +164,17 @@ Result<Item> decode_prefix(BytesView& data) {
   BytesView body = data.subspan(0, length);
   data = data.subspan(length);
   while (!body.empty()) {
-    auto child = decode_prefix(body);
+    auto child = decode_prefix_at(body, depth + 1);
     if (!child) return child.status();
     out.items.push_back(std::move(child).take());
   }
   return out;
+}
+
+}  // namespace
+
+Result<Item> decode_prefix(BytesView& data) {
+  return decode_prefix_at(data, 0);
 }
 
 Result<Item> decode(BytesView data) {

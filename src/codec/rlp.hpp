@@ -49,7 +49,9 @@ struct Item {
   Result<U256> as_u256() const;
 };
 
-/// Decode a complete RLP document; trailing bytes are an error.
+/// Decode a complete RLP document; trailing bytes are an error. Nesting
+/// beyond 512 levels is rejected ("rlp: nesting too deep") so hostile wire
+/// data cannot exhaust the decoder's stack.
 Result<Item> decode(BytesView data);
 
 /// Decode one item from the front of `data`, advancing it.

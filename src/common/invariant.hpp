@@ -1,0 +1,51 @@
+// Runtime invariant checks for consensus-critical data structures.
+//
+// Two tiers (docs/CORRECTNESS.md "Invariant macros"):
+//
+//  - SRBB_CHECK: always compiled in, O(1) conditions only. A failure means a
+//    consensus-critical structure is corrupt; continuing would let a replica
+//    silently diverge, so the process aborts with a diagnostic instead.
+//  - SRBB_PARANOID: expensive (O(n) or worse) cross-structure consistency
+//    sweeps. Compiled out unless the build sets -DSRBB_PARANOID_CHECKS
+//    (cmake -DSRBB_PARANOID=ON); the sanitizer matrix and fuzz builds turn
+//    them on so corruption is caught at the point of introduction.
+//
+// Both macros are statements, usable wherever an expression-statement is.
+// On failure they print the condition and source location, then abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace srbb::detail {
+
+[[noreturn]] inline void invariant_failed(const char* kind, const char* cond,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, cond, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace srbb::detail
+
+#define SRBB_CHECK(cond)                                                 \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::srbb::detail::invariant_failed("SRBB_CHECK", #cond, __FILE__,    \
+                                       __LINE__);                        \
+    }                                                                    \
+  } while (0)
+
+#ifdef SRBB_PARANOID_CHECKS
+#define SRBB_PARANOID(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::srbb::detail::invariant_failed("SRBB_PARANOID", #cond, __FILE__, \
+                                       __LINE__);                        \
+    }                                                                    \
+  } while (0)
+#else
+#define SRBB_PARANOID(cond) \
+  do {                      \
+  } while (0)
+#endif

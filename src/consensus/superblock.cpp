@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/invariant.hpp"
+
 namespace srbb::consensus {
 
 SuperblockInstance::SuperblockInstance(const SuperblockConfig& config,
@@ -137,9 +139,13 @@ void SuperblockInstance::on_propose(std::uint32_t from, const ProposeMsg& msg) {
 
 void SuperblockInstance::record_echo(std::uint32_t proposer, std::uint32_t from,
                                      const Hash32& hash) {
+  SRBB_CHECK(proposer < config_.n && from < config_.n);
   ProposalSlot& slot = slots_[proposer];
   auto& senders = slot.echoes[hash];
   senders.insert(from);
+  // Quorum sizes are bounded by the validator set; more echoers than ranks
+  // means sender accounting is corrupt and every quorum below is suspect.
+  SRBB_CHECK(senders.size() <= config_.n);
 
   // Bracha amplification: f+1 echoes for a hash we have not echoed -> echo
   // it too (without needing the body), so every correct node reaches the
@@ -175,6 +181,7 @@ void SuperblockInstance::record_echo(std::uint32_t proposer, std::uint32_t from,
 
 void SuperblockInstance::on_echo(std::uint32_t from, const EchoMsg& msg) {
   if (msg.proposer >= config_.n) return;
+  if (from >= config_.n) return;  // not a validator rank: ignore
   record_echo(msg.proposer, from, msg.block_hash);
 }
 
@@ -229,6 +236,13 @@ bool SuperblockInstance::slot_ready(const ProposalSlot& slot) const {
          slot.block->hash() == *slot.delivered_hash;
 }
 
+bool SuperblockInstance::quorum_certified(const ProposalSlot& slot) const {
+  if (!slot.delivered_hash.has_value()) return false;
+  const auto it = slot.echoes.find(*slot.delivered_hash);
+  return it != slot.echoes.end() &&
+         it->second.size() >= config_.n - config_.f;
+}
+
 void SuperblockInstance::request_pull(std::uint32_t proposer) {
   ProposalSlot& slot = slots_[proposer];
   if (slot.pulling || completed_) return;
@@ -236,7 +250,13 @@ void SuperblockInstance::request_pull(std::uint32_t proposer) {
   // Ask every known echoer (at least one correct node holds the body when a
   // binary instance decided 1); retry until the body lands.
   auto attempt = std::make_shared<std::function<void()>>();
-  *attempt = [this, proposer, attempt] {
+  slot.pull_attempt = attempt;  // lifetime bound to the slot, not itself
+  const std::weak_ptr<std::function<void()>> weak_attempt = attempt;
+  *attempt = [this, proposer, weak_attempt] {
+    // Weak capture: a self-referencing shared_ptr would cycle and leak one
+    // closure per pull (found by the LeakSanitizer leg of the matrix).
+    const auto self_fn = weak_attempt.lock();
+    if (!self_fn) return;  // instance/slot gone
     ProposalSlot& s = slots_[proposer];
     if (completed_ || slot_ready(s)) return;
     auto pull = std::make_shared<PullMsg>();
@@ -252,7 +272,7 @@ void SuperblockInstance::request_pull(std::uint32_t proposer) {
       if (asked >= config_.f + 1) break;
     }
     if (asked == 0) cb_.broadcast(pull);  // no echoer known yet: ask everyone
-    cb_.set_timer(config_.pull_retry, *attempt);
+    cb_.set_timer(config_.pull_retry, *self_fn);
   };
   (*attempt)();
 }
@@ -289,6 +309,9 @@ void SuperblockInstance::maybe_complete() {
     if (!slot.bin_decided) return;
     if (slot.bin_value) {
       if (!slot_ready(slot)) return;  // body still being pulled
+      // Every included block's delivered hash must be backed by its n-f echo
+      // quorum — the certificate the reliable-broadcast stage promised.
+      SRBB_PARANOID(quorum_certified(slot));
       blocks.push_back(slot.block);
     }
   }

@@ -92,6 +92,9 @@ class SuperblockInstance {
     bool bin_value = false;
     std::unique_ptr<BinaryConsensus> bin;
     bool pulling = false;
+    // Owns the PULL retry closure; the timer copies capture it weakly so
+    // the closure cannot keep itself alive (shared_ptr cycle = leak).
+    std::shared_ptr<std::function<void()>> pull_attempt;
   };
 
   void on_propose(std::uint32_t from, const ProposeMsg& msg);
@@ -106,6 +109,9 @@ class SuperblockInstance {
   void start_bin(std::uint32_t proposer, bool input);
   void request_pull(std::uint32_t proposer);
   bool slot_ready(const ProposalSlot& slot) const;
+  /// True when the slot's delivered hash is backed by an n-f echo quorum —
+  /// the certificate every included block must carry (invariant checks).
+  bool quorum_certified(const ProposalSlot& slot) const;
   void maybe_complete();
   BinaryConsensus& bin_for(std::uint32_t proposer);
 

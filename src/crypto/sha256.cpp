@@ -69,6 +69,9 @@ void Sha256::process_block(const std::uint8_t block[64]) {
 }
 
 void Sha256::update(BytesView data) {
+  // An empty span has a null data(); memcpy's nonnull contract makes that
+  // UB even for zero lengths (flagged by UBSan on empty messages).
+  if (data.empty()) return;
   total_bytes_ += data.size();
   std::size_t offset = 0;
   if (buffered_ > 0) {
@@ -124,7 +127,7 @@ Hash32 hmac_sha256(BytesView key, BytesView message) {
   if (key.size() > 64) {
     const Hash32 kh = Sha256::hash(key);
     std::memcpy(k, kh.data.data(), 32);
-  } else {
+  } else if (!key.empty()) {
     std::memcpy(k, key.data(), key.size());
   }
   std::uint8_t ipad[64], opad[64];

@@ -86,6 +86,9 @@ void Sha512::process_block(const std::uint8_t block[128]) {
 }
 
 void Sha512::update(BytesView data) {
+  // An empty span has a null data(); memcpy's nonnull contract makes that
+  // UB even for zero lengths (flagged by UBSan on empty messages).
+  if (data.empty()) return;
   total_bytes_ += data.size();
   std::size_t offset = 0;
   if (buffered_ > 0) {

@@ -108,7 +108,7 @@ class Frame {
   }
 
  private:
-  std::uint64_t gas_;
+  std::uint64_t gas_ = 0;
   std::vector<U256> stack_;
   Bytes memory_;
 };

@@ -1,6 +1,17 @@
 #include "pool/txpool.hpp"
 
+#include "common/invariant.hpp"
+
 namespace srbb::pool {
+
+void TxPool::check_coherence() const {
+  SRBB_CHECK(index_.size() == entries_.size());
+#ifdef SRBB_PARANOID_CHECKS
+  for (const Entry& entry : entries_) {
+    SRBB_PARANOID(index_.contains(entry.tx->hash));
+  }
+#endif
+}
 
 TxPool::AddResult TxPool::add(txn::TxPtr tx, SimTime now) {
   if (index_.contains(tx->hash)) return AddResult::kDuplicate;
@@ -11,6 +22,7 @@ TxPool::AddResult TxPool::add(txn::TxPtr tx, SimTime now) {
   index_.insert(tx->hash);
   entries_.push_back(Entry{std::move(tx), now});
   ++admitted_;
+  check_coherence();
   return AddResult::kAdded;
 }
 
@@ -32,6 +44,7 @@ std::vector<txn::TxPtr> TxPool::take_batch(std::size_t max_count,
     batch.push_back(std::move(front.tx));
     entries_.pop_front();
   }
+  check_coherence();
   return batch;
 }
 
@@ -48,6 +61,7 @@ void TxPool::remove_committed(const std::vector<Hash32>& committed) {
   if (gone.empty()) return;
   std::erase_if(entries_,
                 [&](const Entry& entry) { return gone.contains(entry.tx->hash); });
+  check_coherence();
 }
 
 }  // namespace srbb::pool

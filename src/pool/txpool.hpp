@@ -58,6 +58,11 @@ class TxPool {
     return config_.ttl != 0 && entry.added_at + config_.ttl <= now;
   }
 
+  /// Invariant: the hash index and the pending deque describe the same set
+  /// of transactions. Checked after every mutating operation (O(1) size
+  /// check always, full containment sweep under SRBB_PARANOID).
+  void check_coherence() const;
+
   TxPoolConfig config_;
   std::deque<Entry> entries_;
   std::unordered_set<Hash32, Hash32Hasher> index_;

@@ -1,5 +1,8 @@
 #include "state/overlay.hpp"
 
+#include <algorithm>
+
+#include "common/invariant.hpp"
 #include "crypto/sha256.hpp"
 
 namespace srbb::state {
@@ -168,9 +171,14 @@ void OverlayState::delete_account(const Address& addr) {
 }
 
 void OverlayState::revert_to(Snapshot snapshot) {
+  SRBB_CHECK(snapshot <= journal_.size());
   while (journal_.size() > snapshot) {
     JournalEntry& entry = journal_.back();
     const auto it = entries_.find(entry.addr);
+    // Every undo except entry creation dereferences the overlay entry the
+    // journal recorded the write against; a miss means journal/entry
+    // bookkeeping diverged and the deref below would be undefined behaviour.
+    SRBB_CHECK(entry.op == Op::kCreateEntry || it != entries_.end());
     switch (entry.op) {
       case Op::kCreateEntry:
         entries_.erase(entry.addr);
@@ -221,7 +229,18 @@ bool OverlayState::validate(const StateDB& base) const {
 }
 
 void OverlayState::apply_to(StateDB& base) const {
-  for (const auto& [addr, acc] : entries_) {
+  // apply_to is only meaningful for an overlay whose read-set still matches
+  // the base; committing a stale overlay silently diverges the replica.
+  SRBB_PARANOID(validate(base));
+  // Replay in address order (and storage in key order) so the base's journal
+  // and account-creation sequence are canonical rather than hash-map
+  // iteration order; the commit path stays bitwise-replayable.
+  std::vector<Address> addresses;
+  addresses.reserve(entries_.size());
+  for (const auto& [addr, acc] : entries_) addresses.push_back(addr);
+  std::sort(addresses.begin(), addresses.end());
+  for (const Address& addr : addresses) {
+    const OverlayAccount& acc = entries_.at(addr);
     if (acc.masks_base) {
       base.delete_account(addr);  // no-op when the base never had it
       if (!acc.exists) continue;  // tombstone: deletion was the write
@@ -230,7 +249,12 @@ void OverlayState::apply_to(StateDB& base) const {
     if (acc.balance) base.set_balance(addr, *acc.balance);
     if (acc.nonce) base.set_nonce(addr, *acc.nonce);
     if (acc.code) base.set_code(addr, *acc.code);
-    for (const auto& [key, value] : acc.storage) {
+    std::vector<Hash32> keys;
+    keys.reserve(acc.storage.size());
+    for (const auto& [key, value] : acc.storage) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (const Hash32& key : keys) {
+      const std::optional<U256>& value = acc.storage.at(key);
       base.set_storage(addr, key, value ? *value : U256::zero());
     }
   }

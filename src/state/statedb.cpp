@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "codec/rlp.hpp"
+#include "common/invariant.hpp"
 #include "crypto/keccak.hpp"
 #include "crypto/sha256.hpp"
 #include "state/trie.hpp"
@@ -123,24 +124,36 @@ void StateDB::delete_account(const Address& addr) {
 }
 
 void StateDB::revert_to(Snapshot snapshot) {
+  // Reverting to a snapshot that was never taken (or taken after writes that
+  // were already reverted) means call-frame bookkeeping is corrupt.
+  SRBB_CHECK(snapshot <= journal_.size());
   if (journal_.size() > snapshot) root_dirty_ = true;
   while (journal_.size() > snapshot) {
     JournalEntry& entry = journal_.back();
+    // Every undo except account (re)creation targets an account the journal
+    // says exists; a miss means the journal and the map disagree. Checked
+    // lookups here keep operator[] from papering over corruption by
+    // silently creating empty accounts.
+    const auto target = [&]() -> Account& {
+      const auto it = accounts_.find(entry.addr);
+      SRBB_CHECK(it != accounts_.end());
+      return it->second;
+    };
     switch (entry.op) {
       case Op::kCreateAccount:
         accounts_.erase(entry.addr);
         break;
       case Op::kBalanceChange:
-        accounts_[entry.addr].balance = entry.prev_value;
+        target().balance = entry.prev_value;
         break;
       case Op::kNonceChange:
-        accounts_[entry.addr].nonce = entry.prev_nonce;
+        target().nonce = entry.prev_nonce;
         break;
       case Op::kCodeChange:
-        accounts_[entry.addr].code = std::move(entry.prev_code);
+        target().code = std::move(entry.prev_code);
         break;
       case Op::kStorageChange: {
-        auto& storage = accounts_[entry.addr].storage;
+        auto& storage = target().storage;
         if (entry.prev_existed) {
           storage[entry.key] = entry.prev_value;
         } else {
@@ -149,6 +162,8 @@ void StateDB::revert_to(Snapshot snapshot) {
         break;
       }
       case Op::kDeleteAccount:
+        // The deletion undo recreates the account, so it must be absent.
+        SRBB_PARANOID(!accounts_.contains(entry.addr));
         accounts_[entry.addr] = std::move(entry.prev_account);
         break;
     }
@@ -190,11 +205,25 @@ Hash32 StateDB::state_root() const {
 }
 
 Hash32 StateDB::state_root_mpt() const {
+  // Trie roots are insertion-order independent in principle, but feeding a
+  // commitment from unordered_map iteration makes the root's correctness
+  // depend on that property holding under every future trie change. Sorted
+  // insertion keeps the whole path deterministic by construction.
+  std::vector<Address> addresses;
+  addresses.reserve(accounts_.size());
+  for (const auto& [addr, acc] : accounts_) addresses.push_back(addr);
+  std::sort(addresses.begin(), addresses.end());
+
   MerklePatriciaTrie state_trie;
-  for (const auto& [addr, acc] : accounts_) {
+  for (const Address& addr : addresses) {
+    const Account& acc = accounts_.at(addr);
+    std::vector<Hash32> keys;
+    keys.reserve(acc.storage.size());
+    for (const auto& [key, value] : acc.storage) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
     MerklePatriciaTrie storage_trie;
-    for (const auto& [key, value] : acc.storage) {
-      storage_trie.put(key.view(), rlp::encode_u256(value));
+    for (const Hash32& key : keys) {
+      storage_trie.put(key.view(), rlp::encode_u256(acc.storage.at(key)));
     }
     rlp::ListBuilder body;
     body.add_u64(acc.nonce);

@@ -99,6 +99,41 @@ Result<Block> decode_block(BytesView wire) {
   return block;
 }
 
+Bytes encode_superblock(std::uint64_t index,
+                        const std::vector<BlockPtr>& blocks) {
+  rlp::ListBuilder frame;
+  frame.add_u64(index);
+  rlp::ListBuilder block_list;
+  for (const BlockPtr& block : blocks) block_list.add_bytes(encode_block(*block));
+  frame.add_raw(block_list.build());
+  return frame.build();
+}
+
+Result<Superblock> decode_superblock(BytesView wire) {
+  auto doc = rlp::decode(wire);
+  if (!doc) return doc.status();
+  const rlp::Item& root = doc.value();
+  if (!root.is_list || root.items.size() != 2) {
+    return Status::error("superblock: expected 2-item frame");
+  }
+  Superblock superblock;
+  auto index = root.items[0].as_u64();
+  if (!index) return index.status();
+  superblock.index = index.value();
+  if (!root.items[1].is_list) return Status::error("superblock: bad block list");
+  for (const rlp::Item& item : root.items[1].items) {
+    if (item.is_list) return Status::error("superblock: bad block entry");
+    auto block = decode_block(item.payload);
+    if (!block) return block.status();
+    if (block.value().header.index != superblock.index) {
+      return Status::error("superblock: block index mismatch");
+    }
+    superblock.blocks.push_back(
+        std::make_shared<const Block>(std::move(block).take()));
+  }
+  return superblock;
+}
+
 Block make_block(std::uint64_t index, std::uint64_t proposer_id,
                  std::uint64_t timestamp, const Hash32& parent_hash,
                  std::vector<TxPtr> txs, const crypto::Identity& proposer,

@@ -60,4 +60,17 @@ Bytes encode_block(const Block& block);
 /// Strict decode; transaction bodies are re-parsed and re-cached.
 Result<Block> decode_block(BytesView wire);
 
+/// Superblock frame: `[index, [block, block, ...]]` with the blocks in their
+/// decided (proposer-rank) order — what a validator persists per index and
+/// serves to nodes syncing the chain.
+Bytes encode_superblock(std::uint64_t index,
+                        const std::vector<BlockPtr>& blocks);
+struct Superblock {
+  std::uint64_t index = 0;
+  std::vector<BlockPtr> blocks;
+};
+/// Strict decode of a superblock frame. Rejects frames whose blocks carry a
+/// different consensus index than the frame itself.
+Result<Superblock> decode_superblock(BytesView wire);
+
 }  // namespace srbb::txn

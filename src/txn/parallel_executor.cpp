@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/invariant.hpp"
 #include "state/overlay.hpp"
 
 namespace srbb::txn {
@@ -75,6 +76,9 @@ std::vector<Result<Receipt>> ParallelExecutor::execute_block(
         retry.push_back(idx);
         continue;
       }
+      // Every transaction reaching the commit pass carries a speculation:
+      // fresh ones were just run, deferred ones kept theirs.
+      SRBB_CHECK(specs.contains(idx));
       Speculation& spec = specs.at(idx);
       if (spec.overlay->validate(db)) {
         spec.overlay->apply_to(db);
@@ -93,6 +97,10 @@ std::vector<Result<Receipt>> ParallelExecutor::execute_block(
         retry.push_back(idx);
       }
     }
+    // The head of the pending list always resolves (commit or inline
+    // re-execution), so each round strictly shrinks the pending set — the
+    // liveness argument for the optimistic loop.
+    SRBB_CHECK(retry.size() < pending.size() || pending.empty());
     pending = std::move(retry);
   }
 
@@ -102,6 +110,14 @@ std::vector<Result<Receipt>> ParallelExecutor::execute_block(
   for (const std::size_t i : pending) {
     out[i] = apply_transaction(*txs[i], db, block, config);
   }
+
+#ifdef SRBB_PARANOID_CHECKS
+  // No receipt slot may survive as the "not executed" sentinel: every
+  // transaction either committed optimistically, re-ran inline, or fell back.
+  for (const Result<Receipt>& r : out) {
+    SRBB_PARANOID(r.is_ok() || r.message() != "exec: not executed");
+  }
+#endif
 
   if (stats != nullptr) *stats += local;
   return out;

@@ -111,6 +111,39 @@ TEST(Oracle, TwoReplicasConverge) {
   EXPECT_EQ(a.db().state_root(), b.db().state_root());
 }
 
+// End-to-end parity of the optimistic parallel executor behind the oracle:
+// the same superblocks executed with ExecutionConfig{parallel=true} must be
+// bit-identical to the sequential path. The suite name matches the
+// tools/tsan_check.sh / tools/sanitize_matrix.sh filter so this runs under
+// TSan as the concurrency gate for the full oracle pipeline.
+TEST(ParallelOracle, MatchesSequentialExecution) {
+  ExecutionOracle sequential{rich_genesis(), {}, scheme()};
+  ExecutionOracle parallel{rich_genesis(), {}, scheme()};
+  parallel.exec_config().parallel = true;
+  parallel.exec_config().workers = 4;
+
+  for (std::uint64_t index = 0; index < 3; ++index) {
+    std::vector<txn::TxPtr> left;
+    std::vector<txn::TxPtr> right;
+    for (std::uint64_t s = 0; s < 6; ++s) {
+      // Overlapping senders across proposers: conflicts + duplicates force
+      // the speculative re-execution path, not just the happy path.
+      left.push_back(transfer(s, index));
+      if (s % 2 == 0) right.push_back(transfer(s, index));
+    }
+    const std::vector<txn::BlockPtr> blocks = {
+        block_of(index, 0, std::move(left)),
+        block_of(index, 1, std::move(right))};
+    const IndexExecResult& rs = sequential.execute(index, blocks);
+    const IndexExecResult& rp = parallel.execute(index, blocks);
+    EXPECT_EQ(rs.state_root, rp.state_root) << "index " << index;
+    EXPECT_EQ(rs.total_valid, rp.total_valid);
+    EXPECT_EQ(rs.total_invalid, rp.total_invalid);
+  }
+  EXPECT_EQ(sequential.db().state_root(), parallel.db().state_root());
+  EXPECT_EQ(sequential.db().state_root_mpt(), parallel.db().state_root_mpt());
+}
+
 TEST(Oracle, FeesComputedPerOutcome) {
   ExecutionOracle oracle{rich_genesis(), {}, scheme()};
   txn::TxParams params;

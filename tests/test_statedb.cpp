@@ -255,5 +255,39 @@ TEST(StateRootMpt, TracksRevert) {
   EXPECT_EQ(db.state_root_mpt(), before);
 }
 
+TEST(StateRootMpt, IndependentOfInsertionOrder) {
+  // Regression: the root computations used to walk the unordered account
+  // map directly, so replicas whose maps had different bucket histories
+  // could (in principle) disagree. Roots are now derived over sorted keys;
+  // populating the same state in opposite orders must yield identical
+  // commitments.
+  StateDB forward;
+  StateDB backward;
+  for (int i = 1; i <= 24; ++i) {
+    forward.add_balance(addr(i), U256{static_cast<std::uint64_t>(i)});
+    forward.set_storage(addr(i), key(i), U256{7});
+    forward.set_storage(addr(i), key(i + 100), U256{9});
+  }
+  for (int i = 24; i >= 1; --i) {
+    backward.set_storage(addr(i), key(i + 100), U256{9});
+    backward.set_storage(addr(i), key(i), U256{7});
+    backward.add_balance(addr(i), U256{static_cast<std::uint64_t>(i)});
+  }
+  forward.commit();
+  backward.commit();
+  EXPECT_EQ(forward.state_root(), backward.state_root());
+  EXPECT_EQ(forward.state_root_mpt(), backward.state_root_mpt());
+}
+
+TEST(StateDbInvariants, RevertToStaleSnapshotAborts) {
+  // SRBB_CHECK (common/invariant.hpp) turns an out-of-range revert — a
+  // corrupted snapshot token — into an immediate abort instead of silent
+  // journal corruption.
+  StateDB db;
+  db.add_balance(addr(1), U256{5});
+  const auto bogus = db.snapshot() + 17;
+  EXPECT_DEATH(db.revert_to(bogus), "SRBB_CHECK");
+}
+
 }  // namespace
 }  // namespace srbb::state

@@ -1,0 +1,346 @@
+#!/usr/bin/env python3
+"""Determinism lint for SRBB (runs as the `srbb_lint` ctest test).
+
+Every validator must derive bit-identical superblock results, so constructs
+whose output depends on process-local state (ASLR, hash seeds, wall clocks,
+libc PRNGs) are consensus poison. This linter scans src/ for the patterns
+that have historically caused replica divergence in production chains:
+
+  nondet-source    rand()/std::random_device/std::mt19937/system_clock/...
+                   anywhere outside src/common/rng.* (the audited
+                   deterministic RNG) — wall clocks and libc PRNGs differ
+                   across replicas.
+  unordered-iter   ranged-for over a std::unordered_{map,set}: iteration
+                   order is implementation- and seed-defined, so any hash,
+                   serialization, or state mutation fed from it can diverge.
+  pointer-key      containers keyed on pointer values: ASLR makes ordering
+                   and hashing differ per process.
+  uninit-field     scalar struct fields without initializers in files that
+                   RLP-encode structs: encoding an indeterminate value is
+                   UB and trivially divergent.
+
+Audited sites are suppressed through tools/lint_allowlist.txt; every entry
+carries a justification and MUST still match a real finding (stale entries
+fail the lint, so the allowlist cannot rot).
+
+Usage: srbb_lint.py --root <repo-root> [--list] [--no-allowlist]
+Exit status: 0 clean, 1 findings (or stale allowlist entries), 2 bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SRC_EXTENSIONS = {".cpp", ".hpp", ".h", ".cc"}
+
+# ---------------------------------------------------------------------------
+# Source preprocessing: strip comments and string/char literals while keeping
+# line structure, so rules never fire on prose or quoted text.
+# ---------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text: str) -> str:
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                mode = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                mode = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line_comment":
+            if c == "\n":
+                mode = "code"
+                out.append(c)
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                i += 2
+                continue
+            if c == "\n":
+                out.append(c)
+        elif mode in ("string", "char"):
+            quote = '"' if mode == "string" else "'"
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                mode = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated (raw string etc.) — bail out
+                mode = "code"
+                out.append(c)
+            i += 1
+            continue
+        i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Rule: nondet-source
+# ---------------------------------------------------------------------------
+
+NONDET_PATTERNS = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "libc PRNG"),
+    (re.compile(r"std::random_device"), "hardware/OS entropy"),
+    (re.compile(r"std::mt19937"), "std PRNG (stream differs across stdlibs)"),
+    (re.compile(r"std::default_random_engine"), "implementation-defined PRNG"),
+    (re.compile(r"\bsystem_clock\b"), "wall clock"),
+    (re.compile(r"\bsteady_clock\b"), "process-local clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"), "process-local clock"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"), "wall clock"),
+    (re.compile(r"(?<![\w:])getenv\s*\("), "environment-dependent value"),
+]
+
+# The audited deterministic RNG implementation is the one allowed home for
+# entropy-ish code; SimTime (common/time.hpp) is the virtual clock.
+NONDET_EXEMPT = {"src/common/rng.cpp", "src/common/rng.hpp"}
+
+
+def check_nondet_source(relpath: str, lines: list[str]) -> list[tuple]:
+    if relpath in NONDET_EXEMPT:
+        return []
+    findings = []
+    for lineno, line in enumerate(lines, 1):
+        for pattern, why in NONDET_PATTERNS:
+            if pattern.search(line):
+                findings.append(
+                    ("nondet-source", relpath, lineno, line.strip(),
+                     f"nondeterministic source ({why}); use srbb::Rng / SimTime"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: unordered-iter
+# ---------------------------------------------------------------------------
+
+UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set)\s*<")
+RANGE_FOR = re.compile(r"\bfor\s*\(([^;()]*?):([^;]*?)\)\s*[{\n]")
+LAST_IDENT = re.compile(r"([A-Za-z_]\w*)\s*$")
+
+
+def collect_unordered_names(stripped: str) -> set[str]:
+    """Names of variables/members declared with an unordered container type,
+    including through type aliases is out of scope — the lint is a heuristic
+    backstop, reviewed allowlist entries carry the precision."""
+    names = set()
+    for match in UNORDERED_DECL.finditer(stripped):
+        i = match.end() - 1  # at '<'
+        depth = 0
+        n = len(stripped)
+        while i < n:
+            if stripped[i] == "<":
+                depth += 1
+            elif stripped[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        rest = stripped[i + 1:i + 200]
+        decl = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*[;={]", rest)
+        if decl:
+            names.add(decl.group(1))
+    return names
+
+
+def check_unordered_iter(relpath: str, stripped: str,
+                         unordered_names: set[str]) -> list[tuple]:
+    findings = []
+    for match in RANGE_FOR.finditer(stripped):
+        range_expr = match.group(2).strip()
+        ident = LAST_IDENT.search(range_expr)
+        if not ident or ident.group(1) not in unordered_names:
+            continue
+        lineno = stripped.count("\n", 0, match.start()) + 1
+        line = stripped.splitlines()[lineno - 1].strip()
+        findings.append(
+            ("unordered-iter", relpath, lineno, line,
+             f"iterates unordered container '{ident.group(1)}' — order is "
+             "hash-seed/implementation defined; sort first if the result "
+             "feeds a hash, serialization, or state mutation"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: pointer-key
+# ---------------------------------------------------------------------------
+
+POINTER_KEY = re.compile(
+    r"\b(?:unordered_)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*")
+
+
+def check_pointer_key(relpath: str, lines: list[str]) -> list[tuple]:
+    findings = []
+    for lineno, line in enumerate(lines, 1):
+        if POINTER_KEY.search(line):
+            findings.append(
+                ("pointer-key", relpath, lineno, line.strip(),
+                 "container keyed on a pointer: ASLR makes ordering/hashing "
+                 "process-local; key on a value identity instead"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: uninit-field
+# ---------------------------------------------------------------------------
+
+SCALAR_FIELD = re.compile(
+    r"^\s*(?:mutable\s+)?"
+    r"(?:std::)?(?:u?int(?:8|16|32|64)?_t|size_t|ptrdiff_t|bool|int|unsigned"
+    r"|long|short|double|float|char)\b"
+    r"(?:\s+|\s*::\s*)?[A-Za-z_]\w*\s*;\s*$")
+STRUCT_OPEN = re.compile(r"\b(?:struct|class)\s+[A-Za-z_]\w*[^;{]*\{")
+
+
+def check_uninit_field(relpath: str, stripped: str) -> list[tuple]:
+    # Only meaningful where structs get serialized: files that touch the RLP
+    # codec or declare encode()/decode() surfaces.
+    if "rlp" not in stripped and "encode" not in stripped:
+        return []
+    findings = []
+    lines = stripped.splitlines()
+    depth_stack = []  # stack of '{' depths that opened a struct/class body
+    depth = 0
+    for lineno, line in enumerate(lines, 1):
+        if STRUCT_OPEN.search(line):
+            depth_stack.append(depth + line.count("{"))
+        depth += line.count("{") - line.count("}")
+        while depth_stack and depth < depth_stack[-1]:
+            depth_stack.pop()
+        if not depth_stack or depth != depth_stack[-1]:
+            continue
+        if SCALAR_FIELD.match(line):
+            findings.append(
+                ("uninit-field", relpath, lineno, line.strip(),
+                 "scalar field without initializer in a serialized struct: "
+                 "encoding an indeterminate value is UB and divergent"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Allowlist
+# ---------------------------------------------------------------------------
+
+
+def load_allowlist(path: Path) -> list[dict]:
+    entries = []
+    if not path.exists():
+        return entries
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, justification = line.partition("#")
+        parts = body.strip().split(None, 2)
+        if len(parts) != 3 or not justification.strip():
+            print(f"allowlist:{lineno}: malformed entry (want: "
+                  f"<rule> <path> <line-substring>  # justification)")
+            sys.exit(2)
+        rule, relpath, needle = parts
+        if len(needle) >= 2 and needle[0] == needle[-1] and needle[0] in "\"'":
+            needle = needle[1:-1]
+        entries.append({
+            "rule": rule, "path": relpath, "needle": needle,
+            "justification": justification.strip(), "lineno": lineno,
+            "used": False,
+        })
+    return entries
+
+
+def is_allowed(finding: tuple, allowlist: list[dict]) -> bool:
+    rule, relpath, _lineno, line, _why = finding
+    for entry in allowlist:
+        if (entry["rule"] == rule and entry["path"] == relpath
+                and entry["needle"] in line):
+            entry["used"] = True
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=Path("."),
+                        help="repository root (containing src/)")
+    parser.add_argument("--no-allowlist", action="store_true",
+                        help="report every finding, audited or not")
+    parser.add_argument("--list", action="store_true",
+                        help="list findings without failing (triage mode)")
+    args = parser.parse_args()
+
+    src = args.root / "src"
+    if not src.is_dir():
+        print(f"srbb_lint: no src/ under {args.root}", file=sys.stderr)
+        return 2
+
+    files = sorted(p for p in src.rglob("*") if p.suffix in SRC_EXTENSIONS)
+    stripped_by_file = {
+        p: strip_comments_and_strings(p.read_text(errors="replace"))
+        for p in files
+    }
+
+    # unordered-container member names are collected globally so iteration
+    # over a member declared in another header (e.g. Account::storage) is
+    # still caught at the use site.
+    unordered_names: set[str] = set()
+    for stripped in stripped_by_file.values():
+        unordered_names |= collect_unordered_names(stripped)
+
+    findings = []
+    for path in files:
+        relpath = path.relative_to(args.root).as_posix()
+        stripped = stripped_by_file[path]
+        lines = stripped.splitlines()
+        findings += check_nondet_source(relpath, lines)
+        findings += check_unordered_iter(relpath, stripped, unordered_names)
+        findings += check_pointer_key(relpath, lines)
+        findings += check_uninit_field(relpath, stripped)
+
+    allowlist = ([] if args.no_allowlist
+                 else load_allowlist(args.root / "tools/lint_allowlist.txt"))
+    reported = [f for f in findings if not is_allowed(f, allowlist)]
+    stale = [e for e in allowlist if not e["used"]]
+
+    for rule, relpath, lineno, line, why in reported:
+        print(f"{relpath}:{lineno}: [{rule}] {line}")
+        print(f"    {why}")
+    for entry in stale:
+        print(f"tools/lint_allowlist.txt:{entry['lineno']}: stale entry "
+              f"(matches nothing): {entry['rule']} {entry['path']} "
+              f"{entry['needle']}")
+
+    suppressed = len(findings) - len(reported)
+    print(f"srbb_lint: {len(files)} files, {len(reported)} finding(s), "
+          f"{suppressed} allowlisted, {len(stale)} stale allowlist entr(y/ies)")
+    if args.list:
+        return 0
+    return 1 if reported or stale else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

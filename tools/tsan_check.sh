@@ -12,6 +12,7 @@ build_dir="${1:-$repo_root/build-tsan}"
 cmake -B "$build_dir" -S "$repo_root" -DSRBB_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)" \
-      --target test_parallel_executor test_thread_pool test_bounded_queue
+      --target test_parallel_executor test_thread_pool test_bounded_queue \
+               test_oracle
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
       -R 'ParallelExecutor|ParallelOracle|OverlayState|ThreadPool|BoundedQueue'
