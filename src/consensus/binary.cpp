@@ -83,9 +83,9 @@ void BinaryConsensus::advance_loop() {
         state.aux_sent = true;
         // Send an AUX carrying a value from bin_values (prefer our estimate
         // when it is bound).
-        const bool aux_value =
+        state.aux_value =
             state.bin_values[est_ ? 1 : 0] ? est_ : state.bin_values[1];
-        cb_.send_aux(round_, aux_value);
+        cb_.send_aux(round_, state.aux_value);
       } else {
         return;  // wait for bin_values
       }
@@ -114,6 +114,30 @@ void BinaryConsensus::advance_loop() {
       est_ = coin;
     }
     ++round_;
+  }
+}
+
+void BinaryConsensus::rebroadcast() {
+  if (!started_) return;
+  if (decided_) {
+    // Peers adopt on f+1 matching DECIDEDs; re-announcing is idempotent.
+    cb_.send_decided(decision_);
+    return;
+  }
+  // Re-send EVERY round's EST/AUX, not just the current round's. Peers can
+  // be starved in different rounds (one node advanced to round r+1 while
+  // another still waits for a lost round-r AUX); re-sending only the current
+  // round would leave the laggard starved forever, deadlocking the instance
+  // even though everyone rebroadcasts. Rounds stay few (the parity coin
+  // converges quickly), and receivers deduplicate via per-round sender sets,
+  // so re-sending the full history is cheap and always safe. Iterating the
+  // std::map is deterministic (ordered by round).
+  for (const auto& [r, state] : rounds_) {
+    if (r > round_) break;  // buffered future-round state is not ours to send
+    for (const bool value : {false, true}) {
+      if (state.est_sent[value ? 1 : 0]) cb_.send_est(r, value);
+    }
+    if (state.aux_sent) cb_.send_aux(r, state.aux_value);
   }
 }
 

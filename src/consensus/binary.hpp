@@ -52,11 +52,22 @@ class BinaryConsensus {
   bool decided() const { return decided_; }
   bool decision() const { return decision_; }
   std::uint32_t round() const { return round_; }
+  /// DECIDED announcements received for `value` (harness diagnostics).
+  std::size_t decided_votes(bool value) const {
+    return decided_from_[value ? 1 : 0].size();
+  }
 
   // Message inputs (from peer `from`, deduplicated internally).
   void on_est(std::uint32_t from, std::uint32_t round, bool value);
   void on_aux(std::uint32_t from, std::uint32_t round, bool value);
   void on_decided(std::uint32_t from, bool value);
+
+  /// Re-emit this node's current protocol messages: the EST values and AUX
+  /// already sent for the current round, or the DECIDED announcement once
+  /// decided. Receivers deduplicate, so rebroadcasting is always safe; it is
+  /// how rounds stalled by message loss or a healed partition make progress
+  /// (driven by the superblock layer's rebroadcast timer).
+  void rebroadcast();
 
  private:
   struct RoundState {
@@ -65,6 +76,7 @@ class BinaryConsensus {
     bool bin_values[2] = {false, false};
     std::map<std::uint32_t, bool> aux_from;
     bool aux_sent = false;
+    bool aux_value = false;  // what we sent, for rebroadcast()
   };
 
   RoundState& round_state(std::uint32_t r) { return rounds_[r]; }

@@ -66,6 +66,14 @@ BinaryConsensus& SuperblockInstance::bin_for(std::uint32_t proposer) {
   return *slot.bin;
 }
 
+void SuperblockInstance::arm_timer(SimDuration delay,
+                                   std::function<void()> fn) {
+  cb_.set_timer(delay, [weak = std::weak_ptr<bool>(alive_),
+                        fn = std::move(fn)] {
+    if (weak.lock()) fn();
+  });
+}
+
 void SuperblockInstance::begin(txn::BlockPtr own_proposal) {
   if (began_) return;
   began_ = true;
@@ -77,13 +85,17 @@ void SuperblockInstance::begin(txn::BlockPtr own_proposal) {
     }
   }
   if (own_proposal != nullptr) {
+    own_proposal_ = own_proposal;
     auto msg = std::make_shared<ProposeMsg>();
     msg->index = index_;
     msg->block = own_proposal;
     cb_.broadcast(msg);
     on_propose(config_.self, *msg);  // self-delivery
   }
-  cb_.set_timer(config_.proposal_timeout, [this] { on_proposal_timeout(); });
+  arm_timer(config_.proposal_timeout, [this] { on_proposal_timeout(); });
+  if (config_.rebroadcast_interval != 0) {
+    arm_timer(config_.rebroadcast_interval, [this] { on_rebroadcast_timer(); });
+  }
 }
 
 void SuperblockInstance::handle(std::uint32_t from,
@@ -123,6 +135,7 @@ void SuperblockInstance::on_propose(std::uint32_t from, const ProposeMsg& msg) {
   slot.block = msg.block;
   if (!slot.echoed) {
     slot.echoed = true;
+    slot.echoed_hash = block_hash;
     auto echo = std::make_shared<EchoMsg>();
     echo->index = index_;
     echo->proposer = proposer;
@@ -152,6 +165,7 @@ void SuperblockInstance::record_echo(std::uint32_t proposer, std::uint32_t from,
   // delivery quorum when any does.
   if (!slot.echoed && senders.size() >= config_.f + 1) {
     slot.echoed = true;
+    slot.echoed_hash = hash;
     auto echo = std::make_shared<EchoMsg>();
     echo->index = index_;
     echo->proposer = proposer;
@@ -193,6 +207,16 @@ void SuperblockInstance::on_pull(std::uint32_t from, const PullMsg& msg) {
   reply->index = index_;
   reply->block = slot.block;
   cb_.send_to(from, reply);
+  // The puller may be missing ECHOes as well as the body (slot readiness
+  // requires the quorum); re-assert ours so a node that rejoined after the
+  // echo phase can still assemble one. Echoes are idempotent per sender.
+  if (slot.echoed && slot.echoed_hash.has_value()) {
+    auto echo = std::make_shared<EchoMsg>();
+    echo->index = index_;
+    echo->proposer = msg.proposer;
+    echo->block_hash = *slot.echoed_hash;
+    cb_.send_to(from, echo);
+  }
 }
 
 void SuperblockInstance::on_bin_msg(std::uint32_t from, const BinMsg& msg) {
@@ -221,6 +245,39 @@ void SuperblockInstance::on_proposal_timeout() {
       const bool delivered = slot_ready(slots_[i]);
       start_bin(i, delivered);
     }
+  }
+}
+
+void SuperblockInstance::on_rebroadcast_timer() {
+  if (completed_) return;  // done; let the timer chain die
+  rebroadcast();
+  arm_timer(config_.rebroadcast_interval, [this] { on_rebroadcast_timer(); });
+}
+
+void SuperblockInstance::rebroadcast() {
+  // Everything re-sent here is idempotent at the receiver (first-body-wins,
+  // echo sender sets, per-round EST/AUX sets, DECIDED f+1 sets), so the only
+  // cost of a redundant rebroadcast is bandwidth. This is what lets a round
+  // stranded by message loss — or split by a partition — finish after the
+  // network heals: the lost PROPOSE/ECHO/EST/AUX/DECIDED messages are simply
+  // sent again.
+  if (own_proposal_ != nullptr &&
+      !slots_[config_.self].delivered_hash.has_value()) {
+    auto msg = std::make_shared<ProposeMsg>();
+    msg->index = index_;
+    msg->block = own_proposal_;
+    cb_.broadcast(msg);
+  }
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    ProposalSlot& slot = slots_[i];
+    if (slot.echoed && slot.echoed_hash.has_value()) {
+      auto echo = std::make_shared<EchoMsg>();
+      echo->index = index_;
+      echo->proposer = i;
+      echo->block_hash = *slot.echoed_hash;
+      cb_.broadcast(echo);
+    }
+    if (slot.bin != nullptr && slot.bin->started()) slot.bin->rebroadcast();
   }
 }
 
@@ -262,17 +319,37 @@ void SuperblockInstance::request_pull(std::uint32_t proposer) {
     auto pull = std::make_shared<PullMsg>();
     pull->index = index_;
     pull->proposer = proposer;
-    std::size_t asked = 0;
-    for (const auto& [hash, senders] : s.echoes) {
-      for (const std::uint32_t peer : senders) {
-        if (peer == config_.self) continue;
-        cb_.send_to(peer, pull);
-        if (++asked >= config_.f + 1) break;
+    const std::uint32_t attempt = s.pull_attempt_count++;
+    // Target the delivered hash's echoers when the quorum is known; they
+    // claimed the body at echo time.
+    std::vector<std::uint32_t> candidates;
+    if (s.delivered_hash.has_value()) {
+      const auto quorum = s.echoes.find(*s.delivered_hash);
+      if (quorum != s.echoes.end()) {
+        for (const std::uint32_t peer : quorum->second) {
+          if (peer != config_.self) candidates.push_back(peer);
+        }
       }
-      if (asked >= config_.f + 1) break;
     }
-    if (asked == 0) cb_.broadcast(pull);  // no echoer known yet: ask everyone
-    cb_.set_timer(config_.pull_retry, *self_fn);
+    if (candidates.empty() || attempt % 4 == 3) {
+      // Either readiness still needs echoes too (a node that rejoined after
+      // the echo phase may hold neither body nor quorum — replies carry the
+      // replier's echo alongside the body), or several targeted rounds went
+      // unanswered: ask everyone.
+      cb_.broadcast(pull);
+    } else {
+      // Rotate through the quorum's echoers across retries. An echoer can
+      // itself have lost the body since echoing (crash wipe, or a conflicting
+      // re-proposal discarded against the quorum hash), so a static
+      // first-f-plus-one choice can starve forever even though some correct
+      // node still holds the block.
+      const std::size_t ask =
+          std::min<std::size_t>(candidates.size(), config_.f + 1);
+      for (std::size_t i = 0; i < ask; ++i) {
+        cb_.send_to(candidates[(attempt + i) % candidates.size()], pull);
+      }
+    }
+    arm_timer(config_.pull_retry, *self_fn);
   };
   (*attempt)();
 }
@@ -297,6 +374,28 @@ std::vector<txn::BlockPtr> SuperblockInstance::undecided_blocks() const {
     if (slot.bin_decided && !slot.bin_value && slot.block != nullptr) {
       out.push_back(slot.block);
     }
+  }
+  return out;
+}
+
+SuperblockInstance::SlotDebug SuperblockInstance::slot_debug(
+    std::uint32_t proposer) const {
+  SlotDebug out;
+  if (proposer >= config_.n) return out;
+  const ProposalSlot& slot = slots_[proposer];
+  out.bin_decided = slot.bin_decided;
+  out.bin_value = slot.bin_value;
+  out.has_block = slot.block != nullptr;
+  out.delivered = slot.delivered_hash.has_value();
+  out.pulling = slot.pulling;
+  for (const auto& [hash, senders] : slot.echoes) {
+    out.echoers = std::max(out.echoers, senders.size());
+  }
+  out.bin_started = slot.bin_started;
+  if (slot.bin != nullptr) {
+    out.bin_round = slot.bin->round();
+    out.decided_votes[0] = slot.bin->decided_votes(false);
+    out.decided_votes[1] = slot.bin->decided_votes(true);
   }
   return out;
 }

@@ -37,6 +37,13 @@ struct SuperblockConfig {
   SimDuration proposal_timeout = millis(800);
   /// Retry interval for PULLing a decided-but-missing block body.
   SimDuration pull_retry = millis(200);
+  /// While the instance is incomplete, re-broadcast this node's protocol
+  /// state (echoes, undelivered own proposal, current binary round, DECIDED
+  /// announcements) every interval, so rounds stalled by message loss or a
+  /// partition finish once the network heals. 0 disables (unit-test mode —
+  /// an incomplete instance would otherwise re-arm timers forever and
+  /// run_until_idle() would not terminate).
+  SimDuration rebroadcast_interval = 0;
   const crypto::SignatureScheme* scheme = &crypto::SignatureScheme::ed25519();
 };
 
@@ -81,17 +88,33 @@ class SuperblockInstance {
   /// Alg. 1 line 27, whose valid transactions get recycled into the pool.
   std::vector<txn::BlockPtr> undecided_blocks() const;
 
+  /// Per-slot progress snapshot for harness diagnostics.
+  struct SlotDebug {
+    bool bin_decided = false;
+    bool bin_value = false;
+    bool has_block = false;
+    bool delivered = false;
+    bool pulling = false;
+    std::size_t echoers = 0;  // senders of the most-echoed hash
+    bool bin_started = false;
+    std::uint32_t bin_round = 0;
+    std::size_t decided_votes[2] = {0, 0};
+  };
+  SlotDebug slot_debug(std::uint32_t proposer) const;
+
  private:
   struct ProposalSlot {
     txn::BlockPtr block;            // body as received (hash-checked)
     std::optional<Hash32> delivered_hash;  // fixed by n-f echoes
     std::map<Hash32, std::set<std::uint32_t>> echoes;
     bool echoed = false;
+    std::optional<Hash32> echoed_hash;  // what we echoed, for rebroadcast
     bool bin_started = false;
     bool bin_decided = false;
     bool bin_value = false;
     std::unique_ptr<BinaryConsensus> bin;
     bool pulling = false;
+    std::uint32_t pull_attempt_count = 0;  // rotates the peers asked
     // Owns the PULL retry closure; the timer copies capture it weakly so
     // the closure cannot keep itself alive (shared_ptr cycle = leak).
     std::shared_ptr<std::function<void()>> pull_attempt;
@@ -103,6 +126,13 @@ class SuperblockInstance {
   void on_bin_msg(std::uint32_t from, const BinMsg& msg);
   void on_decided_msg(std::uint32_t from, const DecidedMsg& msg);
   void on_proposal_timeout();
+  void on_rebroadcast_timer();
+  void rebroadcast();
+  /// set_timer wrapper whose callback no-ops once this instance is
+  /// destroyed. Instances die while timers are pending (commit-window
+  /// pruning, node crash wiping instances_), so raw `this` captures in
+  /// timer closures would be use-after-free.
+  void arm_timer(SimDuration delay, std::function<void()> fn);
 
   void record_echo(std::uint32_t proposer, std::uint32_t from,
                    const Hash32& hash);
@@ -122,6 +152,9 @@ class SuperblockInstance {
   bool began_ = false;
   bool timeout_fired_ = false;
   bool completed_ = false;
+  txn::BlockPtr own_proposal_;  // kept for rebroadcast until delivered
+  /// Liveness sentinel for timer closures (see arm_timer).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace srbb::consensus

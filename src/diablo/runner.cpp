@@ -94,6 +94,10 @@ RunResult run_experiment(const RunConfig& config) {
   net_config.seed = config.seed;
   sim::Network network{simulation, net_config};
 
+  const bool inject_faults = !config.faults.empty();
+  sim::FaultInjector injector{config.faults};
+  if (inject_faults) network.set_fault_injector(&injector);
+
   const std::uint32_t n = config.validators;
   const std::uint32_t f = n >= 4 ? (n - 1) / 3 : 0;
   const auto regions = config.latency.assign_round_robin(n + config.clients);
@@ -168,6 +172,8 @@ RunResult run_experiment(const RunConfig& config) {
       node_config.max_block_txs = config.max_block_txs;
       node_config.min_block_interval = config.min_block_interval;
       node_config.proposal_timeout = config.proposal_timeout;
+      node_config.oracle_private = config.replicated_execution;
+      node_config.rebroadcast_interval = config.rebroadcast_interval;
       if (rank >= n - config.byzantine) {
         node_config.behavior.flood_invalid_per_block =
             config.flood_invalid_per_block;
@@ -220,6 +226,31 @@ RunResult run_experiment(const RunConfig& config) {
         schedule[i], tx, static_cast<sim::NodeId>(i % targets));
   }
 
+  if (inject_faults) {
+    injector.arm(
+        simulation,
+        [&srbb_validators](sim::NodeId node) {
+          if (node < srbb_validators.size()) srbb_validators[node]->crash();
+        },
+        [&srbb_validators](sim::NodeId node) {
+          if (node < srbb_validators.size()) srbb_validators[node]->restart();
+        });
+  }
+
+  // Windowed commit sampler: cumulative client-observed commits at every
+  // window boundary, diffed into per-window counts after the run.
+  std::vector<std::uint64_t> cumulative_commits;
+  if (config.tps_window > 0) {
+    const SimTime end = config.workload.duration() + config.drain;
+    for (SimTime at = config.tps_window; at <= end; at += config.tps_window) {
+      simulation.schedule_at(at, [&clients, &cumulative_commits] {
+        std::uint64_t sum = 0;
+        for (const auto& client : clients) sum += client->committed();
+        cumulative_commits.push_back(sum);
+      });
+    }
+  }
+
   for (auto& validator : srbb_validators) validator->start();
   for (auto& validator : modern_validators) validator->start();
   for (auto& client : clients) client->start();
@@ -269,6 +300,9 @@ RunResult run_experiment(const RunConfig& config) {
     result.pool_drops += validator->tx_pool().dropped_full();
     result.invalid_discarded = std::max(
         result.invalid_discarded, validator->metrics().txs_discarded_invalid);
+    result.validator_crashes += validator->metrics().crashes;
+    result.validator_restarts += validator->metrics().restarts;
+    result.superblocks_synced += validator->metrics().superblocks_synced;
   }
   for (const auto& validator : modern_validators) {
     result.eager_validations += validator->metrics().eager_validations;
@@ -277,6 +311,15 @@ RunResult run_experiment(const RunConfig& config) {
     result.invalid_discarded = std::max(
         result.invalid_discarded, validator->metrics().txs_discarded_invalid);
     result.crashed_nodes += validator->metrics().crashed ? 1 : 0;
+  }
+  std::uint64_t previous = 0;
+  for (const std::uint64_t commits : cumulative_commits) {
+    result.window_commits.push_back(commits - previous);
+    previous = commits;
+  }
+  if (inject_faults) {
+    result.faults_dropped = injector.stats().dropped;
+    result.faults_duplicated = injector.stats().duplicated;
   }
   result.network_messages = network.total_messages();
   result.network_bytes = network.total_bytes();

@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "chains/presets.hpp"
 #include "diablo/workload.hpp"
+#include "sim/fault.hpp"
 #include "sim/latency.hpp"
 #include "srbb/validator.hpp"
 
@@ -58,6 +60,21 @@ struct RunConfig {
   /// §VI client retry: resend unacknowledged transactions to the next
   /// validator after this timeout (0 = fire-once, DIABLO behaviour).
   SimDuration client_resend_timeout = 0;
+
+  // --- robustness (DESIGN.md §7) ---
+  /// Scripted fault injection (drops, partitions, crash/restart cycles); an
+  /// empty plan leaves the network fault-free. Crash/restart events target
+  /// SRBB-style validators (ranks < validators); with crashes in the plan,
+  /// set replicated_execution so each validator owns the oracle it wipes.
+  sim::FaultPlan faults;
+  /// Superblock-layer state rebroadcast while an instance is incomplete;
+  /// required for liveness under message loss (0 = off, the fault-free
+  /// default).
+  SimDuration rebroadcast_interval = 0;
+  /// Sample cumulative client-observed commits every `tps_window` of
+  /// simulated time into RunResult::window_commits (0 = off). Makes the
+  /// throughput dip around a crash or partition window visible.
+  SimDuration tps_window = 0;
 };
 
 struct RunResult {
@@ -83,6 +100,14 @@ struct RunResult {
   std::uint64_t crashed_nodes = 0;
   std::uint64_t slash_events = 0;
   double valid_committed_per_validator_tps = 0;
+
+  // Robustness diagnostics (fault-injected runs).
+  std::vector<std::uint64_t> window_commits;  // commits per tps_window
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t validator_crashes = 0;
+  std::uint64_t validator_restarts = 0;
+  std::uint64_t superblocks_synced = 0;
 };
 
 RunResult run_experiment(const RunConfig& config);

@@ -1,0 +1,168 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+#include "common/invariant.hpp"
+
+namespace srbb::sim {
+
+FaultPlan FaultPlan::randomized(std::uint32_t n, SimTime horizon,
+                                std::uint64_t seed, double max_drop,
+                                std::uint32_t max_crashes) {
+  // Derive everything from one private stream so the plan is a pure function
+  // of (n, horizon, seed) and never perturbs the injector's runtime stream.
+  Rng rng{seed ^ 0xFA017'F1A5ull};
+  FaultPlan plan;
+  plan.seed = seed;
+
+  plan.default_link.drop = rng.next_double() * max_drop;
+  plan.default_link.duplicate = rng.next_double() * max_drop * 0.5;
+  plan.default_link.reorder = rng.next_double() * max_drop * 0.5;
+  plan.default_link.reorder_delay_max = millis(10 + rng.next_below(90));
+
+  // One symmetric partition that always heals inside the horizon: start in
+  // the first half, last at most a quarter of the horizon. The island is a
+  // contiguous rank range of size 1..n/2 (minority, so the rest can often —
+  // but not always — keep quorum; with small n both sides may stall until
+  // healing, which is exactly the liveness case the chaos suite checks).
+  if (n >= 2 && horizon > 0) {
+    PartitionSpec part;
+    part.from = horizon / 8 + rng.next_below(horizon / 2);
+    part.until = part.from + horizon / 8 + rng.next_below(horizon / 4);
+    part.until = std::min<SimTime>(part.until, horizon - 1);
+    const std::uint32_t island_size =
+        1 + static_cast<std::uint32_t>(rng.next_below(std::max(1u, n / 2)));
+    const std::uint32_t first =
+        static_cast<std::uint32_t>(rng.next_below(n));
+    for (std::uint32_t i = 0; i < island_size; ++i) {
+      part.island.push_back((first + i) % n);
+    }
+    part.asymmetric = rng.next_bool(0.25);
+    if (part.until > part.from) plan.partitions.push_back(part);
+  }
+
+  // Crash/restart cycles: each node crashes at most once, always restarting
+  // with at least a quarter of the horizon left to catch up.
+  const std::uint32_t crash_count = max_crashes == 0
+                                        ? 0
+                                        : static_cast<std::uint32_t>(
+                                              rng.next_below(max_crashes + 1));
+  std::vector<NodeId> crashed;
+  for (std::uint32_t c = 0; c < crash_count && n > 0; ++c) {
+    CrashSpec crash;
+    crash.node = static_cast<NodeId>(rng.next_below(n));
+    if (std::find(crashed.begin(), crashed.end(), crash.node) !=
+        crashed.end()) {
+      continue;
+    }
+    crashed.push_back(crash.node);
+    crash.at = horizon / 8 + rng.next_below(horizon / 4);
+    crash.restart_at = crash.at + horizon / 8 + rng.next_below(horizon / 4);
+    plan.crashes.push_back(crash);
+  }
+
+  // Occasionally a global delay spike somewhere in the middle of the run.
+  if (rng.next_bool(0.5) && horizon > 0) {
+    DelaySpike spike;
+    spike.from = rng.next_below(horizon / 2);
+    spike.until = spike.from + rng.next_below(horizon / 4);
+    spike.extra = millis(5 + rng.next_below(45));
+    if (spike.until > spike.from) plan.delay_spikes.push_back(spike);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed ^ 0xC4A05ull) {}
+
+void FaultInjector::arm(Simulation& sim, std::function<void(NodeId)> on_crash,
+                        std::function<void(NodeId)> on_restart) {
+  for (const CrashSpec& crash : plan_.crashes) {
+    const NodeId node = crash.node;
+    sim.schedule_at(crash.at, [this, node, on_crash] {
+      ++stats_.crashes_fired;
+      if (on_crash) on_crash(node);
+    });
+    if (crash.restart_at != 0) {
+      SRBB_CHECK(crash.restart_at > crash.at);
+      sim.schedule_at(crash.restart_at, [this, node, on_restart] {
+        ++stats_.restarts_fired;
+        if (on_restart) on_restart(node);
+      });
+    }
+  }
+}
+
+bool FaultInjector::node_down(NodeId node, SimTime now) const {
+  for (const CrashSpec& crash : plan_.crashes) {
+    if (crash.node == node && crash.down_at(now)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::link_blocked(NodeId from, NodeId to, SimTime now) const {
+  for (const PartitionSpec& part : plan_.partitions) {
+    if (!part.active_at(now)) continue;
+    const bool from_in = std::find(part.island.begin(), part.island.end(),
+                                   from) != part.island.end();
+    const bool to_in = std::find(part.island.begin(), part.island.end(),
+                                 to) != part.island.end();
+    if (from_in == to_in) continue;  // same side of the cut
+    if (part.asymmetric) {
+      if (from_in) return true;  // island cannot speak out
+    } else {
+      return true;  // symmetric: nothing crosses
+    }
+  }
+  return false;
+}
+
+const LinkFaults& FaultInjector::link_faults(NodeId from, NodeId to) const {
+  const auto it = plan_.links.find({from, to});
+  return it != plan_.links.end() ? it->second : plan_.default_link;
+}
+
+SimDuration FaultInjector::spike_delay(SimTime now) const {
+  SimDuration extra = 0;
+  for (const DelaySpike& spike : plan_.delay_spikes) {
+    if (now >= spike.from && now < spike.until) extra += spike.extra;
+  }
+  return extra;
+}
+
+FaultInjector::Verdict FaultInjector::judge(NodeId from, NodeId to,
+                                            SimTime now) {
+  Verdict verdict;
+  // Crash and partition blocking are pure functions of the timeline — they
+  // never consume randomness, so adding a partition to a plan does not
+  // reshuffle the drop schedule elsewhere.
+  if (node_down(from, now) || node_down(to, now)) {
+    ++stats_.crash_blocked;
+    verdict.deliver = false;
+    return verdict;
+  }
+  if (link_blocked(from, to, now)) {
+    ++stats_.partition_blocked;
+    verdict.deliver = false;
+    return verdict;
+  }
+  const LinkFaults& faults = link_faults(from, to);
+  if (faults.drop > 0.0 && rng_.next_bool(faults.drop)) {
+    ++stats_.dropped;
+    verdict.deliver = false;
+    return verdict;
+  }
+  if (faults.duplicate > 0.0 && rng_.next_bool(faults.duplicate)) {
+    ++stats_.duplicated;
+    verdict.copies = 2;
+  }
+  if (faults.reorder > 0.0 && rng_.next_bool(faults.reorder)) {
+    ++stats_.reordered;
+    verdict.extra_delay += static_cast<SimDuration>(
+        rng_.next_below(static_cast<std::uint64_t>(faults.reorder_delay_max)));
+  }
+  verdict.extra_delay += spike_delay(now);
+  return verdict;
+}
+
+}  // namespace srbb::sim

@@ -1,0 +1,153 @@
+// Deterministic fault injection for the simulated network. A FaultPlan is a
+// scripted timeline of adversarial conditions — per-link message drop /
+// duplication / reordering probabilities, delay spikes, symmetric and
+// asymmetric partitions with timed healing, and mid-run node crash/restart
+// events. The FaultInjector evaluates the plan per send attempt with its own
+// seeded RNG stream, so a (plan, seed) pair reproduces the exact same fault
+// schedule bit-for-bit — the property the chaos harness (tests/test_chaos.cpp,
+// tools/chaos_soak.sh) relies on to replay failing seeds.
+//
+// The injector only decides *what happens on the wire*; crash semantics (what
+// state a node loses, how it recovers) live in the node layer. arm() schedules
+// the plan's crash/restart callbacks on the event loop, and the Network
+// consults node_down()/link_blocked()/judge() on every send.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/event_loop.hpp"
+
+namespace srbb::sim {
+
+using NodeId = std::uint32_t;
+
+/// Stochastic per-link misbehaviour, applied to every traversing message.
+struct LinkFaults {
+  double drop = 0.0;       // P(message lost in flight)
+  double duplicate = 0.0;  // P(a second copy is delivered)
+  double reorder = 0.0;    // P(extra random delay, letting later msgs overtake)
+  SimDuration reorder_delay_max = millis(50);
+
+  bool quiet() const {
+    return drop == 0.0 && duplicate == 0.0 && reorder == 0.0;
+  }
+};
+
+/// One island of nodes cut off from the rest of the network for a time
+/// window. Symmetric: no traffic crosses the cut in either direction.
+/// Asymmetric: only island -> outside is blocked (the island hears the world
+/// but cannot speak — the classic one-way partition DBFT must tolerate).
+struct PartitionSpec {
+  SimTime from = 0;
+  SimTime until = 0;  // heal time; 0 = never heals
+  std::vector<NodeId> island;
+  bool asymmetric = false;
+
+  bool active_at(SimTime now) const {
+    return now >= from && (until == 0 || now < until);
+  }
+};
+
+/// Crash-recover schedule for one node. While down the node neither sends
+/// nor receives; at `restart_at` (0 = stays down) the node layer's restart
+/// callback runs (wiping volatile state and starting catch-up sync).
+struct CrashSpec {
+  NodeId node = 0;
+  SimTime at = 0;
+  SimTime restart_at = 0;  // 0 = never restarts
+
+  bool down_at(SimTime now) const {
+    return now >= at && (restart_at == 0 || now < restart_at);
+  }
+};
+
+/// Global latency degradation window (congestion spike, route flap): every
+/// delivery during the window is delayed by `extra`.
+struct DelaySpike {
+  SimTime from = 0;
+  SimTime until = 0;
+  SimDuration extra = 0;
+};
+
+struct FaultPlan {
+  /// Seed of the injector's private RNG stream (drop/dup/reorder sampling).
+  std::uint64_t seed = 1;
+  LinkFaults default_link;
+  /// Per-(from,to) overrides; missing links use default_link.
+  std::map<std::pair<NodeId, NodeId>, LinkFaults> links;
+  std::vector<PartitionSpec> partitions;
+  std::vector<CrashSpec> crashes;
+  std::vector<DelaySpike> delay_spikes;
+
+  bool empty() const {
+    return default_link.quiet() && links.empty() && partitions.empty() &&
+           crashes.empty() && delay_spikes.empty();
+  }
+
+  /// Seed-deterministic randomized plan over nodes 0..n-1 within
+  /// [0, horizon): uniform link faults with drop <= max_drop (duplicate and
+  /// reorder up to half that), one symmetric partition that always heals
+  /// before `horizon`, and up to `max_crashes` crash/restart cycles (each
+  /// restarting before `horizon`). The same (n, horizon, seed) triple always
+  /// builds the identical plan.
+  static FaultPlan randomized(std::uint32_t n, SimTime horizon,
+                              std::uint64_t seed, double max_drop = 0.2,
+                              std::uint32_t max_crashes = 1);
+};
+
+struct FaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t partition_blocked = 0;
+  std::uint64_t crash_blocked = 0;
+  std::uint64_t crashes_fired = 0;
+  std::uint64_t restarts_fired = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Schedule the plan's crash/restart timeline on the event loop. The
+  /// callbacks fire at the scripted times; message blocking while a node is
+  /// down is handled by the Network consulting node_down(). Call once,
+  /// before the simulation runs past the first crash time.
+  void arm(Simulation& sim, std::function<void(NodeId)> on_crash,
+           std::function<void(NodeId)> on_restart);
+
+  /// The fate of one send attempt. `copies` > 1 means duplicate delivery;
+  /// `extra_delay` is added to the propagation of every copy.
+  struct Verdict {
+    bool deliver = true;
+    std::uint32_t copies = 1;
+    SimDuration extra_delay = 0;
+  };
+
+  /// Judge one physical send. Consumes from the injector's RNG stream, so
+  /// call exactly once per Network::send for reproducibility. Blocked and
+  /// dropped messages are counted in stats().
+  Verdict judge(NodeId from, NodeId to, SimTime now);
+
+  bool node_down(NodeId node, SimTime now) const;
+  bool link_blocked(NodeId from, NodeId to, SimTime now) const;
+
+  const FaultStats& stats() const { return stats_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  const LinkFaults& link_faults(NodeId from, NodeId to) const;
+  SimDuration spike_delay(SimTime now) const;
+
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace srbb::sim

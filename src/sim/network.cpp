@@ -1,7 +1,9 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/invariant.hpp"
+#include "sim/fault.hpp"
 
 namespace srbb::sim {
 
@@ -18,32 +20,76 @@ void SimNode::send(NodeId to, MessagePtr message) {
 }
 
 void Network::attach(SimNode* node) {
-  assert(node->id() == nodes_.size());
+  SRBB_CHECK(node != nullptr);
+  // Double-attach would alias two slots onto one node and corrupt every
+  // per-node stat and NIC queue below; ids must equal registration order so
+  // nodes_[id] indexing stays total.
+  SRBB_CHECK(node->network_ == nullptr);
+  SRBB_CHECK(node->id() == nodes_.size());
   node->network_ = this;
   nodes_.push_back(node);
   nics_.push_back(Nic{});
 }
 
 void Network::send(NodeId from, NodeId to, MessagePtr message) {
+  SRBB_CHECK(from < nodes_.size());
+  SRBB_CHECK(to < nodes_.size());
   const std::size_t bytes = message->size_bytes();
   SimNode* sender = nodes_[from];
-  SimNode* receiver = nodes_[to];
 
   sender->stats_.messages_sent += 1;
   sender->stats_.bytes_sent += bytes;
   total_messages_ += 1;
   total_bytes_ += bytes;
 
-  // Egress serialization: the sender's NIC pushes one message at a time.
+  FaultInjector::Verdict verdict;
+  if (faults_ != nullptr) {
+    const FaultStats before = faults_->stats();
+    verdict = faults_->judge(from, to, sim_.now());
+    if (!verdict.deliver) {
+      // Attribute the loss on the sender: a cut link (partition or crashed
+      // endpoint) vs an in-flight drop. The packet still left the NIC, so
+      // egress serialization is charged either way.
+      const FaultStats& after = faults_->stats();
+      if (after.partition_blocked != before.partition_blocked ||
+          after.crash_blocked != before.crash_blocked) {
+        sender->stats_.partition_blocked += 1;
+      } else {
+        sender->stats_.messages_dropped += 1;
+      }
+      Nic& sender_nic = nics_[from];
+      sender_nic.egress_free_at =
+          std::max(sim_.now(), sender_nic.egress_free_at) +
+          transmission_delay(bytes);
+      return;
+    }
+    if (verdict.copies > 1) {
+      sender->stats_.messages_duplicated += verdict.copies - 1;
+    }
+  }
+
+  for (std::uint32_t copy = 0; copy < verdict.copies; ++copy) {
+    deliver_copy(from, to, message, bytes, verdict.extra_delay);
+  }
+}
+
+void Network::deliver_copy(NodeId from, NodeId to, MessagePtr message,
+                           std::size_t bytes, SimDuration extra_delay) {
+  SimNode* sender = nodes_[from];
+  SimNode* receiver = nodes_[to];
+
+  // Egress serialization: the sender's NIC pushes one message at a time
+  // (a duplicated copy is a real retransmission, so it queues too).
   const SimDuration tx_delay = transmission_delay(bytes);
   Nic& sender_nic = nics_[from];
   const SimTime egress_done =
       std::max(sim_.now(), sender_nic.egress_free_at) + tx_delay;
   sender_nic.egress_free_at = egress_done;
 
-  // Propagation across the wire.
+  // Propagation across the wire, plus any injected reorder/spike delay.
   const SimDuration propagation =
-      config_.latency.sample(sender->region(), receiver->region(), rng_);
+      config_.latency.sample(sender->region(), receiver->region(), rng_) +
+      extra_delay;
 
   // Ingress serialization at the receiver.
   Nic& receiver_nic = nics_[to];
@@ -52,8 +98,10 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
       std::max(arrival, receiver_nic.ingress_free_at) + tx_delay;
   receiver_nic.ingress_free_at = ingress_done;
 
-  sim_.schedule_at(ingress_done, [receiver, from, message = std::move(message),
-                                  bytes]() {
+  sim_.schedule_at(ingress_done, [this, receiver, from, to,
+                                  message = std::move(message), bytes]() {
+    // A node that crashed while the message was in flight loses it.
+    if (faults_ != nullptr && faults_->node_down(to, sim_.now())) return;
     receiver->stats_.messages_received += 1;
     receiver->stats_.bytes_received += bytes;
     receiver->handle_message(from, message);

@@ -33,9 +33,17 @@ struct NodeStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
   SimDuration cpu_busy = 0;
+  // Fault attribution (sender side), filled when a FaultInjector is armed:
+  // in-flight losses, extra copies delivered, and sends blocked because a
+  // partition (or a crashed endpoint) cut the link. Lets DIABLO reports and
+  // benches attribute loss instead of lumping it into "not committed".
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t partition_blocked = 0;
 };
 
 class Network;
+class FaultInjector;
 
 /// Actor base class. Protocol nodes (validators, clients, load balancers)
 /// derive from this and receive messages via handle_message.
@@ -84,13 +92,22 @@ class Network {
   Network(Simulation& simulation, NetworkConfig config)
       : sim_(simulation), config_(std::move(config)), rng_(config_.seed) {}
 
-  /// Register a node (not owned). Its id must equal its registration order.
+  /// Register a node (not owned). Its id must equal its registration order;
+  /// out-of-order ids and double-attach are SRBB_CHECK violations.
   void attach(SimNode* node);
 
   void send(NodeId from, NodeId to, MessagePtr message);
 
+  /// Route every subsequent send through `injector` (not owned; nullptr
+  /// disables injection). The injector decides drops, duplicates, reorder
+  /// delays, and partition/crash blocking; the Network stays the sole owner
+  /// of the queueing model.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+  FaultInjector* fault_injector() { return faults_; }
+
   std::size_t node_count() const { return nodes_.size(); }
   SimNode* node(NodeId id) { return nodes_[id]; }
+  Simulation& sim() { return sim_; }
   const LatencyModel& latency() const { return config_.latency; }
 
   std::uint64_t total_messages() const { return total_messages_; }
@@ -107,9 +124,13 @@ class Network {
                                     config_.bandwidth_bps * kSecond);
   }
 
+  void deliver_copy(NodeId from, NodeId to, MessagePtr message,
+                    std::size_t bytes, SimDuration extra_delay);
+
   Simulation& sim_;
   NetworkConfig config_;
   Rng rng_;
+  FaultInjector* faults_ = nullptr;
   std::vector<SimNode*> nodes_;
   std::vector<Nic> nics_;
   std::uint64_t total_messages_ = 0;

@@ -2,7 +2,10 @@
 // messages live in consensus/messages.hpp).
 #pragma once
 
+#include <vector>
+
 #include "sim/network.hpp"
+#include "txn/block.hpp"
 #include "txn/txref.hpp"
 
 namespace srbb::node {
@@ -34,6 +37,32 @@ struct CommitAckMsg final : sim::Message {
 
   std::size_t size_bytes() const override { return 32 + 1 + 32; }
   const char* type() const override { return "commit-ack"; }
+};
+
+/// Catch-up sync (crash recovery): a restarted validator asks a peer for the
+/// decided superblock at `index`.
+struct SyncRequestMsg final : sim::Message {
+  std::uint64_t index = 0;
+
+  std::size_t size_bytes() const override { return 8 + 32; }
+  const char* type() const override { return "sync-req"; }
+};
+
+/// Reply to a SyncRequestMsg. `height` is the responder's commit frontier
+/// (next index it will commit); `have` is false when the responder has not
+/// decided `index` yet, which tells the requester it reached the frontier.
+struct SyncResponseMsg final : sim::Message {
+  std::uint64_t index = 0;
+  bool have = false;
+  std::uint64_t height = 0;
+  std::vector<txn::BlockPtr> blocks;  // decided superblock, iff `have`
+
+  std::size_t size_bytes() const override {
+    std::size_t bytes = 8 + 1 + 8 + 32;
+    for (const txn::BlockPtr& block : blocks) bytes += block->wire_size();
+    return bytes;
+  }
+  const char* type() const override { return "sync-resp"; }
 };
 
 }  // namespace srbb::node

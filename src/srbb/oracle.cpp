@@ -30,10 +30,16 @@ TxOutcome outcome_from(const txn::TxPtr& tx,
 ExecutionOracle::ExecutionOracle(const GenesisSpec& genesis,
                                  evm::BlockContext block_template,
                                  const crypto::SignatureScheme& scheme)
-    : block_template_(block_template) {
-  genesis.apply(db_);
+    : genesis_(genesis), block_template_(block_template) {
+  genesis_.apply(db_);
   exec_config_.verify_signature = true;
   exec_config_.scheme = &scheme;
+}
+
+void ExecutionOracle::reset() {
+  db_ = state::StateDB{};
+  genesis_.apply(db_);
+  results_.clear();
 }
 
 const IndexExecResult& ExecutionOracle::execute(

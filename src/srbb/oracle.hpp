@@ -64,6 +64,11 @@ class ExecutionOracle {
   const state::StateDB& db() const { return db_; }
   state::StateDB& mutable_db() { return db_; }
 
+  /// Wipe all execution state back to genesis (a validator crash losing its
+  /// volatile state). Only meaningful for a privately owned oracle — resetting
+  /// a shared oracle would destroy the state of every co-owning replica.
+  void reset();
+
   /// Execution knobs (parallelism, signature re-checking). Changing
   /// `workers` after the first parallel execution has no effect: the worker
   /// pool is created lazily on first use and then kept.
@@ -71,6 +76,7 @@ class ExecutionOracle {
   const txn::ExecutionConfig& exec_config() const { return exec_config_; }
 
  private:
+  GenesisSpec genesis_;  // kept so reset() can rebuild the world state
   state::StateDB db_;
   evm::BlockContext block_template_;
   txn::ExecutionConfig exec_config_;

@@ -1,0 +1,94 @@
+#include "srbb/sync.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/invariant.hpp"
+
+namespace srbb::node {
+
+CatchUpSync::CatchUpSync(CatchUpConfig config, CatchUpCallbacks callbacks)
+    : config_(std::move(config)), cb_(std::move(callbacks)) {
+  SRBB_CHECK(config_.n >= 2);  // needs at least one peer to fetch from
+  SRBB_CHECK(config_.self < config_.n);
+}
+
+void CatchUpSync::start(std::uint64_t from_index) {
+  if (active_) return;
+  active_ = true;
+  next_ = from_index;
+  target_height_ = from_index;
+  rotation_ = 0;
+  backoff_ = 0;
+  request_current();
+}
+
+void CatchUpSync::cancel() {
+  active_ = false;
+  ++generation_;  // orphan any pending timeout closure
+}
+
+std::uint32_t CatchUpSync::pick_peer() const {
+  // Rotate through the other validators in rank order, one step per retry,
+  // so a dead or partitioned responder costs exactly one timeout.
+  const std::uint32_t offset = 1 + rotation_ % (config_.n - 1);
+  return (config_.self + offset) % config_.n;
+}
+
+void CatchUpSync::request_current() {
+  const std::uint32_t peer = pick_peer();
+  auto request = std::make_shared<SyncRequestMsg>();
+  request->index = next_;
+  ++stats_.requests_sent;
+  cb_.send_to(peer, sim::MessagePtr{std::move(request)});
+
+  const std::uint64_t generation = ++generation_;
+  const SimDuration timeout =
+      config_.request_timeout
+      << std::min<std::uint32_t>(backoff_, config_.backoff_cap);
+  cb_.set_timer(timeout, [this, generation] {
+    if (!active_ || generation != generation_) return;  // already answered
+    ++stats_.timeouts;
+    ++rotation_;
+    ++backoff_;
+    request_current();
+  });
+}
+
+void CatchUpSync::on_response(std::uint32_t from, const SyncResponseMsg& msg) {
+  (void)from;
+  if (!active_ || msg.index != next_) {
+    // Duplicate delivery or a reply to a request we already retried; both
+    // are expected under fault injection and safely ignored.
+    ++stats_.stale_responses;
+    return;
+  }
+  ++generation_;  // retire the pending timeout for this request
+  target_height_ = std::max(target_height_, msg.height);
+  backoff_ = 0;  // the network answered; only silence escalates the timeout
+
+  if (msg.have) {
+    ++stats_.superblocks_fetched;
+    // Keep asking the peer that just served: it demonstrably has the chain.
+    const std::uint64_t index = next_;
+    ++next_;
+    cb_.on_superblock(index, msg.blocks);
+    if (!active_) return;  // on_superblock may have cancelled (re-crash)
+    request_current();
+    return;
+  }
+
+  // The responder does not have `next_`: its frontier is at or below ours.
+  // If some earlier responder reported a higher frontier we are not done —
+  // rotate to another peer and keep fetching; otherwise we have reached the
+  // head of the chain.
+  if (target_height_ > next_) {
+    ++rotation_;
+    request_current();
+    return;
+  }
+  active_ = false;
+  cb_.on_caught_up(next_);
+}
+
+}  // namespace srbb::node

@@ -1,0 +1,106 @@
+// Catch-up synchronization for crash recovery (robustness layer, DESIGN.md
+// §7). A validator that restarts after a crash has lost its volatile state
+// and must rebuild the chain before it can rejoin consensus: it fetches the
+// decided superblocks it is missing, one index at a time, from its peers.
+//
+// Protocol: request index k from a peer; the reply either carries the decided
+// superblock for k (advance to k+1) or reports the responder's commit
+// frontier with `have = false`, which means the requester has reached the
+// head of the chain. Requests that time out are retried against the next
+// peer in rank order with exponential backoff, so a crashed or partitioned
+// responder only costs one timeout.
+//
+// Trust model: replies are accepted from the first peer that answers. With
+// at most f Byzantine validators this is sound only because every fetched
+// superblock is re-executed locally and the resulting chain digest is
+// cross-checked by the harness safety checks; a production implementation
+// would verify the embedded n-f echo certificates instead (the simulator's
+// blocks carry them, see txn::BlockCertificate). See docs/FAULTS.md.
+//
+// Like the consensus classes this is a pure state machine driven by
+// callbacks (no direct network/sim dependency) so it unit-tests standalone.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "srbb/messages.hpp"
+
+namespace srbb::node {
+
+struct CatchUpConfig {
+  std::uint32_t n = 4;     // validator count (ranks 0..n-1)
+  std::uint32_t self = 0;  // this validator's rank
+  /// Base request timeout; doubles per consecutive timed-out request.
+  SimDuration request_timeout = millis(250);
+  /// Cap on the backoff exponent: timeout <<= min(consecutive timeouts, cap).
+  std::uint32_t backoff_cap = 4;
+};
+
+struct CatchUpCallbacks {
+  std::function<void(std::uint32_t peer, sim::MessagePtr)> send_to;
+  std::function<void(SimDuration, std::function<void()>)> set_timer;
+  /// A fetched decided superblock, fired in strictly increasing index order.
+  std::function<void(std::uint64_t index, std::vector<txn::BlockPtr> blocks)>
+      on_superblock;
+  /// Fired once when the fetch frontier reached the chain head; the frontier
+  /// (first index NOT fetched) is passed along.
+  std::function<void(std::uint64_t frontier)> on_caught_up;
+};
+
+class CatchUpSync {
+ public:
+  struct Stats {
+    std::uint64_t requests_sent = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t superblocks_fetched = 0;
+    std::uint64_t stale_responses = 0;
+  };
+
+  CatchUpSync(CatchUpConfig config, CatchUpCallbacks callbacks);
+
+  /// Begin fetching at `from_index` (the restarted node's commit frontier,
+  /// normally 0 after a full wipe). Restartable: a second start() while
+  /// active is ignored.
+  void start(std::uint64_t from_index);
+
+  /// Route a peer's SyncResponseMsg.
+  void on_response(std::uint32_t from, const SyncResponseMsg& msg);
+
+  /// Abort an in-flight sync (the node crashed again); pending timers become
+  /// no-ops and a later start() begins a fresh fetch.
+  void cancel();
+
+  bool active() const { return active_; }
+  std::uint64_t next_index() const { return next_; }
+  /// Highest commit frontier any responder has reported so far.
+  std::uint64_t target_height() const { return target_height_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void request_current();
+  std::uint32_t pick_peer() const;
+
+  CatchUpConfig config_;
+  CatchUpCallbacks cb_;
+  bool active_ = false;
+  std::uint64_t next_ = 0;           // index currently being fetched
+  std::uint64_t target_height_ = 0;  // max height reported by responders
+  /// Which peer to ask: advances on timeouts and on answered-but-empty
+  /// responses, holds position while a peer keeps serving.
+  std::uint32_t rotation_ = 0;
+  /// Consecutive unanswered requests; drives the backoff exponent. Kept
+  /// separate from rotation_ so a responsive peer that merely lacks the
+  /// block ("have = false") never escalates the timeout — only silence does.
+  std::uint32_t backoff_ = 0;
+  /// Bumped on every request and accepted response; pending timeout closures
+  /// compare against it so a late timer for an already-answered request (or
+  /// a sync that was cancelled by a second crash) is a no-op.
+  std::uint64_t generation_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace srbb::node

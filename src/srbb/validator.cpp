@@ -22,7 +22,30 @@ ValidatorNode::ValidatorNode(sim::Simulation& simulation, sim::NodeId id,
       oracle_(std::move(oracle)),
       rpm_(std::move(rpm)),
       overlay_(overlay),
-      pool_(config_.pool) {}
+      pool_(config_.pool) {
+  CatchUpConfig sync_config;
+  sync_config.n = config_.n;
+  sync_config.self = config_.self;
+  sync_config.request_timeout = config_.sync_request_timeout;
+  sync_config.backoff_cap = config_.sync_backoff_cap;
+  CatchUpCallbacks sync_cb;
+  sync_cb.send_to = [this](std::uint32_t peer, sim::MessagePtr msg) {
+    if (peer != config_.self) send(peer, std::move(msg));
+  };
+  sync_cb.set_timer = [this](SimDuration delay, std::function<void()> fn) {
+    // CatchUpSync disarms stale timers via its generation counter; the epoch
+    // guard additionally kills timers armed before a second crash.
+    sim().schedule_after(delay, guarded(std::move(fn)));
+  };
+  sync_cb.on_superblock = [this](std::uint64_t index,
+                                 std::vector<txn::BlockPtr> blocks) {
+    on_synced_superblock(index, std::move(blocks));
+  };
+  sync_cb.on_caught_up = [this](std::uint64_t frontier) {
+    on_caught_up(frontier);
+  };
+  sync_ = std::make_unique<CatchUpSync>(sync_config, std::move(sync_cb));
+}
 
 void ValidatorNode::start() {
   if (started_ || config_.behavior.silent) return;
@@ -37,6 +60,7 @@ void ValidatorNode::start() {
 void ValidatorNode::handle_message(sim::NodeId from,
                                    const sim::MessagePtr& message) {
   if (config_.behavior.silent) return;
+  if (crashed_) return;  // down: anything still in flight is lost
   if (const auto* client = dynamic_cast<const ClientTxMsg*>(message.get())) {
     on_client_tx(from, client->tx);
     return;
@@ -45,31 +69,94 @@ void ValidatorNode::handle_message(sim::NodeId from,
     on_gossip_tx(from, gossip->tx);
     return;
   }
+  if (const auto* req = dynamic_cast<const SyncRequestMsg*>(message.get())) {
+    on_sync_request(from, *req);
+    return;
+  }
+  if (const auto* resp = dynamic_cast<const SyncResponseMsg*>(message.get())) {
+    sync_->on_response(static_cast<std::uint32_t>(from), *resp);
+    return;
+  }
   // Consensus traffic: route by index. Instances exist lazily so early
   // messages for future rounds are absorbed by their (not yet begun)
   // instance; PULLs for completed instances are answered by them too.
   std::uint64_t index = 0;
-  if (const auto* p = dynamic_cast<const consensus::ProposeMsg*>(message.get())) {
+  const auto* pull = dynamic_cast<const consensus::PullMsg*>(message.get());
+  const auto* bin = dynamic_cast<const consensus::BinMsg*>(message.get());
+  const auto* dec = dynamic_cast<const consensus::DecidedMsg*>(message.get());
+  if (pull != nullptr) {
+    index = pull->index;
+  } else if (bin != nullptr) {
+    index = bin->index;
+  } else if (dec != nullptr) {
+    index = dec->index;
+  } else if (const auto* p = dynamic_cast<const consensus::ProposeMsg*>(message.get())) {
     index = p->index;
   } else if (const auto* e = dynamic_cast<const consensus::EchoMsg*>(message.get())) {
     index = e->index;
-  } else if (const auto* pl = dynamic_cast<const consensus::PullMsg*>(message.get())) {
-    index = pl->index;
-  } else if (const auto* b = dynamic_cast<const consensus::BinMsg*>(message.get())) {
-    index = b->index;
-  } else if (const auto* d = dynamic_cast<const consensus::DecidedMsg*>(message.get())) {
-    index = d->index;
   } else {
     return;  // unknown message type
   }
+  if (index < next_commit_ && !instances_.contains(index)) {
+    // The index is committed and its instance pruned (or never rebuilt after
+    // a crash wiped it). Don't resurrect a zombie instance; a straggler still
+    // working the index is answered from the decided store instead: PULLs
+    // with the body plus our echo, bin traffic with the decision the network
+    // certified. Without the latter a straggler can starve: with one peer
+    // syncing and one already decided, the two still ESTing never reach the
+    // 2f+1 binding quorum, and a single retained instance's DECIDED hint is
+    // one short of the f+1 adoption threshold.
+    if (pull != nullptr) {
+      on_stale_pull(from, *pull);
+    } else if (bin != nullptr) {
+      on_stale_bin(from, index, bin->proposer);
+    } else if (dec != nullptr) {
+      on_stale_bin(from, index, dec->proposer);
+    }
+    return;
+  }
+  // Falling-behind detection: traffic for an index two or more superblocks
+  // past our commit frontier means the network decided superblocks we missed
+  // entirely. Peers prune completed instances and stop rebroadcasting them,
+  // so the consensus layer can no longer heal a gap that old — fall back to
+  // catch-up sync (served from the peers' decided stores) and rejoin at the
+  // frontier. The message still reaches its instance below: live consensus
+  // keeps flowing through passive instances while we replay.
+  if (started_ && !syncing_ && index >= next_commit_ + 2) {
+    syncing_ = true;
+    sync_->start(next_commit_);
+  }
   instance_for(index).handle(from, message);
+}
+
+void ValidatorNode::on_stale_pull(sim::NodeId from,
+                                  const consensus::PullMsg& msg) {
+  const auto it = decided_store_.find(msg.index);
+  if (it == decided_store_.end()) return;
+  for (const txn::BlockPtr& block : it->second) {
+    if (block->header.proposer == msg.proposer) {
+      auto reply = std::make_shared<consensus::ProposeMsg>();
+      reply->index = msg.index;
+      reply->block = block;
+      send(from, std::move(reply));
+      // Vouch for the hash too: the committed superblock carries the echo
+      // quorum's certificate, so re-asserting it is safe and lets the
+      // puller rebuild slot readiness (body + echo quorum) from scratch.
+      auto echo = std::make_shared<consensus::EchoMsg>();
+      echo->index = msg.index;
+      echo->proposer = msg.proposer;
+      echo->block_hash = block->hash();
+      send(from, std::move(echo));
+      return;
+    }
+  }
 }
 
 void ValidatorNode::on_client_tx(sim::NodeId from, const txn::TxPtr& tx) {
   ++metrics_.client_txs_received;
   // Eager validation burns CPU before the admission decision (this queueing
   // is the congestion the paper measures).
-  post_work(config_.costs.eager_validation, [this, from, tx] {
+  post_work(config_.costs.eager_validation, guarded([this, from, tx] {
     ++metrics_.eager_validations;
     if (committed_txs_.contains(tx->hash) || pool_.contains(tx->hash)) return;
     const Status valid = txn::eager_validate(
@@ -84,19 +171,22 @@ void ValidatorNode::on_client_tx(sim::NodeId from, const txn::TxPtr& tx) {
       // Modern blockchain: propagate the individual transaction (line 9).
       gossip_tx(tx, std::nullopt);
     }
-  });
+  }));
 }
 
 void ValidatorNode::on_gossip_tx(sim::NodeId from, const txn::TxPtr& tx) {
   ++metrics_.gossip_txs_received;
-  // Cheap dedup before the expensive validation, as Geth does.
-  post_work(config_.costs.gossip_dedup, [this, from, tx] {
+  // Cheap dedup before the expensive validation, as Geth does. This is what
+  // makes duplicated/reordered gossip (fault injection) harmless: a second
+  // copy costs one seen-set lookup, never a second validation or pool slot.
+  post_work(config_.costs.gossip_dedup, guarded([this, from, tx] {
     if (seen_gossip_.contains(tx->hash) || committed_txs_.contains(tx->hash) ||
         pool_.contains(tx->hash)) {
+      ++metrics_.gossip_dups_suppressed;
       return;
     }
     seen_gossip_.insert(tx->hash);
-    post_work(config_.costs.eager_validation, [this, from, tx] {
+    post_work(config_.costs.eager_validation, guarded([this, from, tx] {
       ++metrics_.eager_validations;  // the redundant validation TVPR removes
       const Status valid = txn::eager_validate(
           tx->tx, oracle_->db(), *config_.scheme, config_.validation);
@@ -106,8 +196,8 @@ void ValidatorNode::on_gossip_tx(sim::NodeId from, const txn::TxPtr& tx) {
       }
       admit_to_pool(tx);
       gossip_tx(tx, from);
-    });
-  });
+    }));
+  }));
 }
 
 void ValidatorNode::admit_to_pool(const txn::TxPtr& tx) {
@@ -142,6 +232,7 @@ SuperblockInstance& ValidatorNode::instance_for(std::uint64_t index) {
   sb_config.self = config_.self;
   sb_config.proposal_timeout = config_.proposal_timeout;
   sb_config.pull_retry = config_.pull_retry;
+  sb_config.rebroadcast_interval = config_.rebroadcast_interval;
   sb_config.scheme = config_.scheme;
 
   SuperblockCallbacks cb;
@@ -165,7 +256,9 @@ SuperblockInstance& ValidatorNode::instance_for(std::uint64_t index) {
     on_superblock(index, std::move(blocks));
   };
   cb.set_timer = [this](SimDuration delay, std::function<void()> fn) {
-    sim().schedule_after(delay, std::move(fn));
+    // The instance's own alive_ sentinel already no-ops timers of destroyed
+    // instances; the epoch guard covers the crash-wipes-instances_ case too.
+    sim().schedule_after(delay, guarded(std::move(fn)));
   };
 
   it = instances_
@@ -241,6 +334,10 @@ bool ValidatorNode::validate_header(const txn::Block& block) const {
 
 void ValidatorNode::on_superblock(std::uint64_t index,
                                   std::vector<txn::BlockPtr> blocks) {
+  // The decided set is recorded before commit so a restarted peer can fetch
+  // it; the commit pipeline then drains pending_superblocks_ in order.
+  decided_store_[index] = blocks;
+  if (index < next_commit_) return;  // already committed (sync + passive dup)
   pending_superblocks_[index] = std::move(blocks);
   try_commit();
 }
@@ -264,13 +361,13 @@ void ValidatorNode::try_commit() {
           (config_.costs.lazy_validation + config_.costs.sig_check_exec) +
       static_cast<SimDuration>(result.total_valid) *
           config_.costs.execution_per_tx;
-  post_work(cost, [this, index] {
+  post_work(cost, guarded([this, index] {
     const auto pending = pending_superblocks_.find(index);
     commit_index(index, pending->second);
     pending_superblocks_.erase(pending);
     commit_in_flight_ = false;
     try_commit();  // next superblock may already be waiting
-  });
+  }));
 }
 
 void ValidatorNode::commit_index(std::uint64_t index,
@@ -314,10 +411,34 @@ void ValidatorNode::commit_index(std::uint64_t index,
   last_state_root_ = result.state_root;
   ++metrics_.superblocks_committed;
 
-  if (rpm_ != nullptr && config_.rpm) run_rpm_hooks(index, blocks, result);
+  // During catch-up replay the RPM hooks are skipped: the pre-crash run (and
+  // every live peer) already reported these indices to the shared contract,
+  // so replaying the reports would double-count them.
+  if (rpm_ != nullptr && config_.rpm && !syncing_) {
+    run_rpm_hooks(index, blocks, result);
+  }
   recycle_undecided(index);
 
+  // A live commit always comes from its instance completing; an instance
+  // still incomplete here is a passive husk built from traffic that raced a
+  // catch-up replay. Keeping it would swallow stragglers' messages for this
+  // index that the decided store can actually answer — drop it.
+  const auto husk = instances_.find(index);
+  if (husk != instances_.end() && !husk->second->complete()) {
+    instances_.erase(husk);
+  }
+
   ++next_commit_;
+  if (syncing_) {
+    // Replay only: consensus resumes once the commit frontier reaches the
+    // fetch frontier (begin_round for an old index would propose doomed
+    // blocks into rounds the peers finished long ago).
+    if (sync_caught_up_ && !sync_->active() && next_commit_ >= sync_frontier_) {
+      finish_sync();
+    }
+    return;
+  }
+  if (!started_) return;
   // Schedule the next round, pacing by the configured block interval.
   const std::uint64_t next_round = index + 1;
   if (next_round > current_round_) {
@@ -325,9 +446,9 @@ void ValidatorNode::commit_index(std::uint64_t index,
     if (now() >= earliest) {
       begin_round(next_round);
     } else {
-      sim().schedule_at(earliest, [this, next_round] {
+      sim().schedule_at(earliest, guarded([this, next_round] {
         if (next_round > current_round_) begin_round(next_round);
-      });
+      }));
     }
   }
 }
@@ -356,6 +477,114 @@ void ValidatorNode::recycle_undecided(std::uint64_t index) {
   // The instance has served its purpose; keep only a window for late PULLs.
   if (index >= 4) instances_.erase(instances_.begin(),
                                    instances_.lower_bound(index - 3));
+}
+
+// ---------------------------------------------------------------------------
+// Crash / recovery (DESIGN.md §7)
+// ---------------------------------------------------------------------------
+
+void ValidatorNode::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  started_ = false;
+  syncing_ = false;
+  sync_caught_up_ = false;
+  sync_frontier_ = 0;
+  ++epoch_;  // disarm every queued closure (CPU work, timers, round pacing)
+  ++metrics_.crashes;
+  sync_->cancel();
+
+  // Volatile state is gone: pool, dedup sets, chain, consensus instances,
+  // decided-block store, execution state. Destroying the instances also
+  // orphans their pending timers via the alive_ sentinels.
+  pool_ = pool::TxPool(config_.pool);
+  seen_gossip_.clear();
+  committed_txs_.clear();
+  client_origins_.clear();
+  instances_.clear();
+  pending_superblocks_.clear();
+  decided_store_.clear();
+  current_round_ = 0;
+  next_commit_ = 0;
+  commit_in_flight_ = false;
+  last_round_start_ = 0;
+  parent_hash_ = Hash32{};
+  chain_.clear();
+  last_state_root_ = Hash32{};
+  if (config_.oracle_private) oracle_->reset();
+}
+
+void ValidatorNode::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++metrics_.restarts;
+  if (config_.behavior.silent) return;
+  syncing_ = true;
+  sync_->start(next_commit_);  // 0 after a full wipe
+}
+
+void ValidatorNode::on_stale_bin(sim::NodeId from, std::uint64_t index,
+                                 std::uint32_t proposer) {
+  const auto it = decided_store_.find(index);
+  if (it == decided_store_.end()) return;
+  bool value = false;
+  for (const txn::BlockPtr& block : it->second) {
+    if (block->header.proposer == proposer) {
+      value = true;
+      break;
+    }
+  }
+  auto msg = std::make_shared<consensus::DecidedMsg>();
+  msg->index = index;
+  msg->proposer = proposer;
+  msg->value = value;
+  send(from, std::move(msg));
+}
+
+void ValidatorNode::on_sync_request(sim::NodeId from,
+                                    const SyncRequestMsg& msg) {
+  ++metrics_.sync_requests_served;
+  auto resp = std::make_shared<SyncResponseMsg>();
+  resp->index = msg.index;
+  resp->height = next_commit_;
+  const auto it = decided_store_.find(msg.index);
+  if (it != decided_store_.end()) {
+    resp->have = true;
+    resp->blocks = it->second;
+  }
+  send(from, std::move(resp));
+}
+
+void ValidatorNode::on_synced_superblock(std::uint64_t index,
+                                         std::vector<txn::BlockPtr> blocks) {
+  ++metrics_.superblocks_synced;
+  // Feed the fetched superblock through the regular commit pipeline: the
+  // replay re-executes (or reuses the memoized result of) every index, so
+  // the rebuilt chain digest is bit-for-bit the one the node lost.
+  on_superblock(index, std::move(blocks));
+}
+
+void ValidatorNode::on_caught_up(std::uint64_t frontier) {
+  sync_caught_up_ = true;
+  sync_frontier_ = frontier;
+  // Resume only once the replay drained. If a commit is in flight it is for
+  // next_commit_ itself; its continuation re-runs this check.
+  if (next_commit_ >= sync_frontier_ && !commit_in_flight_) finish_sync();
+}
+
+void ValidatorNode::finish_sync() {
+  if (!syncing_) return;
+  syncing_ = false;
+  sync_caught_up_ = false;
+  started_ = true;
+  // While we replayed, live consensus kept flowing through the passive
+  // instances; the frontier superblock may therefore already be decided.
+  // Commit it instead of proposing into a finished round.
+  if (pending_superblocks_.contains(next_commit_)) {
+    try_commit();
+  } else {
+    begin_round(next_commit_);
+  }
 }
 
 void ValidatorNode::run_rpm_hooks(std::uint64_t index,

@@ -33,6 +33,7 @@
 #include "sim/network.hpp"
 #include "srbb/messages.hpp"
 #include "srbb/oracle.hpp"
+#include "srbb/sync.hpp"
 #include "txn/validation.hpp"
 
 namespace srbb::node {
@@ -80,6 +81,19 @@ struct ValidatorConfig {
   txn::ValidationConfig validation;
   const crypto::SignatureScheme* scheme = &crypto::SignatureScheme::fast_sim();
   ValidatorBehavior behavior;
+
+  // --- robustness knobs (DESIGN.md §7) ---
+  /// True when this validator owns its oracle exclusively (replicated
+  /// execution mode): crash() then resets it to genesis. Must stay false for
+  /// a shared oracle — resetting it would wipe every co-owner's state.
+  bool oracle_private = false;
+  /// Superblock-layer state re-broadcast while an instance is incomplete
+  /// (liveness under message loss / healed partitions). 0 = off; chaos
+  /// configurations enable it. See SuperblockConfig::rebroadcast_interval.
+  SimDuration rebroadcast_interval = 0;
+  /// Catch-up sync request timeout (doubles per retry) and backoff cap.
+  SimDuration sync_request_timeout = millis(250);
+  std::uint32_t sync_backoff_cap = 4;
 };
 
 class ValidatorNode : public sim::SimNode {
@@ -96,6 +110,12 @@ class ValidatorNode : public sim::SimNode {
     std::uint64_t txs_discarded_invalid = 0;
     std::uint64_t txs_recycled = 0;
     std::uint64_t invalid_txs_flooded = 0;
+    // Robustness counters.
+    std::uint64_t gossip_dups_suppressed = 0;  // dedup hits (dup/reorder safe)
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t superblocks_synced = 0;     // fetched via catch-up sync
+    std::uint64_t sync_requests_served = 0;
   };
 
   ValidatorNode(sim::Simulation& simulation, sim::NodeId id,
@@ -107,6 +127,15 @@ class ValidatorNode : public sim::SimNode {
   /// Kick off consensus (call after all nodes are attached).
   void start();
 
+  /// Crash fault: wipe ALL volatile state (pool, chain, instances, dedup
+  /// sets) and ignore traffic until restart(). Closures already queued on
+  /// the simulated CPU are disarmed via an epoch counter.
+  void crash();
+
+  /// Come back from a crash: run the catch-up sync protocol to refetch and
+  /// replay every decided superblock, then rejoin consensus at the frontier.
+  void restart();
+
   void handle_message(sim::NodeId from, const sim::MessagePtr& message) override;
 
   // --- inspection ---
@@ -117,6 +146,16 @@ class ValidatorNode : public sim::SimNode {
   Hash32 last_state_root() const { return last_state_root_; }
   const crypto::Identity& identity() const { return identity_; }
   ExecutionOracle& oracle() { return *oracle_; }
+  bool crashed() const { return crashed_; }
+  bool syncing() const { return syncing_; }
+  const CatchUpSync::Stats& sync_stats() const { return sync_->stats(); }
+  const CatchUpSync& catch_up() const { return *sync_; }
+  std::uint64_t current_round() const { return current_round_; }
+  /// Introspection for the chaos harness; nullptr when no instance exists.
+  const consensus::SuperblockInstance* instance(std::uint64_t index) const {
+    const auto it = instances_.find(index);
+    return it == instances_.end() ? nullptr : it->second.get();
+  }
 
  private:
   void on_client_tx(sim::NodeId from, const txn::TxPtr& tx);
@@ -137,6 +176,25 @@ class ValidatorNode : public sim::SimNode {
   void run_rpm_hooks(std::uint64_t index,
                      const std::vector<txn::BlockPtr>& blocks,
                      const IndexExecResult& result);
+  void on_stale_pull(sim::NodeId from, const consensus::PullMsg& msg);
+  void on_stale_bin(sim::NodeId from, std::uint64_t index,
+                    std::uint32_t proposer);
+  void on_sync_request(sim::NodeId from, const SyncRequestMsg& msg);
+  void on_synced_superblock(std::uint64_t index,
+                            std::vector<txn::BlockPtr> blocks);
+  void on_caught_up(std::uint64_t frontier);
+  void finish_sync();
+
+  /// Wrap a deferred closure so it no-ops if the node crashed (and possibly
+  /// restarted) between scheduling and execution. Every post_work /
+  /// schedule_* closure that touches validator state must go through this:
+  /// crash() wipes the state those closures capture indices/iterators into.
+  template <typename Fn>
+  sim::EventFn guarded(Fn fn) {
+    return [this, epoch = epoch_, fn = std::move(fn)] {
+      if (epoch == epoch_ && !crashed_) fn();
+    };
+  }
 
   ValidatorConfig config_;
   crypto::Identity identity_;
@@ -152,6 +210,10 @@ class ValidatorNode : public sim::SimNode {
   std::map<std::uint64_t, std::unique_ptr<consensus::SuperblockInstance>>
       instances_;
   std::map<std::uint64_t, std::vector<txn::BlockPtr>> pending_superblocks_;
+  /// Every decided superblock this node has seen, kept to serve catch-up
+  /// sync requests from restarted peers (the simulator's stand-in for the
+  /// persisted block store; memory growth is bounded by run length).
+  std::map<std::uint64_t, std::vector<txn::BlockPtr>> decided_store_;
   std::uint64_t current_round_ = 0;   // highest index begun
   std::uint64_t next_commit_ = 0;     // next index to commit
   bool commit_in_flight_ = false;
@@ -161,6 +223,14 @@ class ValidatorNode : public sim::SimNode {
   Hash32 last_state_root_;
   std::uint64_t invalid_tx_counter_ = 0;
   bool started_ = false;
+
+  // Crash/recovery state (DESIGN.md §7).
+  bool crashed_ = false;
+  bool syncing_ = false;
+  bool sync_caught_up_ = false;   // fetch frontier reached; replay may lag
+  std::uint64_t sync_frontier_ = 0;
+  std::uint64_t epoch_ = 0;       // bumped by crash(); disarms old closures
+  std::unique_ptr<CatchUpSync> sync_;
 
   Metrics metrics_;
 };

@@ -1,0 +1,189 @@
+// Unit tests of the CatchUpSync state machine in isolation: sequential
+// fetch, timeout/backoff/peer rotation, duplicate- and stale-response
+// handling, and frontier detection. The callbacks are captured into local
+// queues so the tests single-step the protocol without a network.
+#include "srbb/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace srbb::node {
+namespace {
+
+struct SyncHarness {
+  struct SentRequest {
+    std::uint32_t peer;
+    std::uint64_t index;
+  };
+
+  CatchUpConfig config;
+  std::vector<SentRequest> requests;
+  std::vector<std::pair<SimDuration, std::function<void()>>> timers;
+  std::vector<std::uint64_t> fetched;   // indices delivered via on_superblock
+  std::vector<std::uint64_t> caught_up; // frontiers reported
+  std::unique_ptr<CatchUpSync> sync;
+
+  explicit SyncHarness(CatchUpConfig cfg = {}) : config(cfg) {
+    CatchUpCallbacks cb;
+    cb.send_to = [this](std::uint32_t peer, sim::MessagePtr msg) {
+      const auto* req = dynamic_cast<const SyncRequestMsg*>(msg.get());
+      ASSERT_NE(req, nullptr);
+      requests.push_back({peer, req->index});
+    };
+    cb.set_timer = [this](SimDuration delay, std::function<void()> fn) {
+      timers.emplace_back(delay, std::move(fn));
+    };
+    cb.on_superblock = [this](std::uint64_t index,
+                              std::vector<txn::BlockPtr>) {
+      fetched.push_back(index);
+    };
+    cb.on_caught_up = [this](std::uint64_t frontier) {
+      caught_up.push_back(frontier);
+    };
+    sync = std::make_unique<CatchUpSync>(config, std::move(cb));
+  }
+
+  void reply(std::uint32_t from, std::uint64_t index, bool have,
+             std::uint64_t height) {
+    SyncResponseMsg msg;
+    msg.index = index;
+    msg.have = have;
+    msg.height = height;
+    sync->on_response(from, msg);
+  }
+
+  void fire_last_timer() {
+    ASSERT_FALSE(timers.empty());
+    auto fn = timers.back().second;
+    fn();
+  }
+};
+
+TEST(CatchUpSync, FetchesSequentiallyThenReportsFrontier) {
+  SyncHarness h;
+  h.sync->start(0);
+
+  // Chain of three decided superblocks on the responders, frontier 3.
+  for (std::uint64_t index = 0; index < 3; ++index) {
+    ASSERT_EQ(h.requests.size(), index + 1);
+    EXPECT_EQ(h.requests.back().index, index);
+    h.reply(h.requests.back().peer, index, /*have=*/true, /*height=*/3);
+  }
+  EXPECT_TRUE(h.sync->active());
+  ASSERT_EQ(h.requests.back().index, 3u);
+  h.reply(h.requests.back().peer, 3, /*have=*/false, /*height=*/3);
+
+  EXPECT_FALSE(h.sync->active());
+  EXPECT_EQ(h.fetched, (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_EQ(h.caught_up, (std::vector<std::uint64_t>{3}));
+  EXPECT_EQ(h.sync->stats().superblocks_fetched, 3u);
+  EXPECT_EQ(h.sync->stats().timeouts, 0u);
+}
+
+TEST(CatchUpSync, EmptyChainCatchesUpImmediately) {
+  SyncHarness h;
+  h.sync->start(0);
+  h.reply(h.requests.back().peer, 0, /*have=*/false, /*height=*/0);
+  EXPECT_FALSE(h.sync->active());
+  EXPECT_TRUE(h.fetched.empty());
+  EXPECT_EQ(h.caught_up, (std::vector<std::uint64_t>{0}));
+}
+
+TEST(CatchUpSync, TimeoutRotatesPeersWithExponentialBackoff) {
+  CatchUpConfig cfg;
+  cfg.n = 4;
+  cfg.self = 1;
+  cfg.request_timeout = millis(100);
+  cfg.backoff_cap = 2;
+  SyncHarness h{cfg};
+  h.sync->start(0);
+
+  // No peer ever answers: each timeout retries the same index against the
+  // next peer in rank order (wrapping, skipping self) with doubled timeout
+  // until the cap.
+  std::vector<std::uint32_t> peers{h.requests.back().peer};
+  std::vector<SimDuration> delays{h.timers.back().first};
+  for (int retry = 0; retry < 5; ++retry) {
+    h.fire_last_timer();
+    peers.push_back(h.requests.back().peer);
+    delays.push_back(h.timers.back().first);
+    EXPECT_EQ(h.requests.back().index, 0u);  // still fetching index 0
+  }
+  EXPECT_EQ(peers, (std::vector<std::uint32_t>{2, 3, 0, 2, 3, 0}));
+  EXPECT_EQ(delays[0], millis(100));
+  EXPECT_EQ(delays[1], millis(200));
+  EXPECT_EQ(delays[2], millis(400));
+  EXPECT_EQ(delays[3], millis(400));  // capped at << backoff_cap
+  EXPECT_EQ(h.sync->stats().timeouts, 5u);
+
+  // A successful response resets the backoff for the next index.
+  h.reply(h.requests.back().peer, 0, /*have=*/true, /*height=*/2);
+  EXPECT_EQ(h.timers.back().first, millis(100));
+}
+
+TEST(CatchUpSync, StaleTimersAndDuplicateResponsesAreNoOps) {
+  SyncHarness h;
+  h.sync->start(0);
+  const std::size_t timers_before = h.timers.size();
+
+  h.reply(h.requests.back().peer, 0, /*have=*/true, /*height=*/2);
+  // The timeout armed for the answered request must not fire a retry.
+  ASSERT_GT(h.timers.size(), timers_before);
+  h.timers[timers_before - 1].second();
+  EXPECT_EQ(h.sync->stats().timeouts, 0u);
+
+  // A duplicated delivery of the same response (fault injection) is stale:
+  // the fetch frontier already advanced past it.
+  const std::size_t fetched_before = h.fetched.size();
+  h.reply(h.requests.back().peer, 0, /*have=*/true, /*height=*/2);
+  EXPECT_EQ(h.fetched.size(), fetched_before);
+  EXPECT_EQ(h.sync->stats().stale_responses, 1u);
+  EXPECT_EQ(h.sync->next_index(), 1u);
+}
+
+TEST(CatchUpSync, LaggardPeerDoesNotEndSyncEarly) {
+  SyncHarness h;
+  h.sync->start(0);
+
+  // First responder reports frontier 4 while serving index 0; a laggard that
+  // is still at height 1 then claims not to have index 1. The sync must keep
+  // rotating instead of trusting the laggard's frontier.
+  h.reply(h.requests.back().peer, 0, /*have=*/true, /*height=*/4);
+  const std::uint32_t laggard = h.requests.back().peer;
+  h.reply(laggard, 1, /*have=*/false, /*height=*/1);
+  EXPECT_TRUE(h.sync->active());
+  EXPECT_TRUE(h.caught_up.empty());
+  EXPECT_NE(h.requests.back().peer, laggard);  // rotated away
+  EXPECT_EQ(h.requests.back().index, 1u);
+  EXPECT_EQ(h.sync->target_height(), 4u);
+
+  for (std::uint64_t index = 1; index < 4; ++index) {
+    h.reply(h.requests.back().peer, index, /*have=*/true, /*height=*/4);
+  }
+  h.reply(h.requests.back().peer, 4, /*have=*/false, /*height=*/4);
+  EXPECT_FALSE(h.sync->active());
+  EXPECT_EQ(h.caught_up, (std::vector<std::uint64_t>{4}));
+}
+
+TEST(CatchUpSync, CancelAbortsAndAllowsRestart) {
+  SyncHarness h;
+  h.sync->start(0);
+  h.sync->cancel();
+  EXPECT_FALSE(h.sync->active());
+
+  // Timers armed before the cancel are orphaned.
+  const std::uint64_t timeouts_before = h.sync->stats().timeouts;
+  h.fire_last_timer();
+  EXPECT_EQ(h.sync->stats().timeouts, timeouts_before);
+
+  // A fresh start() fetches again from the requested index.
+  h.sync->start(0);
+  EXPECT_TRUE(h.sync->active());
+  EXPECT_EQ(h.requests.back().index, 0u);
+}
+
+}  // namespace
+}  // namespace srbb::node

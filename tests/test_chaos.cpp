@@ -1,0 +1,595 @@
+// Chaos harness (ISSUE: robustness): the SRBB validator network under
+// scripted and randomized fault injection. Every scenario asserts the two
+// properties of DESIGN.md §7:
+//
+//  safety   — correct validators never diverge: their chain digests agree on
+//             the common committed prefix and replicated execution converges
+//             to identical state roots;
+//  liveness — once the plan's faults heal (partitions lift, crashed nodes
+//             restart and catch up), the commit frontier advances again
+//             within a bound.
+//
+// Runs are pure functions of (workload seed, fault seed): each scenario can
+// be replayed bit-for-bit, which the determinism tests check by running the
+// same seed twice and comparing run fingerprints. tools/chaos_soak.sh sweeps
+// seed ranges through these tests via the SRBB_CHAOS_SEED_BASE /
+// SRBB_CHAOS_SEEDS environment overrides.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "sim/fault.hpp"
+#include "srbb/validator.hpp"
+
+namespace srbb::node {
+namespace {
+
+const crypto::SignatureScheme& scheme() {
+  return crypto::SignatureScheme::fast_sim();
+}
+
+// Seed-range overrides so the soak script can sweep without recompiling.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+class ChaosClient : public sim::SimNode {
+ public:
+  using sim::SimNode::SimNode;
+
+  void handle_message(sim::NodeId, const sim::MessagePtr& message) override {
+    if (const auto* ack = dynamic_cast<const CommitAckMsg*>(message.get())) {
+      if (acked_.insert(ack->tx_hash).second) ++commits_observed;
+    }
+  }
+
+  void submit(sim::NodeId validator, const txn::TxPtr& tx) {
+    auto msg = std::make_shared<ClientTxMsg>();
+    msg->tx = tx;
+    send(validator, msg);
+  }
+
+  std::uint64_t commits_observed = 0;
+
+ private:
+  std::set<Hash32> acked_;
+};
+
+struct ChaosOptions {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  bool tvpr = true;
+  bool parallel_execution = false;  // ChaosParallel.* (TSan subset) sets this
+  SimDuration rebroadcast_interval = millis(200);
+  sim::FaultPlan plan;
+  // Workload: `tx_count` transfers, one every `tx_interval`, submitted
+  // round-robin across validators starting at t = 100ms.
+  std::size_t tx_count = 60;
+  SimDuration tx_interval = millis(40);
+  std::size_t accounts = 8;
+};
+
+struct ChaosNet {
+  sim::Simulation sim;
+  std::unique_ptr<sim::Network> network;
+  sim::FaultInjector injector;
+  sim::GossipOverlay overlay;
+  GenesisSpec genesis;
+  std::shared_ptr<rpm::RewardPenaltyMechanism> rpm_contract;
+  std::vector<std::unique_ptr<ValidatorNode>> validators;
+  std::unique_ptr<ChaosClient> client;
+  std::vector<crypto::Identity> senders;
+
+  explicit ChaosNet(const ChaosOptions& opts)
+      : injector(opts.plan), overlay(opts.n, 4, 7) {
+    sim::NetworkConfig net_config;
+    net_config.latency = sim::LatencyModel::uniform(1, millis(5));
+    network = std::make_unique<sim::Network>(sim, net_config);
+    network->set_fault_injector(&injector);
+
+    for (std::size_t i = 0; i < opts.accounts; ++i) {
+      senders.push_back(scheme().make_identity(1000 + i));
+      genesis.accounts.push_back(
+          {senders.back().address(), U256{1'000'000'000}});
+    }
+
+    rpm::RpmConfig rpm_config;
+    rpm_config.n = opts.n;
+    rpm_config.f = opts.f;
+    rpm_config.scheme = &scheme();
+    rpm_contract = std::make_shared<rpm::RewardPenaltyMechanism>(rpm_config);
+
+    evm::BlockContext block_template;
+    for (std::uint32_t rank = 0; rank < opts.n; ++rank) {
+      ValidatorConfig config;
+      config.n = opts.n;
+      config.f = opts.f;
+      config.self = rank;
+      config.tvpr = opts.tvpr;
+      config.rpm = false;  // shared RPM contract + crash replay don't mix
+      config.scheme = &scheme();
+      config.min_block_interval = millis(100);
+      config.proposal_timeout = millis(300);
+      config.rebroadcast_interval = opts.rebroadcast_interval;
+      config.oracle_private = true;  // replicated execution; reset on crash
+      // The default sync backoff (250ms << 4 = 4s cap) is sized for WAN
+      // RTTs; at the sim's millisecond RTTs an unlucky streak of dropped
+      // responses would push the next retry past the liveness probe window.
+      config.sync_request_timeout = millis(150);
+      config.sync_backoff_cap = 2;
+      auto oracle = std::make_shared<ExecutionOracle>(genesis, block_template,
+                                                      scheme());
+      if (opts.parallel_execution) {
+        oracle->exec_config().parallel = true;
+        oracle->exec_config().workers = 2;
+      }
+      validators.push_back(std::make_unique<ValidatorNode>(
+          sim, rank, 0, config, std::move(oracle), rpm_contract, &overlay));
+      network->attach(validators.back().get());
+    }
+    client = std::make_unique<ChaosClient>(sim, opts.n, 0u);
+    network->attach(client.get());
+
+    injector.arm(
+        sim,
+        [this](sim::NodeId node) {
+          if (node < validators.size()) validators[node]->crash();
+        },
+        [this](sim::NodeId node) {
+          if (node < validators.size()) validators[node]->restart();
+        });
+
+    for (auto& validator : validators) validator->start();
+
+    // Deterministic workload: fixed submission times, round-robin target.
+    for (std::size_t i = 0; i < opts.tx_count; ++i) {
+      const std::size_t sender = i % opts.accounts;
+      const std::uint64_t nonce = i / opts.accounts;
+      const sim::NodeId target =
+          static_cast<sim::NodeId>(i % validators.size());
+      const SimTime when =
+          millis(100) + static_cast<SimDuration>(i) * opts.tx_interval;
+      txn::TxParams params;
+      params.nonce = nonce;
+      params.to = scheme().make_identity(5).address();
+      params.value = U256{100};
+      const txn::TxPtr tx = txn::make_tx_ptr(
+          txn::make_signed(params, senders[sender], scheme()));
+      sim.schedule_at(when, [this, target, tx] { client->submit(target, tx); });
+    }
+  }
+
+  void run_until(SimTime deadline) { sim.run_until(deadline); }
+
+  std::uint64_t min_height() const {
+    std::uint64_t height = UINT64_MAX;
+    for (const auto& validator : validators) {
+      height = std::min(height, validator->chain_height());
+    }
+    return height;
+  }
+
+  /// Per-validator progress snapshot, printed when SRBB_CHAOS_DEBUG is set.
+  void debug_dump() const {
+    if (std::getenv("SRBB_CHAOS_DEBUG") == nullptr) return;
+    for (std::size_t i = 0; i < validators.size(); ++i) {
+      const auto& v = *validators[i];
+      std::printf(
+          "v%zu h=%llu crashed=%d syncing=%d synced=%llu committed=%llu "
+          "sync_req_served=%llu fetched=%llu timeouts=%llu\n",
+          i, (unsigned long long)v.chain_height(), v.crashed(), v.syncing(),
+          (unsigned long long)v.metrics().superblocks_synced,
+          (unsigned long long)v.metrics().superblocks_committed,
+          (unsigned long long)v.metrics().sync_requests_served,
+          (unsigned long long)v.sync_stats().superblocks_fetched,
+          (unsigned long long)v.sync_stats().timeouts);
+      std::printf("   crashes=%llu restarts=%llu sync_active=%d next=%llu "
+                  "target=%llu\n",
+                  (unsigned long long)v.metrics().crashes,
+                  (unsigned long long)v.metrics().restarts,
+                  v.catch_up().active(),
+                  (unsigned long long)v.catch_up().next_index(),
+                  (unsigned long long)v.catch_up().target_height());
+      const auto* inst = v.instance(v.chain_height());
+      if (inst != nullptr) {
+        std::printf("   round=%llu complete=%d decided=%u ones=%u\n",
+                    (unsigned long long)v.current_round(), inst->complete(),
+                    inst->decided_count(), inst->ones_decided());
+        for (std::uint32_t s = 0; s < 4; ++s) {
+          const auto sd = inst->slot_debug(s);
+          std::printf(
+              "     slot%u dec=%d val=%d blk=%d dlv=%d pull=%d ech=%zu "
+              "bst=%d brnd=%u dv0=%zu dv1=%zu\n",
+              s, sd.bin_decided, sd.bin_value, sd.has_block, sd.delivered,
+              sd.pulling, sd.echoers, sd.bin_started, sd.bin_round,
+              sd.decided_votes[0], sd.decided_votes[1]);
+        }
+      } else {
+        std::printf("   round=%llu no-instance\n",
+                    (unsigned long long)v.current_round());
+      }
+    }
+  }
+
+  /// Safety (Def. 1 agreement): every pair of validators agrees on the
+  /// common prefix of chain digests, and replicated execution produced the
+  /// same digest (the digest folds in the state root) at every height.
+  void expect_no_divergence() const {
+    for (std::size_t a = 0; a < validators.size(); ++a) {
+      for (std::size_t b = a + 1; b < validators.size(); ++b) {
+        const auto& ca = validators[a]->chain();
+        const auto& cb = validators[b]->chain();
+        const std::size_t common = std::min(ca.size(), cb.size());
+        for (std::size_t i = 0; i < common; ++i) {
+          ASSERT_EQ(ca[i], cb[i])
+              << "chain divergence between validators " << a << " and " << b
+              << " at height " << i;
+        }
+      }
+    }
+  }
+
+  /// Bit-for-bit run fingerprint: chains, state roots, and the counters that
+  /// summarize every fault decision and recovery action.
+  Hash32 fingerprint() const {
+    crypto::Sha256 digest;
+    const auto fold_u64 = [&digest](std::uint64_t value) {
+      std::array<std::uint8_t, 8> bytes{};
+      for (std::size_t i = 0; i < 8; ++i) {
+        bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+      }
+      digest.update(BytesView{bytes.data(), bytes.size()});
+    };
+    for (const auto& validator : validators) {
+      for (const Hash32& link : validator->chain()) digest.update(link.view());
+      digest.update(validator->last_state_root().view());
+      fold_u64(validator->chain_height());
+      const ValidatorNode::Metrics& m = validator->metrics();
+      fold_u64(m.superblocks_committed);
+      fold_u64(m.txs_committed_valid);
+      fold_u64(m.txs_discarded_invalid);
+      fold_u64(m.gossip_dups_suppressed);
+      fold_u64(m.crashes);
+      fold_u64(m.restarts);
+      fold_u64(m.superblocks_synced);
+      const sim::NodeStats& s = validator->stats();
+      fold_u64(s.messages_sent);
+      fold_u64(s.messages_received);
+      fold_u64(s.messages_dropped);
+      fold_u64(s.messages_duplicated);
+      fold_u64(s.partition_blocked);
+    }
+    const sim::FaultStats& fs = injector.stats();
+    fold_u64(fs.dropped);
+    fold_u64(fs.duplicated);
+    fold_u64(fs.reordered);
+    fold_u64(fs.partition_blocked);
+    fold_u64(fs.crash_blocked);
+    fold_u64(client->commits_observed);
+    return digest.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit behaviour
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorUnit, CertainDropAlwaysDropsAndQuietAlwaysDelivers) {
+  sim::FaultPlan drop_all;
+  drop_all.default_link.drop = 1.0;
+  sim::FaultInjector dropper{drop_all};
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(dropper.judge(0, 1, millis(i)).deliver);
+  }
+  EXPECT_EQ(dropper.stats().dropped, 64u);
+
+  sim::FaultInjector quiet{sim::FaultPlan{}};
+  for (int i = 0; i < 64; ++i) {
+    const auto verdict = quiet.judge(0, 1, millis(i));
+    EXPECT_TRUE(verdict.deliver);
+    EXPECT_EQ(verdict.copies, 1u);
+    EXPECT_EQ(verdict.extra_delay, 0u);
+  }
+}
+
+TEST(FaultInjectorUnit, SymmetricPartitionBlocksBothWaysAndHeals) {
+  sim::FaultPlan plan;
+  plan.partitions.push_back({seconds(1), seconds(2), {0, 1}, false});
+  sim::FaultInjector injector{plan};
+
+  EXPECT_FALSE(injector.link_blocked(0, 2, millis(500)));
+  EXPECT_TRUE(injector.link_blocked(0, 2, millis(1500)));   // island -> out
+  EXPECT_TRUE(injector.link_blocked(2, 0, millis(1500)));   // out -> island
+  EXPECT_FALSE(injector.link_blocked(0, 1, millis(1500)));  // intra-island
+  EXPECT_FALSE(injector.link_blocked(2, 3, millis(1500)));  // intra-outside
+  EXPECT_FALSE(injector.link_blocked(0, 2, millis(2500)));  // healed
+}
+
+TEST(FaultInjectorUnit, AsymmetricPartitionBlocksOnlyOutbound) {
+  sim::FaultPlan plan;
+  plan.partitions.push_back({seconds(1), seconds(2), {0}, true});
+  sim::FaultInjector injector{plan};
+
+  EXPECT_TRUE(injector.link_blocked(0, 2, millis(1500)));   // island mute
+  EXPECT_FALSE(injector.link_blocked(2, 0, millis(1500)));  // still hears
+}
+
+TEST(FaultInjectorUnit, CrashWindowTracksDownNodes) {
+  sim::FaultPlan plan;
+  plan.crashes.push_back({2, seconds(1), seconds(3)});
+  sim::FaultInjector injector{plan};
+
+  EXPECT_FALSE(injector.node_down(2, millis(999)));
+  EXPECT_TRUE(injector.node_down(2, seconds(1)));
+  EXPECT_TRUE(injector.node_down(2, millis(2999)));
+  EXPECT_FALSE(injector.node_down(2, seconds(3)));  // restarted
+  EXPECT_FALSE(injector.node_down(1, seconds(2)));  // other nodes up
+  // Sends to (and from) a down node are blocked, not randomly dropped.
+  EXPECT_FALSE(injector.judge(0, 2, seconds(2)).deliver);
+  EXPECT_EQ(injector.stats().crash_blocked, 1u);
+  EXPECT_EQ(injector.stats().dropped, 0u);
+}
+
+TEST(FaultInjectorUnit, JudgeStreamIsSeedDeterministic) {
+  sim::FaultPlan plan;
+  plan.seed = 99;
+  plan.default_link.drop = 0.3;
+  plan.default_link.duplicate = 0.2;
+  plan.default_link.reorder = 0.2;
+
+  sim::FaultInjector a{plan};
+  sim::FaultInjector b{plan};
+  for (int i = 0; i < 256; ++i) {
+    const auto va = a.judge(0, 1, millis(i));
+    const auto vb = b.judge(0, 1, millis(i));
+    EXPECT_EQ(va.deliver, vb.deliver);
+    EXPECT_EQ(va.copies, vb.copies);
+    EXPECT_EQ(va.extra_delay, vb.extra_delay);
+  }
+
+  // A different seed produces a different decision stream.
+  plan.seed = 100;
+  sim::FaultInjector c{plan};
+  plan.seed = 99;
+  sim::FaultInjector a2{plan};
+  bool any_difference = false;
+  for (int i = 0; i < 256 && !any_difference; ++i) {
+    const auto va = a2.judge(0, 1, millis(i));
+    const auto vc = c.judge(0, 1, millis(i));
+    any_difference = va.deliver != vc.deliver || va.copies != vc.copies ||
+                     va.extra_delay != vc.extra_delay;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultInjectorUnit, RandomizedPlanIsAFunctionOfItsSeed) {
+  const sim::FaultPlan a = sim::FaultPlan::randomized(4, seconds(6), 7);
+  const sim::FaultPlan b = sim::FaultPlan::randomized(4, seconds(6), 7);
+  EXPECT_EQ(a.default_link.drop, b.default_link.drop);
+  EXPECT_EQ(a.default_link.duplicate, b.default_link.duplicate);
+  EXPECT_EQ(a.partitions.size(), b.partitions.size());
+  EXPECT_EQ(a.crashes.size(), b.crashes.size());
+  EXPECT_LE(a.default_link.drop, 0.2);
+
+  // Every partition heals and every crash restarts inside the horizon, so a
+  // run outlasting the horizon always reaches a fault-free steady state.
+  for (const auto& partition : a.partitions) {
+    EXPECT_GT(partition.until, partition.from);
+    EXPECT_LE(partition.until, seconds(6));
+  }
+  for (const auto& crash : a.crashes) {
+    EXPECT_GT(crash.restart_at, crash.at);
+    EXPECT_LE(crash.restart_at, seconds(6));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-network chaos scenarios
+// ---------------------------------------------------------------------------
+
+Hash32 crash_recovery_run(std::uint64_t seed, std::uint64_t* synced_out) {
+  ChaosOptions opts;
+  opts.plan.seed = seed;
+  opts.plan.default_link.drop = 0.05;
+  opts.plan.default_link.duplicate = 0.05;
+  opts.plan.default_link.reorder = 0.1;
+  // Validator 1 crashes mid-run and restarts 1.5 simulated seconds later,
+  // after the network has committed several superblocks without it.
+  opts.plan.crashes.push_back({1, seconds(1), millis(2500)});
+  ChaosNet net{opts};
+  net.run_until(seconds(9));
+
+  net.debug_dump();
+  ValidatorNode& revenant = *net.validators[1];
+  EXPECT_EQ(revenant.metrics().crashes, 1u);
+  EXPECT_EQ(revenant.metrics().restarts, 1u);
+  EXPECT_FALSE(revenant.crashed());
+  EXPECT_FALSE(revenant.syncing()) << "catch-up sync never finished";
+  // It refetched history it slept through and rejoined the frontier.
+  EXPECT_GT(revenant.metrics().superblocks_synced, 0u);
+  std::uint64_t max_height = 0;
+  for (const auto& validator : net.validators) {
+    max_height = std::max(max_height, validator->chain_height());
+  }
+  EXPECT_GE(revenant.chain_height() + 1, max_height);
+  EXPECT_GT(net.min_height(), 5u);
+  net.expect_no_divergence();
+  if (synced_out != nullptr) {
+    *synced_out = revenant.metrics().superblocks_synced;
+  }
+  return net.fingerprint();
+}
+
+// Acceptance bar from the ISSUE: a crashed-and-restarted validator provably
+// catches up across >= 20 distinct seeds, each run bit-for-bit reproducible.
+TEST(ChaosCrashRecovery, CatchesUpAcrossSeedsReproducibly) {
+  const std::uint64_t base = env_u64("SRBB_CHAOS_SEED_BASE", 1);
+  const std::uint64_t count = env_u64("SRBB_CHAOS_SEEDS", 20);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    std::uint64_t synced_first = 0;
+    const Hash32 first = crash_recovery_run(seed, &synced_first);
+    const Hash32 second = crash_recovery_run(seed, nullptr);
+    ASSERT_EQ(first, second) << "run is not a pure function of the seed";
+  }
+}
+
+// Randomized plans at the ISSUE's fault budget (drop <= 20%, one crash):
+// safety always, liveness once the plan's horizon passes and faults heal.
+TEST(ChaosSoak, RandomizedPlansKeepSafetyAndRegainLiveness) {
+  const std::uint64_t base = env_u64("SRBB_CHAOS_SEED_BASE", 1);
+  const std::uint64_t count = env_u64("SRBB_CHAOS_SEEDS", 6);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ChaosOptions opts;
+    opts.plan = sim::FaultPlan::randomized(4, seconds(6), seed,
+                                           /*max_drop=*/0.2,
+                                           /*max_crashes=*/1);
+    opts.tx_count = 80;
+    ChaosNet net{opts};
+
+    std::uint64_t height_at_horizon = 0;
+    net.sim.schedule_at(seconds(6), [&net, &height_at_horizon] {
+      height_at_horizon = net.min_height();
+    });
+    net.run_until(seconds(11));
+
+    net.debug_dump();
+    net.expect_no_divergence();
+    // Liveness bound: within 5 simulated seconds of the last fault healing,
+    // every validator's frontier advanced by at least two superblocks.
+    EXPECT_GE(net.min_height(), height_at_horizon + 2)
+        << "commit frontier stalled after faults healed";
+    std::uint64_t max_height = 0;
+    for (const auto& validator : net.validators) {
+      max_height = std::max(max_height, validator->chain_height());
+    }
+    for (const auto& validator : net.validators) {
+      EXPECT_FALSE(validator->crashed());
+      // A lag-detection catch-up sync triggered by tail-of-window traffic may
+      // legitimately still be in flight at the snapshot (it self-terminates
+      // once it reaches the peers' frontier), so instead of asserting
+      // !syncing() assert the property that matters: nobody was left behind.
+      EXPECT_GE(validator->chain_height() + 2, max_height)
+          << "validator stuck behind the commit frontier";
+    }
+  }
+}
+
+// A clean 2-2 symmetric split stalls consensus (no n-f quorum on either
+// side); the EST/AUX/ECHO state lost inside the partition is unrecoverable
+// without the re-broadcast timer, so this scenario is exactly the liveness
+// hole the rebroadcast closes.
+TEST(ChaosPartition, SplitStallsThenHealsViaRebroadcast) {
+  ChaosOptions opts;
+  opts.plan.partitions.push_back({seconds(1), seconds(3), {0, 1}, false});
+  ChaosNet net{opts};
+
+  std::uint64_t height_mid_partition = 0;
+  std::uint64_t height_at_heal = 0;
+  net.sim.schedule_at(millis(1500), [&net, &height_mid_partition] {
+    height_mid_partition = net.min_height();
+  });
+  net.sim.schedule_at(seconds(3), [&net, &height_at_heal] {
+    height_at_heal = net.min_height();
+  });
+  net.run_until(seconds(8));
+
+  // Stall: at most one more superblock (the one already in flight at the
+  // cut) decided during the two partitioned seconds.
+  EXPECT_LE(height_at_heal, height_mid_partition + 1);
+  // Heal: the frontier moves again, and the stalled round itself finishes.
+  EXPECT_GE(net.min_height(), height_at_heal + 3);
+  EXPECT_GT(net.injector.stats().partition_blocked, 0u);
+  net.expect_no_divergence();
+}
+
+TEST(ChaosPartition, AsymmetricMutePartitionRecovers) {
+  ChaosOptions opts;
+  opts.plan.partitions.push_back({seconds(1), millis(2500), {2}, true});
+  ChaosNet net{opts};
+  net.run_until(seconds(8));
+
+  // n-1 = 3 = n-f validators keep deciding while node 2 is mute; after the
+  // heal its backlog of buffered rounds resolves and it rejoins the tip.
+  EXPECT_GE(net.min_height() + 2, net.validators[0]->chain_height());
+  EXPECT_GT(net.min_height(), 5u);
+  net.expect_no_divergence();
+}
+
+// Duplicate and reordered gossip must be absorbed by the dedup layer: no
+// transaction is ever committed twice, and the expensive eager validation is
+// charged at most once per unique transaction (plus recycling) — the TVPR
+// accounting the paper's congestion argument depends on.
+TEST(ChaosGossip, DuplicatedReorderedGossipNeverDoubleCharges) {
+  ChaosOptions opts;
+  opts.tvpr = false;  // gossip mode: per-transaction propagation
+  opts.tx_count = 24;
+  // Validator-to-validator links misbehave; client links stay quiet so the
+  // per-transaction accounting below is exact.
+  sim::LinkFaults noisy;
+  noisy.duplicate = 0.3;
+  noisy.reorder = 0.3;
+  for (sim::NodeId from = 0; from < 4; ++from) {
+    for (sim::NodeId to = 0; to < 4; ++to) {
+      if (from != to) opts.plan.links[{from, to}] = noisy;
+    }
+  }
+  ChaosNet net{opts};
+  net.run_until(seconds(8));
+
+  EXPECT_GT(net.injector.stats().duplicated, 0u);
+  std::uint64_t dups_suppressed = 0;
+  for (const auto& validator : net.validators) {
+    const ValidatorNode::Metrics& m = validator->metrics();
+    // Every unique transaction commits exactly once, network-wide.
+    EXPECT_EQ(m.txs_committed_valid, opts.tx_count);
+    // Eager validation ran at most once per unique transaction (client or
+    // gossip path) plus undecided-block recycling — duplicates only ever hit
+    // the O(1) dedup lookup.
+    EXPECT_LE(m.eager_validations, opts.tx_count + m.txs_recycled);
+    dups_suppressed += m.gossip_dups_suppressed;
+  }
+  EXPECT_GT(dups_suppressed, 0u);
+  net.expect_no_divergence();
+}
+
+TEST(ChaosDeterminism, IdenticalSeedsProduceIdenticalRuns) {
+  const auto run = [] {
+    ChaosOptions opts;
+    opts.plan = sim::FaultPlan::randomized(4, seconds(4), 42);
+    opts.tx_count = 40;
+    ChaosNet net{opts};
+    net.run_until(seconds(7));
+    return net.fingerprint();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// Crash recovery with the optimistic parallel executor underneath — the
+// thread-pool path the TSan leg (tools/tsan_check.sh) replays.
+TEST(ChaosParallel, CrashRecoveryUnderParallelExecution) {
+  ChaosOptions opts;
+  opts.parallel_execution = true;
+  opts.tx_count = 40;
+  opts.plan.crashes.push_back({2, seconds(1), millis(2200)});
+  ChaosNet net{opts};
+  net.run_until(seconds(8));
+
+  EXPECT_EQ(net.validators[2]->metrics().restarts, 1u);
+  EXPECT_FALSE(net.validators[2]->syncing());
+  EXPECT_GT(net.min_height(), 4u);
+  net.expect_no_divergence();
+}
+
+}  // namespace
+}  // namespace srbb::node

@@ -13,6 +13,6 @@ cmake -B "$build_dir" -S "$repo_root" -DSRBB_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)" \
       --target test_parallel_executor test_thread_pool test_bounded_queue \
-               test_oracle
+               test_oracle test_chaos
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-      -R 'ParallelExecutor|ParallelOracle|OverlayState|ThreadPool|BoundedQueue'
+      -R 'ParallelExecutor|ParallelOracle|OverlayState|ThreadPool|BoundedQueue|ChaosParallel'
