@@ -56,5 +56,12 @@ int main() {
   for (const auto& result : results) {
     std::printf("%s\n", diablo::format_diagnostics(result).c_str());
   }
+  std::printf("\nPer-phase commit-path latency (DESIGN.md §8):\n");
+  for (const auto& result : results) {
+    const std::string phases = diablo::format_phase_histograms(result);
+    if (phases.empty()) continue;
+    std::printf("[%s/%s]\n%s\n", result.system.c_str(),
+                result.workload.c_str(), phases.c_str());
+  }
   return 0;
 }

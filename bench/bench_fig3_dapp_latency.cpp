@@ -35,15 +35,26 @@ int main() {
     configs.push_back(
         benchutil::paper_config("SRBB", diablo::SystemKind::kSrbb, workload));
 
+    std::vector<diablo::RunResult> results;
     for (const auto& config : configs) {
-      const diablo::RunResult r =
+      diablo::RunResult r =
           diablo::run_experiment(diablo::scale_config(config, scale));
       std::printf("%-12s %-8s %9.2fs %9.2fs %9.2fs %9.2fs %8.1f%%\n",
                   r.system.c_str(), r.workload.c_str(), r.avg_latency_s,
                   r.p50_latency_s, r.p95_latency_s, r.max_latency_s,
                   r.commit_pct);
       std::fflush(stdout);
+      results.push_back(std::move(r));
     }
+    // Where the end-to-end latency is spent: per-phase histograms from the
+    // run's metrics registry (DESIGN.md §8).
+    for (const auto& r : results) {
+      const std::string phases = diablo::format_phase_histograms(r);
+      if (phases.empty()) continue;
+      std::printf("[%s/%s]\n%s\n", r.system.c_str(), r.workload.c_str(),
+                  phases.c_str());
+    }
+    std::fflush(stdout);
   }
   std::printf(
       "\nNote: a low latency next to a low commit%% means the chain only "

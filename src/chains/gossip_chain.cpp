@@ -15,6 +15,12 @@ GossipChainNode::GossipChainNode(sim::Simulation& simulation, sim::NodeId id,
       overlay_(overlay),
       pool_(config_.preset.pool) {}
 
+void GossipChainNode::set_observability(obs::TraceSink* trace,
+                                        obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  pool_.set_observability(trace, metrics, config_.self);
+}
+
 void GossipChainNode::start() {
   if (started_) return;
   started_ = true;
@@ -209,6 +215,8 @@ void GossipChainNode::commit_block(const txn::BlockPtr& block) {
   }
   pool_.remove_committed(committed);
   ++metrics_.blocks_committed;
+  SRBB_TRACE(trace_, now(), 0, config_.self, "commit", "block.commit", "slot",
+             block->header.index, "valid", result.total_valid);
 }
 
 void GossipChainNode::maybe_crash() {

@@ -61,6 +61,10 @@ class GossipChainNode : public sim::SimNode {
                   std::shared_ptr<node::ExecutionOracle> oracle,
                   const sim::GossipOverlay* overlay);
 
+  /// Attach the observability layer: pool counters/trace plus block-commit
+  /// events. Either pointer may be null.
+  void set_observability(obs::TraceSink* trace, obs::MetricsRegistry* metrics);
+
   void start();
   void handle_message(sim::NodeId from, const sim::MessagePtr& message) override;
 
@@ -97,6 +101,7 @@ class GossipChainNode : public sim::SimNode {
   bool crashed_ = false;
 
   Metrics metrics_;
+  obs::TraceSink* trace_ = nullptr;  // null = disabled
 };
 
 }  // namespace srbb::chains

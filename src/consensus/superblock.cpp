@@ -57,6 +57,9 @@ BinaryConsensus& SuperblockInstance::bin_for(std::uint32_t proposer) {
       ProposalSlot& s = slots_[proposer];
       s.bin_decided = true;
       s.bin_value = value;
+      SRBB_TRACE(config_.trace, trace_now(), 0, config_.self, "consensus",
+                 "consensus.bin_decided", "proposer", proposer, "value",
+                 value ? 1 : 0);
       if (value && !slot_ready(s)) request_pull(proposer);
       maybe_complete();
     };
@@ -77,6 +80,9 @@ void SuperblockInstance::arm_timer(SimDuration delay,
 void SuperblockInstance::begin(txn::BlockPtr own_proposal) {
   if (began_) return;
   began_ = true;
+  SRBB_TRACE(config_.trace, trace_now(), 0, config_.self, "consensus",
+             "consensus.begin", "index", index_, "own",
+             own_proposal != nullptr ? 1 : 0);
   if (cb_.expect_proposal) {
     for (std::uint32_t i = 0; i < config_.n; ++i) {
       if (!slots_[i].bin_started && !cb_.expect_proposal(i)) {
@@ -304,6 +310,8 @@ void SuperblockInstance::request_pull(std::uint32_t proposer) {
   ProposalSlot& slot = slots_[proposer];
   if (slot.pulling || completed_) return;
   slot.pulling = true;
+  SRBB_TRACE(config_.trace, trace_now(), 0, config_.self, "consensus",
+             "consensus.pull", "proposer", proposer);
   // Ask every known echoer (at least one correct node holds the body when a
   // binary instance decided 1); retry until the body lands.
   auto attempt = std::make_shared<std::function<void()>>();
@@ -415,6 +423,8 @@ void SuperblockInstance::maybe_complete() {
     }
   }
   completed_ = true;
+  SRBB_TRACE(config_.trace, trace_now(), 0, config_.self, "consensus",
+             "consensus.decide", "index", index_, "ones", blocks.size());
   cb_.on_superblock(std::move(blocks));
 }
 

@@ -26,6 +26,7 @@
 #include "common/time.hpp"
 #include "consensus/binary.hpp"
 #include "consensus/messages.hpp"
+#include "obs/trace.hpp"
 
 namespace srbb::consensus {
 
@@ -45,6 +46,10 @@ struct SuperblockConfig {
   /// run_until_idle() would not terminate).
   SimDuration rebroadcast_interval = 0;
   const crypto::SignatureScheme* scheme = &crypto::SignatureScheme::ed25519();
+  /// Emit `consensus.*` trace events (begin / per-slot binary decisions /
+  /// superblock decide / body pulls). Null disables (the default). Timestamps
+  /// come from SuperblockCallbacks::now; without it events are stamped 0.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct SuperblockCallbacks {
@@ -63,6 +68,9 @@ struct SuperblockCallbacks {
   std::function<void(std::vector<txn::BlockPtr>)> on_superblock;
   /// One-shot timer; the instance may request several.
   std::function<void(SimDuration, std::function<void()>)> set_timer;
+  /// Current simulated time, used only to stamp trace events. Optional; a
+  /// traced instance without it stamps everything 0.
+  std::function<SimTime()> now;
 };
 
 class SuperblockInstance {
@@ -133,6 +141,9 @@ class SuperblockInstance {
   /// pruning, node crash wiping instances_), so raw `this` captures in
   /// timer closures would be use-after-free.
   void arm_timer(SimDuration delay, std::function<void()> fn);
+
+  /// Trace timestamp: the callback's clock when wired, else 0.
+  SimTime trace_now() const { return cb_.now ? cb_.now() : 0; }
 
   void record_echo(std::uint32_t proposer, std::uint32_t from,
                    const Hash32& hash);

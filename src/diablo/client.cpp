@@ -2,6 +2,13 @@
 
 namespace srbb::diablo {
 
+void ClientNode::set_observability(obs::TraceSink* trace,
+                                   obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  hist_e2e_ = metrics != nullptr ? &metrics->histogram("lat.e2e_commit")
+                                 : nullptr;
+}
+
 void ClientNode::add_submission(SimTime at, txn::TxPtr tx, sim::NodeId target) {
   schedule_.push_back(Submission{at, std::move(tx), target});
 }
@@ -22,6 +29,8 @@ void ClientNode::dispatch(const txn::TxPtr& tx, sim::NodeId target,
                           std::uint32_t attempt) {
   auto msg = std::make_shared<node::ClientTxMsg>();
   msg->tx = tx;
+  SRBB_TRACE(trace_, now(), 0, static_cast<std::uint32_t>(id()), "client",
+             "client.send", "tx", obs::trace_id(tx->hash), "attempt", attempt);
   send(target, msg);
   if (resend_timeout_ == 0 || attempt >= max_resends_) return;
   // §VI: without a transaction receipt within the period, resend to another
@@ -44,6 +53,10 @@ void ClientNode::handle_message(sim::NodeId, const sim::MessagePtr& message) {
   if (!sent_at_.contains(ack->tx_hash)) return;   // not ours
   committed_.emplace(ack->tx_hash, now());
   last_commit_ = std::max(last_commit_, now());
+  const SimDuration e2e = now() - sent_at_.at(ack->tx_hash);
+  if (hist_e2e_ != nullptr) hist_e2e_->observe(e2e);
+  SRBB_TRACE(trace_, now(), 0, static_cast<std::uint32_t>(id()), "client",
+             "client.ack", "tx", obs::trace_id(ack->tx_hash), "latency", e2e);
 }
 
 std::vector<double> ClientNode::latencies() const {

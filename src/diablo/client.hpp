@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/network.hpp"
 #include "srbb/messages.hpp"
 
@@ -34,6 +36,12 @@ class ClientNode : public sim::SimNode {
     validator_count_ = validator_count;
     max_resends_ = max_resends;
   }
+
+  /// Attach the observability layer: `client.send` / `client.ack` trace
+  /// events plus the exact-nanosecond end-to-end commit latency histogram
+  /// "lat.e2e_commit" (send -> ack, the number Fig. 3 plots). Either pointer
+  /// may be null.
+  void set_observability(obs::TraceSink* trace, obs::MetricsRegistry* metrics);
 
   /// Register the full schedule before the run starts.
   void add_submission(SimTime at, txn::TxPtr tx, sim::NodeId target);
@@ -65,6 +73,10 @@ class ClientNode : public sim::SimNode {
   SimDuration resend_timeout_ = 0;
   std::uint32_t validator_count_ = 0;
   std::uint32_t max_resends_ = 0;
+
+  // Observability (null = disabled).
+  obs::TraceSink* trace_ = nullptr;
+  obs::Histogram* hist_e2e_ = nullptr;
 };
 
 }  // namespace srbb::diablo

@@ -1,6 +1,7 @@
 #include "diablo/report.hpp"
 
 #include <cstdio>
+#include <utility>
 
 namespace srbb::diablo {
 
@@ -49,6 +50,25 @@ std::string format_diagnostics(const RunResult& r) {
                 static_cast<unsigned long long>(r.crashed_nodes),
                 static_cast<unsigned long long>(r.slash_events));
   return buf;
+}
+
+std::string format_phase_histograms(const RunResult& r) {
+  const std::pair<const char*, const obs::HistogramSnapshot*> phases[] = {
+      {"pool-wait", &r.pool_wait},
+      {"propose->decide", &r.propose_to_decide},
+      {"decide->commit", &r.decide_to_commit},
+      {"e2e-commit", &r.e2e_commit},
+  };
+  std::string out;
+  for (const auto& [name, snapshot] : phases) {
+    if (snapshot->count == 0) continue;
+    if (!out.empty()) out += "\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  %-16s ", name);
+    out += buf;
+    out += snapshot->summary();
+  }
+  return out;
 }
 
 }  // namespace srbb::diablo

@@ -19,4 +19,9 @@ std::string format_table(const std::vector<RunResult>& results);
 /// One-line congestion diagnostics (validations, gossip, drops).
 std::string format_diagnostics(const RunResult& result);
 
+/// Per-phase latency histogram summaries (DESIGN.md §8): one line per
+/// non-empty phase (pool wait, propose->decide, decide->commit, e2e commit)
+/// with count/mean/p50/p90/p99. Empty string when no phase fired.
+std::string format_phase_histograms(const RunResult& result);
+
 }  // namespace srbb::diablo

@@ -98,6 +98,11 @@ RunResult run_experiment(const RunConfig& config) {
   sim::FaultInjector injector{config.faults};
   if (inject_faults) network.set_fault_injector(&injector);
 
+  // The run's metrics home: every node publishes into this one registry, so
+  // the per-phase histograms reduced into RunResult are already network-wide.
+  obs::MetricsRegistry registry;
+  network.set_trace(config.trace);
+
   const std::uint32_t n = config.validators;
   const std::uint32_t f = n >= 4 ? (n - 1) / 3 : 0;
   const auto regions = config.latency.assign_round_robin(n + config.clients);
@@ -158,6 +163,7 @@ RunResult run_experiment(const RunConfig& config) {
       node_config.scheme = &scheme();
       modern_validators.push_back(std::make_unique<chains::GossipChainNode>(
           simulation, rank, regions[rank], node_config, oracle, &overlay));
+      modern_validators.back()->set_observability(config.trace, &registry);
       network.attach(modern_validators.back().get());
     } else {
       node::ValidatorConfig node_config;
@@ -174,6 +180,8 @@ RunResult run_experiment(const RunConfig& config) {
       node_config.proposal_timeout = config.proposal_timeout;
       node_config.oracle_private = config.replicated_execution;
       node_config.rebroadcast_interval = config.rebroadcast_interval;
+      node_config.trace = config.trace;
+      node_config.metrics = &registry;
       if (rank >= n - config.byzantine) {
         node_config.behavior.flood_invalid_per_block =
             config.flood_invalid_per_block;
@@ -193,6 +201,7 @@ RunResult run_experiment(const RunConfig& config) {
   for (std::uint32_t c = 0; c < config.clients; ++c) {
     clients.push_back(std::make_unique<ClientNode>(
         simulation, n + c, regions[n + c]));
+    clients.back()->set_observability(config.trace, &registry);
     if (config.client_resend_timeout != 0) {
       clients.back()->enable_resend(config.client_resend_timeout, n);
     }
@@ -324,11 +333,26 @@ RunResult run_experiment(const RunConfig& config) {
   result.network_messages = network.total_messages();
   result.network_bytes = network.total_bytes();
   result.slash_events = rpm_contract->slash_events().size();
-  if (!srbb_validators.empty()) {
+  // Guard the observation-window division: a zero-duration run (empty
+  // workload, no drain) has no rate, not an infinite one.
+  const double run_seconds =
+      to_seconds(config.workload.duration() + config.drain);
+  if (!srbb_validators.empty() && run_seconds > 0.0) {
     result.valid_committed_per_validator_tps =
         static_cast<double>(srbb_validators[0]->metrics().txs_committed_valid) /
-        to_seconds(config.workload.duration() + config.drain);
+        run_seconds;
   }
+
+  // Per-phase histograms out of the shared registry (empty snapshot when the
+  // phase never fired, e.g. no SRBB validators -> no propose_to_decide).
+  const auto snap = [&registry](std::string_view name) {
+    const obs::Histogram* hist = registry.find_histogram(name);
+    return hist != nullptr ? hist->snapshot() : obs::HistogramSnapshot{};
+  };
+  result.pool_wait = snap("pool.wait");
+  result.propose_to_decide = snap("lat.propose_to_decide");
+  result.decide_to_commit = snap("lat.decide_to_commit");
+  result.e2e_commit = snap("lat.e2e_commit");
   return result;
 }
 

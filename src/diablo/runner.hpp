@@ -11,6 +11,8 @@
 
 #include "chains/presets.hpp"
 #include "diablo/workload.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault.hpp"
 #include "sim/latency.hpp"
 #include "srbb/validator.hpp"
@@ -75,6 +77,13 @@ struct RunConfig {
   /// simulated time into RunResult::window_commits (0 = off). Makes the
   /// throughput dip around a crash or partition window visible.
   SimDuration tps_window = 0;
+
+  // --- observability (DESIGN.md §8) ---
+  /// Commit-path trace sink, threaded through every node, the network's
+  /// fault attribution, and the clients (not owned; null = no tracing). The
+  /// runner always owns an internal MetricsRegistry — the per-phase
+  /// histograms in RunResult come from it at no extra configuration.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct RunResult {
@@ -108,6 +117,14 @@ struct RunResult {
   std::uint64_t validator_crashes = 0;
   std::uint64_t validator_restarts = 0;
   std::uint64_t superblocks_synced = 0;
+
+  // Per-phase latency distributions along the commit path (DESIGN.md §8),
+  // aggregated across every node of the run. All values are simulated
+  // nanoseconds; empty snapshots (count == 0) mean the phase never fired.
+  obs::HistogramSnapshot pool_wait;          // pool admit -> batch extraction
+  obs::HistogramSnapshot propose_to_decide;  // round begin -> DBFT decide
+  obs::HistogramSnapshot decide_to_commit;   // decide -> exec + chain append
+  obs::HistogramSnapshot e2e_commit;         // client send -> commit ack
 };
 
 RunResult run_experiment(const RunConfig& config);

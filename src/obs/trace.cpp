@@ -1,0 +1,134 @@
+#include "obs/trace.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace srbb::obs {
+
+namespace {
+
+void fold_u64(crypto::Sha256& digest, std::uint64_t value) {
+  std::array<std::uint8_t, 8> bytes{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  digest.update(BytesView{bytes.data(), bytes.size()});
+}
+
+void fold_str(crypto::Sha256& digest, const char* s) {
+  static const std::uint8_t kSeparator = 0;
+  if (s != nullptr) {
+    digest.update(BytesView{reinterpret_cast<const std::uint8_t*>(s),
+                            std::strlen(s)});
+  }
+  digest.update(BytesView{&kSeparator, 1});
+}
+
+/// "123.456" — microseconds with nanosecond fraction, pure integer math so
+/// the exported file never depends on floating-point formatting.
+std::string micros_fixed(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  return buf;
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char esc[8];
+      std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+      out += esc;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t TraceSink::count_of(std::string_view name) const {
+  std::uint64_t n = 0;
+  for (const TraceEvent& event : events_) {
+    if (name == event.name) ++n;
+  }
+  return n;
+}
+
+std::uint64_t TraceSink::count_of_category(std::string_view category) const {
+  std::uint64_t n = 0;
+  for (const TraceEvent& event : events_) {
+    if (category == event.category) ++n;
+  }
+  return n;
+}
+
+std::map<std::string, std::uint64_t> TraceSink::event_counts() const {
+  std::map<std::string, std::uint64_t> counts;
+  for (const TraceEvent& event : events_) {
+    ++counts[event.name];
+  }
+  return counts;
+}
+
+Hash32 TraceSink::fingerprint() const {
+  crypto::Sha256 digest;
+  fold_u64(digest, events_.size());
+  for (const TraceEvent& event : events_) {
+    fold_u64(digest, event.ts);
+    fold_u64(digest, event.dur);
+    fold_u64(digest, event.node);
+    fold_str(digest, event.category);
+    fold_str(digest, event.name);
+    fold_str(digest, event.arg0_name);
+    fold_u64(digest, event.arg0);
+    fold_str(digest, event.arg1_name);
+    fold_u64(digest, event.arg1);
+  }
+  return digest.finish();
+}
+
+std::string TraceSink::chrome_json() const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    append_json_escaped(out, event.name);
+    out += "\",\"cat\":\"";
+    append_json_escaped(out, event.category);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    out += micros_fixed(event.ts);
+    out += ",\"dur\":";
+    out += micros_fixed(event.dur);
+    out += ",\"pid\":";
+    out += std::to_string(event.node);
+    out += ",\"tid\":0,\"args\":{";
+    bool first_arg = true;
+    const auto append_arg = [&out, &first_arg](const char* arg_name,
+                                               std::uint64_t value) {
+      if (arg_name == nullptr) return;
+      if (!first_arg) out += ',';
+      first_arg = false;
+      out += '"';
+      append_json_escaped(out, arg_name);
+      out += "\":";
+      out += std::to_string(value);
+    };
+    append_arg(event.arg0_name, event.arg0);
+    append_arg(event.arg1_name, event.arg1);
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace srbb::obs

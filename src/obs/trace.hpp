@@ -1,0 +1,106 @@
+// Commit-path tracing (DESIGN.md §8). A TraceSink collects structured span /
+// event records — pool admit, eager validation, proposal, DBFT decide,
+// superblock execution, receipt — stamped with deterministic simulated time.
+// Because the simulator is a pure function of its seeds, a (workload, seed,
+// fault-plan) triple yields a bit-identical event stream, which makes the
+// trace itself a regression-test surface: tests/test_golden_trace.cpp pins
+// scenarios to checked-in fingerprints.
+//
+// Cost model: a component holds a `TraceSink*` that is nullptr (or a
+// disabled sink) when tracing is off; the SRBB_TRACE macro reduces to one
+// pointer test plus one flag test — branch-predicted no-ops on the hot path
+// (overhead measured in EXPERIMENTS.md "Observability overhead"). Payloads
+// are two optional u64 args with static names; no formatting, no allocation
+// beyond the event vector's amortized growth.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+
+namespace srbb::obs {
+
+/// One span (dur > 0) or instant (dur == 0). `category` and `name` must be
+/// string literals (or otherwise outlive the sink): the sink stores the
+/// pointers and hashes/export reads the characters, never the addresses, so
+/// fingerprints are stable across processes and ASLR.
+struct TraceEvent {
+  SimTime ts = 0;        // simulated nanoseconds
+  SimDuration dur = 0;   // 0 = instant event
+  std::uint32_t node = 0;
+  const char* category = "";
+  const char* name = "";
+  const char* arg0_name = nullptr;
+  std::uint64_t arg0 = 0;
+  const char* arg1_name = nullptr;
+  std::uint64_t arg1 = 0;
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(bool enabled = true) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  void emit(SimTime ts, SimDuration dur, std::uint32_t node,
+            const char* category, const char* name,
+            const char* arg0_name = nullptr, std::uint64_t arg0 = 0,
+            const char* arg1_name = nullptr, std::uint64_t arg1 = 0) {
+    if (!enabled_) return;
+    events_.push_back(TraceEvent{ts, dur, node, category, name, arg0_name,
+                                 arg0, arg1_name, arg1});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Events whose name matches exactly.
+  std::uint64_t count_of(std::string_view name) const;
+  /// Events whose category matches exactly.
+  std::uint64_t count_of_category(std::string_view category) const;
+  /// name -> occurrence count, deterministic ordering.
+  std::map<std::string, std::uint64_t> event_counts() const;
+
+  /// SHA-256 over the canonical little-endian serialization of every event
+  /// (string *contents*, not pointers). Bit-identical streams — the golden
+  /// determinism contract — give bit-identical fingerprints.
+  Hash32 fingerprint() const;
+
+  /// Chrome/Perfetto `trace_event` JSON (load via chrome://tracing or
+  /// https://ui.perfetto.dev). pid = node, ts/dur in microseconds rendered
+  /// with integer math so the file is byte-deterministic.
+  std::string chrome_json() const;
+
+ private:
+  bool enabled_;
+  std::vector<TraceEvent> events_;
+};
+
+/// First 8 bytes of a hash, little-endian: the compact per-transaction (or
+/// per-block) id carried in trace event args.
+inline std::uint64_t trace_id(const Hash32& hash) {
+  std::uint64_t id = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    id |= static_cast<std::uint64_t>(hash[i]) << (8 * i);
+  }
+  return id;
+}
+
+/// Hot-path guard: evaluates the sink expression once, skips everything when
+/// tracing is off. Usage mirrors TraceSink::emit:
+///   SRBB_TRACE(trace_, now(), cost, id(), "pool", "pool.admit", "txs", n);
+#define SRBB_TRACE(sink, ...)                          \
+  do {                                                 \
+    ::srbb::obs::TraceSink* srbb_trace_sink = (sink);  \
+    if (srbb_trace_sink != nullptr && srbb_trace_sink->enabled()) { \
+      srbb_trace_sink->emit(__VA_ARGS__);              \
+    }                                                  \
+  } while (0)
+
+}  // namespace srbb::obs

@@ -4,6 +4,26 @@
 
 namespace srbb::pool {
 
+void TxPool::set_observability(obs::TraceSink* trace,
+                               obs::MetricsRegistry* metrics,
+                               std::uint32_t node) {
+  trace_ = trace;
+  obs_node_ = node;
+  if (metrics != nullptr) {
+    ctr_admitted_ = &metrics->counter("pool.admitted");
+    ctr_dropped_full_ = &metrics->counter("pool.dropped_full");
+    ctr_dropped_expired_ = &metrics->counter("pool.dropped_expired");
+    ctr_duplicates_ = &metrics->counter("pool.duplicates");
+    hist_wait_ = &metrics->histogram("pool.wait");
+  } else {
+    ctr_admitted_ = nullptr;
+    ctr_dropped_full_ = nullptr;
+    ctr_dropped_expired_ = nullptr;
+    ctr_duplicates_ = nullptr;
+    hist_wait_ = nullptr;
+  }
+}
+
 void TxPool::check_coherence() const {
   SRBB_CHECK(index_.size() == entries_.size());
 #ifdef SRBB_PARANOID_CHECKS
@@ -14,14 +34,23 @@ void TxPool::check_coherence() const {
 }
 
 TxPool::AddResult TxPool::add(txn::TxPtr tx, SimTime now) {
-  if (index_.contains(tx->hash)) return AddResult::kDuplicate;
+  if (index_.contains(tx->hash)) {
+    if (ctr_duplicates_ != nullptr) ctr_duplicates_->inc();
+    return AddResult::kDuplicate;
+  }
   if (entries_.size() >= config_.capacity) {
     ++dropped_full_;
+    if (ctr_dropped_full_ != nullptr) ctr_dropped_full_->inc();
+    SRBB_TRACE(trace_, now, 0, obs_node_, "pool", "pool.drop_full", "tx",
+               obs::trace_id(tx->hash));
     return AddResult::kFull;
   }
+  SRBB_TRACE(trace_, now, 0, obs_node_, "pool", "pool.admit", "tx",
+             obs::trace_id(tx->hash), "occupancy", entries_.size() + 1);
   index_.insert(tx->hash);
   entries_.push_back(Entry{std::move(tx), now});
   ++admitted_;
+  if (ctr_admitted_ != nullptr) ctr_admitted_->inc();
   check_coherence();
   return AddResult::kAdded;
 }
@@ -36,13 +65,19 @@ std::vector<txn::TxPtr> TxPool::take_batch(std::size_t max_count,
       index_.erase(front.tx->hash);
       entries_.pop_front();
       ++dropped_expired_;
+      if (ctr_dropped_expired_ != nullptr) ctr_dropped_expired_->inc();
       continue;
     }
     if (max_bytes != 0 && bytes + front.tx->size > max_bytes) break;
     bytes += front.tx->size;
+    if (hist_wait_ != nullptr) hist_wait_->observe(now - front.added_at);
     index_.erase(front.tx->hash);
     batch.push_back(std::move(front.tx));
     entries_.pop_front();
+  }
+  if (!batch.empty()) {
+    SRBB_TRACE(trace_, now, 0, obs_node_, "pool", "pool.take_batch", "txs",
+               batch.size(), "bytes", bytes);
   }
   check_coherence();
   return batch;

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "txn/txref.hpp"
 
 namespace srbb::pool {
@@ -24,6 +26,13 @@ struct TxPoolConfig {
 class TxPool {
  public:
   explicit TxPool(TxPoolConfig config = {}) : config_(config) {}
+
+  /// Attach the observability layer (DESIGN.md §8): admit/drop trace events
+  /// tagged with `node`, plus registry counters and the `pool.wait`
+  /// histogram (admission -> extraction, the Alg. 1 queueing delay). Either
+  /// pointer may be null; with both null the pool behaves exactly as before.
+  void set_observability(obs::TraceSink* trace, obs::MetricsRegistry* metrics,
+                         std::uint32_t node);
 
   enum class AddResult : std::uint8_t { kAdded, kDuplicate, kFull };
 
@@ -69,6 +78,15 @@ class TxPool {
   std::uint64_t dropped_full_ = 0;
   std::uint64_t dropped_expired_ = 0;
   std::uint64_t admitted_ = 0;
+
+  // Observability (all optional; null = disabled, branch-predicted away).
+  obs::TraceSink* trace_ = nullptr;
+  std::uint32_t obs_node_ = 0;
+  obs::Counter* ctr_admitted_ = nullptr;
+  obs::Counter* ctr_dropped_full_ = nullptr;
+  obs::Counter* ctr_dropped_expired_ = nullptr;
+  obs::Counter* ctr_duplicates_ = nullptr;
+  obs::Histogram* hist_wait_ = nullptr;
 };
 
 }  // namespace srbb::pool

@@ -31,6 +31,24 @@ void Network::attach(SimNode* node) {
   nics_.push_back(Nic{});
 }
 
+void Network::ensure_link_stats() {
+  const std::size_t slots = nodes_.size() * nodes_.size();
+  if (link_messages_.size() < slots) {
+    link_messages_.resize(slots, 0);
+    link_bytes_.resize(slots, 0);
+  }
+}
+
+std::uint64_t Network::link_messages(NodeId from, NodeId to) const {
+  const std::size_t slot = link_slot(from, to);
+  return slot < link_messages_.size() ? link_messages_[slot] : 0;
+}
+
+std::uint64_t Network::link_bytes(NodeId from, NodeId to) const {
+  const std::size_t slot = link_slot(from, to);
+  return slot < link_bytes_.size() ? link_bytes_[slot] : 0;
+}
+
 void Network::send(NodeId from, NodeId to, MessagePtr message) {
   SRBB_CHECK(from < nodes_.size());
   SRBB_CHECK(to < nodes_.size());
@@ -41,11 +59,39 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
   sender->stats_.bytes_sent += bytes;
   total_messages_ += 1;
   total_bytes_ += bytes;
+  if (link_stats_enabled_) {
+    ensure_link_stats();
+    link_messages_[link_slot(from, to)] += 1;
+    link_bytes_[link_slot(from, to)] += bytes;
+  }
 
   FaultInjector::Verdict verdict;
   if (faults_ != nullptr) {
     const FaultStats before = faults_->stats();
     verdict = faults_->judge(from, to, sim_.now());
+    // Mirror every injector decision into the trace, one event per stats
+    // increment, so a trace's `net.*` counts reconcile exactly with
+    // FaultStats (asserted by tests/test_chaos.cpp ChaosTrace).
+    if (trace_ != nullptr && trace_->enabled()) {
+      const FaultStats& after = faults_->stats();
+      if (after.dropped != before.dropped) {
+        trace_->emit(sim_.now(), 0, from, "net", "net.drop", "to", to);
+      }
+      if (after.partition_blocked != before.partition_blocked) {
+        trace_->emit(sim_.now(), 0, from, "net", "net.partition_block", "to",
+                     to);
+      }
+      if (after.crash_blocked != before.crash_blocked) {
+        trace_->emit(sim_.now(), 0, from, "net", "net.crash_block", "to", to);
+      }
+      if (after.duplicated != before.duplicated) {
+        trace_->emit(sim_.now(), 0, from, "net", "net.dup", "to", to);
+      }
+      if (after.reordered != before.reordered) {
+        trace_->emit(sim_.now(), 0, from, "net", "net.reorder", "to", to,
+                     "delay", verdict.extra_delay);
+      }
+    }
     if (!verdict.deliver) {
       // Attribute the loss on the sender: a cut link (partition or crashed
       // endpoint) vs an in-flight drop. The packet still left the NIC, so

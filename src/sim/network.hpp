@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/latency.hpp"
 
@@ -113,6 +114,18 @@ class Network {
   std::uint64_t total_messages() const { return total_messages_; }
   std::uint64_t total_bytes() const { return total_bytes_; }
 
+  /// Emit `net.*` trace events (fault drops, duplicates, partition/crash
+  /// blocking) into `trace`. Null disables (the default).
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
+  /// Start accumulating a per-(from,to)-link message/byte matrix. Off by
+  /// default: it costs n^2 counters, which the congestion benches at n=200
+  /// don't want on every send.
+  void enable_link_stats() { link_stats_enabled_ = true; }
+  bool link_stats_enabled() const { return link_stats_enabled_; }
+  std::uint64_t link_messages(NodeId from, NodeId to) const;
+  std::uint64_t link_bytes(NodeId from, NodeId to) const;
+
  private:
   struct Nic {
     SimTime egress_free_at = 0;
@@ -127,14 +140,25 @@ class Network {
   void deliver_copy(NodeId from, NodeId to, MessagePtr message,
                     std::size_t bytes, SimDuration extra_delay);
 
+  /// nodes_.size()^2 slots, row-major by sender; grown lazily on send so
+  /// attach order doesn't matter.
+  std::size_t link_slot(NodeId from, NodeId to) const {
+    return static_cast<std::size_t>(from) * nodes_.size() + to;
+  }
+  void ensure_link_stats();
+
   Simulation& sim_;
   NetworkConfig config_;
   Rng rng_;
   FaultInjector* faults_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
   std::vector<SimNode*> nodes_;
   std::vector<Nic> nics_;
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
+  bool link_stats_enabled_ = false;
+  std::vector<std::uint64_t> link_messages_;
+  std::vector<std::uint64_t> link_bytes_;
 };
 
 }  // namespace srbb::sim

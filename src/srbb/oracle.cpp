@@ -44,6 +44,12 @@ void ExecutionOracle::reset() {
 
 const IndexExecResult& ExecutionOracle::execute(
     std::uint64_t index, const std::vector<txn::BlockPtr>& blocks) {
+  return execute(index, blocks, ExecContext{});
+}
+
+const IndexExecResult& ExecutionOracle::execute(
+    std::uint64_t index, const std::vector<txn::BlockPtr>& blocks,
+    const ExecContext& ctx) {
   if (const auto it = results_.find(index); it != results_.end()) {
     return it->second;
   }
@@ -65,7 +71,9 @@ const IndexExecResult& ExecutionOracle::execute(
     }
     const std::vector<Result<txn::Receipt>> receipts =
         parallel_->execute_block(flat, db_, block_ctx, exec_config_,
-                                 &result.parallel);
+                                 &result.parallel,
+                                 txn::ExecTraceContext{ctx.trace, ctx.at,
+                                                       ctx.node});
     std::size_t next = 0;
     for (const txn::BlockPtr& block : blocks) {
       BlockExecResult block_result;
@@ -90,6 +98,8 @@ const IndexExecResult& ExecutionOracle::execute(
   }
   db_.commit();
   result.state_root = db_.state_root();
+  SRBB_TRACE(ctx.trace, ctx.at, 0, ctx.node, "commit", "superblock.exec",
+             "index", index, "valid", result.total_valid);
   return results_.emplace(index, std::move(result)).first->second;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "evm/types.hpp"
+#include "obs/trace.hpp"
 #include "srbb/genesis.hpp"
 #include "state/statedb.hpp"
 #include "txn/block.hpp"
@@ -54,11 +55,24 @@ class ExecutionOracle {
   ExecutionOracle(const GenesisSpec& genesis, evm::BlockContext block_template,
                   const crypto::SignatureScheme& scheme);
 
+  /// Trace context for one execute() call. Events are emitted only on the
+  /// first (non-memoized) execution of an index: a shared oracle's memoized
+  /// replays are a simulation artifact, not protocol work, and tracing them
+  /// would make the trace depend on which replica committed first.
+  struct ExecContext {
+    obs::TraceSink* trace = nullptr;
+    SimTime at = 0;
+    std::uint32_t node = 0;
+  };
+
   /// Execute the superblock for `index` (idempotent: repeated calls return
   /// the memoized result). Indices must be executed in increasing order on
   /// first call.
   const IndexExecResult& execute(std::uint64_t index,
                                  const std::vector<txn::BlockPtr>& blocks);
+  const IndexExecResult& execute(std::uint64_t index,
+                                 const std::vector<txn::BlockPtr>& blocks,
+                                 const ExecContext& ctx);
 
   bool executed(std::uint64_t index) const { return results_.contains(index); }
   const state::StateDB& db() const { return db_; }

@@ -45,6 +45,19 @@ ValidatorNode::ValidatorNode(sim::Simulation& simulation, sim::NodeId id,
     on_caught_up(frontier);
   };
   sync_ = std::make_unique<CatchUpSync>(sync_config, std::move(sync_cb));
+  register_obs();
+}
+
+void ValidatorNode::register_obs() {
+  pool_.set_observability(config_.trace, config_.metrics, config_.self);
+  if (config_.metrics != nullptr) {
+    hist_propose_to_decide_ =
+        &config_.metrics->histogram("lat.propose_to_decide");
+    hist_decide_to_commit_ = &config_.metrics->histogram("lat.decide_to_commit");
+    ctr_spec_runs_ = &config_.metrics->counter("exec.speculative_runs");
+    ctr_spec_aborts_ = &config_.metrics->counter("exec.aborts");
+    ctr_fallback_txs_ = &config_.metrics->counter("exec.fallback_txs");
+  }
 }
 
 void ValidatorNode::start() {
@@ -161,6 +174,12 @@ void ValidatorNode::on_client_tx(sim::NodeId from, const txn::TxPtr& tx) {
     if (committed_txs_.contains(tx->hash) || pool_.contains(tx->hash)) return;
     const Status valid = txn::eager_validate(
         tx->tx, oracle_->db(), *config_.scheme, config_.validation);
+    // Span covering the validation CPU charge: post_work delivered us at the
+    // completion instant, so the span starts one cost earlier.
+    SRBB_TRACE(config_.trace, now() - config_.costs.eager_validation,
+               config_.costs.eager_validation, config_.self, "pool",
+               "tx.eager_validate", "tx", obs::trace_id(tx->hash), "ok",
+               valid ? 1 : 0);
     if (!valid) {
       ++metrics_.eager_failures;
       return;  // drop (Alg. 1: failed eager validation)
@@ -234,6 +253,7 @@ SuperblockInstance& ValidatorNode::instance_for(std::uint64_t index) {
   sb_config.pull_retry = config_.pull_retry;
   sb_config.rebroadcast_interval = config_.rebroadcast_interval;
   sb_config.scheme = config_.scheme;
+  sb_config.trace = config_.trace;
 
   SuperblockCallbacks cb;
   cb.broadcast = [this](sim::MessagePtr msg) {
@@ -260,6 +280,7 @@ SuperblockInstance& ValidatorNode::instance_for(std::uint64_t index) {
     // instances; the epoch guard covers the crash-wipes-instances_ case too.
     sim().schedule_after(delay, guarded(std::move(fn)));
   };
+  cb.now = [this] { return now(); };
 
   it = instances_
            .emplace(index, std::make_unique<SuperblockInstance>(
@@ -271,7 +292,11 @@ SuperblockInstance& ValidatorNode::instance_for(std::uint64_t index) {
 void ValidatorNode::begin_round(std::uint64_t index) {
   current_round_ = index;
   last_round_start_ = now();
-  instance_for(index).begin(build_proposal(index));
+  if (obs_on()) round_began_at_[index] = now();
+  txn::BlockPtr proposal = build_proposal(index);
+  SRBB_TRACE(config_.trace, now(), 0, config_.self, "consensus",
+             "round.propose", "index", index, "txs", proposal->txs.size());
+  instance_for(index).begin(std::move(proposal));
 }
 
 txn::BlockPtr ValidatorNode::build_proposal(std::uint64_t index) {
@@ -338,6 +363,12 @@ void ValidatorNode::on_superblock(std::uint64_t index,
   // it; the commit pipeline then drains pending_superblocks_ in order.
   decided_store_[index] = blocks;
   if (index < next_commit_) return;  // already committed (sync + passive dup)
+  if (obs_on() && round_began_at_.contains(index)) {
+    decided_at_[index] = now();
+    if (hist_propose_to_decide_ != nullptr) {
+      hist_propose_to_decide_->observe(now() - round_began_at_[index]);
+    }
+  }
   pending_superblocks_[index] = std::move(blocks);
   try_commit();
 }
@@ -353,7 +384,21 @@ void ValidatorNode::try_commit() {
   // attempt/valid split, then charge the commit-path CPU before finalizing:
   // every attempt pays lazy validation + signature recovery, valid
   // transactions additionally pay the EVM apply.
-  const IndexExecResult& result = oracle_->execute(index, it->second);
+  const bool first_exec = !oracle_->executed(index);
+  const IndexExecResult& result = oracle_->execute(
+      index, it->second,
+      ExecutionOracle::ExecContext{config_.trace, now(), config_.self});
+  if (first_exec) {
+    // Parallel-execution counters land once per index (the first executor;
+    // memoized replays on a shared oracle did no speculative work).
+    if (ctr_spec_runs_ != nullptr) {
+      ctr_spec_runs_->inc(result.parallel.speculative_runs);
+    }
+    if (ctr_spec_aborts_ != nullptr) ctr_spec_aborts_->inc(result.parallel.aborts);
+    if (ctr_fallback_txs_ != nullptr) {
+      ctr_fallback_txs_->inc(result.parallel.fallback_txs);
+    }
+  }
   std::size_t attempts = 0;
   for (const txn::BlockPtr& block : it->second) attempts += block->txs.size();
   const SimDuration cost =
@@ -389,6 +434,9 @@ void ValidatorNode::commit_index(std::uint64_t index,
           auto ack = std::make_shared<CommitAckMsg>();
           ack->tx_hash = outcome.hash;
           ack->executed_ok = outcome.executed_ok;
+          SRBB_TRACE(config_.trace, now(), 0, config_.self, "commit",
+                     "commit.ack", "tx", obs::trace_id(outcome.hash), "ok",
+                     outcome.executed_ok ? 1 : 0);
           send(origin->second, ack);
           client_origins_.erase(origin);
         }
@@ -410,6 +458,18 @@ void ValidatorNode::commit_index(std::uint64_t index,
   chain_.push_back(parent_hash_);
   last_state_root_ = result.state_root;
   ++metrics_.superblocks_committed;
+  SRBB_TRACE(config_.trace, now(), 0, config_.self, "commit",
+             "superblock.commit", "index", index, "valid", result.total_valid);
+  if (obs_on()) {
+    const auto decided = decided_at_.find(index);
+    if (decided != decided_at_.end()) {
+      if (hist_decide_to_commit_ != nullptr) {
+        hist_decide_to_commit_->observe(now() - decided->second);
+      }
+      decided_at_.erase(decided);
+    }
+    round_began_at_.erase(index);
+  }
 
   // During catch-up replay the RPM hooks are skipped: the pre-crash run (and
   // every live peer) already reported these indices to the shared contract,
@@ -498,6 +558,9 @@ void ValidatorNode::crash() {
   // decided-block store, execution state. Destroying the instances also
   // orphans their pending timers via the alive_ sentinels.
   pool_ = pool::TxPool(config_.pool);
+  register_obs();  // the fresh pool needs its sink/counters re-attached
+  round_began_at_.clear();
+  decided_at_.clear();
   seen_gossip_.clear();
   committed_txs_.clear();
   client_origins_.clear();

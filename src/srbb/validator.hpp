@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "consensus/superblock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pool/txpool.hpp"
 #include "rpm/rpm.hpp"
 #include "sim/gossip.hpp"
@@ -94,6 +96,13 @@ struct ValidatorConfig {
   /// Catch-up sync request timeout (doubles per retry) and backoff cap.
   SimDuration sync_request_timeout = millis(250);
   std::uint32_t sync_backoff_cap = 4;
+
+  // --- observability (DESIGN.md §8) ---
+  /// Commit-path trace sink and shared metrics registry (neither owned;
+  /// typically one of each per run, shared across nodes). Both null by
+  /// default: the node then behaves exactly as before this layer existed.
+  obs::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ValidatorNode : public sim::SimNode {
@@ -233,6 +242,22 @@ class ValidatorNode : public sim::SimNode {
   std::unique_ptr<CatchUpSync> sync_;
 
   Metrics metrics_;
+
+  // Observability (DESIGN.md §8): registered once in the constructor, null
+  // when disabled. The timestamp maps exist only while observability is on
+  // (obs_on()), are pruned per commit, and are wiped by crash() — a restarted
+  // node's pre-crash rounds never leak into post-restart latencies.
+  bool obs_on() const {
+    return config_.trace != nullptr || config_.metrics != nullptr;
+  }
+  void register_obs();
+  obs::Histogram* hist_propose_to_decide_ = nullptr;
+  obs::Histogram* hist_decide_to_commit_ = nullptr;
+  obs::Counter* ctr_spec_runs_ = nullptr;
+  obs::Counter* ctr_spec_aborts_ = nullptr;
+  obs::Counter* ctr_fallback_txs_ = nullptr;
+  std::map<std::uint64_t, SimTime> round_began_at_;
+  std::map<std::uint64_t, SimTime> decided_at_;
 };
 
 }  // namespace srbb::node

@@ -29,7 +29,7 @@ ParallelExecutor::ParallelExecutor(std::size_t workers,
 std::vector<Result<Receipt>> ParallelExecutor::execute_block(
     const std::vector<const Transaction*>& txs, state::StateDB& db,
     const evm::BlockContext& block, const ExecutionConfig& config,
-    ParallelExecStats* stats) {
+    ParallelExecStats* stats, const ExecTraceContext& trace) {
   ParallelExecStats local;
   local.txs = txs.size();
   std::vector<Result<Receipt>> out(txs.size(),
@@ -102,11 +102,17 @@ std::vector<Result<Receipt>> ParallelExecutor::execute_block(
     // liveness argument for the optimistic loop.
     SRBB_CHECK(retry.size() < pending.size() || pending.empty());
     pending = std::move(retry);
+    SRBB_TRACE(trace.sink, trace.at, 0, trace.node, "exec", "exec.round",
+               "round", round, "pending", pending.size());
   }
 
   // Sequential fallback for transactions still unresolved after the
   // optimistic rounds.
   local.fallback_txs = pending.size();
+  if (!pending.empty()) {
+    SRBB_TRACE(trace.sink, trace.at, 0, trace.node, "exec", "exec.fallback",
+               "txs", pending.size());
+  }
   for (const std::size_t i : pending) {
     out[i] = apply_transaction(*txs[i], db, block, config);
   }

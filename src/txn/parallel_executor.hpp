@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "common/time.hpp"
+#include "obs/trace.hpp"
 #include "state/statedb.hpp"
 #include "txn/executor.hpp"
 
@@ -48,6 +50,19 @@ struct ParallelExecStats {
   }
 };
 
+/// Executor-internal tracing: category-"exec" events (per-round progress,
+/// sequential fallback) emitted into `sink`, stamped with the fixed simulated
+/// time `at` — the executor runs between sim events, so every event of one
+/// block shares one timestamp. Only the coordinator thread emits; worker
+/// threads never touch the sink. These events are deliberately the only
+/// difference between a sequential and a parallel trace of the same block
+/// (tests/test_parallel_executor.cpp asserts equality after filtering them).
+struct ExecTraceContext {
+  obs::TraceSink* sink = nullptr;
+  SimTime at = 0;
+  std::uint32_t node = 0;
+};
+
 class ParallelExecutor {
  public:
   /// `workers` == 0 selects hardware concurrency.
@@ -62,7 +77,7 @@ class ParallelExecutor {
   std::vector<Result<Receipt>> execute_block(
       const std::vector<const Transaction*>& txs, state::StateDB& db,
       const evm::BlockContext& block, const ExecutionConfig& config,
-      ParallelExecStats* stats = nullptr);
+      ParallelExecStats* stats = nullptr, const ExecTraceContext& trace = {});
 
   std::size_t worker_count() const { return pool_.thread_count(); }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "crypto/sha256.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault.hpp"
 #include "srbb/validator.hpp"
 
@@ -76,6 +77,9 @@ struct ChaosOptions {
   std::size_t tx_count = 60;
   SimDuration tx_interval = millis(40);
   std::size_t accounts = 8;
+  /// Commit-path trace sink (not owned); wired through the network's fault
+  /// attribution and every validator when non-null.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct ChaosNet {
@@ -95,6 +99,7 @@ struct ChaosNet {
     net_config.latency = sim::LatencyModel::uniform(1, millis(5));
     network = std::make_unique<sim::Network>(sim, net_config);
     network->set_fault_injector(&injector);
+    network->set_trace(opts.trace);
 
     for (std::size_t i = 0; i < opts.accounts; ++i) {
       senders.push_back(scheme().make_identity(1000 + i));
@@ -126,6 +131,7 @@ struct ChaosNet {
       // responses would push the next retry past the liveness probe window.
       config.sync_request_timeout = millis(150);
       config.sync_backoff_cap = 2;
+      config.trace = opts.trace;
       auto oracle = std::make_shared<ExecutionOracle>(genesis, block_template,
                                                       scheme());
       if (opts.parallel_execution) {
@@ -573,6 +579,57 @@ TEST(ChaosDeterminism, IdenticalSeedsProduceIdenticalRuns) {
     return net.fingerprint();
   };
   EXPECT_EQ(run(), run());
+}
+
+// Chaos with the trace on: every fault decision the injector makes must be
+// mirrored by exactly one `net.*` trace event, so the trace reconciles with
+// FaultStats field-for-field — the attribution contract a post-mortem
+// reading a trace file relies on. The run itself (and hence the trace) stays
+// a pure function of the plan.
+TEST(ChaosTrace, NetEventsReconcileExactlyWithFaultStats) {
+  const auto run = [](obs::TraceSink* sink) {
+    ChaosOptions opts;
+    opts.trace = sink;
+    opts.plan.seed = 13;
+    opts.plan.default_link.drop = 0.08;
+    opts.plan.default_link.duplicate = 0.06;
+    opts.plan.default_link.reorder = 0.1;
+    opts.plan.default_link.reorder_delay_max = millis(20);
+    opts.plan.partitions.push_back({seconds(1), seconds(2), {3}, false});
+    opts.plan.crashes.push_back({1, millis(2500), seconds(4)});
+    ChaosNet net{opts};
+    net.run_until(seconds(8));
+    net.expect_no_divergence();
+    return net.injector.stats();
+  };
+
+  obs::TraceSink trace;
+  const sim::FaultStats stats = run(&trace);
+
+  // Each fault class actually fired...
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_GT(stats.duplicated, 0u);
+  EXPECT_GT(stats.reordered, 0u);
+  EXPECT_GT(stats.partition_blocked, 0u);
+  EXPECT_GT(stats.crash_blocked, 0u);
+  // ...and the trace attributes every single decision, no more, no fewer.
+  EXPECT_EQ(trace.count_of("net.drop"), stats.dropped);
+  EXPECT_EQ(trace.count_of("net.dup"), stats.duplicated);
+  EXPECT_EQ(trace.count_of("net.reorder"), stats.reordered);
+  EXPECT_EQ(trace.count_of("net.partition_block"), stats.partition_blocked);
+  EXPECT_EQ(trace.count_of("net.crash_block"), stats.crash_blocked);
+
+  // The traced run is bit-reproducible, and tracing does not perturb the
+  // fault schedule: an untraced run sees the identical FaultStats.
+  obs::TraceSink again;
+  run(&again);
+  EXPECT_EQ(trace.fingerprint(), again.fingerprint());
+  const sim::FaultStats untraced = run(nullptr);
+  EXPECT_EQ(untraced.dropped, stats.dropped);
+  EXPECT_EQ(untraced.duplicated, stats.duplicated);
+  EXPECT_EQ(untraced.reordered, stats.reordered);
+  EXPECT_EQ(untraced.partition_blocked, stats.partition_blocked);
+  EXPECT_EQ(untraced.crash_blocked, stats.crash_blocked);
 }
 
 // Crash recovery with the optimistic parallel executor underneath — the

@@ -1,0 +1,121 @@
+// Edge-case tests for the DIABLO reduction and report formatting: empty
+// commit windows, single-sample percentiles, and the zero-duration
+// observation-window guard must all produce finite, well-defined numbers —
+// a figure script dividing by zero would poison every downstream plot.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "diablo/report.hpp"
+#include "diablo/runner.hpp"
+#include "diablo/workload.hpp"
+#include "obs/metrics.hpp"
+
+namespace srbb::diablo {
+namespace {
+
+RunConfig tiny_config() {
+  RunConfig config;
+  config.kind = SystemKind::kSrbb;
+  config.validators = 4;
+  config.clients = 1;
+  config.seed = 9;
+  config.min_block_interval = millis(200);
+  config.proposal_timeout = millis(500);
+  config.drain = seconds(10);
+  return config;
+}
+
+void expect_all_finite(const RunResult& r) {
+  for (const double v :
+       {r.commit_pct, r.throughput_tps, r.avg_latency_s, r.p50_latency_s,
+        r.p95_latency_s, r.max_latency_s,
+        r.valid_committed_per_validator_tps}) {
+    EXPECT_TRUE(std::isfinite(v)) << format_row(r);
+  }
+}
+
+TEST(DiabloReport, EmptyCommitWindowIsAllZeroesNotNaN) {
+  RunConfig config = tiny_config();
+  config.workload = WorkloadSpec::constant("empty", 0, 2);  // no sends at all
+  const RunResult result = run_experiment(config);
+  EXPECT_EQ(result.sent, 0u);
+  EXPECT_EQ(result.committed, 0u);
+  EXPECT_EQ(result.commit_pct, 0.0);
+  EXPECT_EQ(result.throughput_tps, 0.0);
+  EXPECT_EQ(result.avg_latency_s, 0.0);
+  expect_all_finite(result);
+  const std::string row = format_row(result);
+  EXPECT_EQ(row.find("nan"), std::string::npos) << row;
+  EXPECT_EQ(row.find("inf"), std::string::npos) << row;
+}
+
+TEST(DiabloReport, ZeroDurationRunDoesNotDivideByZero) {
+  // Empty workload and no drain: the observation window is zero simulated
+  // seconds. Per-validator TPS must report 0, not inf (regression test for
+  // the guarded division in the reducer).
+  RunConfig config = tiny_config();
+  config.workload = WorkloadSpec::constant("zero", 0, 0);
+  config.drain = 0;
+  const RunResult result = run_experiment(config);
+  EXPECT_EQ(result.valid_committed_per_validator_tps, 0.0);
+  expect_all_finite(result);
+}
+
+TEST(DiabloReport, SingleSamplePercentilesCollapseToTheSample) {
+  RunConfig config = tiny_config();
+  config.workload = WorkloadSpec::constant("one", 1, 1);  // exactly one tx
+  const RunResult result = run_experiment(config);
+  ASSERT_EQ(result.sent, 1u);
+  ASSERT_EQ(result.committed, 1u);
+  EXPECT_GT(result.avg_latency_s, 0.0);
+  // With one latency sample every percentile is that sample.
+  EXPECT_EQ(result.p50_latency_s, result.avg_latency_s);
+  EXPECT_EQ(result.p95_latency_s, result.avg_latency_s);
+  EXPECT_EQ(result.max_latency_s, result.avg_latency_s);
+  EXPECT_EQ(result.commit_pct, 100.0);
+  // The per-phase e2e histogram carries the same single sample.
+  EXPECT_EQ(result.e2e_commit.count, 1u);
+  EXPECT_EQ(result.e2e_commit.min, result.e2e_commit.max);
+}
+
+TEST(DiabloReport, PhaseHistogramsSkipEmptyPhases) {
+  RunResult result;
+  EXPECT_EQ(format_phase_histograms(result), "");
+
+  obs::Histogram hist{obs::HistogramBounds::sim_latency()};
+  hist.observe(millis(3));
+  result.e2e_commit = hist.snapshot();
+  const std::string out = format_phase_histograms(result);
+  EXPECT_NE(out.find("e2e-commit"), std::string::npos) << out;
+  EXPECT_EQ(out.find("pool-wait"), std::string::npos) << out;
+  EXPECT_EQ(out.find('\n'), std::string::npos) << "one phase -> one line";
+}
+
+TEST(DiabloReport, PhaseHistogramsListEveryNonEmptyPhase) {
+  RunConfig config = tiny_config();
+  config.workload = WorkloadSpec::constant("few", 20, 2);
+  const RunResult result = run_experiment(config);
+  ASSERT_GT(result.committed, 0u);
+  const std::string out = format_phase_histograms(result);
+  for (const char* phase :
+       {"pool-wait", "propose->decide", "decide->commit", "e2e-commit"}) {
+    EXPECT_NE(out.find(phase), std::string::npos) << out;
+  }
+}
+
+TEST(DiabloReport, TableFormattingIsStable) {
+  RunResult a;
+  a.system = "SRBB";
+  a.workload = "t";
+  a.throughput_tps = 123.456;
+  a.commit_pct = 99.9;
+  const std::string table = format_table({a});
+  EXPECT_NE(table.find("SRBB"), std::string::npos);
+  EXPECT_NE(table.find("123.46"), std::string::npos);
+  EXPECT_EQ(table, format_table({a}));
+}
+
+}  // namespace
+}  // namespace srbb::diablo

@@ -1,0 +1,300 @@
+// Unit and property tests for the observability substrate (DESIGN.md §8):
+// counters/gauges/histograms + registry merge semantics, and the TraceSink's
+// fingerprint / Chrome-JSON export invariants the golden-trace suite builds
+// on. The histogram properties are the satellite contract of this layer:
+// quantile error bounded by bucket width, commutative merges, and no
+// overflow at u64 extremes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace srbb::obs {
+namespace {
+
+// --------------------------------------------------------------------------
+// Counter / Gauge
+// --------------------------------------------------------------------------
+
+TEST(Counter, IncrementsAndMerges) {
+  Counter a;
+  EXPECT_EQ(a.value(), 0u);
+  a.inc();
+  a.inc(41);
+  EXPECT_EQ(a.value(), 42u);
+  Counter b;
+  b.inc(8);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 50u);
+}
+
+TEST(Gauge, MergeKeepsMaximum) {
+  Gauge a;
+  a.set(5);
+  a.add(-2);
+  EXPECT_EQ(a.value(), 3);
+  Gauge b;
+  b.set(10);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 10);
+  b.set(-1);
+  a.merge(b);  // lower level does not win
+  EXPECT_EQ(a.value(), 10);
+}
+
+// --------------------------------------------------------------------------
+// Histogram properties
+// --------------------------------------------------------------------------
+
+TEST(HistogramBounds, ExponentialIsStrictlyAscending) {
+  const HistogramBounds bounds = HistogramBounds::exponential(1000, 2.0, 40);
+  ASSERT_FALSE(bounds.edges.empty());
+  for (std::size_t i = 1; i < bounds.edges.size(); ++i) {
+    EXPECT_LT(bounds.edges[i - 1], bounds.edges[i]);
+  }
+  EXPECT_EQ(bounds.edges.front(), 1000u);
+}
+
+TEST(HistogramBounds, ExponentialStopsBeforeU64Overflow) {
+  // 1ns doubling for 80 buckets would pass 2^64; the builder must truncate
+  // instead of wrapping into a non-ascending (or zero) edge.
+  const HistogramBounds bounds = HistogramBounds::exponential(1, 2.0, 80);
+  for (std::size_t i = 1; i < bounds.edges.size(); ++i) {
+    EXPECT_LT(bounds.edges[i - 1], bounds.edges[i]);
+  }
+  EXPECT_LT(bounds.edges.size(), 80u);
+}
+
+// Property: for any quantile q, the reported value is the upper edge of the
+// bucket containing the rank-q observation — so the true quantile is <= the
+// report and > the previous edge (bucket-width bounded error).
+TEST(Histogram, QuantileBoundedByBucketWidth) {
+  const HistogramBounds bounds = HistogramBounds::exponential(1, 2.0, 20);
+  Histogram hist{bounds};
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 1; v <= 1000; ++v) values.push_back(v * 37 % 1021);
+  for (const std::uint64_t v : values) hist.observe(v);
+  std::sort(values.begin(), values.end());
+
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::max<double>(1.0, q * static_cast<double>(values.size())));
+    const std::uint64_t truth = values[rank - 1];
+    const std::uint64_t reported = hist.quantile(q);
+    EXPECT_GE(reported, truth) << "q=" << q;
+    // The report is an edge; the true value must lie within that bucket.
+    const auto it = std::lower_bound(bounds.edges.begin(), bounds.edges.end(),
+                                     truth);
+    if (it != bounds.edges.end()) {
+      EXPECT_LE(reported, *it) << "q=" << q;
+    }
+  }
+}
+
+TEST(Histogram, MergeIsCommutative) {
+  const HistogramBounds bounds = HistogramBounds::sim_latency();
+  Histogram a{bounds};
+  Histogram b{bounds};
+  for (std::uint64_t v = 0; v < 500; ++v) a.observe(v * 101);
+  for (std::uint64_t v = 0; v < 300; ++v) b.observe(v * v * 977);
+
+  Histogram ab{bounds};
+  ab.merge(a);
+  ab.merge(b);
+  Histogram ba{bounds};
+  ba.merge(b);
+  ba.merge(a);
+
+  const HistogramSnapshot sab = ab.snapshot();
+  const HistogramSnapshot sba = ba.snapshot();
+  EXPECT_EQ(sab.counts, sba.counts);
+  EXPECT_EQ(sab.count, sba.count);
+  EXPECT_EQ(sab.min, sba.min);
+  EXPECT_EQ(sab.max, sba.max);
+  EXPECT_EQ(sab.mean, sba.mean);
+  EXPECT_EQ(sab.p50, sba.p50);
+  EXPECT_EQ(sab.p90, sba.p90);
+  EXPECT_EQ(sab.p99, sba.p99);
+}
+
+TEST(Histogram, SurvivesU64Extremes) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  Histogram hist{HistogramBounds::sim_latency()};
+  hist.observe(kMax);
+  hist.observe(kMax);
+  hist.observe(0);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), kMax);
+  // Two u64-max observations would wrap a 64-bit sum; the mean must still be
+  // finite and ~2/3 of kMax.
+  const double expected = static_cast<double>(kMax) * 2.0 / 3.0;
+  EXPECT_NEAR(hist.mean() / expected, 1.0, 1e-9);
+  // Overflow-bucket quantiles report the observed max, not an edge.
+  EXPECT_EQ(hist.quantile(0.99), kMax);
+}
+
+TEST(Histogram, EmptyIsWellDefined) {
+  Histogram hist{HistogramBounds::sim_latency()};
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+  EXPECT_EQ(hist.mean(), 0.0);
+  EXPECT_EQ(hist.quantile(0.5), 0u);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+}
+
+TEST(Histogram, SingleSampleEveryQuantileIsItsBucket) {
+  Histogram hist{HistogramBounds::sim_latency()};
+  hist.observe(12'345);
+  const std::uint64_t p50 = hist.quantile(0.5);
+  EXPECT_EQ(hist.quantile(0.01), p50);
+  EXPECT_EQ(hist.quantile(0.99), p50);
+  EXPECT_GE(p50, 12'345u);
+}
+
+// --------------------------------------------------------------------------
+// Registry
+// --------------------------------------------------------------------------
+
+TEST(MetricsRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("pool.admitted");
+  Counter& b = registry.counter("pool.admitted");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  Histogram& h1 = registry.histogram("lat.e2e");
+  Histogram& h2 = registry.histogram("lat.e2e");
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(registry.series_count(), 2u);
+}
+
+TEST(MetricsRegistry, FindDoesNotRegister) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.find_counter("missing"), nullptr);
+  EXPECT_EQ(registry.find_histogram("missing"), nullptr);
+  EXPECT_EQ(registry.series_count(), 0u);
+}
+
+TEST(MetricsRegistry, MergeFromFoldsEverySeries) {
+  MetricsRegistry a;
+  a.counter("c").inc(1);
+  a.gauge("g").set(5);
+  a.histogram("h").observe(100);
+
+  MetricsRegistry b;
+  b.counter("c").inc(2);
+  b.counter("only_b").inc(7);
+  b.gauge("g").set(3);
+  b.histogram("h").observe(200);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("c").value(), 3u);
+  EXPECT_EQ(a.counter("only_b").value(), 7u);  // registered by the merge
+  EXPECT_EQ(a.gauge("g").value(), 5);
+  EXPECT_EQ(a.histogram("h").count(), 2u);
+}
+
+TEST(MetricsRegistry, ToStringIsDeterministicAndSorted) {
+  MetricsRegistry a;
+  a.counter("zebra").inc(1);
+  a.counter("alpha").inc(2);
+  a.histogram("mid").observe(5);
+  const std::string first = a.to_string();
+  EXPECT_EQ(first, a.to_string());
+  EXPECT_LT(first.find("alpha"), first.find("zebra"));
+}
+
+// --------------------------------------------------------------------------
+// TraceSink
+// --------------------------------------------------------------------------
+
+TEST(TraceSink, DisabledSinkRecordsNothing) {
+  TraceSink sink{false};
+  sink.emit(1, 0, 0, "pool", "pool.admit");
+  EXPECT_EQ(sink.size(), 0u);
+  sink.set_enabled(true);
+  sink.emit(2, 0, 0, "pool", "pool.admit");
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(TraceSink, MacroToleratesNullSink) {
+  TraceSink* null_sink = nullptr;
+  SRBB_TRACE(null_sink, 1, 0, 0, "pool", "pool.admit");  // must not crash
+  TraceSink sink;
+  SRBB_TRACE(&sink, 7, 2, 3, "consensus", "consensus.decide", "index", 4);
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.events()[0].ts, 7u);
+  EXPECT_EQ(sink.events()[0].dur, 2u);
+  EXPECT_EQ(sink.events()[0].node, 3u);
+  EXPECT_EQ(sink.events()[0].arg0, 4u);
+}
+
+TEST(TraceSink, CountsByNameAndCategory) {
+  TraceSink sink;
+  sink.emit(1, 0, 0, "pool", "pool.admit");
+  sink.emit(2, 0, 0, "pool", "pool.admit");
+  sink.emit(3, 0, 0, "pool", "pool.drop_full");
+  sink.emit(4, 0, 1, "commit", "superblock.commit");
+  EXPECT_EQ(sink.count_of("pool.admit"), 2u);
+  EXPECT_EQ(sink.count_of("superblock.commit"), 1u);
+  EXPECT_EQ(sink.count_of("missing"), 0u);
+  EXPECT_EQ(sink.count_of_category("pool"), 3u);
+  const auto counts = sink.event_counts();
+  EXPECT_EQ(counts.at("pool.admit"), 2u);
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(TraceSink, FingerprintHashesContentsNotPointers) {
+  // Two sinks fed byte-identical events through distinct string objects must
+  // fingerprint identically (the contract that makes goldens survive ASLR).
+  const std::string name_a = std::string("pool.") + "admit";
+  const std::string name_b = std::string("pool.ad") + "mit";
+  ASSERT_NE(name_a.data(), name_b.data());
+  TraceSink a;
+  a.emit(5, 1, 2, "pool", name_a.c_str(), "tx", 9);
+  TraceSink b;
+  b.emit(5, 1, 2, "pool", name_b.c_str(), "tx", 9);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  // Any field change must move the fingerprint.
+  TraceSink c;
+  c.emit(5, 1, 2, "pool", "pool.admit", "tx", 10);
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  TraceSink d;
+  d.emit(6, 1, 2, "pool", "pool.admit", "tx", 9);
+  EXPECT_NE(a.fingerprint(), d.fingerprint());
+}
+
+TEST(TraceSink, ChromeJsonIsDeterministicIntegerMicros) {
+  TraceSink sink;
+  sink.emit(1'500, 250, 0, "pool", "pool.admit", "tx", 1);
+  sink.emit(2'000'000, 0, 3, "commit", "superblock.commit", "index", 0,
+            "valid", 2);
+  const std::string json = sink.chrome_json();
+  EXPECT_EQ(json, sink.chrome_json());  // byte-identical re-export
+  // ns -> µs with integer math: 1500ns = 1.500µs, 250ns dur = 0.250µs.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":0.250"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"valid\":2"), std::string::npos);
+}
+
+TEST(TraceSink, TraceIdIsLittleEndianPrefix) {
+  Hash32 hash;
+  for (std::size_t i = 0; i < hash.size(); ++i) {
+    hash[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  EXPECT_EQ(trace_id(hash), 0x0807060504030201ull);
+}
+
+}  // namespace
+}  // namespace srbb::obs

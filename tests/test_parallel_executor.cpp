@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <string_view>
 
+#include "common/time.hpp"
 #include "evm/contracts.hpp"
+#include "obs/trace.hpp"
 #include "srbb/oracle.hpp"
 #include "state/overlay.hpp"
 #include "txn/block.hpp"
@@ -339,6 +342,81 @@ TEST(ParallelOracle, MatchesSequentialOracleAndReportsStats) {
   EXPECT_EQ(b.parallel.txs, 6u);
   EXPECT_GT(b.parallel.speculative_runs, 0u);
   EXPECT_EQ(sequential.db().state_root(), parallel.db().state_root());
+}
+
+// The sequential and parallel executors must be observationally equivalent:
+// their commit-path traces differ ONLY by executor-internal "exec" category
+// events (speculation rounds, fallback). Everything protocol-visible —
+// superblock.exec timing, index, valid counts — is byte-identical.
+TEST(ParallelOracle, TraceMatchesSequentialModuloExecutorInternals) {
+  node::GenesisSpec genesis;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    genesis.accounts.push_back(
+        {scheme().make_identity(i).address(), U256{1'000'000'000}});
+  }
+  genesis.contracts.push_back({kCounter, evm::counter_contract().runtime_code});
+
+  auto block_of = [](std::uint64_t index, std::uint64_t proposer,
+                     std::vector<TxPtr> txs) {
+    return std::make_shared<const Block>(
+        make_block(index, proposer, 0, Hash32{}, std::move(txs),
+                   scheme().make_identity(proposer), scheme()));
+  };
+  auto tx_ptr = [](Transaction tx) { return make_tx_ptr(std::move(tx)); };
+
+  // Two indices with contended counter increments so the parallel run emits
+  // at least one retry round beyond the first.
+  auto index_blocks = [&](std::uint64_t index, std::uint64_t nonce) {
+    std::vector<TxPtr> txs;
+    for (std::uint64_t sender = 0; sender < 6; ++sender) {
+      txs.push_back(tx_ptr(invoke(sender, nonce, kCounter,
+                                  evm::encode_call("increment()", {}))));
+    }
+    return std::vector<BlockPtr>{block_of(index, 0, std::move(txs))};
+  };
+
+  node::ExecutionOracle sequential{genesis, {}, scheme()};
+  node::ExecutionOracle parallel{genesis, {}, scheme()};
+  parallel.exec_config().parallel = true;
+  parallel.exec_config().workers = 4;
+
+  obs::TraceSink seq_trace;
+  obs::TraceSink par_trace;
+  for (std::uint64_t index = 0; index < 2; ++index) {
+    const SimTime at = millis(100 * (index + 1));
+    const auto blocks = index_blocks(index, index);
+    const node::IndexExecResult& a = sequential.execute(
+        index, blocks, node::ExecutionOracle::ExecContext{&seq_trace, at, 3});
+    const node::IndexExecResult& b = parallel.execute(
+        index, blocks, node::ExecutionOracle::ExecContext{&par_trace, at, 3});
+    EXPECT_EQ(a.state_root, b.state_root);
+  }
+
+  // The parallel trace carries executor-internal events; filtered of the
+  // "exec" category it must equal the sequential trace event-for-event.
+  EXPECT_GT(par_trace.count_of_category("exec"), 0u);
+  EXPECT_GT(par_trace.count_of("exec.round"), 0u);
+  EXPECT_EQ(seq_trace.count_of_category("exec"), 0u);
+
+  std::vector<obs::TraceEvent> par_protocol;
+  for (const obs::TraceEvent& event : par_trace.events()) {
+    if (std::string_view{event.category} != "exec") {
+      par_protocol.push_back(event);
+    }
+  }
+  const std::vector<obs::TraceEvent>& seq_events = seq_trace.events();
+  ASSERT_EQ(par_protocol.size(), seq_events.size());
+  for (std::size_t i = 0; i < seq_events.size(); ++i) {
+    const obs::TraceEvent& s = seq_events[i];
+    const obs::TraceEvent& p = par_protocol[i];
+    EXPECT_EQ(s.ts, p.ts) << "event " << i;
+    EXPECT_EQ(s.dur, p.dur) << "event " << i;
+    EXPECT_EQ(s.node, p.node) << "event " << i;
+    EXPECT_EQ(std::string_view{s.category}, std::string_view{p.category});
+    EXPECT_EQ(std::string_view{s.name}, std::string_view{p.name});
+    EXPECT_EQ(s.arg0, p.arg0) << "event " << i << " (" << s.name << ")";
+    EXPECT_EQ(s.arg1, p.arg1) << "event " << i << " (" << s.name << ")";
+  }
 }
 
 TEST(OverlayState, RecordsReadsAndBuffersWrites) {

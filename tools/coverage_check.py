@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Line-coverage ratchet for src/ (no external deps, plain gcov).
+
+Usage, after building with -DSRBB_COVERAGE=ON and running ctest:
+
+  python3 tools/coverage_check.py --build build-cov          # enforce
+  python3 tools/coverage_check.py --build build-cov --update # raise ratchet
+
+Walks the build tree for .gcda files, asks gcov for JSON intermediate
+output, and aggregates executable/executed lines per source file under src/
+(headers included, unioned across the translation units that saw them).
+The resulting percentage must not fall below tools/coverage_ratchet.txt;
+--update rewrites the ratchet to the measured value (only upward).
+
+Coverage may only ratchet up: a PR that lowers it either adds tests or
+consciously lowers the number in the ratchet file with a review-visible diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RATCHET = REPO / "tools" / "coverage_ratchet.txt"
+# Headroom for environment noise (inlining/defaulted-function attribution
+# differs slightly across gcc point releases).
+TOLERANCE = 0.5
+
+
+def gcov_json(gcda: Path, workdir: Path) -> list[dict]:
+    """Run gcov on one .gcda, return the parsed per-file records."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", str(gcda)],
+        cwd=workdir, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"coverage_check: gcov failed on {gcda}: {proc.stderr.strip()}",
+              file=sys.stderr)
+        return []
+    records = []
+    # --stdout emits one JSON document per line (one per .gcno processed).
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return records
+
+
+def collect(build_dir: Path) -> tuple[int, int, dict]:
+    """(covered, total, per-file dict) over src/ lines."""
+    gcdas = sorted(p.resolve() for p in build_dir.rglob("*.gcda"))
+    if not gcdas:
+        raise SystemExit(
+            f"coverage_check: no .gcda files under {build_dir} — build with "
+            "-DSRBB_COVERAGE=ON and run ctest first")
+    src_root = (REPO / "src").resolve()
+    # file -> {line -> hit_anywhere}
+    lines: dict[str, dict[int, bool]] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        for gcda in gcdas:
+            for record in gcov_json(gcda, workdir):
+                for file_rec in record.get("files", []):
+                    path = Path(file_rec.get("file", ""))
+                    if not path.is_absolute():
+                        path = (REPO / path).resolve()
+                    try:
+                        rel = path.resolve().relative_to(src_root)
+                    except ValueError:
+                        continue  # test/bench/third-party line, not src/
+                    per_file = lines.setdefault(str(rel), {})
+                    for line_rec in file_rec.get("lines", []):
+                        number = line_rec.get("line_number")
+                        hit = line_rec.get("count", 0) > 0
+                        per_file[number] = per_file.get(number, False) or hit
+    per_file_pct = {}
+    covered = total = 0
+    for rel, file_lines in sorted(lines.items()):
+        file_total = len(file_lines)
+        file_covered = sum(1 for hit in file_lines.values() if hit)
+        covered += file_covered
+        total += file_total
+        per_file_pct[rel] = (file_covered, file_total)
+    return covered, total, per_file_pct
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build", type=Path, required=True,
+                        help="build directory (configured with SRBB_COVERAGE)")
+    parser.add_argument("--update", action="store_true",
+                        help="raise the ratchet to the measured value")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print per-file coverage")
+    opts = parser.parse_args()
+
+    covered, total, per_file = collect(opts.build)
+    if total == 0:
+        raise SystemExit("coverage_check: no src/ lines found in gcov output")
+    pct = 100.0 * covered / total
+
+    if opts.verbose:
+        for rel, (file_covered, file_total) in sorted(per_file.items()):
+            print(f"  {rel:<48} {100.0 * file_covered / file_total:6.1f}% "
+                  f"({file_covered}/{file_total})")
+    print(f"src/ line coverage: {pct:.2f}% ({covered}/{total} lines, "
+          f"{len(per_file)} files)")
+
+    ratchet = 0.0
+    if RATCHET.exists():
+        ratchet = float(RATCHET.read_text().split()[0])
+
+    if opts.update:
+        if pct > ratchet:
+            RATCHET.write_text(f"{pct:.2f}\n")
+            print(f"ratchet updated: {ratchet:.2f}% -> {pct:.2f}%")
+        else:
+            print(f"ratchet kept at {ratchet:.2f}% (measured {pct:.2f}%)")
+        return 0
+
+    floor = ratchet - TOLERANCE
+    if pct < floor:
+        print(f"FAIL: coverage {pct:.2f}% fell below the ratchet "
+              f"{ratchet:.2f}% (tolerance {TOLERANCE}%).\n"
+              f"Add tests, or lower tools/coverage_ratchet.txt explicitly "
+              f"in a reviewed diff.", file=sys.stderr)
+        return 1
+    print(f"OK: ratchet {ratchet:.2f}% (tolerance {TOLERANCE}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

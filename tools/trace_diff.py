@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Diff two SRBB commit-path traces (Chrome trace_event JSON).
+
+The simulator is deterministic, so two traces of the same (workload, seed,
+fault-plan) must be event-for-event identical; when a golden-trace test fails
+this tool pinpoints *where* the runs diverged instead of just reporting a
+fingerprint mismatch:
+
+  python3 tools/trace_diff.py a.json b.json
+
+Output:
+  - per-category event-count deltas (which phase of the commit path changed),
+  - per-event-name count deltas,
+  - the first divergent event with both versions printed, plus surrounding
+    context from each trace.
+
+Exit status: 0 identical, 1 diverged, 2 usage/parse error.
+
+`--self-test` runs a built-in check (registered as the ctest `trace_diff`)
+that the differ flags known-different traces and accepts identical ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+CONTEXT = 3  # events shown around the first divergence
+
+
+def load_events(path: Path) -> list[dict]:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"trace_diff: cannot read {path}: {err}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise SystemExit(f"trace_diff: {path} has no traceEvents array")
+    return events
+
+
+def event_key(event: dict) -> tuple:
+    """Everything that identifies an event, in a stable comparable form."""
+    args = event.get("args") or {}
+    return (
+        event.get("ts"),
+        event.get("dur"),
+        event.get("pid"),
+        event.get("cat"),
+        event.get("name"),
+        tuple(sorted(args.items())),
+    )
+
+
+def format_event(event: dict) -> str:
+    args = event.get("args") or {}
+    arg_text = " ".join(f"{k}={v}" for k, v in sorted(args.items()))
+    return (
+        f"ts={event.get('ts'):>14} dur={event.get('dur'):>10} "
+        f"node={event.get('pid'):>3} {event.get('cat')}/{event.get('name')} "
+        f"{arg_text}".rstrip()
+    )
+
+
+def print_count_deltas(kind: str, field: str, a: list[dict],
+                       b: list[dict]) -> bool:
+    counts_a = Counter(e.get(field) for e in a)
+    counts_b = Counter(e.get(field) for e in b)
+    keys = sorted(set(counts_a) | set(counts_b), key=str)
+    rows = [(k, counts_a.get(k, 0), counts_b.get(k, 0)) for k in keys
+            if counts_a.get(k, 0) != counts_b.get(k, 0)]
+    if not rows:
+        return False
+    print(f"{kind} count deltas (A vs B):")
+    for key, in_a, in_b in rows:
+        print(f"  {str(key):<24} {in_a:>8} -> {in_b:<8} ({in_b - in_a:+d})")
+    return True
+
+
+def first_divergence(a: list[dict], b: list[dict]) -> int | None:
+    """Index of the first differing event, or None when one trace is a
+    prefix of the other (length mismatch handled by the caller)."""
+    for i, (ea, eb) in enumerate(zip(a, b)):
+        if event_key(ea) != event_key(eb):
+            return i
+    return None
+
+
+def print_context(label: str, events: list[dict], index: int) -> None:
+    lo = max(0, index - CONTEXT)
+    hi = min(len(events), index + CONTEXT + 1)
+    print(f"  {label}:")
+    for i in range(lo, hi):
+        marker = ">>" if i == index else "  "
+        print(f"  {marker} [{i}] {format_event(events[i])}")
+
+
+def diff(path_a: Path, path_b: Path) -> int:
+    a = load_events(path_a)
+    b = load_events(path_b)
+    if a == b:
+        print(f"traces identical ({len(a)} events)")
+        return 0
+
+    print(f"traces differ: A={path_a} ({len(a)} events) "
+          f"B={path_b} ({len(b)} events)")
+    any_delta = print_count_deltas("category", "cat", a, b)
+    any_delta |= print_count_deltas("event", "name", a, b)
+    if not any_delta:
+        print("same event multiset per name -- timing/order/args changed")
+
+    index = first_divergence(a, b)
+    if index is None:
+        # One trace is a strict prefix of the other.
+        index = min(len(a), len(b))
+        longer_label, longer = ("A", a) if len(a) > len(b) else ("B", b)
+        print(f"first divergence: trace {longer_label} continues at event "
+              f"{index} where the other ends")
+        print_context(longer_label, longer, index)
+    else:
+        print(f"first divergence at event {index}:")
+        print_context("A", a, index)
+        print_context("B", b, index)
+    return 1
+
+
+def self_test() -> int:
+    base = [
+        {"name": "pool.admit", "cat": "pool", "ph": "X", "ts": 1.5,
+         "dur": 0.0, "pid": 0, "tid": 0, "args": {"tx": 7}},
+        {"name": "consensus.decide", "cat": "consensus", "ph": "X",
+         "ts": 2.0, "dur": 0.0, "pid": 1, "tid": 0, "args": {"index": 0}},
+        {"name": "superblock.commit", "cat": "commit", "ph": "X", "ts": 3.0,
+         "dur": 0.0, "pid": 1, "tid": 0, "args": {"index": 0, "valid": 1}},
+    ]
+    changed = json.loads(json.dumps(base))
+    changed[1]["args"]["index"] = 9  # one arg differs
+    shorter = base[:2]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmpdir = Path(tmp)
+
+        def write(name: str, events: list[dict]) -> Path:
+            path = tmpdir / name
+            path.write_text(json.dumps({"traceEvents": events}))
+            return path
+
+        pa = write("a.json", base)
+        pb = write("b.json", base)
+        pc = write("c.json", changed)
+        pd = write("d.json", shorter)
+
+        failures = []
+        if diff(pa, pb) != 0:
+            failures.append("identical traces reported as divergent")
+        if diff(pa, pc) != 1:
+            failures.append("changed arg not detected")
+        if first_divergence(load_events(pa), load_events(pc)) != 1:
+            failures.append("first divergence index wrong")
+        if diff(pa, pd) != 1:
+            failures.append("prefix truncation not detected")
+
+    if failures:
+        for failure in failures:
+            print(f"SELF-TEST FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("trace_diff self-test OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("traces", nargs="*", type=Path,
+                        help="two Chrome trace_event JSON files")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in self test and exit")
+    opts = parser.parse_args()
+    if opts.self_test:
+        return self_test()
+    if len(opts.traces) != 2:
+        parser.error("expected exactly two trace files (or --self-test)")
+    return diff(opts.traces[0], opts.traces[1])
+
+
+if __name__ == "__main__":
+    sys.exit(main())
