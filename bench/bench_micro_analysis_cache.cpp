@@ -1,0 +1,119 @@
+// Microbenchmarks for the analysis cache (src/evm/analysis): what one call
+// frame pays for jumpdest validation with and without the code-hash-keyed
+// cache. The CALL-heavy case is the one the cache exists for — every inner
+// frame historically rescanned the callee's bytecode.
+#include <benchmark/benchmark.h>
+
+#include "crypto/keccak.hpp"
+#include "evm/analysis/analysis.hpp"
+#include "evm/analysis/cache.hpp"
+#include "evm/asm.hpp"
+#include "evm/contracts.hpp"
+#include "evm/interpreter.hpp"
+
+namespace {
+
+using namespace srbb;
+
+Address addr(std::uint8_t tag) {
+  Address a;
+  a[19] = tag;
+  return a;
+}
+
+const Address kCaller = addr(0xCA);
+const Address kHub = addr(0x0A);    // CALL-heavy outer contract
+const Address kToken = addr(0x0B);  // callee, the largest shipped runtime
+
+/// Outer contract: 16 CALLs into the token contract per invocation. Each
+/// inner frame needs the callee's jumpdest bitmap — the hot path under test.
+Bytes call_heavy_hub() {
+  auto code = evm::assemble(R"(
+    PUSH1 16
+  loop:
+    DUP1 ISZERO PUSH @done JUMPI
+    PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0x0B GAS CALL POP
+    PUSH1 1 SWAP1 SUB
+    PUSH @loop JUMP
+  done:
+    POP STOP
+  )");
+  return code.value();
+}
+
+state::StateDB make_world() {
+  state::StateDB db;
+  db.add_balance(kCaller, U256{1'000'000});
+  db.set_code(kHub, call_heavy_hub());
+  db.set_code(kToken, evm::token_contract().runtime_code);
+  return db;
+}
+
+evm::Message hub_call() {
+  evm::Message msg;
+  msg.caller = kCaller;
+  msg.to = kHub;
+  msg.gas = 10'000'000;
+  return msg;
+}
+
+/// Baseline: per-frame jumpdest rescan (pre-analyzer behaviour).
+void BM_CallHeavyRescan(benchmark::State& state) {
+  state::StateDB db = make_world();
+  evm::Evm evm{db, {}, {}};
+  evm.set_analysis_cache(nullptr);
+  const evm::Message msg = hub_call();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evm.execute(msg));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);  // inner frames
+}
+BENCHMARK(BM_CallHeavyRescan);
+
+/// Cached: 17 frames per invocation, all served from one warm analysis.
+void BM_CallHeavyCached(benchmark::State& state) {
+  state::StateDB db = make_world();
+  evm::analysis::AnalysisCache cache;
+  evm::Evm evm{db, {}, {}};
+  evm.set_analysis_cache(&cache);
+  const evm::Message msg = hub_call();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evm.execute(msg));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_CallHeavyCached);
+
+/// The raw scan the rescan path runs once per frame.
+void BM_JumpdestBitmap(benchmark::State& state) {
+  const Bytes& code = evm::token_contract().runtime_code;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evm::analysis::jumpdest_bitmap(BytesView{code}));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * code.size()));
+}
+BENCHMARK(BM_JumpdestBitmap);
+
+/// The lookup the cached path runs once per frame (hash already memoized).
+void BM_CacheHitLookup(benchmark::State& state) {
+  const Bytes& code = evm::token_contract().runtime_code;
+  const Hash32 key = crypto::Keccak256::hash(BytesView{code});
+  evm::analysis::AnalysisCache cache;
+  (void)cache.get(key, BytesView{code});  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(key, BytesView{code}));
+  }
+}
+BENCHMARK(BM_CacheHitLookup);
+
+/// Full static analysis, paid once per distinct contract per process.
+void BM_AnalyzeTokenRuntime(benchmark::State& state) {
+  const Bytes& code = evm::token_contract().runtime_code;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evm::analysis::analyze(BytesView{code}));
+  }
+}
+BENCHMARK(BM_AnalyzeTokenRuntime);
+
+}  // namespace

@@ -1,0 +1,50 @@
+// Static-analyzer harness: analyze() must be total and deterministic over
+// arbitrary bytes.
+//  - never crash, assert, or hang (the 128 KiB cap bounds work);
+//  - two runs over the same input produce identical fingerprints;
+//  - the jumpdest bitmap matches code size and the standalone scanner;
+//  - a kReject verdict always carries a concrete reason;
+//  - the cache returns one immutable result per code blob.
+#include "evm/analysis/analysis.hpp"
+#include "evm/analysis/cache.hpp"
+#include "harness.hpp"
+
+using namespace srbb;
+using namespace srbb::evm::analysis;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > 65536) return 0;  // keep per-input work bounded for throughput
+  const BytesView code{data, size};
+
+  const AnalysisResult first = analyze(code);
+  const AnalysisResult second = analyze(code);
+  FUZZ_ASSERT(first.fingerprint() == second.fingerprint());
+  FUZZ_ASSERT(first.verdict == second.verdict);
+  FUZZ_ASSERT(first.min_gas == second.min_gas);
+
+  FUZZ_ASSERT(first.jumpdests.size() == size);
+  FUZZ_ASSERT(first.jumpdests == jumpdest_bitmap(code));
+
+  if (first.verdict == Verdict::kReject) {
+    FUZZ_ASSERT(first.reject_reason != RejectReason::kNone);
+    FUZZ_ASSERT(first.reject_pc < size);
+  } else {
+    FUZZ_ASSERT(first.reject_reason == RejectReason::kNone);
+  }
+
+  // Facts stay parallel to the CFG, and reachable counters are consistent.
+  FUZZ_ASSERT(first.facts.size() == first.cfg.blocks.size());
+  std::uint32_t reachable = 0;
+  for (const BlockFacts& f : first.facts) reachable += f.reachable ? 1u : 0u;
+  FUZZ_ASSERT(reachable == first.reachable_blocks);
+
+  // One analysis per blob: a private cache must return the same object for
+  // the same bytes, and its verdict must match the direct call.
+  AnalysisCache cache{4};
+  const auto a = cache.get(code);
+  const auto b = cache.get(code);
+  FUZZ_ASSERT(a.get() == b.get());
+  FUZZ_ASSERT(a->fingerprint() == first.fingerprint());
+  return 0;
+}

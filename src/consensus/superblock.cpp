@@ -327,7 +327,7 @@ void SuperblockInstance::request_pull(std::uint32_t proposer) {
     auto pull = std::make_shared<PullMsg>();
     pull->index = index_;
     pull->proposer = proposer;
-    const std::uint32_t attempt = s.pull_attempt_count++;
+    const std::uint32_t attempt_no = s.pull_attempt_count++;
     // Target the delivered hash's echoers when the quorum is known; they
     // claimed the body at echo time.
     std::vector<std::uint32_t> candidates;
@@ -339,7 +339,7 @@ void SuperblockInstance::request_pull(std::uint32_t proposer) {
         }
       }
     }
-    if (candidates.empty() || attempt % 4 == 3) {
+    if (candidates.empty() || attempt_no % 4 == 3) {
       // Either readiness still needs echoes too (a node that rejoined after
       // the echo phase may hold neither body nor quorum — replies carry the
       // replier's echo alongside the body), or several targeted rounds went
@@ -354,7 +354,7 @@ void SuperblockInstance::request_pull(std::uint32_t proposer) {
       const std::size_t ask =
           std::min<std::size_t>(candidates.size(), config_.f + 1);
       for (std::size_t i = 0; i < ask; ++i) {
-        cb_.send_to(candidates[(attempt + i) % candidates.size()], pull);
+        cb_.send_to(candidates[(attempt_no + i) % candidates.size()], pull);
       }
     }
     arm_timer(config_.pull_retry, *self_fn);

@@ -1,0 +1,168 @@
+// Static analysis over EVM bytecode (DESIGN.md §9, docs/ANALYSIS.md): a
+// structured disassembler, a basic-block CFG with resolved static jump
+// targets, and a worklist fixpoint abstract interpretation over stack-height
+// intervals with per-block static gas lower bounds.
+//
+// The product is an AnalysisResult: a three-valued verdict plus the jumpdest
+// bitmap the interpreter needs anyway, a CFG summary, and a whole-contract
+// minimum-gas estimate. Verdict semantics (the contract the soundness
+// differential in tests/test_analysis_soundness.cpp enforces):
+//
+//  - kAccept: proven safe. Starting from an empty stack at pc 0, no
+//    execution of this code can hit stack underflow/overflow, an invalid or
+//    undefined opcode, an invalid jump target, or a truncated PUSH.
+//  - kReject: provably doomed. The entry path that every execution must
+//    follow (unique-successor chain from pc 0) reaches a guaranteed failure
+//    — or executes a truncated PUSH, which is structural malformation even
+//    though the interpreter pads it with zeros.
+//  - kUnknown: neither proof went through (computed jumps, data-dependent
+//    stack heights). Enforcement points admit kUnknown.
+//
+// Everything here is deterministic by construction: plain vectors, ordered
+// maps, no clocks, no randomness — the fuzz harness replays analyze() twice
+// per input and requires identical fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+
+namespace srbb::evm::analysis {
+
+/// One decoded instruction. PUSH immediates are decoded with the same
+/// zero-padding rule the interpreter applies to truncated trailing PUSHes.
+struct Instruction {
+  std::uint32_t pc = 0;
+  std::uint8_t opcode = 0;
+  std::uint8_t imm_size = 0;  // declared immediate width (PUSH only)
+  bool truncated = false;     // PUSH immediate runs past the end of code
+  U256 immediate;
+};
+
+/// Valid JUMPDEST positions: JUMPDEST bytes that are not PUSH immediates.
+/// Bit-identical to the scan the interpreter historically ran per frame.
+std::vector<bool> jumpdest_bitmap(BytesView code);
+
+/// Linear instruction stream (leaders are identified by build_cfg).
+std::vector<Instruction> disassemble_code(BytesView code);
+
+enum class Terminator : std::uint8_t {
+  kFallThrough,   // block ends because the next instruction is a leader
+  kJump,
+  kJumpI,
+  kStop,
+  kReturn,
+  kRevert,
+  kSelfdestruct,
+  kInvalid,       // INVALID (0xfe)
+  kUndefined,     // hole in the opcode table
+  kFallOffEnd,    // runs past the end of code: implicit STOP, a success
+};
+
+const char* to_string(Terminator t);
+
+struct BasicBlock {
+  std::uint32_t id = 0;
+  std::uint32_t start_pc = 0;
+  std::uint32_t end_pc = 0;      // exclusive
+  std::uint32_t first_instr = 0; // index into Cfg::instrs
+  std::uint32_t instr_count = 0;
+  Terminator terminator = Terminator::kFallThrough;
+
+  // Stack-effect summary relative to the entry height (computed once; the
+  // fixpoint then works in pure interval arithmetic):
+  std::uint32_t needed = 0;  // min entry height to execute every instruction
+  std::int32_t delta = 0;    // exit height minus entry height
+  std::uint32_t peak = 0;    // max height above entry after any instruction
+  std::uint64_t static_gas = 0;  // sum of base costs: a lower bound
+  bool has_truncated_push = false;
+
+  // Jump resolution for kJump/kJumpI via per-block constant-stack tracking
+  // (PUSH immediately before the jump is the idiom every contract in this
+  // repo compiles to).
+  bool jump_resolved = false;
+  std::uint32_t jump_target = 0;      // meaningful when jump_resolved
+  bool jump_target_invalid = false;   // resolved but not a valid JUMPDEST
+  bool unknown_jump = false;          // computed target: edge class that
+                                      // conservatively reaches every
+                                      // JUMPDEST-led block
+
+  // Successor block ids.
+  std::optional<std::uint32_t> fallthrough;
+  std::optional<std::uint32_t> jump_succ;
+};
+
+struct Cfg {
+  std::vector<Instruction> instrs;
+  std::vector<BasicBlock> blocks;               // ordered by start_pc
+  std::vector<std::uint32_t> jumpdest_blocks;   // JUMPDEST-led block ids
+
+  /// Block whose range covers `pc`, if any.
+  std::optional<std::uint32_t> block_at(std::uint32_t pc) const;
+};
+
+Cfg build_cfg(BytesView code);
+
+enum class Verdict : std::uint8_t { kAccept, kUnknown, kReject };
+enum class RejectReason : std::uint8_t {
+  kNone,
+  kUnderflow,        // guaranteed stack underflow on the entry path
+  kOverflow,         // guaranteed stack overflow on the entry path
+  kInvalidOpcode,    // INVALID executed on the entry path
+  kUndefinedOpcode,  // undefined opcode executed on the entry path
+  kBadJump,          // static jump to a non-JUMPDEST on the entry path
+  kTruncatedPush,    // entry path executes a PUSH whose immediate is cut off
+};
+
+const char* to_string(Verdict v);
+const char* to_string(RejectReason r);
+
+/// Per-block fixpoint facts, parallel to Cfg::blocks.
+struct BlockFacts {
+  bool reachable = false;
+  std::uint32_t entry_lo = 0;  // stack-height interval at block entry
+  std::uint32_t entry_hi = 0;
+  bool may_underflow = false;
+  bool must_underflow = false;
+  bool may_overflow = false;
+  bool must_overflow = false;
+};
+
+struct AnalysisResult {
+  /// min_gas when no successful terminator is reachable at all: every
+  /// execution fails, so no finite budget can help.
+  static constexpr std::uint64_t kNoSuccessfulPath = ~0ull;
+
+  Verdict verdict = Verdict::kUnknown;
+  RejectReason reject_reason = RejectReason::kNone;
+  std::uint32_t reject_pc = 0;  // meaningful when verdict == kReject
+
+  std::vector<bool> jumpdests;  // what the interpreter consumes per frame
+
+  /// Lower bound on gas consumed by any execution that ends in a successful
+  /// terminator (STOP/RETURN/SELFDESTRUCT/implicit stop). A call whose
+  /// budget is below this cannot succeed.
+  std::uint64_t min_gas = 0;
+
+  Cfg cfg;
+  std::vector<BlockFacts> facts;  // parallel to cfg.blocks
+
+  // CFG summary counters (also what the CLI prints).
+  std::uint32_t reachable_blocks = 0;
+  std::uint32_t unknown_jump_blocks = 0;
+  bool reachable_truncated_push = false;
+  bool reachable_invalid = false;  // INVALID or undefined opcode reachable
+
+  /// Order-stable FNV-1a digest of the verdict, bitmap, min-gas and every
+  /// per-block fact — what the fuzz harness compares across runs.
+  std::uint64_t fingerprint() const;
+};
+
+/// Full pipeline: disassemble, build the CFG, run the fixpoint, derive the
+/// verdict and min-gas. Total and deterministic for arbitrary input bytes.
+AnalysisResult analyze(BytesView code);
+
+}  // namespace srbb::evm::analysis

@@ -1,0 +1,387 @@
+// Worklist fixpoint over stack-height intervals, verdict derivation and the
+// min-gas shortest path. See the header for the verdict contract and
+// docs/ANALYSIS.md for the lattice write-up.
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <utility>
+
+#include "common/invariant.hpp"
+#include "evm/analysis/analysis.hpp"
+#include "evm/opcodes.hpp"
+
+namespace srbb::evm::analysis {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kAccept: return "accept";
+    case Verdict::kUnknown: return "unknown";
+    case Verdict::kReject: return "reject";
+  }
+  return "?";
+}
+
+const char* to_string(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kUnderflow: return "guaranteed stack underflow";
+    case RejectReason::kOverflow: return "guaranteed stack overflow";
+    case RejectReason::kInvalidOpcode: return "INVALID on entry path";
+    case RejectReason::kUndefinedOpcode: return "undefined opcode on entry path";
+    case RejectReason::kBadJump: return "static jump to non-JUMPDEST";
+    case RejectReason::kTruncatedPush: return "truncated PUSH on entry path";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::uint32_t kStackLimit = 1024;
+
+// Inputs larger than any deployable code (24 KiB) plus generous headroom for
+// init code get a conservative kUnknown instead of a quadratic-ish fixpoint:
+// the analyzer must stay total on arbitrary fuzz input.
+constexpr std::size_t kMaxAnalyzableCode = 128 * 1024;
+
+struct Propagated {
+  bool dies = false;  // every entry height fails inside the block
+  std::uint32_t exit_lo = 0;
+  std::uint32_t exit_hi = 0;
+};
+
+/// Filter the entry interval through the block's summary: heights that
+/// underflow or overflow die inside the block; survivors exit shifted by
+/// delta. Also refreshes the per-block fact flags (monotone, so recomputing
+/// on every visit is safe).
+Propagated transfer(const BasicBlock& b, BlockFacts& f) {
+  Propagated out;
+  f.may_underflow = f.entry_lo < b.needed;
+  f.must_underflow = f.entry_hi < b.needed;
+  if (f.must_underflow) {
+    out.dies = true;
+    return out;
+  }
+  const std::uint32_t lo_s = std::max(f.entry_lo, b.needed);
+  f.may_overflow = f.entry_hi + b.peak > kStackLimit;
+  f.must_overflow = lo_s + b.peak > kStackLimit;
+  if (f.must_overflow) {
+    out.dies = true;
+    return out;
+  }
+  const std::uint32_t hi_s =
+      b.peak > 0 ? std::min(f.entry_hi, kStackLimit - b.peak) : f.entry_hi;
+  // Survivor heights satisfy entry >= needed >= -delta and
+  // entry + peak <= limit with delta <= peak, so the exit heights stay in
+  // [0, kStackLimit].
+  out.exit_lo = static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(lo_s) + b.delta);
+  out.exit_hi = static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(hi_s) + b.delta);
+  return out;
+}
+
+class Fixpoint {
+ public:
+  Fixpoint(const Cfg& cfg, std::vector<BlockFacts>& facts)
+      : cfg_(cfg), facts_(facts), queued_(cfg.blocks.size(), false) {}
+
+  void run() {
+    if (cfg_.blocks.empty()) return;
+    join(0, 0, 0);
+    while (!worklist_.empty()) {
+      const std::uint32_t id = worklist_.front();
+      worklist_.pop_front();
+      queued_[id] = false;
+      step(cfg_.blocks[id]);
+    }
+  }
+
+ private:
+  void join(std::uint32_t id, std::uint32_t lo, std::uint32_t hi) {
+    BlockFacts& f = facts_[id];
+    if (!f.reachable) {
+      f.reachable = true;
+      f.entry_lo = lo;
+      f.entry_hi = hi;
+    } else if (lo >= f.entry_lo && hi <= f.entry_hi) {
+      return;  // no widening
+    } else {
+      f.entry_lo = std::min(f.entry_lo, lo);
+      f.entry_hi = std::max(f.entry_hi, hi);
+    }
+    if (!queued_[id]) {
+      queued_[id] = true;
+      worklist_.push_back(id);
+    }
+  }
+
+  /// Computed-jump targets are over-approximated as "any JUMPDEST block":
+  /// instead of materializing the quadratic edge set, every unknown jump
+  /// folds its exit interval into one shared entry interval that all
+  /// JUMPDEST blocks join.
+  void fold_unknown(std::uint32_t lo, std::uint32_t hi) {
+    if (!unknown_set_) {
+      unknown_set_ = true;
+      unknown_lo_ = lo;
+      unknown_hi_ = hi;
+    } else if (lo >= unknown_lo_ && hi <= unknown_hi_) {
+      return;
+    } else {
+      unknown_lo_ = std::min(unknown_lo_, lo);
+      unknown_hi_ = std::max(unknown_hi_, hi);
+    }
+    for (const std::uint32_t jd : cfg_.jumpdest_blocks) {
+      join(jd, unknown_lo_, unknown_hi_);
+    }
+  }
+
+  void step(const BasicBlock& b) {
+    BlockFacts& f = facts_[b.id];
+    const Propagated p = transfer(b, f);
+    if (p.dies) return;
+    switch (b.terminator) {
+      case Terminator::kFallThrough:
+        join(*b.fallthrough, p.exit_lo, p.exit_hi);
+        break;
+      case Terminator::kJump:
+        if (b.jump_succ) {
+          join(*b.jump_succ, p.exit_lo, p.exit_hi);
+        } else if (b.unknown_jump) {
+          fold_unknown(p.exit_lo, p.exit_hi);
+        }
+        // resolved-invalid: the jump always faults, no successors
+        break;
+      case Terminator::kJumpI:
+        if (b.jump_succ) {
+          join(*b.jump_succ, p.exit_lo, p.exit_hi);
+        } else if (b.unknown_jump) {
+          fold_unknown(p.exit_lo, p.exit_hi);
+        }
+        if (b.fallthrough) join(*b.fallthrough, p.exit_lo, p.exit_hi);
+        break;
+      default:
+        break;  // terminal: stop/return/revert/selfdestruct/invalid/...
+    }
+  }
+
+  const Cfg& cfg_;
+  std::vector<BlockFacts>& facts_;
+  std::deque<std::uint32_t> worklist_;
+  std::vector<bool> queued_;
+  bool unknown_set_ = false;
+  std::uint32_t unknown_lo_ = 0;
+  std::uint32_t unknown_hi_ = 0;
+};
+
+/// Walk the unique-successor chain from the entry with exact stack heights
+/// and prove doom if every execution must fail (or must execute a truncated
+/// PUSH). Stops at the first branch, computed jump, revisit (loops prove
+/// nothing) or success terminator.
+void prove_reject(const Cfg& cfg, AnalysisResult& r) {
+  if (cfg.blocks.empty()) return;
+  std::vector<bool> visited(cfg.blocks.size(), false);
+  std::uint32_t id = 0;
+  std::int64_t h = 0;
+  const auto reject = [&](RejectReason reason, std::uint32_t pc) {
+    r.verdict = Verdict::kReject;
+    r.reject_reason = reason;
+    r.reject_pc = pc;
+  };
+  while (!visited[id]) {
+    visited[id] = true;
+    const BasicBlock& b = cfg.blocks[id];
+    for (std::uint32_t i = 0; i < b.instr_count; ++i) {
+      const Instruction& ins = cfg.instrs[b.first_instr + i];
+      const OpcodeInfo& info = opcode_info(ins.opcode);
+      if (!info.defined) {
+        return reject(RejectReason::kUndefinedOpcode, ins.pc);
+      }
+      if (h < static_cast<std::int64_t>(info.stack_in)) {
+        return reject(RejectReason::kUnderflow, ins.pc);
+      }
+      if (ins.opcode == static_cast<std::uint8_t>(Opcode::INVALID)) {
+        return reject(RejectReason::kInvalidOpcode, ins.pc);
+      }
+      h += static_cast<std::int64_t>(info.stack_out) -
+           static_cast<std::int64_t>(info.stack_in);
+      if (h > static_cast<std::int64_t>(kStackLimit)) {
+        return reject(RejectReason::kOverflow, ins.pc);
+      }
+      if (ins.truncated) {
+        return reject(RejectReason::kTruncatedPush, ins.pc);
+      }
+    }
+    const std::uint32_t last_pc =
+        cfg.instrs[b.first_instr + b.instr_count - 1].pc;
+    switch (b.terminator) {
+      case Terminator::kFallThrough:
+        id = *b.fallthrough;
+        continue;
+      case Terminator::kJump:
+        if (b.jump_resolved && b.jump_target_invalid) {
+          return reject(RejectReason::kBadJump, last_pc);
+        }
+        if (b.jump_succ) {
+          id = *b.jump_succ;
+          continue;
+        }
+        return;  // computed jump: no proof
+      default:
+        return;  // branch or terminal: no doom proof past here
+    }
+  }
+}
+
+/// Lower bound on gas to reach any successful exit: single-source shortest
+/// path where entering a successor costs the predecessor's static gas.
+/// Unknown jumps route through one virtual node into every JUMPDEST block,
+/// keeping the edge count linear.
+std::uint64_t min_success_gas(const Cfg& cfg) {
+  if (cfg.blocks.empty()) return 0;
+  const std::size_t n = cfg.blocks.size();
+  const std::size_t virt = n;  // computed-jump hub
+  constexpr std::uint64_t kInf = AnalysisResult::kNoSuccessfulPath;
+  std::vector<std::uint64_t> dist(n + 1, kInf);
+  using Item = std::pair<std::uint64_t, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[0] = 0;
+  heap.emplace(0, 0);
+  std::uint64_t best = kInf;
+
+  const auto relax = [&](std::size_t node, std::uint64_t d) {
+    if (d < dist[node]) {
+      dist[node] = d;
+      heap.emplace(d, node);
+    }
+  };
+
+  while (!heap.empty()) {
+    const auto [d, node] = heap.top();
+    heap.pop();
+    if (d != dist[node]) continue;
+    if (node == virt) {
+      for (const std::uint32_t jd : cfg.jumpdest_blocks) relax(jd, d);
+      continue;
+    }
+    const BasicBlock& b = cfg.blocks[node];
+    const std::uint64_t out = d + b.static_gas;
+    switch (b.terminator) {
+      case Terminator::kStop:
+      case Terminator::kReturn:
+      case Terminator::kSelfdestruct:
+      case Terminator::kFallOffEnd:
+        best = std::min(best, out);
+        break;
+      case Terminator::kFallThrough:
+        relax(*b.fallthrough, out);
+        break;
+      case Terminator::kJump:
+        if (b.jump_succ) relax(*b.jump_succ, out);
+        if (b.unknown_jump) relax(virt, out);
+        break;
+      case Terminator::kJumpI:
+        if (b.jump_succ) relax(*b.jump_succ, out);
+        if (b.unknown_jump) relax(virt, out);
+        if (b.fallthrough) {
+          relax(*b.fallthrough, out);
+        } else {
+          best = std::min(best, out);  // not-taken runs off the end
+        }
+        break;
+      default:
+        break;  // revert/invalid/undefined: not a successful exit
+    }
+  }
+  return best;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t AnalysisResult::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, static_cast<std::uint64_t>(verdict));
+  h = fnv1a(h, static_cast<std::uint64_t>(reject_reason));
+  h = fnv1a(h, reject_pc);
+  h = fnv1a(h, min_gas);
+  h = fnv1a(h, reachable_blocks);
+  h = fnv1a(h, unknown_jump_blocks);
+  h = fnv1a(h, (reachable_truncated_push ? 2u : 0u) |
+                   (reachable_invalid ? 1u : 0u));
+  h = fnv1a(h, jumpdests.size());
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < jumpdests.size(); ++i) {
+    bits = (bits << 1) | (jumpdests[i] ? 1u : 0u);
+    if (i % 64 == 63) {
+      h = fnv1a(h, bits);
+      bits = 0;
+    }
+  }
+  h = fnv1a(h, bits);
+  for (std::size_t i = 0; i < cfg.blocks.size(); ++i) {
+    const BasicBlock& b = cfg.blocks[i];
+    h = fnv1a(h, (static_cast<std::uint64_t>(b.start_pc) << 32) | b.end_pc);
+    h = fnv1a(h, static_cast<std::uint64_t>(b.terminator));
+    h = fnv1a(h, (static_cast<std::uint64_t>(b.needed) << 32) | b.peak);
+    h = fnv1a(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(b.delta)));
+    h = fnv1a(h, b.static_gas);
+    const BlockFacts& f = facts[i];
+    h = fnv1a(h, (f.reachable ? 1u : 0u) | (f.may_underflow ? 2u : 0u) |
+                     (f.must_underflow ? 4u : 0u) | (f.may_overflow ? 8u : 0u) |
+                     (f.must_overflow ? 16u : 0u));
+    h = fnv1a(h, (static_cast<std::uint64_t>(f.entry_lo) << 32) | f.entry_hi);
+  }
+  return h;
+}
+
+AnalysisResult analyze(BytesView code) {
+  AnalysisResult r;
+  r.jumpdests = jumpdest_bitmap(code);
+  if (code.empty()) {
+    r.verdict = Verdict::kAccept;  // immediate implicit STOP
+    r.min_gas = 0;
+    return r;
+  }
+  if (code.size() > kMaxAnalyzableCode) {
+    r.verdict = Verdict::kUnknown;
+    r.min_gas = 0;
+    return r;
+  }
+
+  r.cfg = build_cfg(code);
+  r.facts.assign(r.cfg.blocks.size(), BlockFacts{});
+  Fixpoint{r.cfg, r.facts}.run();
+
+  bool provably_safe = true;
+  for (std::size_t i = 0; i < r.cfg.blocks.size(); ++i) {
+    const BasicBlock& b = r.cfg.blocks[i];
+    const BlockFacts& f = r.facts[i];
+    if (!f.reachable) continue;
+    ++r.reachable_blocks;
+    if (b.unknown_jump) ++r.unknown_jump_blocks;
+    if (b.has_truncated_push) r.reachable_truncated_push = true;
+    if (b.terminator == Terminator::kInvalid ||
+        b.terminator == Terminator::kUndefined) {
+      r.reachable_invalid = true;
+    }
+    if (f.may_underflow || f.may_overflow || b.unknown_jump ||
+        b.has_truncated_push || b.jump_target_invalid ||
+        b.terminator == Terminator::kInvalid ||
+        b.terminator == Terminator::kUndefined) {
+      provably_safe = false;
+    }
+  }
+  r.verdict = provably_safe ? Verdict::kAccept : Verdict::kUnknown;
+  prove_reject(r.cfg, r);  // upgrades to kReject when doom is provable
+  r.min_gas = min_success_gas(r.cfg);
+  return r;
+}
+
+}  // namespace srbb::evm::analysis

@@ -1,0 +1,76 @@
+#include "evm/analysis/cache.hpp"
+
+#include "crypto/keccak.hpp"
+#include "obs/metrics.hpp"
+
+namespace srbb::evm::analysis {
+
+AnalysisCache& AnalysisCache::global() {
+  static AnalysisCache cache;
+  return cache;
+}
+
+std::shared_ptr<const AnalysisResult> AnalysisCache::get(
+    const Hash32& code_keccak, BytesView code) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(code_keccak);
+    if (it != entries_.end()) {
+      ++hits_;
+      if (hit_counter_ != nullptr) hit_counter_->inc();
+      return it->second;
+    }
+    ++misses_;
+    if (miss_counter_ != nullptr) miss_counter_->inc();
+  }
+  // Analyze outside the lock: analysis is the expensive part and is
+  // deterministic, so two racing misses produce identical results.
+  auto result = std::make_shared<const AnalysisResult>(analyze(code));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() < max_entries_) {
+    // try_emplace keeps the first insert, so racing threads converge on one
+    // shared instance.
+    const auto [it, _] = entries_.try_emplace(code_keccak, result);
+    return it->second;
+  }
+  return result;
+}
+
+std::shared_ptr<const AnalysisResult> AnalysisCache::get(BytesView code) {
+  return get(crypto::Keccak256::hash(code), code);
+}
+
+std::uint64_t AnalysisCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t AnalysisCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t AnalysisCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void AnalysisCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void AnalysisCache::set_metrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    hit_counter_ = nullptr;
+    miss_counter_ = nullptr;
+    return;
+  }
+  hit_counter_ = &registry->counter("analysis.cache.hit");
+  miss_counter_ = &registry->counter("analysis.cache.miss");
+}
+
+}  // namespace srbb::evm::analysis

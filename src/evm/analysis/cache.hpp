@@ -1,0 +1,67 @@
+// Keccak-code-hash-keyed cache of AnalysisResults, shared by the interpreter
+// (per-frame jumpdest bitmaps), eager validation (min-gas gate) and
+// CREATE-time code validation. One contract is analyzed once per process
+// instead of once per call frame.
+//
+// Thread model: the parallel executor runs EVM frames from worker threads
+// against one global cache, so every access takes the mutex — the map is
+// read-mostly and the critical section is a lookup, so contention is not a
+// concern at the scales this repo simulates. Results are immutable
+// shared_ptrs, safe to hold outside the lock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/bytes.hpp"
+#include "evm/analysis/analysis.hpp"
+
+namespace srbb::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace srbb::obs
+
+namespace srbb::evm::analysis {
+
+class AnalysisCache {
+ public:
+  /// Bounded: once full, new results are returned but not retained, which
+  /// keeps behaviour deterministic (no eviction order to get wrong).
+  explicit AnalysisCache(std::size_t max_entries = 1024)
+      : max_entries_(max_entries) {}
+
+  /// Process-wide instance: the default every Evm consults.
+  static AnalysisCache& global();
+
+  /// Result for `code`, keyed by its (caller-provided) keccak256 — the state
+  /// layer memoizes that hash, so the hit path never rehashes the code.
+  std::shared_ptr<const AnalysisResult> get(const Hash32& code_keccak,
+                                            BytesView code);
+
+  /// Convenience for callers without a memoized hash (CREATE init code).
+  std::shared_ptr<const AnalysisResult> get(BytesView code);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Publish hit/miss counts as `analysis.cache.hit` / `analysis.cache.miss`
+  /// counters. Pass nullptr to detach. Counter increments happen under the
+  /// cache mutex, so the registry totals reconcile exactly with hits()/
+  /// misses() once the workers are quiesced.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t max_entries_;
+  std::map<Hash32, std::shared_ptr<const AnalysisResult>> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  obs::Counter* hit_counter_ = nullptr;
+  obs::Counter* miss_counter_ = nullptr;
+};
+
+}  // namespace srbb::evm::analysis

@@ -1,0 +1,214 @@
+#include <algorithm>
+
+#include "common/invariant.hpp"
+#include "evm/analysis/analysis.hpp"
+#include "evm/opcodes.hpp"
+
+namespace srbb::evm::analysis {
+
+const char* to_string(Terminator t) {
+  switch (t) {
+    case Terminator::kFallThrough: return "fallthrough";
+    case Terminator::kJump: return "jump";
+    case Terminator::kJumpI: return "jumpi";
+    case Terminator::kStop: return "stop";
+    case Terminator::kReturn: return "return";
+    case Terminator::kRevert: return "revert";
+    case Terminator::kSelfdestruct: return "selfdestruct";
+    case Terminator::kInvalid: return "invalid";
+    case Terminator::kUndefined: return "undefined";
+    case Terminator::kFallOffEnd: return "fall-off-end";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool ends_block(std::uint8_t op) {
+  if (!opcode_info(op).defined) return true;
+  switch (static_cast<Opcode>(op)) {
+    case Opcode::JUMP:
+    case Opcode::JUMPI:
+    case Opcode::STOP:
+    case Opcode::RETURN:
+    case Opcode::REVERT:
+    case Opcode::SELFDESTRUCT:
+    case Opcode::INVALID:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Terminator terminator_for(std::uint8_t op) {
+  if (!opcode_info(op).defined) return Terminator::kUndefined;
+  switch (static_cast<Opcode>(op)) {
+    case Opcode::JUMP: return Terminator::kJump;
+    case Opcode::JUMPI: return Terminator::kJumpI;
+    case Opcode::STOP: return Terminator::kStop;
+    case Opcode::RETURN: return Terminator::kReturn;
+    case Opcode::REVERT: return Terminator::kRevert;
+    case Opcode::SELFDESTRUCT: return Terminator::kSelfdestruct;
+    case Opcode::INVALID: return Terminator::kInvalid;
+    default: return Terminator::kFallThrough;
+  }
+}
+
+/// Walk one block's instructions, filling the stack-effect summary and
+/// resolving the jump-target operand via constant tracking of the stack
+/// suffix built inside the block (PUSH-before-JUMP is the idiom every
+/// assembled contract uses). `sim` models only values whose origin is known;
+/// anything inherited from before the block or produced by a computation is
+/// an unknown.
+void summarize_block(const std::vector<Instruction>& instrs, BasicBlock& b) {
+  std::int32_t h = 0;
+  std::int32_t needed = 0;
+  std::int32_t peak = 0;
+  std::vector<std::optional<U256>> sim;
+  std::optional<U256> jump_operand;
+
+  for (std::uint32_t i = 0; i < b.instr_count; ++i) {
+    const Instruction& ins = instrs[b.first_instr + i];
+    const std::uint8_t op = ins.opcode;
+    const OpcodeInfo& info = opcode_info(op);
+    if (ins.truncated) b.has_truncated_push = true;
+
+    needed = std::max(needed, static_cast<std::int32_t>(info.stack_in) - h);
+    h += static_cast<std::int32_t>(info.stack_out) -
+         static_cast<std::int32_t>(info.stack_in);
+    peak = std::max(peak, h);
+    b.static_gas += info.base_gas;
+
+    if (op == static_cast<std::uint8_t>(Opcode::JUMP) ||
+        op == static_cast<std::uint8_t>(Opcode::JUMPI)) {
+      if (!sim.empty()) jump_operand = sim.back();
+    }
+
+    if (is_push(op)) {
+      sim.emplace_back(ins.immediate);
+    } else if (op >= 0x80 && op <= 0x8f) {  // DUPn
+      const std::size_t n = static_cast<std::size_t>(op - 0x80) + 1;
+      sim.push_back(sim.size() >= n ? sim[sim.size() - n] : std::nullopt);
+    } else if (op >= 0x90 && op <= 0x9f) {  // SWAPn
+      const std::size_t n = static_cast<std::size_t>(op - 0x90) + 1;
+      if (sim.size() >= n + 1) {
+        std::swap(sim.back(), sim[sim.size() - 1 - n]);
+      } else if (!sim.empty()) {
+        // The counterpart lives below the modeled suffix: the new top is a
+        // value we never saw.
+        sim.back() = std::nullopt;
+      }
+    } else {
+      for (std::uint8_t p = 0; p < info.stack_in && !sim.empty(); ++p) {
+        sim.pop_back();
+      }
+      for (std::uint8_t p = 0; p < info.stack_out; ++p) {
+        sim.emplace_back(std::nullopt);
+      }
+    }
+  }
+
+  b.needed = static_cast<std::uint32_t>(std::max(needed, 0));
+  b.delta = h;
+  b.peak = static_cast<std::uint32_t>(std::max(peak, 0));
+
+  if ((b.terminator == Terminator::kJump ||
+       b.terminator == Terminator::kJumpI)) {
+    if (jump_operand.has_value()) {
+      b.jump_resolved = true;
+      if (jump_operand->fits_u64() &&
+          jump_operand->as_u64() < (1ull << 32)) {
+        b.jump_target = static_cast<std::uint32_t>(jump_operand->as_u64());
+      } else {
+        b.jump_target_invalid = true;  // cannot even be a code offset
+      }
+    } else {
+      b.unknown_jump = true;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> Cfg::block_at(std::uint32_t pc) const {
+  const auto it = std::lower_bound(
+      blocks.begin(), blocks.end(), pc,
+      [](const BasicBlock& b, std::uint32_t p) { return b.start_pc < p; });
+  if (it == blocks.end() || it->start_pc != pc) return std::nullopt;
+  return it->id;
+}
+
+Cfg build_cfg(BytesView code) {
+  Cfg cfg;
+  cfg.instrs = disassemble_code(code);
+  if (cfg.instrs.empty()) return cfg;
+  const std::vector<bool> jumpdests = jumpdest_bitmap(code);
+
+  // Leader detection: pc 0, every JUMPDEST, and every instruction after a
+  // block-ending one (so even unreachable code is partitioned, which is what
+  // lets the deployer's dead payload bytes be represented without being
+  // reported).
+  std::vector<bool> leader(cfg.instrs.size(), false);
+  leader[0] = true;
+  for (std::size_t i = 0; i < cfg.instrs.size(); ++i) {
+    const Instruction& ins = cfg.instrs[i];
+    if (ins.opcode == static_cast<std::uint8_t>(Opcode::JUMPDEST)) {
+      leader[i] = true;
+    }
+    if (ends_block(ins.opcode) && i + 1 < cfg.instrs.size()) {
+      leader[i + 1] = true;
+    }
+  }
+
+  for (std::size_t i = 0; i < cfg.instrs.size();) {
+    BasicBlock b;
+    b.id = static_cast<std::uint32_t>(cfg.blocks.size());
+    b.first_instr = static_cast<std::uint32_t>(i);
+    b.start_pc = cfg.instrs[i].pc;
+    std::size_t j = i;
+    while (j + 1 < cfg.instrs.size() && !ends_block(cfg.instrs[j].opcode) &&
+           !leader[j + 1]) {
+      ++j;
+    }
+    b.instr_count = static_cast<std::uint32_t>(j - i + 1);
+    const Instruction& last = cfg.instrs[j];
+    b.end_pc = last.pc + 1 + last.imm_size;
+    b.terminator = terminator_for(last.opcode);
+    if (b.terminator == Terminator::kFallThrough &&
+        b.end_pc >= code.size()) {
+      b.terminator = Terminator::kFallOffEnd;  // implicit STOP
+    }
+    summarize_block(cfg.instrs, b);
+    cfg.blocks.push_back(b);
+    i = j + 1;
+  }
+
+  // Successor wiring. Blocks are contiguous in pc order, so the fallthrough
+  // successor is always the next block.
+  for (BasicBlock& b : cfg.blocks) {
+    const bool has_next = static_cast<std::size_t>(b.id) + 1 < cfg.blocks.size();
+    if (b.terminator == Terminator::kFallThrough) {
+      SRBB_CHECK(has_next);
+      b.fallthrough = b.id + 1;
+    } else if (b.terminator == Terminator::kJumpI && has_next) {
+      // JUMPI as the last instruction of the code: the not-taken path runs
+      // off the end, an implicit-stop success handled by the analyzer.
+      b.fallthrough = b.id + 1;
+    }
+    if (b.jump_resolved && !b.jump_target_invalid) {
+      if (b.jump_target < code.size() && jumpdests[b.jump_target]) {
+        b.jump_succ = cfg.block_at(b.jump_target);
+        SRBB_CHECK(b.jump_succ.has_value());  // every JUMPDEST is a leader
+      } else {
+        b.jump_target_invalid = true;
+      }
+    }
+    if (cfg.instrs[b.first_instr].opcode ==
+        static_cast<std::uint8_t>(Opcode::JUMPDEST)) {
+      cfg.jumpdest_blocks.push_back(b.id);
+    }
+  }
+  return cfg;
+}
+
+}  // namespace srbb::evm::analysis

@@ -1,0 +1,44 @@
+#include <algorithm>
+
+#include "evm/analysis/analysis.hpp"
+#include "evm/opcodes.hpp"
+
+namespace srbb::evm::analysis {
+
+std::vector<bool> jumpdest_bitmap(BytesView code) {
+  std::vector<bool> valid(code.size(), false);
+  for (std::size_t pc = 0; pc < code.size();) {
+    const std::uint8_t op = code[pc];
+    if (op == static_cast<std::uint8_t>(Opcode::JUMPDEST)) valid[pc] = true;
+    pc += 1 + immediate_size(op);
+  }
+  return valid;
+}
+
+std::vector<Instruction> disassemble_code(BytesView code) {
+  std::vector<Instruction> out;
+  out.reserve(code.size());
+  for (std::size_t pc = 0; pc < code.size();) {
+    Instruction ins;
+    ins.pc = static_cast<std::uint32_t>(pc);
+    ins.opcode = code[pc];
+    const unsigned n = immediate_size(ins.opcode);
+    if (n > 0) {
+      ins.imm_size = static_cast<std::uint8_t>(n);
+      const std::size_t available = code.size() - pc - 1;
+      const std::size_t take = std::min<std::size_t>(n, available);
+      ins.truncated = take < n;
+      // Missing immediate bytes read as zero (right-padded), matching the
+      // interpreter's PUSH decoding exactly.
+      Bytes imm(code.begin() + static_cast<std::ptrdiff_t>(pc + 1),
+                code.begin() + static_cast<std::ptrdiff_t>(pc + 1 + take));
+      imm.resize(n, 0);
+      ins.immediate = U256::from_be(imm);
+    }
+    out.push_back(ins);
+    pc += 1 + n;
+  }
+  return out;
+}
+
+}  // namespace srbb::evm::analysis

@@ -22,22 +22,12 @@ const char* to_string(ExecStatus status) {
     case ExecStatus::kStaticViolation: return "write in static context";
     case ExecStatus::kDepthExceeded: return "call depth exceeded";
     case ExecStatus::kInsufficientBalance: return "insufficient balance";
+    case ExecStatus::kCodeRejected: return "code rejected by static analysis";
   }
   return "unknown";
 }
 
 namespace {
-
-// Valid JUMPDEST positions: JUMPDEST bytes that are not PUSH immediates.
-std::vector<bool> analyze_jumpdests(BytesView code) {
-  std::vector<bool> valid(code.size(), false);
-  for (std::size_t pc = 0; pc < code.size();) {
-    const std::uint8_t op = code[pc];
-    if (op == static_cast<std::uint8_t>(Opcode::JUMPDEST)) valid[pc] = true;
-    pc += 1 + immediate_size(op);
-  }
-  return valid;
-}
 
 std::uint64_t words_for(std::uint64_t bytes) { return (bytes + 31) / 32; }
 
@@ -151,6 +141,11 @@ Address Evm::compute_create_address(const Address& creator,
   return create_address(creator, nonce);
 }
 
+bool Evm::rejects_code(BytesView code) const {
+  if (!validate_code_ || analysis_cache_ == nullptr) return false;
+  return analysis_cache_->get(code)->verdict == analysis::Verdict::kReject;
+}
+
 ExecResult Evm::execute(const Message& msg) {
   ExecResult result;
   result.gas_left = msg.gas;
@@ -163,6 +158,14 @@ ExecResult Evm::execute(const Message& msg) {
   const std::size_t logs_mark = logs_.size();
 
   if (msg.is_create) {
+    // Static code validation: init code that is provably doomed (guaranteed
+    // underflow, INVALID entry path, truncated PUSH, ...) never deserves a
+    // frame. Same all-gas-consumed outcome as the failure it would hit.
+    if (rejects_code(msg.data)) {
+      result.status = ExecStatus::kCodeRejected;
+      result.gas_left = 0;
+      return result;
+    }
     // The creator's nonce was incremented by the caller (txn layer or CREATE
     // opcode) before entering here; the address derives from the pre-bump
     // value.
@@ -186,7 +189,7 @@ ExecResult Evm::execute(const Message& msg) {
     }
     Message frame_msg = msg;
     frame_msg.to = created;
-    ExecResult run_result = run(frame_msg, msg.data, created);
+    ExecResult run_result = run(frame_msg, msg.data, created, nullptr);
     if (run_result.ok()) {
       // Deployment: returned bytes become the account code.
       const std::uint64_t deposit =
@@ -196,6 +199,17 @@ ExecResult Evm::execute(const Message& msg) {
         db_.revert_to(snap);
         logs_.resize(logs_mark);
         run_result.status = ExecStatus::kOutOfGas;
+        run_result.gas_left = 0;
+        run_result.output.clear();
+        return run_result;
+      }
+      // The code about to be deposited gets the same static screening as
+      // the init code: a contract that can never execute a single
+      // successful path has no business living in the state.
+      if (rejects_code(run_result.output)) {
+        db_.revert_to(snap);
+        logs_.resize(logs_mark);
+        run_result.status = ExecStatus::kCodeRejected;
         run_result.gas_left = 0;
         run_result.output.clear();
         return run_result;
@@ -227,7 +241,8 @@ ExecResult Evm::execute(const Message& msg) {
   const Bytes code = db_.code(msg.to);
   if (code.empty()) return result;  // simple transfer, success
 
-  ExecResult run_result = run(msg, code, msg.to);
+  const Hash32 code_keccak = db_.code_keccak(msg.to);
+  ExecResult run_result = run(msg, code, msg.to, &code_keccak);
   if (!run_result.ok()) {
     db_.revert_to(snap);
     logs_.resize(logs_mark);
@@ -236,10 +251,25 @@ ExecResult Evm::execute(const Message& msg) {
   return run_result;
 }
 
-ExecResult Evm::run(const Message& msg, BytesView code, const Address& self) {
+ExecResult Evm::run(const Message& msg, BytesView code, const Address& self,
+                    const Hash32* code_keccak) {
   ExecResult result;
   Frame frame{msg.gas};
-  const std::vector<bool> jumpdests = analyze_jumpdests(code);
+  // Jumpdest bitmap: one shared analysis per code hash instead of a rescan
+  // per call frame. The nullptr-cache fallback keeps the historical
+  // per-frame behaviour for A/B measurement.
+  std::shared_ptr<const analysis::AnalysisResult> code_analysis;
+  std::vector<bool> local_jumpdests;
+  const std::vector<bool>* jumpdests = nullptr;
+  if (analysis_cache_ != nullptr) {
+    code_analysis = code_keccak != nullptr
+                        ? analysis_cache_->get(*code_keccak, code)
+                        : analysis_cache_->get(code);
+    jumpdests = &code_analysis->jumpdests;
+  } else {
+    local_jumpdests = analysis::jumpdest_bitmap(code);
+    jumpdests = &local_jumpdests;
+  }
   Bytes return_data;  // RETURNDATA buffer from the most recent child call
 
   const auto fail = [&](ExecStatus status) {
@@ -556,7 +586,7 @@ ExecResult Evm::run(const Message& msg, BytesView code, const Address& self) {
       case Opcode::JUMP: {
         const U256 dest = frame.pop();
         if (!dest.fits_u64() || dest.as_u64() >= code.size() ||
-            !jumpdests[dest.as_u64()]) {
+            !(*jumpdests)[dest.as_u64()]) {
           return fail(ExecStatus::kInvalidJump);
         }
         pc = dest.as_u64();
@@ -566,7 +596,7 @@ ExecResult Evm::run(const Message& msg, BytesView code, const Address& self) {
         const U256 dest = frame.pop(), condition = frame.pop();
         if (!condition.is_zero()) {
           if (!dest.fits_u64() || dest.as_u64() >= code.size() ||
-              !jumpdests[dest.as_u64()]) {
+              !(*jumpdests)[dest.as_u64()]) {
             return fail(ExecStatus::kInvalidJump);
           }
           pc = dest.as_u64();
@@ -654,9 +684,10 @@ ExecResult Evm::run(const Message& msg, BytesView code, const Address& self) {
           child.value = msg.value;
           child.is_static = msg.is_static;
           const Bytes target_code = db_.code(target);
+          const Hash32 target_keccak = db_.code_keccak(target);
           const state::StateView::Snapshot snap = db_.snapshot();
           const std::size_t logs_mark = logs_.size();
-          ExecResult child_result = run(child, target_code, self);
+          ExecResult child_result = run(child, target_code, self, &target_keccak);
           if (!child_result.ok()) {
             db_.revert_to(snap);
             logs_.resize(logs_mark);

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "evm/analysis/cache.hpp"
 #include "evm/types.hpp"
 #include "state/statedb.hpp"
 
@@ -37,14 +38,33 @@ class Evm {
   const BlockContext& block() const { return block_; }
   state::StateView& db() { return db_; }
 
+  /// Analysis cache consulted for per-frame jumpdest bitmaps and CREATE-time
+  /// code validation. Defaults to the process-wide cache; nullptr restores
+  /// the historical per-frame rescan (the microbench A/B baseline).
+  void set_analysis_cache(analysis::AnalysisCache* cache) {
+    analysis_cache_ = cache;
+  }
+  analysis::AnalysisCache* analysis_cache() const { return analysis_cache_; }
+
+  /// CREATE-time static validation: reject provably-doomed init/runtime code
+  /// with kCodeRejected. On by default; ExecutionConfig::validate_code is
+  /// the compat flag callers plumb through.
+  void set_validate_code(bool enabled) { validate_code_ = enabled; }
+
  private:
-  ExecResult run(const Message& msg, BytesView code, const Address& self);
+  ExecResult run(const Message& msg, BytesView code, const Address& self,
+                 const Hash32* code_keccak);
   Address compute_create_address(const Address& creator, std::uint64_t nonce);
+  /// kReject verdict for `code` (create paths); false when validation is off
+  /// or no cache is attached.
+  bool rejects_code(BytesView code) const;
 
   state::StateView& db_;
   BlockContext block_;
   TxContext tx_;
   std::vector<LogEntry> logs_;
+  analysis::AnalysisCache* analysis_cache_ = &analysis::AnalysisCache::global();
+  bool validate_code_ = true;
 };
 
 }  // namespace srbb::evm

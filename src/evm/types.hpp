@@ -54,6 +54,9 @@ enum class ExecStatus : std::uint8_t {
   kStaticViolation,
   kDepthExceeded,
   kInsufficientBalance,
+  /// CREATE-time static analysis proved the init or deployed code doomed
+  /// (evm/analysis, gated by ExecutionConfig::validate_code).
+  kCodeRejected,
 };
 
 const char* to_string(ExecStatus status);

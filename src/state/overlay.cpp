@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/invariant.hpp"
+#include "crypto/keccak.hpp"
 #include "crypto/sha256.hpp"
 
 namespace srbb::state {
@@ -62,6 +63,16 @@ const Bytes& OverlayState::code(const Address& addr) const {
 
 Hash32 OverlayState::code_hash(const Address& addr) const {
   return crypto::Sha256::hash(code(addr));
+}
+
+Hash32 OverlayState::code_keccak(const Address& addr) const {
+  // Route through code() so the read lands in the read-set even when the
+  // hash itself comes from the base's memo.
+  const Bytes& c = code(addr);
+  if (c.empty()) return empty_code_keccak();
+  const OverlayAccount* acc = find(addr);
+  if (acc != nullptr && acc->code) return crypto::Keccak256::hash(c);
+  return base_.code_keccak(addr);
 }
 
 U256 OverlayState::storage(const Address& addr, const Hash32& key) const {

@@ -42,6 +42,7 @@ class OverlayState final : public StateView {
   std::uint64_t nonce(const Address& addr) const override;
   const Bytes& code(const Address& addr) const override;
   Hash32 code_hash(const Address& addr) const override;
+  Hash32 code_keccak(const Address& addr) const override;
   U256 storage(const Address& addr, const Hash32& key) const override;
 
   // --- Writes (buffered, journaled locally) ---

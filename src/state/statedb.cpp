@@ -12,6 +12,20 @@ namespace srbb::state {
 
 namespace {
 const Bytes kEmptyCode;
+
+Hash32 keccak_of_code(const Bytes& code) {
+  return code.empty() ? Hash32{} : crypto::Keccak256::hash(code);
+}
+}
+
+const Hash32& empty_code_keccak() {
+  static const Hash32 hash = crypto::Keccak256::hash(BytesView{});
+  return hash;
+}
+
+Hash32 StateView::code_keccak(const Address& addr) const {
+  const Bytes& c = code(addr);
+  return c.empty() ? empty_code_keccak() : crypto::Keccak256::hash(c);
 }
 
 const Account* StateDB::find(const Address& addr) const {
@@ -50,6 +64,12 @@ const Bytes& StateDB::code(const Address& addr) const {
 
 Hash32 StateDB::code_hash(const Address& addr) const {
   return crypto::Sha256::hash(code(addr));
+}
+
+Hash32 StateDB::code_keccak(const Address& addr) const {
+  const Account* acc = find(addr);
+  if (acc == nullptr || acc->code.empty()) return empty_code_keccak();
+  return acc->code_keccak;
 }
 
 U256 StateDB::storage(const Address& addr, const Hash32& key) const {
@@ -96,6 +116,7 @@ void StateDB::set_code(const Address& addr, Bytes code) {
   entry.prev_code = acc.code;
   journal_.push_back(std::move(entry));
   acc.code = std::move(code);
+  acc.code_keccak = keccak_of_code(acc.code);
 }
 
 void StateDB::set_storage(const Address& addr, const Hash32& key,
@@ -149,9 +170,14 @@ void StateDB::revert_to(Snapshot snapshot) {
       case Op::kNonceChange:
         target().nonce = entry.prev_nonce;
         break;
-      case Op::kCodeChange:
-        target().code = std::move(entry.prev_code);
+      case Op::kCodeChange: {
+        Account& acc = target();
+        acc.code = std::move(entry.prev_code);
+        // Reverted deployments are rare; recomputing beats journaling the
+        // previous hash on every set_code.
+        acc.code_keccak = keccak_of_code(acc.code);
         break;
+      }
       case Op::kStorageChange: {
         auto& storage = target().storage;
         if (entry.prev_existed) {

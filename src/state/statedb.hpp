@@ -19,6 +19,9 @@
 
 namespace srbb::state {
 
+/// keccak256 of the empty byte string — the code hash of every EOA.
+const Hash32& empty_code_keccak();
+
 /// Abstract world-state view: the exact surface the interpreter and
 /// apply_transaction need. Reads never create accounts; writes are journaled
 /// so snapshot()/revert_to() give call-frame semantics.
@@ -34,6 +37,9 @@ class StateView {
   virtual std::uint64_t nonce(const Address& addr) const = 0;
   virtual const Bytes& code(const Address& addr) const = 0;
   virtual Hash32 code_hash(const Address& addr) const = 0;
+  /// keccak256 of code(addr) — the key the EVM analysis cache is addressed
+  /// by. Implementations memoize where they can; the default recomputes.
+  virtual Hash32 code_keccak(const Address& addr) const;
   virtual U256 storage(const Address& addr, const Hash32& key) const = 0;
 
   // --- Writes (journaled) ---
@@ -65,6 +71,9 @@ class StateDB final : public StateView {
   std::uint64_t nonce(const Address& addr) const override;
   const Bytes& code(const Address& addr) const override;
   Hash32 code_hash(const Address& addr) const override;
+  /// O(1): returns the hash memoized by set_code (empty-code hash for
+  /// code-less accounts). Pure read — safe under concurrent readers.
+  Hash32 code_keccak(const Address& addr) const override;
   U256 storage(const Address& addr, const Hash32& key) const override;
   std::size_t account_count() const { return accounts_.size(); }
 

@@ -33,6 +33,7 @@ Result<Receipt> apply_transaction(const Transaction& tx, state::StateView& db,
   tx_ctx.origin = sender;
   tx_ctx.gas_price = tx.gas_price;
   evm::Evm evm{db, block, tx_ctx};
+  evm.set_validate_code(config.validate_code);
 
   evm::Message msg;
   msg.caller = sender;

@@ -30,6 +30,12 @@ struct ExecutionConfig {
   bool verify_signature = true;
   const crypto::SignatureScheme* scheme = &crypto::SignatureScheme::ed25519();
 
+  /// CREATE-time static code validation (evm/analysis): deployments whose
+  /// init or runtime code is provably doomed fail with kCodeRejected instead
+  /// of entering the interpreter. Compat flag — turn off to accept any
+  /// bytecode, as before the analyzer existed.
+  bool validate_code = true;
+
   // --- Parallel optimistic execution (parallel_executor.hpp) ---
   /// Execute superblocks with the Block-STM-style optimistic executor
   /// instead of one transaction at a time. Results are bit-identical to

@@ -46,6 +46,21 @@ Status eager_validate(const Transaction& tx, const state::StateView& db,
   if (db.balance(sender) < max_cost(tx)) {
     return Status::error("eager: insufficient balance for gas + value");
   }
+  // (vi) static min-gas gate: every successful path through the callee costs
+  // at least its statically-analyzed minimum, so a budget below that cannot
+  // buy a successful execution — reject before it reaches consensus.
+  if (config.analysis_cache != nullptr && tx.kind == TxKind::kInvoke) {
+    const Bytes& code = db.code(tx.to);
+    if (!code.empty()) {
+      const auto analysis =
+          config.analysis_cache->get(db.code_keccak(tx.to), code);
+      const std::uint64_t budget = tx.gas_limit - intrinsic_gas(tx);
+      if (analysis->min_gas == evm::analysis::AnalysisResult::kNoSuccessfulPath ||
+          budget < analysis->min_gas) {
+        return Status::error("eager: gas limit below callee static minimum");
+      }
+    }
+  }
   return Status::ok();
 }
 

@@ -13,6 +13,7 @@
 
 #include "common/status.hpp"
 #include "crypto/signature.hpp"
+#include "evm/analysis/cache.hpp"
 #include "state/statedb.hpp"
 #include "txn/transaction.hpp"
 
@@ -23,6 +24,12 @@ struct ValidationConfig {
   std::uint64_t min_gas_limit = 21'000;
   /// How far ahead of the account nonce a pending tx may be queued.
   std::uint64_t nonce_window = 1024;
+  /// Static min-gas gate (check (vi), PR 5): an invoke whose gas budget is
+  /// below the callee's statically-proven minimum for any successful path is
+  /// doomed work — drop it at eager time instead of shipping it through
+  /// consensus. nullptr disables the gate.
+  evm::analysis::AnalysisCache* analysis_cache =
+      &evm::analysis::AnalysisCache::global();
 };
 
 /// Full check: signature (i), size (ii), nonce window (iii), gas

@@ -1,0 +1,183 @@
+// Soundness differential for the static analyzer (docs/ANALYSIS.md): the
+// verdicts must agree with what the interpreter actually does.
+//
+//  - kAccept claims no execution from the analyzed entry can hit a stack
+//    underflow/overflow, an invalid jump, or an invalid/undefined opcode —
+//    so we execute accepted programs under several calldata/gas variants and
+//    require none of those statuses.
+//  - kReject (other than the structural kTruncatedPush) claims every
+//    execution is doomed — so we force-install the code with validation off,
+//    give it a generous budget, and require it neither succeeds nor cleanly
+//    reverts.
+//
+// Inputs: every file under fuzz/corpus/evm* (the real corpus the fuzzers
+// replay) plus 200 seeded random programs biased toward interesting shapes.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "evm/analysis/analysis.hpp"
+#include "evm/interpreter.hpp"
+#include "state/statedb.hpp"
+
+namespace srbb::evm::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+Address addr(std::uint8_t tag) {
+  Address a;
+  a[19] = tag;
+  return a;
+}
+
+bool is_analysis_failure(ExecStatus s) {
+  return s == ExecStatus::kStackUnderflow || s == ExecStatus::kStackOverflow ||
+         s == ExecStatus::kInvalidJump || s == ExecStatus::kInvalidOpcode;
+}
+
+/// Execute `code` at a fixed account with validation off (we are probing the
+/// interpreter's native behaviour, not the gate).
+ExecResult force_execute(const Bytes& code, const Bytes& calldata,
+                         std::uint64_t gas) {
+  state::StateDB db;
+  const Address self = addr(0xFC);
+  const Address caller = addr(0xCA);
+  db.add_balance(caller, U256{1'000'000});
+  db.set_code(self, code);
+  BlockContext block;
+  TxContext tx;
+  Evm evm{db, block, tx};
+  evm.set_validate_code(false);
+  Message msg;
+  msg.caller = caller;
+  msg.to = self;
+  msg.gas = gas;
+  msg.data = calldata;
+  return evm.execute(msg);
+}
+
+void check_program(const Bytes& code, const std::string& label) {
+  const AnalysisResult r = analyze(BytesView{code});
+  if (r.verdict == Verdict::kAccept) {
+    // No execution may hit a statically-excluded failure, whatever the
+    // calldata or (generous) gas budget.
+    const Bytes calldatas[] = {
+        Bytes{},
+        Bytes(32, 0x00),
+        Bytes(32, 0xff),
+        Bytes{0xde, 0xad, 0xbe, 0xef},
+    };
+    for (const Bytes& data : calldatas) {
+      for (const std::uint64_t gas : {200'000ull, 1'000'000ull}) {
+        const ExecResult run = force_execute(code, data, gas);
+        EXPECT_FALSE(is_analysis_failure(run.status))
+            << label << ": accepted code failed with " << to_string(run.status)
+            << " (calldata " << data.size() << "B, gas " << gas << ")";
+      }
+    }
+  } else if (r.verdict == Verdict::kReject &&
+             r.reject_reason != RejectReason::kTruncatedPush) {
+    // Provably doomed: with a budget far above the code's worst case, the
+    // run must end in a hard failure — never success, never a clean REVERT.
+    const ExecResult run = force_execute(code, Bytes(32, 0x01), 5'000'000);
+    EXPECT_NE(run.status, ExecStatus::kSuccess)
+        << label << ": rejected code (" << to_string(r.reject_reason)
+        << " at pc " << r.reject_pc << ") succeeded";
+    EXPECT_NE(run.status, ExecStatus::kRevert)
+        << label << ": rejected code (" << to_string(r.reject_reason)
+        << " at pc " << r.reject_pc << ") reverted cleanly";
+  } else if (r.verdict == Verdict::kReject) {
+    // kTruncatedPush is structural malformation: the interpreter pads the
+    // immediate with zeros and may well run to STOP, so the claim to verify
+    // is that the entry path really does execute a cut-off PUSH.
+    ASSERT_FALSE(code.empty());
+    EXPECT_TRUE(r.reachable_truncated_push)
+        << label << ": truncated-push reject without a reachable one";
+  }
+}
+
+TEST(AnalysisSoundness, CorpusPrograms) {
+  std::vector<fs::path> files;
+  const fs::path root{SRBB_CORPUS_DIR};
+  ASSERT_TRUE(fs::exists(root)) << root;
+  for (const auto& dir : fs::directory_iterator(root)) {
+    if (!dir.is_directory()) continue;
+    const std::string name = dir.path().filename().string();
+    if (name.rfind("evm", 0) != 0) continue;  // evm, evm_analysis, ...
+    for (const auto& entry : fs::directory_iterator(dir.path())) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty());
+  for (const fs::path& file : files) {
+    std::ifstream in{file, std::ios::binary};
+    ASSERT_TRUE(in.good()) << file;
+    std::vector<char> raw{std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>()};
+    const Bytes code{raw.begin(), raw.end()};
+    check_program(code, file.filename().string());
+  }
+}
+
+/// Random program generator, biased to exercise the analyzer: runs of plain
+/// opcodes, PUSH-label-JUMP idioms, JUMPDESTs, and occasional garbage bytes.
+Bytes random_program(Rng& rng) {
+  Bytes code;
+  const std::size_t target = 4 + rng.next_below(120);
+  while (code.size() < target) {
+    switch (rng.next_below(8)) {
+      case 0: {  // PUSH1..PUSH4 with a small immediate
+        const std::uint8_t n = static_cast<std::uint8_t>(1 + rng.next_below(4));
+        code.push_back(static_cast<std::uint8_t>(0x5f + n));
+        for (std::uint8_t i = 0; i < n; ++i) {
+          code.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+        }
+        break;
+      }
+      case 1:  // arithmetic / comparison
+        code.push_back(static_cast<std::uint8_t>(
+            std::uint64_t{0x01} + rng.next_below(7)));  // ADD..SMOD
+        break;
+      case 2:  // DUP / SWAP
+        code.push_back(static_cast<std::uint8_t>(
+            (rng.next_bool(0.5) ? 0x80 : 0x90) + rng.next_below(4)));
+        break;
+      case 3:
+        code.push_back(0x5b);  // JUMPDEST
+        break;
+      case 4:  // static jump to a random (often bogus) target
+        code.push_back(0x60);
+        code.push_back(static_cast<std::uint8_t>(rng.next_below(128)));
+        code.push_back(rng.next_bool(0.5) ? 0x56 : 0x57);  // JUMP / JUMPI
+        break;
+      case 5:  // environment reads
+        code.push_back(rng.next_bool(0.5) ? 0x35 : 0x33);  // CALLDATALOAD/CALLER
+        break;
+      case 6:  // terminator mid-stream
+        code.push_back(rng.next_bool(0.5) ? 0x00 : 0x5b);
+        break;
+      default:  // raw byte, may be an undefined opcode
+        code.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+        break;
+    }
+  }
+  return code;
+}
+
+TEST(AnalysisSoundness, RandomPrograms) {
+  Rng rng{0x5eed'ab1e};
+  for (int i = 0; i < 200; ++i) {
+    const Bytes code = random_program(rng);
+    check_program(code, "random#" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace srbb::evm::analysis

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "crypto/keccak.hpp"
+#include "state/overlay.hpp"
+
 namespace srbb::state {
 namespace {
 
@@ -277,6 +280,51 @@ TEST(StateRootMpt, IndependentOfInsertionOrder) {
   backward.commit();
   EXPECT_EQ(forward.state_root(), backward.state_root());
   EXPECT_EQ(forward.state_root_mpt(), backward.state_root_mpt());
+}
+
+TEST(StateDB, CodeKeccakIsMemoizedBySetCode) {
+  StateDB db;
+  EXPECT_EQ(db.code_keccak(addr(1)), empty_code_keccak());  // no account
+  const Bytes code{0x60, 0x01, 0x00};
+  db.set_code(addr(1), code);
+  EXPECT_EQ(db.code_keccak(addr(1)),
+            crypto::Keccak256::hash(BytesView{code}));
+  // Overwriting code refreshes the memo.
+  const Bytes other{0x60, 0x02, 0x00};
+  db.set_code(addr(1), other);
+  EXPECT_EQ(db.code_keccak(addr(1)),
+            crypto::Keccak256::hash(BytesView{other}));
+}
+
+TEST(StateDB, CodeKeccakSurvivesRevert) {
+  StateDB db;
+  const Bytes before{0x60, 0x01, 0x00};
+  db.set_code(addr(1), before);
+  const auto snap = db.snapshot();
+  db.set_code(addr(1), Bytes{0xfe});
+  db.revert_to(snap);
+  EXPECT_EQ(db.code(addr(1)), before);
+  EXPECT_EQ(db.code_keccak(addr(1)),
+            crypto::Keccak256::hash(BytesView{before}));
+}
+
+TEST(Overlay, CodeKeccakRoutesThroughBuffer) {
+  StateDB base;
+  const Bytes base_code{0x60, 0x01, 0x00};
+  base.set_code(addr(1), base_code);
+  OverlayState overlay{base};
+  // Unmodified account: overlay serves the base memo.
+  EXPECT_EQ(overlay.code_keccak(addr(1)),
+            crypto::Keccak256::hash(BytesView{base_code}));
+  // Buffered write: the overlay hashes its pending code, base untouched.
+  const Bytes pending{0x60, 0x02, 0x00};
+  overlay.set_code(addr(1), pending);
+  EXPECT_EQ(overlay.code_keccak(addr(1)),
+            crypto::Keccak256::hash(BytesView{pending}));
+  EXPECT_EQ(base.code_keccak(addr(1)),
+            crypto::Keccak256::hash(BytesView{base_code}));
+  // Code-less address: the canonical empty-code hash.
+  EXPECT_EQ(overlay.code_keccak(addr(9)), empty_code_keccak());
 }
 
 TEST(StateDbInvariants, RevertToStaleSnapshotAborts) {

@@ -1,0 +1,299 @@
+// srbb_evm_analyze — command-line front end for the EVM static analyzer
+// (src/evm/analysis, docs/ANALYSIS.md).
+//
+//   srbb_evm_analyze --hex 6001600101            analyze inline hex
+//   srbb_evm_analyze --file runtime.bin          analyze a binary file
+//   srbb_evm_analyze --hex-file runtime.hex      analyze a hex text file
+//   echo 6001600101 | srbb_evm_analyze           analyze hex from stdin
+//   srbb_evm_analyze --json --hex 00             machine-readable CFG dump
+//   srbb_evm_analyze --self-test                 analyze every shipped
+//                                                contract; fail on any REJECT
+//
+// Exit code: 0 for kAccept/kUnknown, 2 for kReject, 1 for usage/IO errors.
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "evm/analysis/analysis.hpp"
+#include "evm/contracts.hpp"
+
+using namespace srbb;
+using namespace srbb::evm::analysis;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --hex BYTES        analyze inline hex (0x prefix optional)\n"
+      "  --file PATH        analyze raw binary bytecode from PATH\n"
+      "  --hex-file PATH    analyze hex text from PATH\n"
+      "  --json             machine-readable result + CFG dump on stdout\n"
+      "  --self-test        analyze every shipped contract (runtime and\n"
+      "                     deploy code); exit nonzero on any REJECT\n"
+      "with no input option, hex is read from stdin\n",
+      argv0);
+}
+
+bool parse_hex(const std::string& text, Bytes& out) {
+  std::string cleaned;
+  cleaned.reserve(text.size());
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    cleaned.push_back(c);
+  }
+  if (cleaned.rfind("0x", 0) == 0 || cleaned.rfind("0X", 0) == 0) {
+    cleaned = cleaned.substr(2);
+  }
+  const auto decoded = from_hex(cleaned);
+  if (!decoded) return false;
+  out = *decoded;
+  return true;
+}
+
+void print_human(const AnalysisResult& r, std::size_t code_size) {
+  std::printf("verdict:       %s\n", to_string(r.verdict));
+  if (r.verdict == Verdict::kReject) {
+    std::printf("reject reason: %s at pc %u\n", to_string(r.reject_reason),
+                r.reject_pc);
+  }
+  if (r.min_gas == AnalysisResult::kNoSuccessfulPath) {
+    std::printf("min gas:       unreachable (no successful path)\n");
+  } else {
+    std::printf("min gas:       %llu\n",
+                static_cast<unsigned long long>(r.min_gas));
+  }
+  std::size_t jumpdests = 0;
+  for (const bool b : r.jumpdests) jumpdests += b ? 1u : 0u;
+  std::printf("code size:     %zu bytes, %zu jumpdests\n", code_size,
+              jumpdests);
+  std::printf("cfg:           %zu blocks (%u reachable), %u unknown jumps\n",
+              r.cfg.blocks.size(), r.reachable_blocks, r.unknown_jump_blocks);
+  if (r.reachable_invalid) {
+    std::printf("warning:       INVALID/undefined opcode is reachable\n");
+  }
+  if (r.reachable_truncated_push) {
+    std::printf("warning:       truncated PUSH is reachable\n");
+  }
+  std::printf("fingerprint:   %016llx\n",
+              static_cast<unsigned long long>(r.fingerprint()));
+  std::printf("\nblocks:\n");
+  for (std::size_t i = 0; i < r.cfg.blocks.size(); ++i) {
+    const BasicBlock& b = r.cfg.blocks[i];
+    const BlockFacts& f = r.facts[i];
+    std::printf("  #%-3u [%4u,%4u) %-12s gas=%-6llu need=%u delta=%+d", b.id,
+                b.start_pc, b.end_pc, to_string(b.terminator),
+                static_cast<unsigned long long>(b.static_gas), b.needed,
+                b.delta);
+    if (b.jump_resolved) {
+      std::printf(" ->pc %u%s", b.jump_target,
+                  b.jump_target_invalid ? " (invalid!)" : "");
+    } else if (b.unknown_jump) {
+      std::printf(" ->?");
+    }
+    if (f.reachable) {
+      std::printf("  entry=[%u,%u]", f.entry_lo, f.entry_hi);
+      if (f.must_underflow) {
+        std::printf(" MUST-UNDERFLOW");
+      } else if (f.may_underflow) {
+        std::printf(" may-underflow");
+      }
+      if (f.must_overflow) {
+        std::printf(" MUST-OVERFLOW");
+      } else if (f.may_overflow) {
+        std::printf(" may-overflow");
+      }
+    } else {
+      std::printf("  unreachable");
+    }
+    std::printf("\n");
+  }
+}
+
+void print_json(const AnalysisResult& r, std::size_t code_size) {
+  std::size_t jumpdests = 0;
+  for (const bool b : r.jumpdests) jumpdests += b ? 1u : 0u;
+  std::printf("{\n  \"verdict\": \"%s\",\n", to_string(r.verdict));
+  std::printf("  \"reject_reason\": \"%s\",\n", to_string(r.reject_reason));
+  std::printf("  \"reject_pc\": %u,\n", r.reject_pc);
+  if (r.min_gas == AnalysisResult::kNoSuccessfulPath) {
+    std::printf("  \"min_gas\": null,\n");
+  } else {
+    std::printf("  \"min_gas\": %llu,\n",
+                static_cast<unsigned long long>(r.min_gas));
+  }
+  std::printf("  \"code_size\": %zu,\n  \"jumpdests\": %zu,\n", code_size,
+              jumpdests);
+  std::printf("  \"reachable_blocks\": %u,\n", r.reachable_blocks);
+  std::printf("  \"unknown_jump_blocks\": %u,\n", r.unknown_jump_blocks);
+  std::printf("  \"reachable_invalid\": %s,\n",
+              r.reachable_invalid ? "true" : "false");
+  std::printf("  \"reachable_truncated_push\": %s,\n",
+              r.reachable_truncated_push ? "true" : "false");
+  std::printf("  \"fingerprint\": \"%016llx\",\n",
+              static_cast<unsigned long long>(r.fingerprint()));
+  std::printf("  \"blocks\": [\n");
+  for (std::size_t i = 0; i < r.cfg.blocks.size(); ++i) {
+    const BasicBlock& b = r.cfg.blocks[i];
+    const BlockFacts& f = r.facts[i];
+    std::printf(
+        "    {\"id\": %u, \"start_pc\": %u, \"end_pc\": %u, "
+        "\"terminator\": \"%s\", \"static_gas\": %llu, \"needed\": %u, "
+        "\"delta\": %d, \"peak\": %u, \"reachable\": %s",
+        b.id, b.start_pc, b.end_pc, to_string(b.terminator),
+        static_cast<unsigned long long>(b.static_gas), b.needed, b.delta,
+        b.peak, f.reachable ? "true" : "false");
+    if (b.jump_resolved) {
+      std::printf(", \"jump_target\": %u, \"jump_target_invalid\": %s",
+                  b.jump_target, b.jump_target_invalid ? "true" : "false");
+    }
+    if (b.unknown_jump) std::printf(", \"unknown_jump\": true");
+    if (b.fallthrough) std::printf(", \"fallthrough\": %u", *b.fallthrough);
+    if (b.jump_succ) std::printf(", \"jump_succ\": %u", *b.jump_succ);
+    if (f.reachable) {
+      std::printf(
+          ", \"entry_lo\": %u, \"entry_hi\": %u, \"may_underflow\": %s, "
+          "\"must_underflow\": %s, \"may_overflow\": %s, "
+          "\"must_overflow\": %s",
+          f.entry_lo, f.entry_hi, f.may_underflow ? "true" : "false",
+          f.must_underflow ? "true" : "false",
+          f.may_overflow ? "true" : "false",
+          f.must_overflow ? "true" : "false");
+    }
+    std::printf("}%s\n", i + 1 < r.cfg.blocks.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+/// Analyze every shipped contract's runtime and deploy code. Any REJECT is a
+/// bug: these contracts run in the diablo pipeline, so the analyzer must not
+/// condemn them (runtime code is additionally expected to be fully proven).
+int self_test() {
+  struct Named {
+    const char* name;
+    const evm::Contract* contract;
+  };
+  const Named contracts[] = {
+      {"counter", &evm::counter_contract()},
+      {"exchange", &evm::exchange_contract()},
+      {"mobility", &evm::mobility_contract()},
+      {"ticketing", &evm::ticketing_contract()},
+      {"staking", &evm::staking_contract()},
+      {"token", &evm::token_contract()},
+  };
+  int failures = 0;
+  for (const Named& entry : contracts) {
+    for (const bool deploy : {false, true}) {
+      const Bytes& code = deploy ? entry.contract->deploy_code
+                                 : entry.contract->runtime_code;
+      const AnalysisResult r = analyze(BytesView{code});
+      const char* which = deploy ? "deploy" : "runtime";
+      std::printf("%-10s %-8s %-8s min_gas=", entry.name, which,
+                  to_string(r.verdict));
+      if (r.min_gas == AnalysisResult::kNoSuccessfulPath) {
+        std::printf("unreachable");
+      } else {
+        std::printf("%llu", static_cast<unsigned long long>(r.min_gas));
+      }
+      std::printf(" blocks=%zu\n", r.cfg.blocks.size());
+      if (r.verdict == Verdict::kReject) {
+        std::printf("FAIL: %s %s code rejected: %s at pc %u\n", entry.name,
+                    which, to_string(r.reject_reason), r.reject_pc);
+        ++failures;
+      }
+      if (r.min_gas == AnalysisResult::kNoSuccessfulPath) {
+        std::printf("FAIL: %s %s code has no successful path\n", entry.name,
+                    which);
+        ++failures;
+      }
+    }
+  }
+  if (failures > 0) {
+    std::printf("self-test: %d failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("self-test: all shipped contracts pass analysis\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  Bytes code;
+  bool have_code = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--self-test") {
+      return self_test();
+    } else if (arg == "--hex") {
+      if (!parse_hex(next(), code)) {
+        std::fprintf(stderr, "invalid hex input\n");
+        return 1;
+      }
+      have_code = true;
+    } else if (arg == "--file") {
+      std::ifstream in{next(), std::ios::binary};
+      if (!in) {
+        std::fprintf(stderr, "cannot open file\n");
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const std::string data = buf.str();
+      code.assign(data.begin(), data.end());
+      have_code = true;
+    } else if (arg == "--hex-file") {
+      std::ifstream in{next()};
+      if (!in) {
+        std::fprintf(stderr, "cannot open file\n");
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      if (!parse_hex(buf.str(), code)) {
+        std::fprintf(stderr, "invalid hex in file\n");
+        return 1;
+      }
+      have_code = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 1;
+    }
+  }
+
+  if (!have_code) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    if (!parse_hex(buf.str(), code)) {
+      std::fprintf(stderr, "invalid hex on stdin\n");
+      return 1;
+    }
+  }
+
+  const AnalysisResult result = analyze(BytesView{code});
+  if (json) {
+    print_json(result, code.size());
+  } else {
+    print_human(result, code.size());
+  }
+  return result.verdict == Verdict::kReject ? 2 : 0;
+}

@@ -239,6 +239,99 @@ def check_uninit_field(relpath: str, stripped: str) -> list[tuple]:
 
 
 # ---------------------------------------------------------------------------
+# Rule: float-in-consensus
+# ---------------------------------------------------------------------------
+
+# Floating point in consensus-critical code is divergence waiting to happen:
+# rounding mode, FMA contraction, x87 excess precision and libm differences
+# all vary across replicas. The simulator/diablo layers may use doubles for
+# measurement; these directories may not.
+FLOAT_CONSENSUS_DIRS = ("src/state/", "src/consensus/", "src/evm/",
+                        "src/srbb/")
+FLOAT_TYPE = re.compile(r"\b(?:float|double|long\s+double)\b")
+
+
+def check_float_in_consensus(relpath: str, lines: list[str]) -> list[tuple]:
+    if not relpath.startswith(FLOAT_CONSENSUS_DIRS):
+        return []
+    findings = []
+    for lineno, line in enumerate(lines, 1):
+        if FLOAT_TYPE.search(line):
+            findings.append(
+                ("float-in-consensus", relpath, lineno, line.strip(),
+                 "floating point in consensus-critical code: rounding and "
+                 "excess precision differ across replicas; use U256 or "
+                 "fixed-point integers"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test: one positive and one negative fixture per rule, so a regex edit
+# that silently disables a rule fails the `srbb_lint_selftest` ctest.
+# ---------------------------------------------------------------------------
+
+SELFTEST_FIXTURES = [
+    # (rule, relpath, source, expect_finding)
+    ("nondet-source", "src/consensus/x.cpp",
+     "int f() { return rand(); }\n", True),
+    ("nondet-source", "src/consensus/x.cpp",
+     "int f() { return my_rand_value; }\n", False),
+    ("nondet-source", "src/consensus/x.cpp",
+     "// rand() in a comment\nint f() { return 1; }\n", False),
+    ("unordered-iter", "src/state/x.cpp",
+     "std::unordered_map<int, int> m;\n"
+     "void f() { for (auto& kv : m) { use(kv); } }\n", True),
+    ("unordered-iter", "src/state/x.cpp",
+     "std::map<int, int> m;\n"
+     "void f() { for (auto& kv : m) { use(kv); } }\n", False),
+    ("pointer-key", "src/state/x.hpp",
+     "std::map<Node*, int> weights;\n", True),
+    ("pointer-key", "src/state/x.hpp",
+     "std::map<NodeId, int> weights;\n", False),
+    ("uninit-field", "src/txn/x.hpp",
+     "struct Wire {\n  std::uint64_t nonce;\n};\n"
+     "void encode(const Wire&);\n", True),
+    ("uninit-field", "src/txn/x.hpp",
+     "struct Wire {\n  std::uint64_t nonce = 0;\n};\n"
+     "void encode(const Wire&);\n", False),
+    ("float-in-consensus", "src/evm/x.cpp",
+     "double price = 0.5;\n", True),
+    ("float-in-consensus", "src/evm/x.cpp",
+     "std::uint64_t price = 5;\n", False),
+    # Outside the consensus directories doubles are fine (measurement code).
+    ("float-in-consensus", "src/diablo/x.cpp",
+     "double latency_ms = 0.5;\n", False),
+]
+
+
+def run_file_checks(relpath: str, text: str) -> list[tuple]:
+    stripped = strip_comments_and_strings(text)
+    lines = stripped.splitlines()
+    findings = []
+    findings += check_nondet_source(relpath, lines)
+    findings += check_unordered_iter(relpath, stripped,
+                                     collect_unordered_names(stripped))
+    findings += check_pointer_key(relpath, lines)
+    findings += check_uninit_field(relpath, stripped)
+    findings += check_float_in_consensus(relpath, lines)
+    return findings
+
+
+def self_test() -> int:
+    failures = 0
+    for i, (rule, relpath, source, expect) in enumerate(SELFTEST_FIXTURES):
+        hits = [f for f in run_file_checks(relpath, source) if f[0] == rule]
+        if bool(hits) != expect:
+            print(f"self-test fixture #{i} ({rule}): expected "
+                  f"{'a finding' if expect else 'no finding'}, got "
+                  f"{len(hits)}")
+            failures += 1
+    print(f"srbb_lint --self-test: {len(SELFTEST_FIXTURES)} fixtures, "
+          f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
+# ---------------------------------------------------------------------------
 # Allowlist
 # ---------------------------------------------------------------------------
 
@@ -291,7 +384,12 @@ def main() -> int:
                         help="report every finding, audited or not")
     parser.add_argument("--list", action="store_true",
                         help="list findings without failing (triage mode)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in rule fixtures and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     src = args.root / "src"
     if not src.is_dir():
@@ -320,6 +418,7 @@ def main() -> int:
         findings += check_unordered_iter(relpath, stripped, unordered_names)
         findings += check_pointer_key(relpath, lines)
         findings += check_uninit_field(relpath, stripped)
+        findings += check_float_in_consensus(relpath, lines)
 
     allowlist = ([] if args.no_allowlist
                  else load_allowlist(args.root / "tools/lint_allowlist.txt"))
