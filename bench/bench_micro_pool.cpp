@@ -4,7 +4,11 @@
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "pool/txpool.hpp"
+#include "state/statedb.hpp"
+#include "txn/pipeline.hpp"
+#include "txn/validation.hpp"
 
 namespace {
 
@@ -80,6 +84,71 @@ void BM_PoolRemoveCommitted(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * half.size());
 }
 BENCHMARK(BM_PoolRemoveCommitted);
+
+// --- eager validation: monolith vs staged pipeline (docs/PERF.md) -------
+// Real ed25519 signatures and a populated StateDB; the monolith is the
+// pre-pipeline per-transaction eager_validate (re-encode + re-hash + one
+// verify per tx), the pipeline reads cached fields and batch-verifies.
+
+const crypto::SignatureScheme& ed25519() {
+  return crypto::SignatureScheme::ed25519();
+}
+
+struct ValidationFixture {
+  state::StateDB db;
+  txn::ValidationConfig vcfg;
+  std::vector<txn::TxPtr> txs;
+
+  explicit ValidationFixture(std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const crypto::Identity identity = ed25519().make_identity(i % 64 + 1);
+      if (i < 64) db.add_balance(identity.address(), U256{1'000'000'000});
+      txn::TxParams params;
+      params.nonce = i / 64;
+      params.gas_limit = 30'000;
+      txs.push_back(
+          txn::make_tx_ptr(txn::make_signed(params, identity, ed25519())));
+    }
+  }
+};
+
+void BM_EagerValidateMonolith(benchmark::State& state) {
+  const ValidationFixture fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (const auto& tx : fixture.txs) {
+      benchmark::DoNotOptimize(
+          txn::eager_validate(tx->tx, fixture.db, ed25519(), fixture.vcfg));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EagerValidateMonolith)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_PipelineValidate(benchmark::State& state) {
+  const ValidationFixture fixture(static_cast<std::size_t>(state.range(0)));
+  const txn::ValidationPipeline pipeline(ed25519(), fixture.vcfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.validate(fixture.txs, fixture.db));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PipelineValidate)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_PipelineValidatePooled(benchmark::State& state) {
+  const ValidationFixture fixture(static_cast<std::size_t>(state.range(0)));
+  ThreadPool pool;
+  const crypto::ThreadedSharedBatchVerifier verifier(pool, /*chunk_size=*/64,
+                                                     /*min_parallel=*/16);
+  txn::PipelineOptions options;
+  options.pool = &pool;
+  options.verifier = &verifier;
+  const txn::ValidationPipeline pipeline(ed25519(), fixture.vcfg, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.validate(fixture.txs, fixture.db));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PipelineValidatePooled)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_TxHashAndCache(benchmark::State& state) {
   txn::TxParams params;

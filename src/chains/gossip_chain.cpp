@@ -13,7 +13,8 @@ GossipChainNode::GossipChainNode(sim::Simulation& simulation, sim::NodeId id,
       identity_(config_.scheme->make_identity(config_.self)),
       oracle_(std::move(oracle)),
       overlay_(overlay),
-      pool_(config_.preset.pool) {}
+      pool_(config_.preset.pool),
+      pipeline_(*config_.scheme, config_.validation) {}
 
 void GossipChainNode::set_observability(obs::TraceSink* trace,
                                         obs::MetricsRegistry* metrics) {
@@ -46,8 +47,7 @@ void GossipChainNode::on_client_tx(sim::NodeId from, const txn::TxPtr& tx) {
     if (crashed_) return;
     ++metrics_.eager_validations;
     if (committed_txs_.contains(tx->hash) || pool_.contains(tx->hash)) return;
-    if (!txn::eager_validate(tx->tx, oracle_->db(), *config_.scheme,
-                             config_.validation)) {
+    if (!pipeline_.validate_one(*tx, oracle_->db())) {
       ++metrics_.eager_failures;
       return;
     }
@@ -71,8 +71,7 @@ void GossipChainNode::on_gossip_tx(sim::NodeId from, const txn::TxPtr& tx) {
     post_work(config_.preset.costs.eager_validation, [this, from, tx] {
       if (crashed_) return;
       ++metrics_.eager_validations;  // the redundant validation (§III-A)
-      if (!txn::eager_validate(tx->tx, oracle_->db(), *config_.scheme,
-                               config_.validation)) {
+      if (!pipeline_.validate_one(*tx, oracle_->db())) {
         ++metrics_.eager_failures;
         return;
       }

@@ -21,6 +21,7 @@
 #include "sim/network.hpp"
 #include "srbb/messages.hpp"
 #include "srbb/oracle.hpp"
+#include "txn/pipeline.hpp"
 
 namespace srbb::chains {
 
@@ -89,6 +90,8 @@ class GossipChainNode : public sim::SimNode {
   const sim::GossipOverlay* overlay_;
 
   pool::TxPool pool_;
+  /// Staged validation over cached fields; per-event paths use validate_one.
+  txn::ValidationPipeline pipeline_;
   std::unordered_set<Hash32, Hash32Hasher> seen_txs_;
   std::unordered_set<Hash32, Hash32Hasher> seen_blocks_;
   std::unordered_set<Hash32, Hash32Hasher> committed_txs_;

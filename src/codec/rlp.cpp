@@ -171,6 +171,74 @@ Result<Item> decode_prefix_at(BytesView& data, std::size_t depth) {
   return out;
 }
 
+// Zero-copy twin of decode_prefix_at: identical control flow and error
+// strings, but payloads become views into the wire buffer and the tree is
+// appended to the flat node arena in DFS pre-order. Kept side by side with
+// the copying decoder above so a diff of the two functions shows only the
+// copy-vs-view difference (fuzz_rlp_view enforces behavioural equality).
+Status view_parse_at(BytesView& data, std::vector<ViewNode>& nodes,
+                     std::size_t depth) {
+  if (depth > kMaxDepth) return Status::error("rlp: nesting too deep");
+  if (data.empty()) return Status::error("rlp: empty input");
+  const std::uint8_t prefix = data[0];
+  const std::uint8_t* start = data.data();
+  data = data.subspan(1);
+
+  const std::uint32_t self = static_cast<std::uint32_t>(nodes.size());
+  nodes.emplace_back();  // may reallocate during recursion; index, don't hold
+  std::size_t length = 0;
+
+  if (prefix < 0x80) {
+    // Single byte encodes itself; the view is that wire byte.
+    nodes[self].payload = BytesView{start, 1};
+    nodes[self].subtree_end = self + 1;
+    return Status::ok();
+  }
+  if (prefix <= 0xb7) {  // short string
+    length = prefix - 0x80;
+    if (data.size() < length) return Status::error("rlp: truncated string");
+    if (length == 1 && data[0] < 0x80) {
+      return Status::error("rlp: non-canonical single byte");
+    }
+    nodes[self].payload = data.first(length);
+    data = data.subspan(length);
+    nodes[self].subtree_end = self + 1;
+    return Status::ok();
+  }
+  if (prefix <= 0xbf) {  // long string
+    auto len = read_long_length(data, prefix - 0xb7);
+    if (!len) return len.status();
+    length = len.value();
+    if (data.size() < length) return Status::error("rlp: truncated string");
+    nodes[self].payload = data.first(length);
+    data = data.subspan(length);
+    nodes[self].subtree_end = self + 1;
+    return Status::ok();
+  }
+  // Lists.
+  nodes[self].is_list = true;
+  if (prefix <= 0xf7) {
+    length = prefix - 0xc0;
+  } else {
+    auto len = read_long_length(data, prefix - 0xf7);
+    if (!len) return len.status();
+    length = len.value();
+  }
+  if (data.size() < length) return Status::error("rlp: truncated list");
+  BytesView body = data.subspan(0, length);
+  nodes[self].payload = body;
+  data = data.subspan(length);
+  std::uint32_t children = 0;
+  while (!body.empty()) {
+    const Status child = view_parse_at(body, nodes, depth + 1);
+    if (!child.is_ok()) return child;
+    ++children;
+  }
+  nodes[self].child_count = children;
+  nodes[self].subtree_end = static_cast<std::uint32_t>(nodes.size());
+  return Status::ok();
+}
+
 }  // namespace
 
 Result<Item> decode_prefix(BytesView& data) {
@@ -182,6 +250,78 @@ Result<Item> decode(BytesView data) {
   if (!item) return item.status();
   if (!data.empty()) return Status::error("rlp: trailing bytes");
   return item;
+}
+
+bool ItemView::is_list() const { return doc_->nodes_[index_].is_list; }
+
+BytesView ItemView::payload() const {
+  const ViewNode& n = doc_->nodes_[index_];
+  return n.is_list ? BytesView{} : n.payload;
+}
+
+BytesView ItemView::list_body() const {
+  const ViewNode& n = doc_->nodes_[index_];
+  return n.is_list ? n.payload : BytesView{};
+}
+
+std::size_t ItemView::size() const { return doc_->nodes_[index_].child_count; }
+
+ItemView ItemView::child(std::size_t i) const {
+  std::uint32_t idx = index_ + 1;
+  for (std::size_t hop = 0; hop < i; ++hop) {
+    idx = doc_->nodes_[idx].subtree_end;
+  }
+  return ItemView{doc_, idx};
+}
+
+ItemView ItemView::next_sibling() const {
+  return ItemView{doc_, doc_->nodes_[index_].subtree_end};
+}
+
+Result<std::uint64_t> ItemView::as_u64() const {
+  auto wide = as_u256();
+  if (!wide) return wide.status();
+  if (!wide.value().fits_u64()) {
+    return Status::error("rlp: integer exceeds 64 bits");
+  }
+  return wide.value().as_u64();
+}
+
+Result<U256> ItemView::as_u256() const {
+  const ViewNode& n = doc_->nodes_[index_];
+  if (n.is_list) return Status::error("rlp: expected integer, found list");
+  if (n.payload.size() > 32) {
+    return Status::error("rlp: integer exceeds 256 bits");
+  }
+  if (!n.payload.empty() && n.payload[0] == 0) {
+    return Status::error("rlp: non-canonical integer (leading zero)");
+  }
+  return U256::from_be(n.payload);
+}
+
+Item ItemView::materialize() const {
+  const ViewNode& n = doc_->nodes_[index_];
+  Item out;
+  out.is_list = n.is_list;
+  if (!n.is_list) {
+    out.payload.assign(n.payload.begin(), n.payload.end());
+    return out;
+  }
+  out.items.reserve(n.child_count);
+  ItemView c = ItemView{doc_, index_ + 1};
+  for (std::uint32_t i = 0; i < n.child_count; ++i) {
+    out.items.push_back(c.materialize());
+    c = c.next_sibling();
+  }
+  return out;
+}
+
+Result<ItemView> decode_view(BytesView data, ViewDoc& doc) {
+  doc.clear();
+  const Status parsed = view_parse_at(data, doc.nodes_, 0);
+  if (!parsed.is_ok()) return parsed;
+  if (!data.empty()) return Status::error("rlp: trailing bytes");
+  return doc.root();
 }
 
 }  // namespace srbb::rlp

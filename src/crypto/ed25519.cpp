@@ -125,8 +125,15 @@ Fe fe_mul(const Fe& a, const Fe& b) {
 
 Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
 
+// n successive squarings: a^(2^n).
+Fe fe_sqn(Fe a, int n) {
+  for (int i = 0; i < n; ++i) a = fe_sq(a);
+  return a;
+}
+
 // Generic square-and-multiply; exponents here are fixed public constants, so
-// variable time is fine.
+// variable time is fine. Only used for cold one-off constants (sqrt(-1));
+// the hot exponentiations below use fixed addition chains.
 Fe fe_pow(const Fe& base, const U256& exponent) {
   Fe result = fe_from_u64(1);
   const unsigned nbits = exponent.bit_length();
@@ -137,7 +144,45 @@ Fe fe_pow(const Fe& base, const U256& exponent) {
   return result;
 }
 
-Fe fe_invert(const Fe& a) { return fe_pow(a, kP - U256{2}); }
+// Shared prefix of the inversion and 2^252-3 addition chains: z^(2^250-1)
+// plus the small powers z^2 and z^11 the tails need.
+struct FeChain250 {
+  Fe t250;  // z^(2^250-1)
+  Fe z2;    // z^2
+  Fe z11;   // z^11
+};
+
+FeChain250 fe_chain250(const Fe& z) {
+  FeChain250 out;
+  const Fe z2 = fe_sq(z);                       // z^2
+  Fe t1 = fe_mul(z, fe_sqn(z2, 2));             // z^9
+  const Fe z11 = fe_mul(z2, t1);                // z^11
+  t1 = fe_mul(t1, fe_sq(z11));                  // z^31 = z^(2^5-1)
+  t1 = fe_mul(fe_sqn(t1, 5), t1);               // z^(2^10-1)
+  Fe t2 = fe_mul(fe_sqn(t1, 10), t1);           // z^(2^20-1)
+  t2 = fe_mul(fe_sqn(t2, 20), t2);              // z^(2^40-1)
+  t1 = fe_mul(fe_sqn(t2, 10), t1);              // z^(2^50-1)
+  t2 = fe_mul(fe_sqn(t1, 50), t1);              // z^(2^100-1)
+  t2 = fe_mul(fe_sqn(t2, 100), t2);             // z^(2^200-1)
+  out.t250 = fe_mul(fe_sqn(t2, 50), t1);        // z^(2^250-1)
+  out.z2 = z2;
+  out.z11 = z11;
+  return out;
+}
+
+// z^(p-2) = z^(2^255-21) via the standard 254-squaring addition chain —
+// ~11 multiplies instead of the ~127 of generic square-and-multiply.
+Fe fe_invert(const Fe& z) {
+  const FeChain250 c = fe_chain250(z);
+  return fe_mul(fe_sqn(c.t250, 5), c.z11);      // z^(2^255-32+11)
+}
+
+// z^((p-5)/8) = z^(2^252-3), the exponent of the combined square-root-ratio
+// trick used by point decompression.
+Fe fe_pow22523(const Fe& z) {
+  const FeChain250 c = fe_chain250(z);
+  return fe_mul(fe_sqn(c.t250, 2), z);          // z^(2^252-4+1)
+}
 
 bool fe_is_zero(const Fe& a) { return fe_to_u256(a).is_zero(); }
 
@@ -201,6 +246,14 @@ Point point_add(const Point& p, const Point& q) {
 
 Point point_double(const Point& p) { return point_add(p, p); }
 
+// Equality without normalizing: X1/Z1 == X2/Z2 and Y1/Z1 == Y2/Z2 compared
+// by cross-multiplication, avoiding the two inversions of compressing both
+// sides.
+bool point_equal(const Point& p, const Point& q) {
+  if (!fe_equal(fe_mul(p.x, q.z), fe_mul(q.x, p.z))) return false;
+  return fe_equal(fe_mul(p.y, q.z), fe_mul(q.y, p.z));
+}
+
 void point_compress(std::uint8_t out[32], const Point& p) {
   const Fe zinv = fe_invert(p.z);
   const Fe x = fe_mul(p.x, zinv);
@@ -212,6 +265,11 @@ void point_compress(std::uint8_t out[32], const Point& p) {
 // Recover x from y: x^2 = (y^2 - 1) / (d y^2 + 1). Returns false for
 // non-points. Takes d and sqrt(-1) explicitly so the constants initializer
 // can use it.
+//
+// Uses the combined square-root-of-a-ratio trick (RFC 8032 §5.1.3): the
+// candidate x = u v^3 (u v^7)^((p-5)/8) needs one fixed-chain exponentiation
+// instead of a field inversion plus a generic (p+3)/8 power. v = d y^2 + 1
+// is never zero because -1/d is a non-square mod p.
 bool point_decompress_with(const Fe& curve_d, const Fe& sqrt_m1, Point& out,
                            const std::uint8_t in[32]) {
   std::uint8_t ybytes[32];
@@ -223,13 +281,15 @@ bool point_decompress_with(const Fe& curve_d, const Fe& sqrt_m1, Point& out,
   const Fe y2 = fe_sq(y);
   const Fe u = fe_sub(y2, fe_from_u64(1));
   const Fe v = fe_add(fe_mul(curve_d, y2), fe_from_u64(1));
-  const Fe w = fe_mul(u, fe_invert(v));  // x^2 candidate
 
-  // p == 5 (mod 8): candidate root is w^((p+3)/8).
-  Fe x = fe_pow(w, (kP + U256{3}) / U256{8});
-  if (!fe_equal(fe_sq(x), w)) {
+  const Fe v3 = fe_mul(fe_sq(v), v);
+  const Fe v7 = fe_mul(fe_sq(v3), v);
+  Fe x = fe_mul(fe_mul(u, v3), fe_pow22523(fe_mul(u, v7)));
+
+  const Fe vx2 = fe_mul(v, fe_sq(x));
+  if (!fe_equal(vx2, u)) {
+    if (!fe_equal(vx2, fe_neg(u))) return false;  // u/v is a non-residue
     x = fe_mul(x, sqrt_m1);
-    if (!fe_equal(fe_sq(x), w)) return false;
   }
   if (fe_is_zero(x) && sign) return false;  // -0 is not encodable
   if (fe_is_negative(x) != sign) x = fe_neg(x);
@@ -357,6 +417,110 @@ ExpandedKey expand_seed(const PrivateSeed& seed) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Batch verification: one multi-scalar multiplication checks the random
+// linear combination
+//
+//   (sum z_i s_i) B  ==  sum z_i R_i  +  sum (z_i k_i) A_i
+//
+// of the per-signature equations s_i B == R_i + k_i A_i. The shared chain of
+// doublings amortizes across all points, so N signatures cost well under N
+// independent verifies. Coefficients z_i are 128-bit and derived
+// deterministically from a SHA-512 transcript of the whole batch (the repo
+// bans runtime randomness); forging a batch whose defects cancel in the
+// combination requires grinding the transcript hash. docs/PERF.md records
+// the exact soundness caveat. On combined-equation failure the range is
+// bisected deterministically; size-1 leaves use the plain single-signature
+// equation, so rejected batches converge to results positionally identical
+// to sequential verification.
+// ---------------------------------------------------------------------------
+
+// Interleaved-window (Straus) multi-scalar multiplication sum c_j P_j with
+// 4-bit windows over little-endian scalar nibbles. Variable time; all inputs
+// here are public.
+Point multi_scalar_mul(const std::vector<U256>& scalars,
+                       const std::vector<Point>& points) {
+  const std::size_t n = points.size();
+  const Fe d2 = constants().d2;
+  std::vector<std::array<Point, 15>> tables(n);
+  std::vector<std::array<std::uint8_t, 32>> le(n);
+  unsigned max_bits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scalars[i].bit_length() > max_bits) max_bits = scalars[i].bit_length();
+    u256_to_le(le[i].data(), scalars[i]);
+    Point acc = points[i];  // tables[i][j] = (j+1) * P_i
+    for (int j = 0; j < 15; ++j) {
+      tables[i][j] = acc;
+      acc = point_add_with(d2, acc, points[i]);
+    }
+  }
+  Point r = point_identity();
+  for (unsigned w = (max_bits + 3) / 4; w-- > 0;) {
+    for (int dbl = 0; dbl < 4; ++dbl) r = point_add_with(d2, r, r);
+    for (std::size_t i = 0; i < n; ++i) {
+      const unsigned digit = (le[i][w / 2] >> (4 * (w & 1))) & 0x0f;
+      if (digit != 0) r = point_add_with(d2, r, tables[i][digit - 1]);
+    }
+  }
+  return r;
+}
+
+struct BatchEntry {
+  bool precheck_ok = false;  // s canonical and both points decompressed
+  Point a;                   // public key point
+  Point r;                   // signature R point
+  U256 s;                    // signature scalar, < L
+  U256 k;                    // challenge H(R || A || M) mod L
+  U256 z;                    // batch coefficient, 128-bit, nonzero
+};
+
+bool batch_equation_single(const BatchEntry& e) {
+  const Point lhs = scalar_mul_base(e.s);
+  const Point rhs = point_add(e.r, scalar_mul(e.k, e.a));
+  return point_equal(lhs, rhs);
+}
+
+// Combined equation over live[lo, hi) (indices into `entries`).
+bool batch_equation_range(const std::vector<BatchEntry>& entries,
+                          const std::vector<std::uint32_t>& live,
+                          std::size_t lo, std::size_t hi) {
+  U256 s_sum;
+  std::vector<U256> scalars;
+  std::vector<Point> points;
+  scalars.reserve(2 * (hi - lo));
+  points.reserve(2 * (hi - lo));
+  for (std::size_t i = lo; i < hi; ++i) {
+    const BatchEntry& e = entries[live[i]];
+    s_sum = addmod(s_sum, mulmod(e.z, e.s, kL), kL);
+    scalars.push_back(e.z);
+    points.push_back(e.r);
+    scalars.push_back(mulmod(e.z, e.k, kL));
+    points.push_back(e.a);
+  }
+  return point_equal(scalar_mul_base(s_sum), multi_scalar_mul(scalars, points));
+}
+
+// Deterministic bisection: a passing combined equation accepts the whole
+// range; a failing one splits at the midpoint until size-1 leaves fall back
+// to the exact single-signature check.
+void batch_resolve_range(const std::vector<BatchEntry>& entries,
+                         const std::vector<std::uint32_t>& live,
+                         std::size_t lo, std::size_t hi,
+                         std::vector<std::uint8_t>& results) {
+  if (hi == lo) return;
+  if (hi - lo == 1) {
+    results[live[lo]] = batch_equation_single(entries[live[lo]]) ? 1 : 0;
+    return;
+  }
+  if (batch_equation_range(entries, live, lo, hi)) {
+    for (std::size_t i = lo; i < hi; ++i) results[live[i]] = 1;
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  batch_resolve_range(entries, live, lo, mid, results);
+  batch_resolve_range(entries, live, mid, hi, results);
+}
+
 }  // namespace
 
 Ed25519KeyPair ed25519_keypair(const PrivateSeed& seed) {
@@ -416,13 +580,67 @@ bool ed25519_verify(BytesView message, const Signature& signature,
   h.update(message);
   const U256 k = scalar_from_hash(h.finish());
 
-  // Check s*B == R + k*A by comparing compressed encodings.
+  // Check s*B == R + k*A in projective coordinates.
   const Point lhs = scalar_mul_base(s);
   const Point rhs = point_add(r_point, scalar_mul(k, a_point));
-  std::uint8_t lhs_enc[32], rhs_enc[32];
-  point_compress(lhs_enc, lhs);
-  point_compress(rhs_enc, rhs);
-  return std::memcmp(lhs_enc, rhs_enc, 32) == 0;
+  return point_equal(lhs, rhs);
+}
+
+std::vector<bool> ed25519_verify_batch(std::span<const Ed25519BatchItem> items) {
+  const std::size_t n = items.size();
+  std::vector<std::uint8_t> results(n, 0);
+  std::vector<BatchEntry> entries(n);
+  std::vector<std::uint32_t> live;  // indices that passed the prechecks
+  live.reserve(n);
+
+  // Transcript binding every (signature, pubkey, message) of the batch; the
+  // per-item coefficients are derived from its digest below.
+  Sha512 transcript;
+  static constexpr char kDomain[] = "srbb-ed25519-batch-v1";
+  transcript.update(
+      BytesView{reinterpret_cast<const std::uint8_t*>(kDomain), sizeof(kDomain) - 1});
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Ed25519BatchItem& item = items[i];
+    transcript.update(BytesView{item.signature->data(), 64});
+    transcript.update(BytesView{item.public_key->data(), 32});
+    std::uint8_t len8[8];
+    put_be64(len8, item.message.size());
+    transcript.update(BytesView{len8, 8});
+    transcript.update(item.message);
+
+    BatchEntry& e = entries[i];
+    e.s = u256_from_le(item.signature->data() + 32, 32);
+    if (!(e.s < kL)) continue;  // reject malleable encodings
+    if (!point_decompress(e.a, item.public_key->data())) continue;
+    if (!point_decompress(e.r, item.signature->data())) continue;
+
+    Sha512 h;
+    h.update(BytesView{item.signature->data(), 32});
+    h.update(BytesView{item.public_key->data(), 32});
+    h.update(item.message);
+    e.k = scalar_from_hash(h.finish());
+    e.precheck_ok = true;
+    live.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  if (!live.empty()) {
+    const Hash64 seed = transcript.finish();
+    for (const std::uint32_t i : live) {
+      Sha512 h;
+      h.update(BytesView{seed.data(), seed.size()});
+      std::uint8_t idx8[8];
+      put_be64(idx8, i);
+      h.update(BytesView{idx8, 8});
+      const Hash64 digest = h.finish();
+      U256 z = u256_from_le(digest.data(), 16);  // 128-bit coefficient
+      if (z.is_zero()) z = U256::one();
+      entries[i].z = z;
+    }
+    batch_resolve_range(entries, live, 0, live.size(), results);
+  }
+
+  return std::vector<bool>(results.begin(), results.end());
 }
 
 }  // namespace srbb::crypto

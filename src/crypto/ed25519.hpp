@@ -11,6 +11,8 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/bytes.hpp"
 
@@ -35,5 +37,23 @@ Signature ed25519_sign(BytesView message, const Ed25519KeyPair& keypair);
 
 bool ed25519_verify(BytesView message, const Signature& signature,
                     const PublicKey& public_key);
+
+/// One (message, signature, key) reference for batch verification. All three
+/// buffers are caller-owned and must outlive the call.
+struct Ed25519BatchItem {
+  BytesView message{};
+  const Signature* signature = nullptr;
+  const PublicKey* public_key = nullptr;
+};
+
+/// Shared-computation batch verification: a single multi-scalar
+/// multiplication checks the random linear combination of all N signature
+/// equations, amortizing the doubling chain across the batch. Coefficients
+/// are derived deterministically from a transcript hash (no runtime
+/// randomness); a failing combination bisects down to exact per-signature
+/// checks, so results are positionally identical to calling ed25519_verify
+/// per item for every non-pathological input (soundness caveat in
+/// docs/PERF.md).
+std::vector<bool> ed25519_verify_batch(std::span<const Ed25519BatchItem> items);
 
 }  // namespace srbb::crypto

@@ -12,6 +12,16 @@ Address Identity::address() const {
   return address_from_pubkey(BytesView{public_key.data(), public_key.size()});
 }
 
+std::vector<bool> SignatureScheme::verify_batch(
+    std::span<const BatchVerifyItem> items) const {
+  std::vector<bool> results(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    results[i] = verify(items[i].message, items[i].signature,
+                        items[i].public_key);
+  }
+  return results;
+}
+
 namespace {
 
 class Ed25519Scheme final : public SignatureScheme {
@@ -31,6 +41,16 @@ class Ed25519Scheme final : public SignatureScheme {
   bool verify(BytesView message, const Signature& signature,
               const PublicKey& public_key) const override {
     return ed25519_verify(message, signature, public_key);
+  }
+
+  std::vector<bool> verify_batch(
+      std::span<const BatchVerifyItem> items) const override {
+    std::vector<Ed25519BatchItem> refs;
+    refs.reserve(items.size());
+    for (const BatchVerifyItem& item : items) {
+      refs.push_back({item.message, &item.signature, &item.public_key});
+    }
+    return ed25519_verify_batch(refs);
   }
 
   const char* name() const override { return "ed25519"; }

@@ -13,6 +13,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "crypto/ed25519.hpp"
@@ -27,6 +29,15 @@ struct Identity {
   Address address() const;  // Keccak-derived, Ethereum style
 };
 
+/// One entry of a batch verification call. The message is a view into a
+/// caller-owned buffer — batching never copies calldata — so the buffer must
+/// outlive the verify call.
+struct BatchVerifyItem {
+  BytesView message{};
+  Signature signature{};
+  PublicKey public_key{};
+};
+
 class SignatureScheme {
  public:
   virtual ~SignatureScheme() = default;
@@ -35,6 +46,11 @@ class SignatureScheme {
   virtual Signature sign(const Identity& signer, BytesView message) const = 0;
   virtual bool verify(BytesView message, const Signature& signature,
                       const PublicKey& public_key) const = 0;
+  /// Verify many items at once. Results are positionally identical to
+  /// calling verify() per item; the base implementation is that loop, and
+  /// schemes with a shared-computation batch algorithm override it.
+  virtual std::vector<bool> verify_batch(
+      std::span<const BatchVerifyItem> items) const;
   virtual const char* name() const = 0;
 
   static const SignatureScheme& ed25519();

@@ -55,6 +55,19 @@ TxPool::AddResult TxPool::add(txn::TxPtr tx, SimTime now) {
   return AddResult::kAdded;
 }
 
+TxPool::AddBatchResult TxPool::add_batch(std::span<txn::TxPtr> txs,
+                                         SimTime now) {
+  AddBatchResult result;
+  for (txn::TxPtr& tx : txs) {
+    switch (add(std::move(tx), now)) {
+      case AddResult::kAdded: ++result.added; break;
+      case AddResult::kDuplicate: ++result.duplicates; break;
+      case AddResult::kFull: ++result.dropped_full; break;
+    }
+  }
+  return result;
+}
+
 std::vector<txn::TxPtr> TxPool::take_batch(std::size_t max_count,
                                            std::size_t max_bytes, SimTime now) {
   std::vector<txn::TxPtr> batch;

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -37,6 +38,20 @@ class TxPool {
   enum class AddResult : std::uint8_t { kAdded, kDuplicate, kFull };
 
   AddResult add(txn::TxPtr tx, SimTime now);
+
+  /// Aggregate outcome of a batch admission.
+  struct AddBatchResult {
+    std::size_t added = 0;
+    std::size_t duplicates = 0;
+    std::size_t dropped_full = 0;
+  };
+
+  /// Admit a batch in order. Exactly equivalent to calling add() once per
+  /// entry — same trace events, counters and drop accounting — so the
+  /// pipelined validators can admit a validated batch in one call without
+  /// perturbing the observable stream.
+  AddBatchResult add_batch(std::span<txn::TxPtr> txs, SimTime now);
+
   bool contains(const Hash32& hash) const { return index_.contains(hash); }
 
   /// Pop up to `max_count` transactions whose total wire size stays within

@@ -22,7 +22,9 @@ ValidatorNode::ValidatorNode(sim::Simulation& simulation, sim::NodeId id,
       oracle_(std::move(oracle)),
       rpm_(std::move(rpm)),
       overlay_(overlay),
-      pool_(config_.pool) {
+      pool_(config_.pool),
+      pipeline_(*config_.scheme, config_.validation,
+                txn::PipelineOptions{.metrics = config_.metrics}) {
   CatchUpConfig sync_config;
   sync_config.n = config_.n;
   sync_config.self = config_.self;
@@ -172,8 +174,7 @@ void ValidatorNode::on_client_tx(sim::NodeId from, const txn::TxPtr& tx) {
   post_work(config_.costs.eager_validation, guarded([this, from, tx] {
     ++metrics_.eager_validations;
     if (committed_txs_.contains(tx->hash) || pool_.contains(tx->hash)) return;
-    const Status valid = txn::eager_validate(
-        tx->tx, oracle_->db(), *config_.scheme, config_.validation);
+    const Status valid = pipeline_.validate_one(*tx, oracle_->db());
     // Span covering the validation CPU charge: post_work delivered us at the
     // completion instant, so the span starts one cost earlier.
     SRBB_TRACE(config_.trace, now() - config_.costs.eager_validation,
@@ -207,8 +208,7 @@ void ValidatorNode::on_gossip_tx(sim::NodeId from, const txn::TxPtr& tx) {
     seen_gossip_.insert(tx->hash);
     post_work(config_.costs.eager_validation, guarded([this, from, tx] {
       ++metrics_.eager_validations;  // the redundant validation TVPR removes
-      const Status valid = txn::eager_validate(
-          tx->tx, oracle_->db(), *config_.scheme, config_.validation);
+      const Status valid = pipeline_.validate_one(*tx, oracle_->db());
       if (!valid) {
         ++metrics_.eager_failures;
         return;
@@ -515,24 +515,42 @@ void ValidatorNode::commit_index(std::uint64_t index,
 
 void ValidatorNode::recycle_undecided(std::uint64_t index) {
   // Alg. 1 lines 27-31: transactions of received-but-undecided blocks are
-  // eagerly validated and returned to the pool for a future block.
+  // eagerly validated and returned to the pool for a future block. Each
+  // block goes through the staged pipeline as one batch — one batched
+  // signature verification per block instead of per transaction — and the
+  // survivors are re-admitted in one add_batch call. Candidate selection and
+  // metric accounting match the old per-transaction loop exactly: in-block
+  // duplicates are screened by `in_batch` (the sequential loop caught them
+  // via pool_.contains after the first admission), and admission between
+  // blocks keeps cross-block duplicates on the pool_.contains path.
   const auto it = instances_.find(index);
   if (it == instances_.end()) return;
+  std::vector<txn::TxPtr> candidates;
+  std::vector<txn::TxPtr> admit;
+  std::unordered_set<Hash32, Hash32Hasher> in_batch;
   for (const txn::BlockPtr& block : it->second->undecided_blocks()) {
+    candidates.clear();
+    admit.clear();
+    in_batch.clear();
     for (const txn::TxPtr& tx : block->txs) {
-      if (committed_txs_.contains(tx->hash) || pool_.contains(tx->hash)) {
+      if (committed_txs_.contains(tx->hash) || pool_.contains(tx->hash) ||
+          !in_batch.insert(tx->hash).second) {
         continue;
       }
-      ++metrics_.eager_validations;
-      if (txn::eager_validate(tx->tx, oracle_->db(), *config_.scheme,
-                              config_.validation)) {
-        if (pool_.add(tx, now()) == pool::TxPool::AddResult::kAdded) {
-          ++metrics_.txs_recycled;
-        }
+      candidates.push_back(tx);
+    }
+    if (candidates.empty()) continue;
+    metrics_.eager_validations += candidates.size();
+    const std::vector<Status> results =
+        pipeline_.validate(candidates, oracle_->db());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (results[i].is_ok()) {
+        admit.push_back(candidates[i]);
       } else {
         ++metrics_.eager_failures;
       }
     }
+    metrics_.txs_recycled += pool_.add_batch(admit, now()).added;
   }
   // The instance has served its purpose; keep only a window for late PULLs.
   if (index >= 4) instances_.erase(instances_.begin(),

@@ -36,6 +36,7 @@
 #include "srbb/messages.hpp"
 #include "srbb/oracle.hpp"
 #include "srbb/sync.hpp"
+#include "txn/pipeline.hpp"
 #include "txn/validation.hpp"
 
 namespace srbb::node {
@@ -212,6 +213,10 @@ class ValidatorNode : public sim::SimNode {
   const sim::GossipOverlay* overlay_;
 
   pool::TxPool pool_;
+  /// Staged validation (DESIGN.md §11): per-event paths use validate_one
+  /// (the monolith's exact order over cached fields); recycle_undecided
+  /// batches a whole undecided block through the stages at once.
+  txn::ValidationPipeline pipeline_;
   std::unordered_set<Hash32, Hash32Hasher> seen_gossip_;
   std::unordered_set<Hash32, Hash32Hasher> committed_txs_;
   std::unordered_map<Hash32, sim::NodeId, Hash32Hasher> client_origins_;

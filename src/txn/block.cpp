@@ -60,43 +60,68 @@ Bytes encode_block(const Block& block) {
   return rlp.build();
 }
 
-Result<Block> decode_block(BytesView wire) {
-  auto doc = rlp::decode(wire);
-  if (!doc) return doc.status();
-  const rlp::Item& root = doc.value();
-  if (!root.is_list || root.items.size() != 8) {
+namespace {
+
+// Zero-copy block decode: the frame is parsed once into `doc`, each
+// transaction entry is a view slice of `wire`, and `tx_doc` is reused as the
+// parse arena across entries. The wire slice also supplies each CachedTx id
+// hash and size without re-encoding.
+Result<Block> decode_block_view(BytesView wire, rlp::ViewDoc& doc,
+                                rlp::ViewDoc& tx_doc) {
+  auto parsed = rlp::decode_view(wire, doc);
+  if (!parsed) return parsed.status();
+  const rlp::ItemView root = parsed.value();
+  if (!root.is_list() || root.size() != 8) {
     return Status::error("block: expected 8-item list");
   }
+  rlp::ItemView f[8];
+  f[0] = root.child(0);
+  for (std::size_t i = 1; i < 8; ++i) f[i] = f[i - 1].next_sibling();
+
   Block block;
-  auto index = root.items[0].as_u64();
+  auto index = f[0].as_u64();
   if (!index) return index.status();
   block.header.index = index.value();
-  auto proposer = root.items[1].as_u64();
+  auto proposer = f[1].as_u64();
   if (!proposer) return proposer.status();
   block.header.proposer = proposer.value();
-  auto timestamp = root.items[2].as_u64();
+  auto timestamp = f[2].as_u64();
   if (!timestamp) return timestamp.status();
   block.header.timestamp = timestamp.value();
-  if (root.items[3].payload.size() != 32 || root.items[4].payload.size() != 32) {
+  if (f[3].payload().size() != 32 || f[4].payload().size() != 32) {
     return Status::error("block: bad hash field");
   }
-  block.header.parent_hash = Hash32{BytesView{root.items[3].payload}};
-  block.header.tx_root = Hash32{BytesView{root.items[4].payload}};
-  if (root.items[5].payload.size() != 32 || root.items[6].payload.size() != 64) {
+  block.header.parent_hash = Hash32{f[3].payload()};
+  block.header.tx_root = Hash32{f[4].payload()};
+  if (f[5].payload().size() != 32 || f[6].payload().size() != 64) {
     return Status::error("block: bad certificate field");
   }
-  std::memcpy(block.header.cert.proposer_pubkey.data(),
-              root.items[5].payload.data(), 32);
-  std::memcpy(block.header.cert.signed_tx_root.data(),
-              root.items[6].payload.data(), 64);
-  if (!root.items[7].is_list) return Status::error("block: bad tx list");
-  for (const rlp::Item& item : root.items[7].items) {
-    if (item.is_list) return Status::error("block: bad tx entry");
-    auto tx = Transaction::decode(item.payload);
+  std::memcpy(block.header.cert.proposer_pubkey.data(), f[5].payload().data(),
+              32);
+  std::memcpy(block.header.cert.signed_tx_root.data(), f[6].payload().data(),
+              64);
+  if (!f[7].is_list()) return Status::error("block: bad tx list");
+  const std::size_t tx_count = f[7].size();
+  block.txs.reserve(tx_count);
+  rlp::ItemView entry = tx_count > 0 ? f[7].child(0) : rlp::ItemView{};
+  for (std::size_t i = 0; i < tx_count; ++i, entry = entry.next_sibling()) {
+    if (entry.is_list()) return Status::error("block: bad tx entry");
+    const BytesView tx_wire = entry.payload();
+    auto tx_parsed = rlp::decode_view(tx_wire, tx_doc);
+    if (!tx_parsed) return tx_parsed.status();
+    auto tx = decode_tx_view(tx_parsed.value());
     if (!tx) return tx.status();
-    block.txs.push_back(make_tx_ptr(std::move(tx).take()));
+    block.txs.push_back(make_tx_ptr(std::move(tx).take(), tx_wire));
   }
   return block;
+}
+
+}  // namespace
+
+Result<Block> decode_block(BytesView wire) {
+  rlp::ViewDoc doc;
+  rlp::ViewDoc tx_doc;
+  return decode_block_view(wire, doc, tx_doc);
 }
 
 Bytes encode_superblock(std::uint64_t index,
@@ -110,20 +135,29 @@ Bytes encode_superblock(std::uint64_t index,
 }
 
 Result<Superblock> decode_superblock(BytesView wire) {
-  auto doc = rlp::decode(wire);
-  if (!doc) return doc.status();
-  const rlp::Item& root = doc.value();
-  if (!root.is_list || root.items.size() != 2) {
+  rlp::ViewDoc doc;
+  auto parsed = rlp::decode_view(wire, doc);
+  if (!parsed) return parsed.status();
+  const rlp::ItemView root = parsed.value();
+  if (!root.is_list() || root.size() != 2) {
     return Status::error("superblock: expected 2-item frame");
   }
   Superblock superblock;
-  auto index = root.items[0].as_u64();
+  auto index = root.child(0).as_u64();
   if (!index) return index.status();
   superblock.index = index.value();
-  if (!root.items[1].is_list) return Status::error("superblock: bad block list");
-  for (const rlp::Item& item : root.items[1].items) {
-    if (item.is_list) return Status::error("superblock: bad block entry");
-    auto block = decode_block(item.payload);
+  const rlp::ItemView list = root.child(1);
+  if (!list.is_list()) return Status::error("superblock: bad block list");
+  // Each block entry is a wire slice; the per-block and per-tx parse arenas
+  // are reused across the whole frame.
+  rlp::ViewDoc block_doc;
+  rlp::ViewDoc tx_doc;
+  const std::size_t count = list.size();
+  superblock.blocks.reserve(count);
+  rlp::ItemView entry = count > 0 ? list.child(0) : rlp::ItemView{};
+  for (std::size_t i = 0; i < count; ++i, entry = entry.next_sibling()) {
+    if (entry.is_list()) return Status::error("superblock: bad block entry");
+    auto block = decode_block_view(entry.payload(), block_doc, tx_doc);
     if (!block) return block.status();
     if (block.value().header.index != superblock.index) {
       return Status::error("superblock: block index mismatch");

@@ -1,0 +1,170 @@
+#include "txn/pipeline.hpp"
+
+#include <string>
+
+namespace srbb::txn {
+
+namespace {
+
+// Maximum wei the transaction can cost: gas budget plus transferred value.
+U256 max_cost(const Transaction& tx) {
+  return tx.gas_price * U256{tx.gas_limit} + tx.value;
+}
+
+Status structural_check(const CachedTx& cached,
+                        const ValidationConfig& config) {
+  // (ii) size limit first: cheap and bounds later work. The cached wire size
+  // equals tx.wire_size() — the codec round-trip is canonical.
+  if (cached.size > config.max_tx_size) {
+    return Status::error("eager: transaction exceeds size limit");
+  }
+  if (cached.tx.gas_limit < config.min_gas_limit ||
+      cached.tx.gas_limit < intrinsic_gas(cached.tx)) {
+    return Status::error("eager: gas limit below intrinsic cost");
+  }
+  return Status::ok();
+}
+
+Status state_check(const CachedTx& cached, const state::StateView& db,
+                   const ValidationConfig& config) {
+  const Transaction& tx = cached.tx;
+  const Address& sender = cached.sender;
+  // (iii) nonce must not be in the past, and not absurdly far in the future.
+  const std::uint64_t account_nonce = db.nonce(sender);
+  if (tx.nonce < account_nonce) {
+    return Status::error("eager: stale nonce");
+  }
+  if (tx.nonce > account_nonce + config.nonce_window) {
+    return Status::error("eager: nonce too far in the future");
+  }
+  // (iv) + (v) the account can afford worst-case gas plus the value moved.
+  if (db.balance(sender) < max_cost(tx)) {
+    return Status::error("eager: insufficient balance for gas + value");
+  }
+  // (vi) static min-gas gate, as in eager_validate.
+  if (config.analysis_cache != nullptr && tx.kind == TxKind::kInvoke) {
+    const Bytes& code = db.code(tx.to);
+    if (!code.empty()) {
+      const auto analysis =
+          config.analysis_cache->get(db.code_keccak(tx.to), code);
+      const std::uint64_t budget = tx.gas_limit - intrinsic_gas(tx);
+      if (analysis->min_gas ==
+              evm::analysis::AnalysisResult::kNoSuccessfulPath ||
+          budget < analysis->min_gas) {
+        return Status::error("eager: gas limit below callee static minimum");
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+void StructuralStage::run(ValidationBatch& batch) const {
+  const std::size_t n = batch.txs.size();
+  auto check = [&](std::size_t i) {
+    if (!batch.results[i].is_ok()) return;
+    Status status = structural_check(*batch.txs[i], *config_);
+    if (!status.is_ok()) batch.results[i] = std::move(status);
+  };
+  if (pool_ != nullptr && n >= min_parallel_) {
+    // Distinct vector elements; no two workers touch the same index.
+    pool_->parallel_for(n, check);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) check(i);
+  }
+}
+
+void SignatureStage::run(ValidationBatch& batch) const {
+  std::vector<std::uint32_t> live;
+  std::vector<crypto::BatchVerifyItem> items;
+  live.reserve(batch.txs.size());
+  items.reserve(batch.txs.size());
+  for (std::size_t i = 0; i < batch.txs.size(); ++i) {
+    if (!batch.results[i].is_ok()) continue;
+    const CachedTx& cached = *batch.txs[i];
+    // The message is the cached signing digest — a view into the CachedTx,
+    // which outlives the call via the batch's TxPtr span.
+    items.push_back({cached.signing_hash.view(), cached.tx.signature,
+                     cached.tx.sender_pubkey});
+    live.push_back(static_cast<std::uint32_t>(i));
+  }
+  if (items.empty()) return;
+  const std::vector<bool> ok = verifier_->verify(*scheme_, items);
+  for (std::size_t j = 0; j < live.size(); ++j) {
+    if (!ok[j]) {
+      batch.results[live[j]] = Status::error("eager: invalid signature");
+    }
+  }
+}
+
+void StateStage::run(ValidationBatch& batch) const {
+  for (std::size_t i = 0; i < batch.txs.size(); ++i) {
+    if (!batch.results[i].is_ok()) continue;
+    Status status = state_check(*batch.txs[i], *batch.db, *config_);
+    if (!status.is_ok()) batch.results[i] = std::move(status);
+  }
+}
+
+ValidationPipeline::ValidationPipeline(const crypto::SignatureScheme& scheme,
+                                       ValidationConfig config,
+                                       PipelineOptions options)
+    : scheme_(&scheme), config_(config) {
+  const crypto::BatchVerifier& verifier =
+      options.verifier != nullptr ? *options.verifier : default_verifier_;
+  stages_.push_back(std::make_unique<StructuralStage>(config_, options.pool,
+                                                      options.min_parallel));
+  stages_.push_back(std::make_unique<SignatureStage>(*scheme_, verifier));
+  stages_.push_back(std::make_unique<StateStage>(config_));
+  if (options.metrics != nullptr) {
+    counters_.reserve(stages_.size());
+    for (const auto& stage : stages_) {
+      const std::string base =
+          std::string("validate.stage.") + stage->name();
+      counters_.push_back({&options.metrics->counter(base + ".pass"),
+                           &options.metrics->counter(base + ".fail")});
+    }
+  }
+}
+
+std::vector<Status> ValidationPipeline::validate(
+    std::span<const TxPtr> txs, const state::StateView& db) const {
+  ValidationBatch batch;
+  batch.txs = txs;
+  batch.db = &db;
+  batch.results.assign(txs.size(), Status::ok());
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    std::size_t entering = 0;
+    if (!counters_.empty()) {
+      for (const Status& r : batch.results) entering += r.is_ok() ? 1 : 0;
+    }
+    stages_[s]->run(batch);
+    if (!counters_.empty()) {
+      std::size_t surviving = 0;
+      for (const Status& r : batch.results) surviving += r.is_ok() ? 1 : 0;
+      counters_[s].pass->inc(surviving);
+      counters_[s].fail->inc(entering - surviving);
+    }
+  }
+  return std::move(batch.results);
+}
+
+Status ValidationPipeline::validate_one(const CachedTx& tx,
+                                        const state::StateView& db) const {
+  return eager_validate_cached(tx, db, *scheme_, config_);
+}
+
+Status eager_validate_cached(const CachedTx& tx, const state::StateView& db,
+                             const crypto::SignatureScheme& scheme,
+                             const ValidationConfig& config) {
+  Status status = structural_check(tx, config);
+  if (!status.is_ok()) return status;
+  // (i) signature over the cached digest — the expensive check.
+  if (!scheme.verify(tx.signing_hash.view(), tx.tx.signature,
+                     tx.tx.sender_pubkey)) {
+    return Status::error("eager: invalid signature");
+  }
+  return state_check(tx, db, config);
+}
+
+}  // namespace srbb::txn

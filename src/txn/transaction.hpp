@@ -10,6 +10,10 @@
 #include "common/u256.hpp"
 #include "crypto/signature.hpp"
 
+namespace srbb::rlp {
+class ItemView;
+}
+
 namespace srbb::txn {
 
 enum class TxKind : std::uint8_t {
@@ -37,12 +41,24 @@ struct Transaction {
   Hash32 hash() const;
 
   Bytes encode() const;
+  /// Strict decode via the zero-copy RLP path: field payloads are read as
+  /// views into `wire` and copied at most once, into the Transaction itself.
   static Result<Transaction> decode(BytesView wire);
+  /// The original copying decoder, kept as the differential oracle —
+  /// fuzz_rlp_view and test_transaction check it agrees with decode() on
+  /// every input, byte for byte and error for error.
+  static Result<Transaction> decode_copying(BytesView wire);
   /// Size of the wire encoding in bytes (drives bandwidth accounting).
   std::size_t wire_size() const;
 
   friend bool operator==(const Transaction&, const Transaction&) = default;
 };
+
+/// Decode a transaction from an already-parsed RLP view node — the shared
+/// zero-copy path under Transaction::decode and the block/superblock
+/// decoders (which slice transaction frames out of the enclosing wire
+/// buffer without re-parsing or re-encoding).
+Result<Transaction> decode_tx_view(const rlp::ItemView& root);
 
 /// Build and sign a transaction with `identity` under `scheme`.
 struct TxParams {

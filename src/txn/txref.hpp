@@ -1,6 +1,7 @@
-// Shared transaction handles. Hash and wire size are computed once at
-// creation — nodes across the simulation share one immutable object, which is
-// also how the event-driven network avoids re-serializing payloads.
+// Shared transaction handles. Hash, signing digest and wire size are computed
+// once at creation — nodes across the simulation share one immutable object,
+// which is also how the event-driven network avoids re-serializing payloads
+// and how validation avoids re-hashing the signed fields per check.
 #pragma once
 
 #include <memory>
@@ -12,15 +13,29 @@ namespace srbb::txn {
 
 struct CachedTx {
   Transaction tx;
-  Hash32 hash;
-  std::size_t size = 0;      // wire bytes
+  Hash32 hash;          // tx id: keccak of the wire encoding
+  Hash32 signing_hash;  // digest the sender signed; cached so signature
+                        // checks never re-encode the unsigned fields
+  std::size_t size = 0;  // wire bytes
   Address sender;
 
   explicit CachedTx(Transaction t) : tx(std::move(t)) {
     const Bytes wire = tx.encode();
+    init(wire);
+  }
+
+  /// From a decoded transaction whose wire bytes are at hand (the zero-copy
+  /// decode paths): id hash and size come straight from the wire slice —
+  /// the canonical codec guarantees re-encoding reproduces it byte for byte
+  /// (fuzz_tx proves the round-trip).
+  CachedTx(Transaction t, BytesView wire) : tx(std::move(t)) { init(wire); }
+
+ private:
+  void init(BytesView wire) {
     hash = crypto::Keccak256::hash(wire);
     size = wire.size();
     sender = tx.sender();
+    signing_hash = tx.signing_hash();
   }
 };
 
@@ -28,6 +43,10 @@ using TxPtr = std::shared_ptr<const CachedTx>;
 
 inline TxPtr make_tx_ptr(Transaction t) {
   return std::make_shared<const CachedTx>(std::move(t));
+}
+
+inline TxPtr make_tx_ptr(Transaction t, BytesView wire) {
+  return std::make_shared<const CachedTx>(std::move(t), wire);
 }
 
 }  // namespace srbb::txn

@@ -71,15 +71,18 @@ TEST(SchemeNames, AreDistinct) {
 TEST(BatchVerify, MatchesSequentialAndFlagsBadItems) {
   const auto& scheme = SignatureScheme::ed25519();
   ThreadPool pool{4};
+  std::vector<Bytes> messages;  // items hold views; the buffers live here
+  messages.reserve(40);
   std::vector<BatchVerifyItem> items;
   for (std::uint64_t i = 0; i < 40; ++i) {
     const Identity id = scheme.make_identity(i);
+    messages.push_back(Bytes{static_cast<std::uint8_t>(i)});
     BatchVerifyItem item;
-    item.message = Bytes{static_cast<std::uint8_t>(i)};
+    item.message = BytesView{messages.back()};
     item.signature = scheme.sign(id, item.message);
     item.public_key = id.public_key;
     if (i % 7 == 3) item.signature[2] ^= 1;  // corrupt some
-    items.push_back(std::move(item));
+    items.push_back(item);
   }
   const auto parallel = batch_verify(scheme, items, pool);
   const auto sequential = batch_verify_sequential(scheme, items);

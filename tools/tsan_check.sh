@@ -13,6 +13,7 @@ cmake -B "$build_dir" -S "$repo_root" -DSRBB_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)" \
       --target test_parallel_executor test_thread_pool test_bounded_queue \
-               test_oracle test_chaos
+               test_oracle test_chaos test_validation_pipeline \
+               test_batch_verify
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-      -R 'ParallelExecutor|ParallelOracle|OverlayState|ThreadPool|BoundedQueue|ChaosParallel'
+      -R 'ParallelExecutor|ParallelOracle|OverlayState|ThreadPool|BoundedQueue|ChaosParallel|ValidationPipeline|BatchVerify'
