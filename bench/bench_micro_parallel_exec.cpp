@@ -8,6 +8,14 @@
 // mobility ride / ticketing buy). Note the paper's DApps all bump a global
 // stats slot per call, so they are inherently conflict-heavy — the per-arm
 // conflict_rate counter makes that visible.
+//
+// BM_HintedExec runs the same regimes through the analysis-hinted scheduler
+// (ExecutionConfig::analysis_hints, docs/ANALYSIS.md §rw-sets), plus two
+// hint-specific ones:
+//   kv_disjoint — kvstore puts under distinct keys (hints prove non-conflict),
+//   top_heavy   — half deployments (⊤ predictions, blind speculation).
+// tools/perf_smoke.sh gates on hinted aborts being strictly below blind
+// aborts for the hot-slot regime.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -38,6 +46,7 @@ const Address kCounter = contract_addr(1);
 const Address kExchange = contract_addr(2);
 const Address kMobility = contract_addr(3);
 const Address kTicketing = contract_addr(4);
+const Address kKvStore = contract_addr(5);
 
 enum WorkloadKind : std::int64_t {
   kDisjoint = 0,
@@ -46,6 +55,8 @@ enum WorkloadKind : std::int64_t {
   kNasdaq,
   kUber,
   kFifa,
+  kKvDisjoint,
+  kTopHeavy,
 };
 
 struct Workload {
@@ -72,6 +83,7 @@ Workload build_workload(WorkloadKind kind) {
   deploy(kExchange, evm::exchange_contract());
   deploy(kMobility, evm::mobility_contract());
   deploy(kTicketing, evm::ticketing_contract());
+  deploy(kKvStore, evm::kvstore_contract());
   w.genesis.commit();
 
   auto invoke = [](std::uint64_t sender, const Address& to, Bytes data) {
@@ -124,13 +136,31 @@ Workload build_workload(WorkloadKind kind) {
             i, kTicketing,
             evm::encode_call("buy(uint256,uint256)", {U256{i % 8}, U256{i}})));
         break;
+      case kKvDisjoint:  // put(key, value), unique keys — provably disjoint
+        w.txs.push_back(invoke(i, kKvStore,
+                               evm::encode_call("put(uint256,uint256)",
+                                                {U256{i}, U256{i + 1}})));
+        break;
+      case kTopHeavy:  // every other tx deploys (⊤ prediction)
+        if (i % 2 == 0) {
+          txn::TxParams params;
+          params.kind = txn::TxKind::kDeploy;
+          params.gas_limit = 3'000'000;
+          params.data = evm::counter_contract().deploy_code;
+          w.txs.push_back(make_tx(i, params));
+        } else {
+          w.txs.push_back(invoke(i, kKvStore,
+                                 evm::encode_call("put(uint256,uint256)",
+                                                  {U256{i}, U256{1}})));
+        }
+        break;
     }
   }
   return w;
 }
 
 const Workload& workload(WorkloadKind kind) {
-  static Workload cache[kFifa + 1];
+  static Workload cache[kTopHeavy + 1];
   Workload& w = cache[kind];
   if (w.txs.empty()) w = build_workload(kind);
   return w;
@@ -184,6 +214,9 @@ void BM_ParallelExec(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * kTxCount);
   state.counters["conflict_rate"] = stats.conflict_rate();
+  state.counters["aborts_per_block"] =
+      static_cast<double>(stats.aborts) /
+      static_cast<double>(state.iterations());
   state.counters["fallback_txs"] =
       static_cast<double>(stats.fallback_txs) /
       static_cast<double>(state.iterations());
@@ -193,6 +226,53 @@ BENCHMARK(BM_ParallelExec)
     ->Args({kMedium, 4})->Args({kMedium, 8})
     ->Args({kHot, 4})
     ->Args({kNasdaq, 4})->Args({kUber, 4})->Args({kFifa, 4})
+    ->Args({kKvDisjoint, 4})->Args({kTopHeavy, 4})
+    ->Unit(benchmark::kMillisecond)->ArgNames({"workload", "workers"});
+
+// Same superblocks through the conflict-aware pre-scheduler. Receipts are
+// bit-identical to BM_ParallelExec (the tests enforce it); what changes is
+// the schedule — aborts_per_block is the headline number perf_smoke gates.
+void BM_HintedExec(benchmark::State& state) {
+  const Workload& w = workload(static_cast<WorkloadKind>(state.range(0)));
+  evm::analysis::AnalysisCache hint_cache;
+  txn::ExecutionConfig config = exec_config();
+  config.analysis_hints = true;
+  config.hint_cache = &hint_cache;
+  const std::size_t workers = static_cast<std::size_t>(state.range(1));
+  txn::ParallelExecutor executor{workers, /*max_retries=*/3};
+  std::vector<const txn::Transaction*> ptrs;
+  for (const txn::Transaction& tx : w.txs) ptrs.push_back(&tx);
+  txn::ParallelExecStats stats;
+  for (auto _ : state) {
+    state::StateDB db = w.genesis;
+    const auto receipts = executor.execute_block(ptrs, db, {}, config, &stats);
+    db.commit();
+    std::uint64_t gas = 0;
+    for (const auto& receipt : receipts) {
+      if (receipt.is_ok()) gas += receipt.value().gas_used;
+    }
+    benchmark::DoNotOptimize(gas);
+    benchmark::DoNotOptimize(db.state_root());
+  }
+  state.SetItemsProcessed(state.iterations() * kTxCount);
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["conflict_rate"] = stats.conflict_rate();
+  state.counters["aborts_per_block"] = static_cast<double>(stats.aborts) / iters;
+  state.counters["fallback_txs"] =
+      static_cast<double>(stats.fallback_txs) / iters;
+  state.counters["hinted_txs"] = static_cast<double>(stats.hinted_txs) / iters;
+  state.counters["top_txs"] = static_cast<double>(stats.top_txs) / iters;
+  state.counters["deferrals"] =
+      static_cast<double>(stats.hint_deferrals) / iters;
+  state.counters["violations"] =
+      static_cast<double>(stats.hint_violations) / iters;
+}
+BENCHMARK(BM_HintedExec)
+    ->Args({kKvDisjoint, 4})->Args({kKvDisjoint, 8})
+    ->Args({kHot, 4})
+    ->Args({kMedium, 4})
+    ->Args({kNasdaq, 4})->Args({kUber, 4})->Args({kFifa, 4})
+    ->Args({kTopHeavy, 4})
     ->Unit(benchmark::kMillisecond)->ArgNames({"workload", "workers"});
 
 }  // namespace

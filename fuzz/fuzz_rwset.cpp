@@ -1,0 +1,124 @@
+// Rw-set inference harness: the storage-summary soundness contract
+// (docs/ANALYSIS.md §rw-sets) over arbitrary bytecode and calldata.
+//
+// Input layout: [0] = calldata length selector, then that many calldata
+// bytes, then the contract bytecode. Properties:
+//  - inference is total and deterministic (two runs, identical digests);
+//  - a non-⊤ summary contains only resolvable symbolic keys (no silent
+//    miss hiding inside the representation);
+//  - predicted ⊇ observed: executing the code against an OverlayState, every
+//    storage slot the frame actually reads/writes on its own account — and
+//    every balance it reads — resolves out of the summary, unless the
+//    summary is the explicit ⊤.
+#include <algorithm>
+#include <vector>
+
+#include "evm/analysis/analysis.hpp"
+#include "evm/interpreter.hpp"
+#include "harness.hpp"
+#include "state/overlay.hpp"
+#include "state/statedb.hpp"
+
+using namespace srbb;
+using namespace srbb::evm;
+using namespace srbb::evm::analysis;
+
+namespace {
+
+Address addr_of(std::uint8_t tag) {
+  Address a;
+  a[19] = tag;
+  return a;
+}
+
+bool contains_hash(const std::vector<Hash32>& sorted, const Hash32& h) {
+  return std::binary_search(sorted.begin(), sorted.end(), h);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 2) return 0;
+  const std::size_t cd_len = data[0] % 65;  // up to 64 bytes of calldata
+  if (size < 1 + cd_len) return 0;
+  const Bytes calldata{data + 1, data + 1 + cd_len};
+  const std::size_t code_len = std::min<std::size_t>(size - 1 - cd_len, 16384);
+  const Bytes code{data + 1 + cd_len, data + 1 + cd_len + code_len};
+
+  // Determinism: the pass must be a pure function of the code.
+  const AnalysisResult first = analyze(BytesView{code});
+  const AnalysisResult second = analyze(BytesView{code});
+  const StorageSummary& sum = first.storage;
+  FUZZ_ASSERT(sum.digest() == second.storage.digest());
+  FUZZ_ASSERT(sum.top == second.storage.top);
+  FUZZ_ASSERT(first.fingerprint() == second.fingerprint());
+
+  const Address self = addr_of(0xFC);
+  const Address caller = addr_of(0xCA);
+
+  // A non-⊤ summary must resolve completely: every bailout sets ⊤, so an
+  // unresolvable key surviving here would be a silent miss.
+  ResolveContext ctx;
+  ctx.calldata = BytesView{calldata};
+  ctx.caller = caller;
+  ctx.self = self;
+  std::vector<Hash32> pred_reads;
+  std::vector<Hash32> pred_writes;
+  std::vector<Address> pred_balances;
+  if (!sum.top) {
+    for (const SymExpr& e : sum.reads) {
+      FUZZ_ASSERT(e.resolvable());
+      pred_reads.push_back(resolve(e, ctx)->to_hash());
+    }
+    for (const SymExpr& e : sum.writes) {
+      FUZZ_ASSERT(e.resolvable());
+      const Hash32 slot = resolve(e, ctx)->to_hash();
+      pred_writes.push_back(slot);
+      pred_reads.push_back(slot);  // SSTORE reads the slot first
+    }
+    for (const SymExpr& e : sum.balance_reads) {
+      FUZZ_ASSERT(e.resolvable());
+      const Bytes word = resolve(e, ctx)->be_bytes();
+      pred_balances.push_back(Address{BytesView{word.data() + 12, 20}});
+    }
+    std::sort(pred_reads.begin(), pred_reads.end());
+    std::sort(pred_writes.begin(), pred_writes.end());
+    std::sort(pred_balances.begin(), pred_balances.end());
+  }
+
+  // Execute the code against an overlay and compare observed accesses.
+  state::StateDB db;
+  db.add_balance(caller, U256{1'000'000});
+  db.set_code(self, code);
+  db.commit();
+  state::OverlayState overlay{db};
+  BlockContext block;
+  TxContext tx;
+  tx.origin = caller;
+  Evm evm{overlay, block, tx};
+  evm.set_validate_code(false);
+  Message msg;
+  msg.caller = caller;
+  msg.to = self;
+  msg.gas = 200'000;
+  msg.data = calldata;
+  (void)evm.execute(msg);
+
+  if (sum.top) return 0;  // explicit "may touch anything": nothing to check
+  for (const state::AccessKey& key : overlay.observed_writes().keys) {
+    if (key.field == state::AccessField::kStorage && key.addr == self) {
+      FUZZ_ASSERT(contains_hash(pred_writes, key.slot));
+    }
+  }
+  for (const state::AccessKey& key : overlay.observed_reads().keys) {
+    if (key.field == state::AccessField::kStorage && key.addr == self) {
+      FUZZ_ASSERT(contains_hash(pred_reads, key.slot));
+    }
+    if (key.field == state::AccessField::kBalance) {
+      FUZZ_ASSERT(std::binary_search(pred_balances.begin(),
+                                     pred_balances.end(), key.addr));
+    }
+  }
+  return 0;
+}

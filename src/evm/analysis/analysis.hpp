@@ -29,6 +29,7 @@
 
 #include "common/bytes.hpp"
 #include "common/u256.hpp"
+#include "evm/analysis/rwset.hpp"
 
 namespace srbb::evm::analysis {
 
@@ -155,6 +156,12 @@ struct AnalysisResult {
   std::uint32_t unknown_jump_blocks = 0;
   bool reachable_truncated_push = false;
   bool reachable_invalid = false;  // INVALID or undefined opcode reachable
+
+  /// Storage access summary (rwset.hpp): symbolic SLOAD/SSTORE keys and
+  /// balance touches, or ⊤ when a key can't be bounded. Cached with the rest
+  /// of the result under the code hash, so schedule-time resolution is a
+  /// cache hit per (code, tx) pair.
+  StorageSummary storage;
 
   /// Order-stable FNV-1a digest of the verdict, bitmap, min-gas and every
   /// per-block fact — what the fuzz harness compares across runs.

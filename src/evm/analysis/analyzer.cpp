@@ -338,6 +338,7 @@ std::uint64_t AnalysisResult::fingerprint() const {
                      (f.must_overflow ? 16u : 0u));
     h = fnv1a(h, (static_cast<std::uint64_t>(f.entry_lo) << 32) | f.entry_hi);
   }
+  h = fnv1a(h, storage.digest());
   return h;
 }
 
@@ -352,6 +353,7 @@ AnalysisResult analyze(BytesView code) {
   if (code.size() > kMaxAnalyzableCode) {
     r.verdict = Verdict::kUnknown;
     r.min_gas = 0;
+    r.storage.top = true;  // unanalyzed code may touch anything
     return r;
   }
 
@@ -381,6 +383,7 @@ AnalysisResult analyze(BytesView code) {
   r.verdict = provably_safe ? Verdict::kAccept : Verdict::kUnknown;
   prove_reject(r.cfg, r);  // upgrades to kReject when doom is provable
   r.min_gas = min_success_gas(r.cfg);
+  r.storage = infer_storage_summary(r.cfg);
   return r;
 }
 

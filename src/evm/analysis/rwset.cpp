@@ -1,0 +1,556 @@
+#include "evm/analysis/rwset.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/invariant.hpp"
+#include "crypto/keccak.hpp"
+#include "evm/analysis/analysis.hpp"
+#include "evm/opcodes.hpp"
+
+namespace srbb::evm::analysis {
+
+const char* to_string(SymClass c) {
+  switch (c) {
+    case SymClass::kConst: return "const";
+    case SymClass::kCalldata: return "calldata";
+    case SymClass::kCaller: return "caller";
+    case SymClass::kSelf: return "self";
+    case SymClass::kCallvalue: return "callvalue";
+    case SymClass::kOrigin: return "origin";
+    case SymClass::kKeccak: return "keccak";
+    case SymClass::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+bool SymExpr::resolvable() const {
+  if (cls == SymClass::kUnknown) return false;
+  for (const SymExpr& c : children) {
+    if (!c.resolvable()) return false;
+  }
+  return true;
+}
+
+std::size_t SymExpr::node_count() const {
+  std::size_t n = 1;
+  for (const SymExpr& c : children) n += c.node_count();
+  return n;
+}
+
+int SymExpr::compare(const SymExpr& a, const SymExpr& b) {
+  if (a.cls != b.cls) return a.cls < b.cls ? -1 : 1;
+  switch (a.cls) {
+    case SymClass::kConst:
+      if (a.constant == b.constant) return 0;
+      return a.constant < b.constant ? -1 : 1;
+    case SymClass::kCalldata:
+      if (a.calldata_offset == b.calldata_offset) return 0;
+      return a.calldata_offset < b.calldata_offset ? -1 : 1;
+    case SymClass::kKeccak: {
+      const std::size_t n = std::min(a.children.size(), b.children.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const int c = compare(a.children[i], b.children[i]);
+        if (c != 0) return c;
+      }
+      if (a.children.size() == b.children.size()) return 0;
+      return a.children.size() < b.children.size() ? -1 : 1;
+    }
+    default:
+      return 0;  // payload-free leaves
+  }
+}
+
+std::string to_string(const SymExpr& e) {
+  switch (e.cls) {
+    case SymClass::kConst: {
+      // Compact hex for small constants, full hex otherwise.
+      std::string hex = e.constant.to_hex();
+      return hex;
+    }
+    case SymClass::kCalldata:
+      return "calldata[" + std::to_string(e.calldata_offset) + "]";
+    case SymClass::kCaller: return "caller";
+    case SymClass::kSelf: return "self";
+    case SymClass::kCallvalue: return "callvalue";
+    case SymClass::kOrigin: return "origin";
+    case SymClass::kKeccak: {
+      std::string out = "keccak(";
+      for (std::size_t i = 0; i < e.children.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += to_string(e.children[i]);
+      }
+      out += ")";
+      return out;
+    }
+    case SymClass::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+std::optional<U256> resolve(const SymExpr& e, const ResolveContext& ctx) {
+  switch (e.cls) {
+    case SymClass::kConst:
+      return e.constant;
+    case SymClass::kCalldata: {
+      // Interpreter CALLDATALOAD semantics: zero-padded 32-byte slice.
+      std::uint8_t word[32] = {};
+      if (e.calldata_offset < ctx.calldata.size()) {
+        const std::size_t available =
+            std::min<std::size_t>(32, ctx.calldata.size() - e.calldata_offset);
+        std::copy_n(ctx.calldata.data() + e.calldata_offset, available, word);
+      }
+      return U256::from_be(BytesView{word, 32});
+    }
+    case SymClass::kCaller:
+      return U256::from_be(ctx.caller.view());
+    case SymClass::kSelf:
+      return U256::from_be(ctx.self.view());
+    case SymClass::kCallvalue:
+      return ctx.callvalue;
+    case SymClass::kOrigin:
+      return U256::from_be(ctx.caller.view());
+    case SymClass::kKeccak: {
+      // SHA3 over the children's contiguous memory image: big-endian words.
+      Bytes buf;
+      buf.reserve(e.children.size() * 32);
+      for (const SymExpr& c : e.children) {
+        const std::optional<U256> word = resolve(c, ctx);
+        if (!word) return std::nullopt;
+        const Bytes be = word->be_bytes();
+        append(buf, BytesView{be.data(), be.size()});
+      }
+      return U256::from_be(crypto::Keccak256::hash(buf).view());
+    }
+    case SymClass::kUnknown:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t fold_expr(std::uint64_t h, const SymExpr& e) {
+  h = fnv1a(h, static_cast<std::uint64_t>(e.cls));
+  switch (e.cls) {
+    case SymClass::kConst:
+      for (const std::uint64_t limb : e.constant.limb) h = fnv1a(h, limb);
+      break;
+    case SymClass::kCalldata:
+      h = fnv1a(h, e.calldata_offset);
+      break;
+    case SymClass::kKeccak:
+      h = fnv1a(h, e.children.size());
+      for (const SymExpr& c : e.children) h = fold_expr(h, c);
+      break;
+    default:
+      break;
+  }
+  return h;
+}
+
+// --- Abstract interpretation ------------------------------------------------
+
+// Budget and caps. All deterministic; every cap that loses information
+// degrades to ⊤ or kUnknown, never to a silent miss.
+constexpr std::size_t kMaxBlockVisits = 20'000;
+constexpr std::size_t kMaxStackModel = 128;  // modeled stack-suffix length
+constexpr std::size_t kMaxMemWords = 64;     // tracked constant-offset words
+constexpr std::size_t kMaxKeccakWords = 4;   // hashed words per SHA3 node
+constexpr std::size_t kMaxExprNodes = 24;    // SymExpr tree size cap
+
+// Abstract machine state at a block boundary: the top suffix of the stack
+// (values below the suffix are unknown) and 32-byte words written to
+// constant byte offsets in memory. An absent memory entry reads as unknown —
+// sound, because unknown only widens keys toward ⊤.
+struct AbsState {
+  std::vector<SymExpr> stack;
+  std::map<std::uint64_t, SymExpr> mem;
+};
+
+/// Pointwise join toward kUnknown; stack suffixes align at the top and
+/// truncate to the shorter one, memory keeps only entries equal on both
+/// sides. Returns true when `into` changed.
+bool join_into(AbsState& into, const AbsState& from) {
+  bool changed = false;
+  const std::size_t keep = std::min(into.stack.size(), from.stack.size());
+  if (into.stack.size() != keep) {
+    into.stack.erase(into.stack.begin(),
+                     into.stack.end() - static_cast<std::ptrdiff_t>(keep));
+    changed = true;
+  }
+  for (std::size_t i = 0; i < keep; ++i) {
+    SymExpr& a = into.stack[into.stack.size() - 1 - i];
+    const SymExpr& b = from.stack[from.stack.size() - 1 - i];
+    if (!(a == b) && a.cls != SymClass::kUnknown) {
+      a = SymExpr::unknown();
+      changed = true;
+    }
+  }
+  for (auto it = into.mem.begin(); it != into.mem.end();) {
+    const auto other = from.mem.find(it->first);
+    if (other == from.mem.end() || !(other->second == it->second)) {
+      it = into.mem.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  return changed;
+}
+
+class RwSetInterpreter {
+ public:
+  explicit RwSetInterpreter(const Cfg& cfg) : cfg_(cfg) {}
+
+  StorageSummary run() {
+    StorageSummary sum;
+    if (cfg_.blocks.empty()) return sum;
+    std::vector<std::optional<AbsState>> entry(cfg_.blocks.size());
+    std::vector<bool> queued(cfg_.blocks.size(), false);
+    std::deque<std::uint32_t> work;
+    entry[0] = AbsState{};
+    work.push_back(0);
+    queued[0] = true;
+
+    const auto propagate = [&](std::uint32_t succ, const AbsState& out) {
+      bool changed;
+      if (!entry[succ]) {
+        entry[succ] = out;
+        changed = true;
+      } else {
+        changed = join_into(*entry[succ], out);
+      }
+      if (changed && !queued[succ]) {
+        work.push_back(succ);
+        queued[succ] = true;
+      }
+    };
+
+    while (!work.empty()) {
+      if (++sum.visited_blocks > kMaxBlockVisits) {
+        sum.top = true;
+        sum.budget_exhausted = true;
+        break;
+      }
+      const std::uint32_t id = work.front();
+      work.pop_front();
+      queued[id] = false;
+      const BasicBlock& b = cfg_.blocks[id];
+      AbsState out = exec_block(b, *entry[id], sum);
+      if (sum.top) break;  // ⊤ absorbs everything: no point refining further
+
+      if (b.fallthrough) propagate(*b.fallthrough, out);
+      if (b.jump_succ) propagate(*b.jump_succ, out);
+      if (b.unknown_jump) {
+        // Computed jump: the exit state may reach any JUMPDEST-led block.
+        for (const std::uint32_t jd : cfg_.jumpdest_blocks) propagate(jd, out);
+      }
+    }
+
+    finalize(sum.reads);
+    finalize(sum.writes);
+    finalize(sum.balance_reads);
+    return sum;
+  }
+
+ private:
+  static void finalize(std::vector<SymExpr>& v) {
+    std::sort(v.begin(), v.end(), [](const SymExpr& a, const SymExpr& b) {
+      return SymExpr::compare(a, b) < 0;
+    });
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  static void record(std::vector<SymExpr>& list, const SymExpr& key,
+                     StorageSummary& sum) {
+    if (!key.resolvable() || key.node_count() > kMaxExprNodes) {
+      sum.top = true;  // unbounded key: the access can land anywhere
+      return;
+    }
+    list.push_back(key);
+  }
+
+  AbsState exec_block(const BasicBlock& b, AbsState st, StorageSummary& sum) {
+    const auto pop = [&st]() -> SymExpr {
+      if (st.stack.empty()) return SymExpr::unknown();  // below modeled suffix
+      SymExpr e = std::move(st.stack.back());
+      st.stack.pop_back();
+      return e;
+    };
+    const auto push = [&st](SymExpr e) {
+      st.stack.push_back(std::move(e));
+      if (st.stack.size() > kMaxStackModel) {
+        st.stack.erase(st.stack.begin());  // forget the deepest value
+      }
+    };
+    const auto push_unknowns = [&](std::uint8_t n) {
+      for (std::uint8_t i = 0; i < n; ++i) push(SymExpr::unknown());
+    };
+    // A byte write at [off, off+len) invalidates every tracked word it
+    // overlaps. The upper bound saturates so offsets near 2^64 (unexecutable,
+    // but reachable by the analysis on arbitrary bytes) still invalidate.
+    const auto clobber = [&st](std::uint64_t off, std::uint64_t len) {
+      const std::uint64_t lo = off >= 31 ? off - 31 : 0;
+      const std::uint64_t last = off > ~0ull - (len - 1) ? ~0ull : off + len - 1;
+      for (auto it = st.mem.lower_bound(lo);
+           it != st.mem.end() && it->first <= last;) {
+        it = st.mem.erase(it);
+      }
+    };
+
+    for (std::uint32_t i = 0; i < b.instr_count && !sum.top; ++i) {
+      const Instruction& ins = cfg_.instrs[b.first_instr + i];
+      const std::uint8_t op = ins.opcode;
+      const OpcodeInfo& info = opcode_info(op);
+
+      if (is_push(op)) {
+        push(SymExpr::make_const(ins.immediate));
+        continue;
+      }
+      if (op >= 0x80 && op <= 0x8f) {  // DUPn
+        const std::size_t n = static_cast<std::size_t>(op - 0x80) + 1;
+        push(st.stack.size() >= n ? st.stack[st.stack.size() - n]
+                                  : SymExpr::unknown());
+        continue;
+      }
+      if (op >= 0x90 && op <= 0x9f) {  // SWAPn
+        const std::size_t n = static_cast<std::size_t>(op - 0x90) + 1;
+        if (st.stack.size() >= n + 1) {
+          std::swap(st.stack.back(), st.stack[st.stack.size() - 1 - n]);
+        } else if (!st.stack.empty()) {
+          // Counterpart below the modeled suffix: the new top is unseen (and
+          // the unmodeled slot silently absorbs our old top).
+          st.stack.back() = SymExpr::unknown();
+        }
+        continue;
+      }
+
+      switch (static_cast<Opcode>(op)) {
+        case Opcode::CALLER:
+          push(SymExpr::make_leaf(SymClass::kCaller));
+          break;
+        case Opcode::ADDRESS:
+          push(SymExpr::make_leaf(SymClass::kSelf));
+          break;
+        case Opcode::ORIGIN:
+          push(SymExpr::make_leaf(SymClass::kOrigin));
+          break;
+        case Opcode::CALLVALUE:
+          push(SymExpr::make_leaf(SymClass::kCallvalue));
+          break;
+        case Opcode::CALLDATALOAD: {
+          const SymExpr off = pop();
+          if (off.cls == SymClass::kConst && off.constant.fits_u64()) {
+            push(SymExpr::make_calldata(off.constant.as_u64()));
+          } else {
+            push(SymExpr::unknown());
+          }
+          break;
+        }
+        case Opcode::PC:
+          push(SymExpr::make_const(U256{ins.pc}));
+          break;
+
+        // Constant folding for the handful of ops that appear in slot
+        // computations. Semantics must match the interpreter bit for bit —
+        // a wrong fold would be a *silent* soundness miss.
+        case Opcode::ADD:
+        case Opcode::SUB:
+        case Opcode::MUL:
+        case Opcode::AND:
+        case Opcode::OR:
+        case Opcode::XOR:
+        case Opcode::SHL:
+        case Opcode::SHR: {
+          const SymExpr a = pop(), bb = pop();
+          if (a.cls == SymClass::kConst && bb.cls == SymClass::kConst) {
+            push(SymExpr::make_const(
+                fold_binop(static_cast<Opcode>(op), a.constant, bb.constant)));
+          } else {
+            push(SymExpr::unknown());
+          }
+          break;
+        }
+        case Opcode::NOT: {
+          const SymExpr a = pop();
+          push(a.cls == SymClass::kConst ? SymExpr::make_const(~a.constant)
+                                         : SymExpr::unknown());
+          break;
+        }
+
+        case Opcode::MLOAD: {
+          const SymExpr off = pop();
+          if (off.cls == SymClass::kConst && off.constant.fits_u64()) {
+            const auto it = st.mem.find(off.constant.as_u64());
+            push(it != st.mem.end() ? it->second : SymExpr::unknown());
+          } else {
+            push(SymExpr::unknown());
+          }
+          break;
+        }
+        case Opcode::MSTORE: {
+          const SymExpr off = pop();
+          SymExpr value = pop();
+          if (off.cls == SymClass::kConst && off.constant.fits_u64()) {
+            const std::uint64_t o = off.constant.as_u64();
+            clobber(o, 32);
+            st.mem[o] = std::move(value);
+            if (st.mem.size() > kMaxMemWords) st.mem.clear();  // sound havoc
+          } else {
+            st.mem.clear();  // write anywhere: forget everything
+          }
+          break;
+        }
+        case Opcode::MSTORE8: {
+          const SymExpr off = pop();
+          pop();  // value
+          if (off.cls == SymClass::kConst && off.constant.fits_u64()) {
+            clobber(off.constant.as_u64(), 1);
+          } else {
+            st.mem.clear();
+          }
+          break;
+        }
+        case Opcode::CALLDATACOPY:
+        case Opcode::CODECOPY:
+        case Opcode::RETURNDATACOPY:
+          pop();
+          pop();
+          pop();
+          st.mem.clear();  // bulk memory write: havoc the model
+          break;
+
+        case Opcode::SHA3: {
+          const SymExpr off = pop(), size = pop();
+          push(eval_sha3(st, off, size));
+          break;
+        }
+
+        case Opcode::SLOAD: {
+          const SymExpr key = pop();
+          record(sum.reads, key, sum);
+          push(SymExpr::unknown());  // stored value is runtime state
+          break;
+        }
+        case Opcode::SSTORE: {
+          const SymExpr key = pop();
+          pop();  // value
+          record(sum.writes, key, sum);
+          break;
+        }
+        case Opcode::BALANCE: {
+          const SymExpr addr = pop();
+          record(sum.balance_reads, addr, sum);
+          push(SymExpr::unknown());
+          break;
+        }
+        case Opcode::SELFBALANCE:
+          record(sum.balance_reads, SymExpr::make_leaf(SymClass::kSelf), sum);
+          push(SymExpr::unknown());
+          break;
+
+        // Anything that can reach other accounts (or re-enter this one with
+        // different inputs) is out of the single-frame model: ⊤.
+        case Opcode::CALL:
+        case Opcode::DELEGATECALL:
+        case Opcode::STATICCALL:
+        case Opcode::CREATE:
+        case Opcode::SELFDESTRUCT:
+        case Opcode::EXTCODESIZE:
+        case Opcode::EXTCODECOPY:
+          sum.top = true;
+          break;
+
+        default:
+          // Generic transfer: pop the operands, push unknowns.
+          for (std::uint8_t p = 0; p < info.stack_in; ++p) pop();
+          push_unknowns(info.stack_out);
+          break;
+      }
+    }
+    return st;
+  }
+
+  static U256 fold_binop(Opcode op, const U256& a, const U256& b) {
+    switch (op) {
+      case Opcode::ADD: return a + b;
+      case Opcode::SUB: return a - b;
+      case Opcode::MUL: return a * b;
+      case Opcode::AND: return a & b;
+      case Opcode::OR: return a | b;
+      case Opcode::XOR: return a ^ b;
+      case Opcode::SHL:
+        return a.fits_u64() && a.as_u64() < 256
+                   ? b << static_cast<unsigned>(a.as_u64())
+                   : U256::zero();
+      case Opcode::SHR:
+        return a.fits_u64() && a.as_u64() < 256
+                   ? b >> static_cast<unsigned>(a.as_u64())
+                   : U256::zero();
+      default:
+        SRBB_CHECK(false);
+        return U256::zero();
+    }
+  }
+
+  /// keccak over [off, off+size): resolvable only for a constant range of
+  /// whole tracked words. Anything else is an unknown *value* (not an
+  /// access), so degrading to kUnknown here is sound on its own — it only
+  /// becomes ⊤ if the result ends up keying an SLOAD/SSTORE/BALANCE.
+  static SymExpr eval_sha3(const AbsState& st, const SymExpr& off,
+                           const SymExpr& size) {
+    if (off.cls != SymClass::kConst || size.cls != SymClass::kConst ||
+        !off.constant.fits_u64() || !size.constant.fits_u64()) {
+      return SymExpr::unknown();
+    }
+    const std::uint64_t o = off.constant.as_u64();
+    const std::uint64_t n = size.constant.as_u64();
+    if (n == 0 || n % 32 != 0 || n / 32 > kMaxKeccakWords ||
+        o > ~0ull - n) {
+      return SymExpr::unknown();
+    }
+    SymExpr out;
+    out.cls = SymClass::kKeccak;
+    for (std::uint64_t w = 0; w < n / 32; ++w) {
+      const auto it = st.mem.find(o + w * 32);
+      if (it == st.mem.end() || !it->second.resolvable()) {
+        return SymExpr::unknown();
+      }
+      out.children.push_back(it->second);
+    }
+    if (out.node_count() > kMaxExprNodes) return SymExpr::unknown();
+    return out;
+  }
+
+  const Cfg& cfg_;
+};
+
+}  // namespace
+
+std::uint64_t StorageSummary::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, (top ? 1u : 0u) | (budget_exhausted ? 2u : 0u));
+  h = fnv1a(h, reads.size());
+  for (const SymExpr& e : reads) h = fold_expr(h, e);
+  h = fnv1a(h, writes.size());
+  for (const SymExpr& e : writes) h = fold_expr(h, e);
+  h = fnv1a(h, balance_reads.size());
+  for (const SymExpr& e : balance_reads) h = fold_expr(h, e);
+  return h;
+}
+
+StorageSummary infer_storage_summary(const Cfg& cfg) {
+  return RwSetInterpreter{cfg}.run();
+}
+
+}  // namespace srbb::evm::analysis

@@ -1,0 +1,136 @@
+// Storage access summaries (docs/ANALYSIS.md §rw-sets): an abstract
+// interpretation over the CFG that infers, per contract, which storage slots
+// any execution may SLOAD/SSTORE and which balances it may read — as
+// *symbolic* keys over the call inputs (constants, calldata words, caller,
+// self, callvalue, keccak of those). A transaction scheduler resolves the
+// symbols against a concrete transaction to get a predicted rw-set.
+//
+// Soundness contract (enforced by tests/test_rwset.cpp and fuzz_rwset): for
+// every execution of the code from an empty stack at pc 0,
+//
+//     observed accesses  ⊆  resolve(summary)      or  summary.top == true.
+//
+// Whenever a key cannot be bounded — a computed slot, an unmodeled memory
+// read feeding SHA3, a CALL/CREATE/SELFDESTRUCT/EXTCODE* that can touch
+// arbitrary accounts, or an exhausted analysis budget — the summary degrades
+// to the explicit ⊤ verdict (`top == true`, "may touch anything"). There is
+// no silent miss: every bailout path sets ⊤.
+//
+// Deterministic by construction: ordered containers, explicit visit budget,
+// no clocks or randomness — the fuzz harness replays inference twice per
+// input and requires identical digests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+
+namespace srbb::evm::analysis {
+
+struct Cfg;  // analysis.hpp
+
+/// Leaf/node classes of a symbolic storage key. Everything except kUnknown
+/// is resolvable to a concrete 32-byte word given the call inputs.
+enum class SymClass : std::uint8_t {
+  kConst = 0,   // compile-time constant word
+  kCalldata,    // CALLDATALOAD at a constant offset (zero-padded 32 bytes)
+  kCaller,      // CALLER as a 32-byte word (top frame: the tx sender)
+  kSelf,        // ADDRESS as a 32-byte word (top frame: tx.to)
+  kCallvalue,   // CALLVALUE (top frame: tx.value)
+  kOrigin,      // ORIGIN as a 32-byte word (top frame: the tx sender)
+  kKeccak,      // keccak256 of the children words, in memory order
+  kUnknown,     // unbounded — poisons any key it reaches
+};
+
+const char* to_string(SymClass c);
+
+/// A symbolic 32-byte word. Keccak nodes carry the hashed words as children
+/// (the mapping-slot idiom: sha3(mem[0..32) ++ mem[32..64))).
+struct SymExpr {
+  SymClass cls = SymClass::kUnknown;
+  U256 constant;                       // kConst
+  std::uint64_t calldata_offset = 0;   // kCalldata
+  std::vector<SymExpr> children;       // kKeccak
+
+  static SymExpr unknown() { return SymExpr{}; }
+  static SymExpr make_const(const U256& v) {
+    SymExpr e;
+    e.cls = SymClass::kConst;
+    e.constant = v;
+    return e;
+  }
+  static SymExpr make_calldata(std::uint64_t offset) {
+    SymExpr e;
+    e.cls = SymClass::kCalldata;
+    e.calldata_offset = offset;
+    return e;
+  }
+  static SymExpr make_leaf(SymClass c) {
+    SymExpr e;
+    e.cls = c;
+    return e;
+  }
+
+  /// True when no kUnknown occurs anywhere in the tree, i.e. resolve() will
+  /// produce a concrete word.
+  bool resolvable() const;
+  /// Total tree nodes (depth/width cap enforcement).
+  std::size_t node_count() const;
+
+  friend bool operator==(const SymExpr& a, const SymExpr& b) {
+    return compare(a, b) == 0;
+  }
+  /// Deterministic total order (class, payload, children lexicographic).
+  static int compare(const SymExpr& a, const SymExpr& b);
+};
+
+/// Human/JSON rendering: "0x2a", "calldata[4]", "caller",
+/// "keccak(calldata[4], 0x0)", "unknown".
+std::string to_string(const SymExpr& e);
+
+/// Concrete top-frame call inputs a symbolic key is resolved against.
+struct ResolveContext {
+  BytesView calldata;
+  Address caller;  // also ORIGIN for the top frame
+  Address self;
+  U256 callvalue;
+};
+
+/// Concrete 32-byte word for `e` under `ctx`; nullopt iff the tree contains
+/// kUnknown. kCalldata resolves with the interpreter's zero-padded slice
+/// semantics; kKeccak hashes the big-endian concatenation of its children,
+/// matching the SHA3 opcode over the memory layout the children were read
+/// from.
+std::optional<U256> resolve(const SymExpr& e, const ResolveContext& ctx);
+
+/// Per-contract storage access summary. `reads`/`writes` hold symbolic
+/// SLOAD/SSTORE keys on the contract's own storage (an SSTORE also reads the
+/// slot, so resolvers must fold writes into the read prediction);
+/// `balance_reads` holds BALANCE/SELFBALANCE targets as address words. All
+/// three are sorted by SymExpr::compare and deduplicated. When `top` is set
+/// the lists are best-effort partial information only — the contract may
+/// touch anything.
+struct StorageSummary {
+  bool top = false;
+  std::vector<SymExpr> reads;
+  std::vector<SymExpr> writes;
+  std::vector<SymExpr> balance_reads;
+
+  // Diagnostics (CLI, tests): why/whether the fixpoint completed.
+  std::uint32_t visited_blocks = 0;
+  bool budget_exhausted = false;
+
+  /// Order-stable FNV-1a digest, folded into AnalysisResult::fingerprint().
+  std::uint64_t digest() const;
+};
+
+/// Run the abstract interpretation over a built CFG. Total and deterministic
+/// for arbitrary input; never throws. An empty CFG yields the empty summary
+/// (empty code touches nothing).
+StorageSummary infer_storage_summary(const Cfg& cfg);
+
+}  // namespace srbb::evm::analysis

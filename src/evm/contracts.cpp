@@ -177,6 +177,30 @@ Contract build_mobility() {
   return finish(p);
 }
 
+Contract build_kvstore() {
+  Program p;
+  emit_load_selector(p);
+  emit_route(p, "put(uint256,uint256)", "put");
+  emit_route(p, "get(uint256)", "get");
+  emit_revert(p);
+
+  // put(key, value) — deliberately no global counter: distinct keys are
+  // fully disjoint, so hinted scheduling can prove non-conflict.
+  p.label("put").op(Opcode::POP);
+  emit_arg(p, 1);        // [value]
+  emit_arg(p, 0);        // [value, key]
+  emit_map_key(p, 0);    // [value, slot]
+  p.op(Opcode::SSTORE);  // storage[slot] = value
+  p.op(Opcode::STOP);
+
+  p.label("get").op(Opcode::POP);
+  emit_arg(p, 0);
+  emit_map_key(p, 0);
+  p.op(Opcode::SLOAD);
+  emit_return_top(p);
+  return finish(p);
+}
+
 Contract build_ticketing() {
   Program p;
   emit_load_selector(p);
@@ -336,6 +360,11 @@ const Contract& ticketing_contract() {
 
 const Contract& staking_contract() {
   static const Contract c = build_staking();
+  return c;
+}
+
+const Contract& kvstore_contract() {
+  static const Contract c = build_kvstore();
   return c;
 }
 

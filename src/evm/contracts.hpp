@@ -51,6 +51,13 @@ const Contract& ticketing_contract();
 /// and totalStake() are views.
 const Contract& staking_contract();
 
+/// Key-value store: put(uint256 key, uint256 value) writes
+/// storage[keccak(key,0)]; get(uint256 key) is a view. Unlike the other
+/// DApps there is no global stats slot, so puts under distinct keys touch
+/// disjoint storage — the contention-free regime for the analysis-hinted
+/// scheduler benchmarks.
+const Contract& kvstore_contract();
+
 /// ERC-20-style token: mint(uint256 toWord, uint256 amount),
 /// transfer(uint256 toWord, uint256 amount) (reverts on insufficient
 /// balance, emits a Transfer log), balanceOf(uint256 addrWord),

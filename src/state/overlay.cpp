@@ -12,6 +12,35 @@ namespace {
 const Bytes kEmptyCode;
 }
 
+void AccessSet::insert(const AccessKey& k) {
+  const auto it = std::lower_bound(keys.begin(), keys.end(), k);
+  if (it != keys.end() && *it == k) return;
+  keys.insert(it, k);
+}
+
+bool AccessSet::contains(const AccessKey& k) const {
+  return std::binary_search(keys.begin(), keys.end(), k);
+}
+
+bool AccessSet::intersects(const AccessSet& other) const {
+  auto a = keys.begin();
+  auto b = other.keys.begin();
+  while (a != keys.end() && b != other.keys.end()) {
+    if (*a == *b) return true;
+    if (*a < *b) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return false;
+}
+
+bool AccessSet::contains_all(const AccessSet& other) const {
+  return std::includes(keys.begin(), keys.end(), other.keys.begin(),
+                       other.keys.end());
+}
+
 const OverlayState::OverlayAccount* OverlayState::find(
     const Address& addr) const {
   const auto it = entries_.find(addr);
@@ -269,6 +298,49 @@ void OverlayState::apply_to(StateDB& base) const {
       base.set_storage(addr, key, value ? *value : U256::zero());
     }
   }
+}
+
+AccessSet OverlayState::observed_reads() const {
+  AccessSet out;
+  for (const auto& [addr, v] : exists_reads_) {
+    out.insert(AccessKey::account(addr, AccessField::kExists));
+  }
+  for (const auto& [addr, v] : balance_reads_) {
+    out.insert(AccessKey::account(addr, AccessField::kBalance));
+  }
+  for (const auto& [addr, v] : nonce_reads_) {
+    out.insert(AccessKey::account(addr, AccessField::kNonce));
+  }
+  for (const auto& [addr, v] : code_reads_) {
+    out.insert(AccessKey::account(addr, AccessField::kCode));
+  }
+  for (const auto& [addr, slots] : storage_reads_) {
+    for (const auto& [key, v] : slots) {
+      out.insert(AccessKey::storage_slot(addr, key));
+    }
+  }
+  return out;
+}
+
+AccessSet OverlayState::observed_writes() const {
+  AccessSet out;
+  for (const auto& [addr, acc] : entries_) {
+    if (acc.masks_base) {
+      // Fresh create or tombstone: existence changed and every scalar field
+      // was (re)defined relative to the base.
+      out.insert(AccessKey::account(addr, AccessField::kExists));
+      out.insert(AccessKey::account(addr, AccessField::kBalance));
+      out.insert(AccessKey::account(addr, AccessField::kNonce));
+      out.insert(AccessKey::account(addr, AccessField::kCode));
+    }
+    if (acc.balance) out.insert(AccessKey::account(addr, AccessField::kBalance));
+    if (acc.nonce) out.insert(AccessKey::account(addr, AccessField::kNonce));
+    if (acc.code) out.insert(AccessKey::account(addr, AccessField::kCode));
+    for (const auto& [key, v] : acc.storage) {
+      out.insert(AccessKey::storage_slot(addr, key));
+    }
+  }
+  return out;
 }
 
 std::size_t OverlayState::read_set_size() const {

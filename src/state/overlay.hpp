@@ -32,6 +32,48 @@
 
 namespace srbb::state {
 
+/// Conflict granularity for access sets: one scalar account field, or one
+/// storage slot. Field-level keys keep e.g. a code read of a contract from
+/// conflicting with a balance write to the same account.
+enum class AccessField : std::uint8_t {
+  kExists = 0,
+  kBalance,
+  kNonce,
+  kCode,
+  kStorage,
+};
+
+struct AccessKey {
+  Address addr;
+  AccessField field = AccessField::kExists;
+  Hash32 slot;  // meaningful only when field == kStorage
+
+  static AccessKey account(const Address& a, AccessField f) {
+    return AccessKey{a, f, Hash32{}};
+  }
+  static AccessKey storage_slot(const Address& a, const Hash32& s) {
+    return AccessKey{a, AccessField::kStorage, s};
+  }
+
+  friend bool operator==(const AccessKey&, const AccessKey&) = default;
+  friend auto operator<=>(const AccessKey&, const AccessKey&) = default;
+};
+
+/// Sorted, deduplicated set of AccessKeys — the exchange format between the
+/// overlay's observed accesses and the scheduler's predicted rw-sets.
+struct AccessSet {
+  std::vector<AccessKey> keys;
+
+  void insert(const AccessKey& k);
+  bool contains(const AccessKey& k) const;
+  /// True when the two sorted sets share at least one key.
+  bool intersects(const AccessSet& other) const;
+  /// True when every key of `other` is in this set (predicted ⊇ observed).
+  bool contains_all(const AccessSet& other) const;
+  bool empty() const { return keys.empty(); }
+  std::size_t size() const { return keys.size(); }
+};
+
 class OverlayState final : public StateView {
  public:
   explicit OverlayState(const StateDB& base) : base_(base) {}
@@ -74,6 +116,13 @@ class OverlayState final : public StateView {
   /// Number of distinct base reads recorded (exists/balance/nonce/code plus
   /// storage slots) — stats and tests.
   std::size_t read_set_size() const;
+  /// Every base read this overlay recorded, as field-granular keys — what
+  /// the scheduler's runtime guard compares against the predicted read-set.
+  AccessSet observed_reads() const;
+  /// Every buffered write, as field-granular keys. A masking entry (fresh
+  /// create or tombstone) counts as a write to all scalar fields; buffered
+  /// storage slots are listed individually.
+  AccessSet observed_writes() const;
   /// True if the transaction buffered no writes (e.g. it was invalid).
   bool write_set_empty() const { return entries_.empty(); }
 

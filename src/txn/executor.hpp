@@ -13,6 +13,10 @@
 #include "state/statedb.hpp"
 #include "txn/transaction.hpp"
 
+namespace srbb::evm::analysis {
+class AnalysisCache;
+}
+
 namespace srbb::txn {
 
 struct Receipt {
@@ -44,8 +48,22 @@ struct ExecutionConfig {
   /// Speculation threads (0 = hardware concurrency).
   std::size_t workers = 0;
   /// Optimistic rounds before the remaining transactions fall back to
-  /// sequential execution.
+  /// sequential execution. With analysis_hints on, the budget counts only
+  /// rounds that aborted a speculation — hint-serialized rounds are paced,
+  /// not failing.
   std::size_t max_retries = 3;
+
+  /// Conflict-aware pre-scheduling from static storage summaries
+  /// (docs/ANALYSIS.md §rw-sets): each transaction's predicted rw-set gates
+  /// when it speculates, so known conflicts serialize instead of aborting;
+  /// ⊤-verdict transactions keep blind speculation. Hints steer scheduling
+  /// only — every commit still runs the read-set validation, so receipts and
+  /// state are bit-identical with hints on, off, or wrong. Off by default.
+  bool analysis_hints = false;
+  /// Analysis cache consulted for storage summaries when analysis_hints is
+  /// on; nullptr selects the process-global cache (the one the interpreter
+  /// already fills, so predictions are usually cache hits).
+  evm::analysis::AnalysisCache* hint_cache = nullptr;
 };
 
 /// Execute one transaction. Status error == invalid transaction (lazy

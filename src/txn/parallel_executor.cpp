@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/invariant.hpp"
+#include "obs/metrics.hpp"
 #include "state/overlay.hpp"
 
 namespace srbb::txn {
@@ -26,30 +27,111 @@ ParallelExecutor::ParallelExecutor(std::size_t workers,
                                    std::size_t max_retries)
     : pool_(workers), max_retries_(max_retries) {}
 
+void ParallelExecutor::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    hint_hit_counter_ = nullptr;
+    hint_miss_counter_ = nullptr;
+    hint_violation_counter_ = nullptr;
+    return;
+  }
+  hint_hit_counter_ = &registry->counter("analysis.rwset.hit");
+  hint_miss_counter_ = &registry->counter("analysis.rwset.miss");
+  hint_violation_counter_ = &registry->counter("analysis.rwset.violation");
+}
+
 std::vector<Result<Receipt>> ParallelExecutor::execute_block(
     const std::vector<const Transaction*>& txs, state::StateDB& db,
     const evm::BlockContext& block, const ExecutionConfig& config,
-    ParallelExecStats* stats, const ExecTraceContext& trace) {
+    ParallelExecStats* stats, const ExecTraceContext& trace,
+    const std::vector<PredictedRwSet>* hint_override) {
   ParallelExecStats local;
   local.txs = txs.size();
   std::vector<Result<Receipt>> out(txs.size(),
                                    Status::error("exec: not executed"));
 
+  // Schedule-time hint resolution (coordinator thread; the base StateDB is
+  // the pre-block state, so predictions see exactly what round-0 speculation
+  // sees). A ⊤ prediction keeps the blind Block-STM behaviour for that
+  // transaction; a usable one serializes it behind its predicted conflicts.
+  const bool hints = config.analysis_hints;
+  std::vector<PredictedRwSet> pred;
+  std::vector<std::vector<std::uint32_t>> earlier_conflicts;
+  if (hints) {
+    if (hint_override != nullptr) {
+      SRBB_CHECK(hint_override->size() == txs.size());
+      pred = *hint_override;
+    } else {
+      evm::analysis::AnalysisCache& cache =
+          config.hint_cache != nullptr ? *config.hint_cache
+                                       : evm::analysis::AnalysisCache::global();
+      pred.reserve(txs.size());
+      for (const Transaction* tx : txs) {
+        pred.push_back(predict_rwset(*tx, db, block, cache));
+      }
+    }
+    for (const PredictedRwSet& p : pred) {
+      if (p.top) {
+        ++local.top_txs;
+        if (hint_miss_counter_ != nullptr) hint_miss_counter_->inc();
+      } else {
+        ++local.hinted_txs;
+        if (hint_hit_counter_ != nullptr) hint_hit_counter_->inc();
+      }
+    }
+    // Dependency DAG over the superblock: for every hinted transaction, the
+    // earlier transactions it may conflict with (⊤ conflicts with
+    // everything). Waves fall out of the round loop: a transaction
+    // speculates once every earlier conflict has committed.
+    earlier_conflicts.resize(txs.size());
+    for (std::size_t j = 1; j < txs.size(); ++j) {
+      if (pred[j].top) continue;  // ⊤ speculates blindly regardless
+      for (std::size_t i = 0; i < j; ++i) {
+        if (pred[j].conflicts_with(pred[i])) {
+          earlier_conflicts[j].push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+    }
+  }
+
   std::vector<std::size_t> pending(txs.size());
   std::iota(pending.begin(), pending.end(), std::size_t{0});
   std::unordered_map<std::size_t, Speculation> specs;
+  std::vector<char> unresolved(txs.size(), 1);
+  std::size_t abort_rounds = 0;
 
-  for (std::size_t round = 0; !pending.empty() && round <= max_retries_;
-       ++round) {
-    ++local.rounds;
+  while (!pending.empty()) {
+    // Blind mode keeps the historical budget (total rounds); hinted mode
+    // spends the budget only on rounds that aborted — a round that merely
+    // serialized predicted conflicts is pacing, not failure, and each round
+    // still commits at least the head.
+    if (hints ? abort_rounds > max_retries_ : local.rounds > max_retries_) {
+      break;
+    }
+    const std::uint64_t round = local.rounds++;
+
     // Speculation: run every pending transaction that has no carried-over
-    // speculation against its own overlay of the committed state. The base
-    // StateDB is read-only until the pool is idle again, so concurrent
-    // overlay reads are safe. Transactions deferred (not aborted) by the
-    // previous commit pass keep their overlay and are merely re-validated.
+    // speculation and is not predicted to conflict with an earlier
+    // unresolved transaction. The base StateDB is read-only until the pool
+    // is idle again, so concurrent overlay reads are safe. Transactions
+    // deferred (not aborted) by the previous commit pass keep their overlay
+    // and are merely re-validated.
     std::vector<std::size_t> to_run;
     for (const std::size_t idx : pending) {
-      if (!specs.contains(idx)) to_run.push_back(idx);
+      if (specs.contains(idx)) continue;
+      if (hints && !pred[idx].top) {
+        bool blocked = false;
+        for (const std::uint32_t e : earlier_conflicts[idx]) {
+          if (unresolved[e] != 0) {
+            blocked = true;
+            break;
+          }
+        }
+        if (blocked) {  // wait for the conflict class ahead to commit
+          ++local.hint_deferrals;
+          continue;
+        }
+      }
+      to_run.push_back(idx);
     }
     std::vector<Speculation> fresh(to_run.size());
     pool_.parallel_for(to_run.size(), [&](std::size_t j) {
@@ -64,35 +146,58 @@ std::vector<Result<Receipt>> ParallelExecutor::execute_block(
 
     // Commit pass: walk the pending transactions in canonical order and
     // commit the longest prefix whose read-sets validate against the live
-    // state. The first validation failure stops the prefix — later
-    // transactions may depend on the aborted one's eventual writes, so
-    // committing past it would break sequential equivalence. Everything
-    // after the failure is deferred with its speculation intact (a
+    // state. The first validation failure (or scheduler hold) stops the
+    // prefix — later transactions may depend on the stopped one's eventual
+    // writes, so committing past it would break sequential equivalence.
+    // Everything after the stop is deferred with its speculation intact (a
     // later-round validation may still prove it untouched).
+    bool aborted_this_round = false;
     std::vector<std::size_t> retry;
     for (std::size_t j = 0; j < pending.size(); ++j) {
       const std::size_t idx = pending[j];
-      if (!retry.empty()) {  // behind an abort: defer, keep the speculation
+      if (!retry.empty()) {  // behind a stop: defer, keep any speculation
         retry.push_back(idx);
         continue;
       }
-      // Every transaction reaching the commit pass carries a speculation:
-      // fresh ones were just run, deferred ones kept theirs.
-      SRBB_CHECK(specs.contains(idx));
+      if (!specs.contains(idx)) {
+        // Held back by the conflict pre-schedule this round. Never the head:
+        // everything before the head is resolved, so the head is never
+        // blocked — the liveness argument is unchanged under hints.
+        SRBB_CHECK(hints && j > 0);
+        retry.push_back(idx);
+        continue;
+      }
       Speculation& spec = specs.at(idx);
-      if (spec.overlay->validate(db)) {
+      // Runtime guard: a hinted speculation whose observed accesses escape
+      // the predicted set is discarded outright — even if it would validate —
+      // and the transaction is demoted to blind speculation. Receipts can
+      // therefore never depend on hint quality, only the schedule can.
+      bool violation = false;
+      if (hints && !pred[idx].top) {
+        violation = !pred[idx].covers(spec.overlay->observed_reads(),
+                                      spec.overlay->observed_writes());
+      }
+      if (!violation && spec.overlay->validate(db)) {
         spec.overlay->apply_to(db);
         out[idx] = std::move(*spec.result);
         specs.erase(idx);
+        unresolved[idx] = 0;
         continue;
       }
       ++local.aborts;
+      aborted_this_round = true;
+      if (violation) {
+        ++local.hint_violations;
+        if (hint_violation_counter_ != nullptr) hint_violation_counter_->inc();
+        pred[idx].top = true;  // prediction was wrong: stop trusting it
+      }
       specs.erase(idx);  // stale: the read-set no longer holds
       if (j == 0) {
         // Every earlier transaction is final, so executing the head inline
         // is sequential execution — commit it directly. This guarantees at
         // least one commit per round.
         out[idx] = apply_transaction(*txs[idx], db, block, config);
+        unresolved[idx] = 0;
       } else {
         retry.push_back(idx);
       }
@@ -102,6 +207,7 @@ std::vector<Result<Receipt>> ParallelExecutor::execute_block(
     // liveness argument for the optimistic loop.
     SRBB_CHECK(retry.size() < pending.size() || pending.empty());
     pending = std::move(retry);
+    if (aborted_this_round) ++abort_rounds;
     SRBB_TRACE(trace.sink, trace.at, 0, trace.node, "exec", "exec.round",
                "round", round, "pending", pending.size());
   }

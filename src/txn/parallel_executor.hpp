@@ -21,6 +21,12 @@
 #include "obs/trace.hpp"
 #include "state/statedb.hpp"
 #include "txn/executor.hpp"
+#include "txn/rwset.hpp"
+
+namespace srbb::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace srbb::obs
 
 namespace srbb::txn {
 
@@ -31,6 +37,12 @@ struct ParallelExecStats {
   std::uint64_t aborts = 0;            // failed validations (re-runs)
   std::uint64_t fallback_txs = 0;      // committed via sequential fallback
   std::uint64_t rounds = 0;            // optimistic rounds used
+
+  // Analysis-hint scheduling (ExecutionConfig::analysis_hints):
+  std::uint64_t hinted_txs = 0;       // usable (non-⊤) predictions
+  std::uint64_t top_txs = 0;          // ⊤ predictions (blind speculation)
+  std::uint64_t hint_deferrals = 0;   // tx-rounds held back by a conflict
+  std::uint64_t hint_violations = 0;  // predicted ⊉ observed (guard aborts)
 
   /// Fraction of speculative executions that had to be thrown away.
   double conflict_rate() const {
@@ -46,6 +58,10 @@ struct ParallelExecStats {
     aborts += other.aborts;
     fallback_txs += other.fallback_txs;
     rounds += other.rounds;
+    hinted_txs += other.hinted_txs;
+    top_txs += other.top_txs;
+    hint_deferrals += other.hint_deferrals;
+    hint_violations += other.hint_violations;
     return *this;
   }
 };
@@ -74,16 +90,32 @@ class ParallelExecutor {
   /// Returns one Result<Receipt> per transaction, in order; errors mark
   /// invalid transactions (discarded, no state transition), exactly as in
   /// sequential execution.
+  ///
+  /// With config.analysis_hints set, predicted rw-sets (txn/rwset.hpp) gate
+  /// which pending transactions speculate each round; `hint_override`, when
+  /// non-null, supplies precomputed (or deliberately wrong, in tests)
+  /// predictions instead of resolving them here — receipts are bit-identical
+  /// regardless, because the commit pass still validates every read-set.
   std::vector<Result<Receipt>> execute_block(
       const std::vector<const Transaction*>& txs, state::StateDB& db,
       const evm::BlockContext& block, const ExecutionConfig& config,
-      ParallelExecStats* stats = nullptr, const ExecTraceContext& trace = {});
+      ParallelExecStats* stats = nullptr, const ExecTraceContext& trace = {},
+      const std::vector<PredictedRwSet>* hint_override = nullptr);
+
+  /// Publish `analysis.rwset.hit` / `analysis.rwset.miss` /
+  /// `analysis.rwset.violation` counters (per-tx prediction outcomes and
+  /// runtime-guard trips). Pass nullptr to detach. Increments happen on the
+  /// coordinator thread only, so totals reconcile exactly with the stats.
+  void set_metrics(obs::MetricsRegistry* registry);
 
   std::size_t worker_count() const { return pool_.thread_count(); }
 
  private:
   ThreadPool pool_;
   std::size_t max_retries_;
+  obs::Counter* hint_hit_counter_ = nullptr;
+  obs::Counter* hint_miss_counter_ = nullptr;
+  obs::Counter* hint_violation_counter_ = nullptr;
 };
 
 }  // namespace srbb::txn

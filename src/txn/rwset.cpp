@@ -1,0 +1,124 @@
+#include "txn/rwset.hpp"
+
+namespace srbb::txn {
+
+namespace {
+
+using state::AccessField;
+using state::AccessKey;
+
+/// Low 20 bytes of a 32-byte word — the interpreter's address_from_u256.
+Address address_from_word(const U256& word) {
+  const Bytes be = word.be_bytes();
+  return Address{BytesView{be.data() + 12, 20}};
+}
+
+/// Predict the writes of OverlayState::touch() on `addr`: when the base
+/// account does not exist, the first write masks the base and (re)defines
+/// every scalar field.
+void predict_touch(PredictedRwSet& p, const state::StateDB& db,
+                   const Address& addr) {
+  p.reads.insert(AccessKey::account(addr, AccessField::kExists));
+  if (!db.account_exists(addr)) {
+    p.writes.insert(AccessKey::account(addr, AccessField::kExists));
+    p.writes.insert(AccessKey::account(addr, AccessField::kBalance));
+    p.writes.insert(AccessKey::account(addr, AccessField::kNonce));
+    p.writes.insert(AccessKey::account(addr, AccessField::kCode));
+  }
+}
+
+void predict_balance_rw(PredictedRwSet& p, const state::StateDB& db,
+                        const Address& addr) {
+  predict_touch(p, db, addr);
+  p.reads.insert(AccessKey::account(addr, AccessField::kBalance));
+  p.writes.insert(AccessKey::account(addr, AccessField::kBalance));
+}
+
+}  // namespace
+
+PredictedRwSet predict_rwset(const Transaction& tx, const state::StateDB& db,
+                             const evm::BlockContext& block,
+                             evm::analysis::AnalysisCache& cache) {
+  PredictedRwSet p;
+  if (tx.kind == TxKind::kDeploy) {
+    // Deployments create a fresh account at a nonce-derived address and run
+    // arbitrary init code — no useful bound.
+    p.top = true;
+    return p;
+  }
+
+  const Address sender = tx.sender();
+
+  // apply_transaction's own touches: lazy validation reads the sender's
+  // nonce and balance; execution prepays gas (balance r/w), bumps the nonce
+  // (nonce r/w) and refunds leftover gas (balance r/w again).
+  predict_balance_rw(p, db, sender);
+  p.reads.insert(AccessKey::account(sender, AccessField::kNonce));
+  p.writes.insert(AccessKey::account(sender, AccessField::kNonce));
+
+  // Block reward: add_balance on a non-zero coinbase when gas was burned.
+  if (!block.coinbase.is_zero()) {
+    predict_balance_rw(p, db, block.coinbase);
+  }
+
+  // Value transfer to the target (both kTransfer and payable kInvoke).
+  if (!tx.value.is_zero()) {
+    predict_balance_rw(p, db, tx.to);
+  }
+
+  // The EVM checks the target account's existence and loads its code for
+  // every message call (kTransfer runs target code too when the destination
+  // is a contract); a missing target is created by the first touch.
+  predict_touch(p, db, tx.to);
+  p.reads.insert(AccessKey::account(tx.to, AccessField::kCode));
+
+  const Bytes& code = db.code(tx.to);
+  if (code.empty()) return p;  // plain transfer / EOA target: done
+
+  const std::shared_ptr<const evm::analysis::AnalysisResult> analysis =
+      cache.get(db.code_keccak(tx.to), BytesView{code.data(), code.size()});
+  const evm::analysis::StorageSummary& summary = analysis->storage;
+  if (summary.top) {
+    p.top = true;
+    return p;
+  }
+
+  const evm::analysis::ResolveContext ctx{
+      .calldata = BytesView{tx.data.data(), tx.data.size()},
+      .caller = sender,
+      .self = tx.to,
+      .callvalue = tx.value,
+  };
+  const auto resolve_into = [&](const std::vector<evm::analysis::SymExpr>& exprs,
+                                state::AccessSet& reads,
+                                state::AccessSet* writes) {
+    for (const evm::analysis::SymExpr& e : exprs) {
+      const std::optional<U256> word = evm::analysis::resolve(e, ctx);
+      if (!word) {  // unresolvable key escaped the summary: no silent miss
+        p.top = true;
+        return;
+      }
+      const AccessKey key = AccessKey::storage_slot(tx.to, word->to_hash());
+      // SSTORE reads the current value before writing, so every predicted
+      // write slot is also a predicted read.
+      reads.insert(key);
+      if (writes != nullptr) writes->insert(key);
+    }
+  };
+  resolve_into(summary.reads, p.reads, nullptr);
+  if (!p.top) resolve_into(summary.writes, p.reads, &p.writes);
+  if (!p.top) {
+    for (const evm::analysis::SymExpr& e : summary.balance_reads) {
+      const std::optional<U256> word = evm::analysis::resolve(e, ctx);
+      if (!word) {
+        p.top = true;
+        break;
+      }
+      p.reads.insert(AccessKey::account(address_from_word(*word),
+                                        AccessField::kBalance));
+    }
+  }
+  return p;
+}
+
+}  // namespace srbb::txn

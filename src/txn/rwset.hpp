@@ -1,0 +1,59 @@
+// Schedule-time resolution of static storage summaries into concrete
+// per-transaction predicted rw-sets (docs/ANALYSIS.md §rw-sets).
+//
+// predict_rwset() combines two sources:
+//   1. the fixed state touches apply_transaction itself makes (sender
+//      nonce/balance, value transfer to the target, optional coinbase fee),
+//   2. the callee's cached StorageSummary, resolved against the concrete
+//      calldata/sender/value of this transaction.
+//
+// The prediction is a *superset* claim: if `top` is false, every account
+// field and storage slot the transaction touches at execution time must be
+// in the predicted sets — the parallel executor's runtime guard aborts the
+// speculation and falls back to blind mode otherwise, so a bad prediction
+// can cost a retry but never a wrong receipt.
+#pragma once
+
+#include "evm/analysis/cache.hpp"
+#include "evm/types.hpp"
+#include "state/overlay.hpp"
+#include "state/statedb.hpp"
+#include "txn/transaction.hpp"
+
+namespace srbb::txn {
+
+/// Concrete predicted access sets for one transaction. `top` means no usable
+/// prediction (deploys, ⊤ summaries, unresolvable keys): the transaction
+/// keeps blind Block-STM speculation.
+struct PredictedRwSet {
+  bool top = false;
+  state::AccessSet reads;
+  state::AccessSet writes;
+
+  /// Conservative may-conflict test: either side ⊤, or write/read,
+  /// write/write or read/write intersection.
+  bool conflicts_with(const PredictedRwSet& other) const {
+    if (top || other.top) return true;
+    return writes.intersects(other.reads) || writes.intersects(other.writes) ||
+           reads.intersects(other.writes);
+  }
+
+  /// Soundness check against what a speculative execution actually touched:
+  /// predicted ⊇ observed on both sets. Meaningless when `top` (callers skip
+  /// the guard for ⊤ transactions).
+  bool covers(const state::AccessSet& observed_reads,
+              const state::AccessSet& observed_writes) const {
+    return reads.contains_all(observed_reads) &&
+           writes.contains_all(observed_writes);
+  }
+};
+
+/// Resolve the predicted rw-set of `tx` against the pre-block state `db`.
+/// Consults `cache` for the target's storage summary (keyed by the state
+/// layer's memoized code keccak, so the per-block cost is one map lookup per
+/// transaction). Never fails: unpredictable transactions come back as ⊤.
+PredictedRwSet predict_rwset(const Transaction& tx, const state::StateDB& db,
+                             const evm::BlockContext& block,
+                             evm::analysis::AnalysisCache& cache);
+
+}  // namespace srbb::txn

@@ -35,8 +35,10 @@ Address contract_addr(std::uint8_t tag) {
 const Address kCounter = contract_addr(1);
 const Address kExchange = contract_addr(2);
 const Address kTicketing = contract_addr(3);
+const Address kMobility = contract_addr(4);
+const Address kKvStore = contract_addr(5);
 
-// Genesis used by every test: funded senders plus the three DApp contracts.
+// Genesis used by every test: funded senders plus the DApp contracts.
 state::StateDB make_state(std::size_t senders) {
   state::StateDB db;
   for (std::size_t i = 0; i < senders; ++i) {
@@ -50,6 +52,8 @@ state::StateDB make_state(std::size_t senders) {
   deploy(kCounter, evm::counter_contract());
   deploy(kExchange, evm::exchange_contract());
   deploy(kTicketing, evm::ticketing_contract());
+  deploy(kMobility, evm::mobility_contract());
+  deploy(kKvStore, evm::kvstore_contract());
   db.commit();
   return db;
 }
@@ -117,13 +121,19 @@ void expect_identical(const std::vector<Result<Receipt>>& seq,
   }
 }
 
-// Run `txs` both ways from identical genesis and compare everything.
+// Run `txs` both ways from identical genesis and compare everything. With
+// `analysis_hints`, the parallel run uses the conflict-aware pre-scheduler
+// (its own AnalysisCache, so tests never depend on global cache state).
 ParallelExecStats run_differential(const std::vector<Transaction>& txs,
                                    std::size_t senders,
                                    std::size_t workers = 4,
-                                   std::size_t max_retries = 3) {
+                                   std::size_t max_retries = 3,
+                                   bool analysis_hints = false) {
   ExecutionConfig config;
   config.scheme = &scheme();
+  evm::analysis::AnalysisCache hint_cache;
+  config.analysis_hints = analysis_hints;
+  config.hint_cache = &hint_cache;
 
   state::StateDB seq_db = make_state(senders);
   const std::vector<Result<Receipt>> seq = run_sequential(txs, seq_db, config);
@@ -286,6 +296,205 @@ TEST(ParallelExecutor, WorkerCountsDoNotChangeResults) {
   }
   for (const std::size_t workers : {1u, 2u, 8u}) {
     run_differential(txs, 32, workers);
+  }
+}
+
+// --- Analysis-hinted scheduling (txn/rwset.hpp) -------------------------
+// Every hinted test is the same differential as above: receipts and roots
+// must be bit-identical to sequential execution; hints may only change the
+// schedule (aborts, rounds, deferrals).
+
+TEST(HintedExecutor, DisjointKvStorePutsCommitInOneRound) {
+  // Distinct senders writing distinct keccak-mapped keys: the static
+  // summaries prove non-conflict, so one wave commits everything.
+  std::vector<Transaction> txs;
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    txs.push_back(invoke(s, 0, kKvStore,
+                         evm::encode_call("put(uint256,uint256)",
+                                          {U256{1000 + s}, U256{s}})));
+  }
+  const ParallelExecStats stats =
+      run_differential(txs, 32, 4, 3, /*analysis_hints=*/true);
+  EXPECT_EQ(stats.hinted_txs, txs.size());
+  EXPECT_EQ(stats.aborts, 0u);
+  EXPECT_EQ(stats.hint_deferrals, 0u);
+  EXPECT_EQ(stats.hint_violations, 0u);
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_EQ(stats.fallback_txs, 0u);
+}
+
+TEST(HintedExecutor, HotSlotSerializesInsteadOfAborting) {
+  // Worst-case contention: every transaction bumps counter slot 0. Blind
+  // Block-STM burns an abort per non-head speculation and falls back; the
+  // hinted scheduler serializes the predicted conflict class — zero aborts,
+  // zero fallback, identical receipts (the paper's congestion argument).
+  std::vector<Transaction> txs;
+  for (std::uint64_t s = 0; s < 24; ++s) {
+    txs.push_back(invoke(s, 0, kCounter, evm::encode_call("increment()", {})));
+  }
+  const ParallelExecStats blind = run_differential(txs, 24);
+  const ParallelExecStats hinted =
+      run_differential(txs, 24, 4, 3, /*analysis_hints=*/true);
+  EXPECT_GT(blind.aborts, 0u);
+  EXPECT_EQ(hinted.aborts, 0u);
+  EXPECT_LT(hinted.aborts, blind.aborts);  // the acceptance criterion
+  EXPECT_EQ(hinted.fallback_txs, 0u);
+  EXPECT_EQ(hinted.hint_violations, 0u);
+  EXPECT_GT(hinted.hint_deferrals, 0u);
+  EXPECT_EQ(hinted.rounds, txs.size());  // one commit per serialized round
+  EXPECT_EQ(hinted.speculative_runs, txs.size());  // each tx runs exactly once
+}
+
+TEST(HintedExecutor, TopHeavyBlocksKeepBlindBehaviour) {
+  // Deploys get ⊤ predictions: the hinted executor must not serialize them
+  // (they speculate blindly every round) and still match sequential.
+  std::vector<Transaction> txs;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    TxParams params;
+    params.kind = TxKind::kDeploy;
+    params.nonce = 0;
+    params.gas_limit = 3'000'000;
+    params.data = evm::counter_contract().deploy_code;
+    txs.push_back(signed_tx(s, params));
+    txs.push_back(transfer(s, 1, 100 + s));
+  }
+  const ParallelExecStats stats =
+      run_differential(txs, 8, 4, 3, /*analysis_hints=*/true);
+  EXPECT_EQ(stats.top_txs, 8u);
+  EXPECT_EQ(stats.hinted_txs, 8u);
+}
+
+TEST(HintedExecutor, DiabloShapedTracesMatchSequential) {
+  // The three DIABLO traces by their DApp shape and contention profile:
+  // NASDAQ — exchange trades over a handful of hot stocks (+ shared trade
+  // counter), Uber — mobility rides with unique rideIds but shared totals,
+  // FIFA — ticket buys with seat collisions (reverts). Hinted and blind runs
+  // must both be bit-identical to sequential.
+  for (const std::uint32_t seed : {3u, 99u}) {
+    std::mt19937 rng{seed};
+    constexpr std::uint64_t kSenders = 32;
+
+    std::vector<std::uint64_t> nonces(kSenders, 0);
+    std::vector<Transaction> nasdaq;
+    for (int i = 0; i < 96; ++i) {
+      const std::uint64_t s = rng() % kSenders;
+      nasdaq.push_back(invoke(
+          s, nonces[s]++, kExchange,
+          evm::encode_call("trade(uint256,uint256,uint256)",
+                           {U256{rng() % 5}, U256{90 + rng() % 20},
+                            U256{1 + rng() % 9}})));
+    }
+
+    std::fill(nonces.begin(), nonces.end(), 0);
+    std::vector<Transaction> uber;
+    for (int i = 0; i < 96; ++i) {
+      const std::uint64_t s = rng() % kSenders;
+      uber.push_back(invoke(s, nonces[s]++, kMobility,
+                            evm::encode_call("ride(uint256,uint256)",
+                                             {U256{1000u * seed + i},
+                                              U256{10 + rng() % 40}})));
+    }
+
+    std::fill(nonces.begin(), nonces.end(), 0);
+    std::vector<Transaction> fifa;
+    for (int i = 0; i < 96; ++i) {
+      const std::uint64_t s = rng() % kSenders;
+      fifa.push_back(invoke(s, nonces[s]++, kTicketing,
+                            evm::encode_call("buy(uint256,uint256)",
+                                             {U256{rng() % 3}, U256{rng() % 40}})));
+    }
+
+    for (const auto* trace : {&nasdaq, &uber, &fifa}) {
+      const ParallelExecStats hinted =
+          run_differential(*trace, kSenders, 4, 3, /*analysis_hints=*/true);
+      EXPECT_EQ(hinted.hinted_txs, trace->size());
+      EXPECT_EQ(hinted.hint_violations, 0u);
+      EXPECT_EQ(hinted.fallback_txs, 0u);
+      run_differential(*trace, kSenders);  // blind control
+    }
+  }
+}
+
+TEST(HintedExecutor, MixedRandomizedWorkloadsMatchSequential) {
+  // The randomized mix (transfers, trades, counter hits, ticket buys,
+  // deploys, invalid nonces, kvstore puts) under hints: the full
+  // differential plus guard invariants.
+  for (const std::uint32_t seed : {11u, 4242u}) {
+    std::mt19937 rng{seed};
+    std::uniform_int_distribution<int> shape(0, 6);
+    constexpr std::uint64_t kSenders = 32;
+    std::vector<std::uint64_t> nonces(kSenders, 0);
+    std::vector<Transaction> txs;
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t s = rng() % kSenders;
+      switch (shape(rng)) {
+        case 0:
+          txs.push_back(transfer(s, nonces[s]++, rng() % 64));
+          break;
+        case 1:
+          txs.push_back(invoke(
+              s, nonces[s]++, kExchange,
+              evm::encode_call("trade(uint256,uint256,uint256)",
+                               {U256{rng() % 5}, U256{90 + rng() % 20},
+                                U256{1 + rng() % 9}})));
+          break;
+        case 2:
+          txs.push_back(invoke(s, nonces[s]++, kCounter,
+                               evm::encode_call("increment()", {})));
+          break;
+        case 3:
+          txs.push_back(invoke(
+              s, nonces[s]++, kTicketing,
+              evm::encode_call("buy(uint256,uint256)",
+                               {U256{rng() % 3}, U256{rng() % 12}})));
+          break;
+        case 4: {
+          TxParams params;
+          params.kind = TxKind::kDeploy;
+          params.nonce = nonces[s]++;
+          params.gas_limit = 3'000'000;
+          params.data = evm::counter_contract().deploy_code;
+          txs.push_back(signed_tx(s, params));
+          break;
+        }
+        case 5:
+          txs.push_back(invoke(
+              s, nonces[s]++, kKvStore,
+              evm::encode_call("put(uint256,uint256)",
+                               {U256{rng() % 128}, U256{rng() % 100}})));
+          break;
+        default:
+          txs.push_back(transfer(s, nonces[s] + 50, 3));
+          break;
+      }
+    }
+    const ParallelExecStats stats =
+        run_differential(txs, kSenders, 4, 3, /*analysis_hints=*/true);
+    EXPECT_EQ(stats.hinted_txs + stats.top_txs, txs.size());
+    EXPECT_EQ(stats.hint_violations, 0u);
+  }
+}
+
+TEST(HintedExecutor, HintedWorkerCountsDoNotChangeResults) {
+  std::vector<Transaction> txs;
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    switch (s % 3) {
+      case 0:
+        txs.push_back(
+            invoke(s, 0, kCounter, evm::encode_call("increment()", {})));
+        break;
+      case 1:
+        txs.push_back(invoke(s, 0, kKvStore,
+                             evm::encode_call("put(uint256,uint256)",
+                                              {U256{s}, U256{1}})));
+        break;
+      default:
+        txs.push_back(transfer(s, 0, s));
+        break;
+    }
+  }
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    run_differential(txs, 32, workers, 3, /*analysis_hints=*/true);
   }
 }
 

@@ -81,6 +81,20 @@ void print_human(const AnalysisResult& r, std::size_t code_size) {
   }
   std::printf("fingerprint:   %016llx\n",
               static_cast<unsigned long long>(r.fingerprint()));
+  const StorageSummary& s = r.storage;
+  std::printf("rw-set:        %s (%zu reads, %zu writes, %zu balance reads)%s\n",
+              s.top ? "TOP (may touch anything)" : "precise", s.reads.size(),
+              s.writes.size(), s.balance_reads.size(),
+              s.budget_exhausted ? " [budget exhausted]" : "");
+  for (const SymExpr& e : s.reads) {
+    std::printf("  read    %s\n", to_string(e).c_str());
+  }
+  for (const SymExpr& e : s.writes) {
+    std::printf("  write   %s\n", to_string(e).c_str());
+  }
+  for (const SymExpr& e : s.balance_reads) {
+    std::printf("  balance %s\n", to_string(e).c_str());
+  }
   std::printf("\nblocks:\n");
   for (std::size_t i = 0; i < r.cfg.blocks.size(); ++i) {
     const BasicBlock& b = r.cfg.blocks[i];
@@ -136,6 +150,23 @@ void print_json(const AnalysisResult& r, std::size_t code_size) {
               r.reachable_truncated_push ? "true" : "false");
   std::printf("  \"fingerprint\": \"%016llx\",\n",
               static_cast<unsigned long long>(r.fingerprint()));
+  const StorageSummary& s = r.storage;
+  std::printf("  \"rwset\": {\"top\": %s, \"budget_exhausted\": %s, ",
+              s.top ? "true" : "false",
+              s.budget_exhausted ? "true" : "false");
+  std::printf("\"digest\": \"%016llx\",\n",
+              static_cast<unsigned long long>(s.digest()));
+  auto dump_exprs = [](const char* key, const std::vector<SymExpr>& exprs,
+                       const char* tail) {
+    std::printf("    \"%s\": [", key);
+    for (std::size_t i = 0; i < exprs.size(); ++i) {
+      std::printf("%s\"%s\"", i ? ", " : "", to_string(exprs[i]).c_str());
+    }
+    std::printf("]%s\n", tail);
+  };
+  dump_exprs("reads", s.reads, ",");
+  dump_exprs("writes", s.writes, ",");
+  dump_exprs("balance_reads", s.balance_reads, "},");
   std::printf("  \"blocks\": [\n");
   for (std::size_t i = 0; i < r.cfg.blocks.size(); ++i) {
     const BasicBlock& b = r.cfg.blocks[i];
@@ -171,7 +202,9 @@ void print_json(const AnalysisResult& r, std::size_t code_size) {
 
 /// Analyze every shipped contract's runtime and deploy code. Any REJECT is a
 /// bug: these contracts run in the diablo pipeline, so the analyzer must not
-/// condemn them (runtime code is additionally expected to be fully proven).
+/// condemn them (runtime code is additionally expected to be fully proven,
+/// and its storage rw-set must be precise — a ⊤ summary would silently
+/// degrade the hinted scheduler to blind speculation for that contract).
 int self_test() {
   struct Named {
     const char* name;
@@ -184,6 +217,7 @@ int self_test() {
       {"ticketing", &evm::ticketing_contract()},
       {"staking", &evm::staking_contract()},
       {"token", &evm::token_contract()},
+      {"kvstore", &evm::kvstore_contract()},
   };
   int failures = 0;
   for (const Named& entry : contracts) {
@@ -199,7 +233,9 @@ int self_test() {
       } else {
         std::printf("%llu", static_cast<unsigned long long>(r.min_gas));
       }
-      std::printf(" blocks=%zu\n", r.cfg.blocks.size());
+      std::printf(" blocks=%zu rwset=%s/%zur/%zuw\n", r.cfg.blocks.size(),
+                  r.storage.top ? "TOP" : "precise", r.storage.reads.size(),
+                  r.storage.writes.size());
       if (r.verdict == Verdict::kReject) {
         std::printf("FAIL: %s %s code rejected: %s at pc %u\n", entry.name,
                     which, to_string(r.reject_reason), r.reject_pc);
@@ -208,6 +244,11 @@ int self_test() {
       if (r.min_gas == AnalysisResult::kNoSuccessfulPath) {
         std::printf("FAIL: %s %s code has no successful path\n", entry.name,
                     which);
+        ++failures;
+      }
+      if (!deploy && (r.storage.top || r.storage.budget_exhausted)) {
+        std::printf("FAIL: %s runtime storage summary is not precise\n",
+                    entry.name);
         ++failures;
       }
     }

@@ -18,6 +18,11 @@ that have historically caused replica divergence in production chains:
   uninit-field     scalar struct fields without initializers in files that
                    RLP-encode structs: encoding an indeterminate value is
                    UB and trivially divergent.
+  analysis-cache-mutation
+                   AnalysisCache clear()/set_metrics() outside
+                   src/evm/analysis/: the cache backs the parallel
+                   executor's rw-set hints while workers run; mutation from
+                   scheduler code races them.
 
 Audited sites are suppressed through tools/lint_allowlist.txt; every entry
 carries a justification and MUST still match a real finding (stale entries
@@ -266,6 +271,40 @@ def check_float_in_consensus(relpath: str, lines: list[str]) -> list[tuple]:
 
 
 # ---------------------------------------------------------------------------
+# Rule: analysis-cache-mutation
+# ---------------------------------------------------------------------------
+
+# The AnalysisCache holds immutable, code-hash-keyed results that the
+# parallel executor's rw-set scheduler resolves hints from while worker
+# threads execute (docs/ANALYSIS.md §rw-sets). Outside the analyzer layer the
+# only sanctioned operation is get(): a clear() or set_metrics() from
+# executor/scheduler code could race the workers or desynchronize the
+# analysis.rwset.* counters that tests reconcile exactly. Receivers are
+# matched by name (the `*analysis_cache*` / `*hint_cache*` convention and the
+# global() accessor) — same heuristic spirit as unordered-iter, with the
+# allowlist carrying any audited exception.
+ANALYSIS_CACHE_MUTATION = re.compile(
+    r"(?:AnalysisCache::global\(\)|\b\w*(?:analysis|hint)_cache\w*)\s*"
+    r"(?:\.|->)\s*(?:clear|set_metrics)\s*\(")
+ANALYSIS_CACHE_HOME = "src/evm/analysis/"
+
+
+def check_analysis_cache_mutation(relpath: str, lines: list[str]) -> list[tuple]:
+    if relpath.startswith(ANALYSIS_CACHE_HOME):
+        return []
+    findings = []
+    for lineno, line in enumerate(lines, 1):
+        if ANALYSIS_CACHE_MUTATION.search(line):
+            findings.append(
+                ("analysis-cache-mutation", relpath, lineno, line.strip(),
+                 "AnalysisCache mutated outside the analyzer entry points: "
+                 "cached summaries are shared with concurrently-running "
+                 "workers; only get() is safe here — move setup mutations "
+                 "into src/evm/analysis/"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Self-test: one positive and one negative fixture per rule, so a regex edit
 # that silently disables a rule fails the `srbb_lint_selftest` ctest.
 # ---------------------------------------------------------------------------
@@ -301,6 +340,15 @@ SELFTEST_FIXTURES = [
     # Outside the consensus directories doubles are fine (measurement code).
     ("float-in-consensus", "src/diablo/x.cpp",
      "double latency_ms = 0.5;\n", False),
+    ("analysis-cache-mutation", "src/txn/x.cpp",
+     "void f() { evm::analysis::AnalysisCache::global().clear(); }\n", True),
+    ("analysis-cache-mutation", "src/txn/x.cpp",
+     "void f(Cfg& c) { c.hint_cache->set_metrics(&registry); }\n", True),
+    ("analysis-cache-mutation", "src/txn/x.cpp",
+     "void f(Cfg& c) { c.hint_cache->get(keccak, code); }\n", False),
+    # Inside the analyzer layer the cache may manage itself.
+    ("analysis-cache-mutation", "src/evm/analysis/cache.cpp",
+     "void AnalysisCache::reset() { analysis_cache_impl.clear(); }\n", False),
 ]
 
 
@@ -314,6 +362,7 @@ def run_file_checks(relpath: str, text: str) -> list[tuple]:
     findings += check_pointer_key(relpath, lines)
     findings += check_uninit_field(relpath, stripped)
     findings += check_float_in_consensus(relpath, lines)
+    findings += check_analysis_cache_mutation(relpath, lines)
     return findings
 
 
@@ -419,6 +468,7 @@ def main() -> int:
         findings += check_pointer_key(relpath, lines)
         findings += check_uninit_field(relpath, stripped)
         findings += check_float_in_consensus(relpath, lines)
+        findings += check_analysis_cache_mutation(relpath, lines)
 
     allowlist = ([] if args.no_allowlist
                  else load_allowlist(args.root / "tools/lint_allowlist.txt"))
