@@ -25,11 +25,11 @@ void BinaryConsensus::on_est(std::uint32_t from, std::uint32_t r, bool value) {
   RoundState& state = round_state(r);
   state.est_from[value ? 1 : 0].insert(from);
   // BV-broadcast echo rule: t+1 copies of a value we have not yet sent.
-  if (state.est_from[value ? 1 : 0].size() >= f_ + 1) {
+  if (state.est_from[value ? 1 : 0].size() >= quorums_.amplify()) {
     broadcast_est(r, value);
   }
   // Binding rule: 2t+1 copies -> the value enters bin_values.
-  if (state.est_from[value ? 1 : 0].size() >= 2 * f_ + 1) {
+  if (state.est_from[value ? 1 : 0].size() >= quorums_.binding()) {
     state.bin_values[value ? 1 : 0] = true;
   }
   try_advance();
@@ -50,7 +50,7 @@ void BinaryConsensus::on_decided(std::uint32_t from, bool value) {
   decided_from_[value ? 1 : 0].insert(from);
   // t+1 matching decisions include one from a correct node, whose decision
   // is safe to adopt.
-  if (decided_from_[value ? 1 : 0].size() >= f_ + 1) {
+  if (decided_from_[value ? 1 : 0].size() >= quorums_.adoption()) {
     decide(value);
   }
 }
@@ -100,7 +100,7 @@ void BinaryConsensus::advance_loop() {
         saw[value ? 1 : 0] = true;
       }
     }
-    if (in_bin < n_ - f_) return;  // wait for more AUX
+    if (in_bin < quorums_.supermajority()) return;  // wait for more AUX
 
     const bool coin = (round_ % 2) == 1;  // deterministic round parity
     if (saw[0] != saw[1]) {

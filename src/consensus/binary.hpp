@@ -25,6 +25,8 @@
 #include <map>
 #include <set>
 
+#include "consensus/quorum.hpp"
+
 namespace srbb::consensus {
 
 class BinaryConsensus {
@@ -42,8 +44,11 @@ class BinaryConsensus {
     std::function<void(bool value)> on_decide;
   };
 
+  /// (n, f) may be a static committee or the *effective* values of a
+  /// MembershipView; the machine itself is membership-agnostic — the caller
+  /// (SuperblockInstance) filters non-member senders before feeding it.
   BinaryConsensus(std::uint32_t n, std::uint32_t f, Callbacks callbacks)
-      : n_(n), f_(f), cb_(std::move(callbacks)) {}
+      : quorums_{n, f}, cb_(std::move(callbacks)) {}
 
   /// Begin with this node's proposal. Idempotent.
   void start(bool input);
@@ -88,8 +93,7 @@ class BinaryConsensus {
   void advance_loop();
   void decide(bool value);
 
-  std::uint32_t n_;
-  std::uint32_t f_;
+  QuorumParams quorums_;
   Callbacks cb_;
 
   bool started_ = false;

@@ -10,6 +10,15 @@ SuperblockInstance::SuperblockInstance(const SuperblockConfig& config,
                                        std::uint64_t index,
                                        SuperblockCallbacks callbacks)
     : config_(config), index_(index), cb_(std::move(callbacks)) {
+  // An unset view means the static committee; quorums then reduce to the
+  // classic (n, f) thresholds and counted() passes every rank.
+  if (config_.membership.committee_n() == 0) {
+    config_.membership = MembershipView(config_.n, config_.f);
+  }
+  SRBB_CHECK(config_.membership.committee_n() == config_.n);
+  quorums_ = config_.membership.quorums();
+  // Every slot keeps its binary instance regardless of membership status:
+  // slots_ is indexed by committee rank, only the quorum sizes shrink.
   slots_.resize(config_.n);
 }
 
@@ -25,8 +34,11 @@ BinaryConsensus& SuperblockInstance::bin_for(std::uint32_t proposer) {
       msg->phase = BinPhase::kEst;
       msg->value = value;
       cb_.broadcast(msg);
-      // Self-delivery: our own EST counts toward our quorums.
-      slots_[proposer].bin->on_est(config_.self, round, value);
+      // Self-delivery: our own EST counts toward our quorums — unless we are
+      // not a counting member, in which case peers ignore it and so must we.
+      if (counted(config_.self)) {
+        slots_[proposer].bin->on_est(config_.self, round, value);
+      }
     };
     bin_cb.send_aux = [this, proposer](std::uint32_t round, bool value) {
       auto msg = std::make_shared<BinMsg>();
@@ -36,7 +48,9 @@ BinaryConsensus& SuperblockInstance::bin_for(std::uint32_t proposer) {
       msg->phase = BinPhase::kAux;
       msg->value = value;
       cb_.broadcast(msg);
-      slots_[proposer].bin->on_aux(config_.self, round, value);
+      if (counted(config_.self)) {
+        slots_[proposer].bin->on_aux(config_.self, round, value);
+      }
     };
     bin_cb.send_decided = [this, proposer](bool value) {
       auto msg = std::make_shared<DecidedMsg>();
@@ -63,8 +77,8 @@ BinaryConsensus& SuperblockInstance::bin_for(std::uint32_t proposer) {
       if (value && !slot_ready(s)) request_pull(proposer);
       maybe_complete();
     };
-    slot.bin = std::make_unique<BinaryConsensus>(config_.n, config_.f,
-                                                 std::move(bin_cb));
+    slot.bin = std::make_unique<BinaryConsensus>(
+        quorums_.n, quorums_.f, std::move(bin_cb));
   }
   return *slot.bin;
 }
@@ -159,6 +173,11 @@ void SuperblockInstance::on_propose(std::uint32_t from, const ProposeMsg& msg) {
 void SuperblockInstance::record_echo(std::uint32_t proposer, std::uint32_t from,
                                      const Hash32& hash) {
   SRBB_CHECK(proposer < config_.n && from < config_.n);
+  // Only counting members contribute to echo quorums. This includes our own
+  // echo when we are disabled: we still broadcast it (it is useful PULL
+  // collateral) but must not count it, or our delivery quorum would run one
+  // ahead of every member's.
+  if (!counted(from)) return;
   ProposalSlot& slot = slots_[proposer];
   auto& senders = slot.echoes[hash];
   senders.insert(from);
@@ -169,7 +188,7 @@ void SuperblockInstance::record_echo(std::uint32_t proposer, std::uint32_t from,
   // Bracha amplification: f+1 echoes for a hash we have not echoed -> echo
   // it too (without needing the body), so every correct node reaches the
   // delivery quorum when any does.
-  if (!slot.echoed && senders.size() >= config_.f + 1) {
+  if (!slot.echoed && senders.size() >= quorums_.amplify()) {
     slot.echoed = true;
     slot.echoed_hash = hash;
     auto echo = std::make_shared<EchoMsg>();
@@ -182,7 +201,7 @@ void SuperblockInstance::record_echo(std::uint32_t proposer, std::uint32_t from,
   }
 
   if (!slot.delivered_hash.has_value() &&
-      senders.size() >= config_.n - config_.f) {
+      senders.size() >= quorums_.supermajority()) {
     // Quorum intersection makes this hash unique for the slot.
     slot.delivered_hash = hash;
     const bool have_body =
@@ -227,6 +246,7 @@ void SuperblockInstance::on_pull(std::uint32_t from, const PullMsg& msg) {
 
 void SuperblockInstance::on_bin_msg(std::uint32_t from, const BinMsg& msg) {
   if (msg.proposer >= config_.n) return;
+  if (!counted(from)) return;  // non-members feed no quorum
   BinaryConsensus& bin = bin_for(msg.proposer);
   // A peer's EST can arrive before our own instance started; the binary
   // machine buffers per-round state, and start() later folds it in.
@@ -240,6 +260,7 @@ void SuperblockInstance::on_bin_msg(std::uint32_t from, const BinMsg& msg) {
 void SuperblockInstance::on_decided_msg(std::uint32_t from,
                                         const DecidedMsg& msg) {
   if (msg.proposer >= config_.n) return;
+  if (!counted(from)) return;  // adoption quorum counts members only
   bin_for(msg.proposer).on_decided(from, msg.value);
 }
 
@@ -303,7 +324,7 @@ bool SuperblockInstance::quorum_certified(const ProposalSlot& slot) const {
   if (!slot.delivered_hash.has_value()) return false;
   const auto it = slot.echoes.find(*slot.delivered_hash);
   return it != slot.echoes.end() &&
-         it->second.size() >= config_.n - config_.f;
+         it->second.size() >= quorums_.supermajority();
 }
 
 void SuperblockInstance::request_pull(std::uint32_t proposer) {
@@ -352,7 +373,7 @@ void SuperblockInstance::request_pull(std::uint32_t proposer) {
       // first-f-plus-one choice can starve forever even though some correct
       // node still holds the block.
       const std::size_t ask =
-          std::min<std::size_t>(candidates.size(), config_.f + 1);
+          std::min<std::size_t>(candidates.size(), quorums_.adoption());
       for (std::size_t i = 0; i < ask; ++i) {
         cb_.send_to(candidates[(attempt_no + i) % candidates.size()], pull);
       }

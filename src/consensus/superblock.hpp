@@ -26,6 +26,7 @@
 #include "common/time.hpp"
 #include "consensus/binary.hpp"
 #include "consensus/messages.hpp"
+#include "consensus/quorum.hpp"
 #include "obs/trace.hpp"
 
 namespace srbb::consensus {
@@ -50,6 +51,15 @@ struct SuperblockConfig {
   /// superblock decide / body pulls). Null disables (the default). Timestamps
   /// come from SuperblockCallbacks::now; without it events are stamped 0.
   obs::TraceSink* trace = nullptr;
+  /// Adaptive-membership view governing this index (DESIGN.md §13): every
+  /// quorum below runs over the effective (n', f') of this view, and
+  /// messages from non-counting ranks (disabled/removed validators) are
+  /// ignored for quorum purposes. Every slot — including disabled proposers'
+  /// — still gets its binary instance; a disabled proposer's decided-1 slot
+  /// is its re-admission evidence. Default-constructed (unset) means the
+  /// static all-active committee: bit-identical to the pre-membership
+  /// behaviour.
+  MembershipView membership{};
 };
 
 struct SuperblockCallbacks {
@@ -145,6 +155,14 @@ class SuperblockInstance {
   /// Trace timestamp: the callback's clock when wired, else 0.
   SimTime trace_now() const { return cb_.now ? cb_.now() : 0; }
 
+  /// True when `rank`'s messages count toward quorums under this instance's
+  /// membership view (uniform for peers AND self-delivery: a disabled node
+  /// does not count its own echoes/ESTs either, so its quorum arithmetic
+  /// never diverges from the members').
+  bool counted(std::uint32_t rank) const {
+    return config_.membership.counts(rank);
+  }
+
   void record_echo(std::uint32_t proposer, std::uint32_t from,
                    const Hash32& hash);
   void start_bin(std::uint32_t proposer, bool input);
@@ -157,6 +175,10 @@ class SuperblockInstance {
   BinaryConsensus& bin_for(std::uint32_t proposer);
 
   SuperblockConfig config_;
+  /// Effective quorum thresholds: derived from config_.membership (or the
+  /// static (n, f) when no view is set). The single source for every
+  /// threshold in this file.
+  QuorumParams quorums_;
   std::uint64_t index_;
   SuperblockCallbacks cb_;
   std::vector<ProposalSlot> slots_;

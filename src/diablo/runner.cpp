@@ -180,6 +180,7 @@ RunResult run_experiment(const RunConfig& config) {
       node_config.proposal_timeout = config.proposal_timeout;
       node_config.oracle_private = config.replicated_execution;
       node_config.rebroadcast_interval = config.rebroadcast_interval;
+      node_config.adaptive_membership = config.adaptive_membership;
       node_config.trace = config.trace;
       node_config.metrics = &registry;
       if (rank >= n - config.byzantine) {
@@ -312,6 +313,13 @@ RunResult run_experiment(const RunConfig& config) {
     result.validator_crashes += validator->metrics().crashes;
     result.validator_restarts += validator->metrics().restarts;
     result.superblocks_synced += validator->metrics().superblocks_synced;
+    result.membership_disables = std::max(
+        result.membership_disables, validator->metrics().membership_disables);
+    result.membership_readmissions =
+        std::max(result.membership_readmissions,
+                 validator->metrics().membership_readmissions);
+    result.membership_removals = std::max(
+        result.membership_removals, validator->metrics().membership_removals);
   }
   for (const auto& validator : modern_validators) {
     result.eager_validations += validator->metrics().eager_validations;

@@ -73,6 +73,10 @@ struct RunConfig {
   /// required for liveness under message loss (0 = off, the fault-free
   /// default).
   SimDuration rebroadcast_interval = 0;
+  /// Adaptive membership (DESIGN.md §13): reliability scoring + the bounded
+  /// disabled list, so the chain stays live through > f gradual crashes.
+  /// Requires replicated_execution when combined with crashes.
+  bool adaptive_membership = false;
   /// Sample cumulative client-observed commits every `tps_window` of
   /// simulated time into RunResult::window_commits (0 = off). Makes the
   /// throughput dip around a crash or partition window visible.
@@ -117,6 +121,12 @@ struct RunResult {
   std::uint64_t validator_crashes = 0;
   std::uint64_t validator_restarts = 0;
   std::uint64_t superblocks_synced = 0;
+  /// Adaptive-membership transitions (identical at every replica — the
+  /// disabled list is derived from the committed chain — so reported via
+  /// max, not sum).
+  std::uint64_t membership_disables = 0;
+  std::uint64_t membership_readmissions = 0;
+  std::uint64_t membership_removals = 0;
 
   // Per-phase latency distributions along the commit path (DESIGN.md §8),
   // aggregated across every node of the run. All values are simulated

@@ -1,0 +1,168 @@
+#include "rpm/reliability.hpp"
+
+#include <algorithm>
+
+#include "common/invariant.hpp"
+#include "crypto/sha256.hpp"
+
+namespace srbb::rpm {
+
+using consensus::MembershipView;
+using consensus::MemberStatus;
+
+ReliabilityTracker::ReliabilityTracker(const ReliabilityConfig& config)
+    : config_(config),
+      genesis_view_(config.n, config.f),
+      view_(config.n, config.f),
+      score_(config.n, config.score_initial),
+      streak_(config.n, 0) {
+  SRBB_CHECK(config_.n > 0);
+  SRBB_CHECK(config_.score_initial <= config_.score_max);
+  SRBB_CHECK(config_.low_water <= config_.high_water);
+  SRBB_CHECK(config_.high_water <= config_.score_max);
+  SRBB_CHECK(config_.readmit_window > 0);
+}
+
+void ReliabilityTracker::apply_scores(const std::vector<bool>& contributed) {
+  for (std::uint32_t rank = 0; rank < config_.n; ++rank) {
+    if (view_.removed(rank)) continue;  // out for good; scores frozen
+    if (rank < contributed.size() && contributed[rank]) {
+      score_[rank] = std::min(config_.score_max, score_[rank] + config_.credit);
+      ++streak_[rank];
+    } else {
+      score_[rank] = score_[rank] > config_.debit
+                         ? score_[rank] - config_.debit
+                         : 0;
+      streak_[rank] = 0;
+    }
+  }
+}
+
+std::vector<MembershipEvent> ReliabilityTracker::apply_removals(
+    std::uint64_t index, const std::vector<std::uint32_t>& invalid_txs) {
+  std::vector<MembershipEvent> out;
+  for (std::uint32_t rank = 0; rank < config_.n; ++rank) {
+    if (view_.removed(rank)) continue;
+    if (rank >= invalid_txs.size() ||
+        invalid_txs[rank] < config_.removal_invalid_threshold) {
+      continue;
+    }
+    // Slash beats disable: a flooding proposer is removed outright, and a
+    // disabled one forfeits its disabled-list slot (freeing cap headroom).
+    view_.set_status(rank, MemberStatus::kRemoved);
+    score_[rank] = 0;
+    streak_[rank] = 0;
+    out.push_back({MembershipEvent::Kind::kRemoved, rank, index});
+  }
+  return out;
+}
+
+std::vector<MembershipEvent> ReliabilityTracker::apply_transitions(
+    std::uint64_t index) {
+  std::vector<MembershipEvent> out;
+
+  // Re-admission first (at most one per superblock): the freed quorum weight
+  // is strictly good for safety margins, so it takes priority over adding a
+  // new disable — and it lets a recovery and a fresh failure swap places in
+  // one commit even when the disabled list is saturated.
+  std::uint32_t readmit = config_.n;
+  for (std::uint32_t rank = 0; rank < config_.n; ++rank) {
+    if (!view_.disabled(rank)) continue;
+    if (score_[rank] < config_.high_water) continue;
+    if (streak_[rank] < config_.readmit_window) continue;
+    readmit = rank;  // lowest qualifying rank wins (deterministic tie-break)
+    break;
+  }
+  if (readmit < config_.n) {
+    view_.set_status(readmit, MemberStatus::kActive);
+    out.push_back({MembershipEvent::Kind::kReadmitted, readmit, index});
+  }
+
+  // One disable per superblock, bounded by the Negative-UNL cap. Candidate
+  // choice is deterministic: lowest score, then lowest rank.
+  if (view_.disabled_count() < MembershipView::disable_cap(config_.n)) {
+    std::uint32_t worst = config_.n;
+    for (std::uint32_t rank = 0; rank < config_.n; ++rank) {
+      if (!view_.counts(rank)) continue;
+      if (score_[rank] >= config_.low_water) continue;
+      if (worst == config_.n || score_[rank] < score_[worst]) worst = rank;
+    }
+    if (worst < config_.n) {
+      view_.set_status(worst, MemberStatus::kDisabled);
+      out.push_back({MembershipEvent::Kind::kDisabled, worst, index});
+    }
+  }
+  return out;
+}
+
+void ReliabilityTracker::record_view(std::uint64_t index) {
+  views_[index + kViewLag] = view_;
+  // Live instances only ever ask for views within a small window behind the
+  // commit frontier (the validator prunes instances older than that); keep a
+  // comfortable multiple and drop the rest.
+  constexpr std::uint64_t kKeep = 8;
+  while (!views_.empty() &&
+         views_.begin()->first + kKeep < index + kViewLag) {
+    views_.erase(views_.begin());
+  }
+}
+
+std::vector<MembershipEvent> ReliabilityTracker::on_superblock_committed(
+    std::uint64_t index, const std::vector<bool>& contributed,
+    const std::vector<std::uint32_t>& invalid_txs) {
+  SRBB_CHECK(index == next_index_);  // strict order keeps views a pure
+  ++next_index_;                     // function of the committed prefix
+
+  std::vector<MembershipEvent> out = apply_removals(index, invalid_txs);
+  apply_scores(contributed);
+  std::vector<MembershipEvent> transitions = apply_transitions(index);
+  out.insert(out.end(), transitions.begin(), transitions.end());
+
+  events_.insert(events_.end(), out.begin(), out.end());
+  record_view(index);
+  return out;
+}
+
+const MembershipView& ReliabilityTracker::view_for(std::uint64_t index) const {
+  if (index < kViewLag) return genesis_view_;  // nothing committed yet counts
+  const auto it = views_.find(index);
+  // Callers must stay within max_view_index(); the validator enforces this
+  // by dropping (and catch-up-syncing on) traffic beyond it.
+  SRBB_CHECK(it != views_.end());
+  return it->second;
+}
+
+std::uint32_t ReliabilityTracker::score(std::uint32_t rank) const {
+  SRBB_CHECK(rank < config_.n);
+  return score_[rank];
+}
+
+std::uint32_t ReliabilityTracker::readmit_streak(std::uint32_t rank) const {
+  SRBB_CHECK(rank < config_.n);
+  return streak_[rank];
+}
+
+Hash32 ReliabilityTracker::fingerprint() const {
+  crypto::Sha256 digest;
+  const auto fold_u64 = [&digest](std::uint64_t value) {
+    std::uint8_t bytes[8];
+    put_be64(bytes, value);
+    digest.update(BytesView{bytes, 8});
+  };
+  fold_u64(config_.n);
+  fold_u64(config_.f);
+  fold_u64(next_index_);
+  for (std::uint32_t rank = 0; rank < config_.n; ++rank) {
+    fold_u64(score_[rank]);
+    fold_u64(streak_[rank]);
+    fold_u64(static_cast<std::uint64_t>(view_.status(rank)));
+  }
+  for (const MembershipEvent& event : events_) {
+    fold_u64(static_cast<std::uint64_t>(event.kind));
+    fold_u64(event.rank);
+    fold_u64(event.index);
+  }
+  return digest.finish();
+}
+
+}  // namespace srbb::rpm

@@ -1,0 +1,147 @@
+// Deterministic reliability tracking and adaptive membership — the
+// negative-UNL-style liveness layer on top of RPM (DESIGN.md §13,
+// docs/FAULTS.md "Adaptive membership").
+//
+// The RPM excludes *malicious* proposers but says nothing about validators
+// that are merely offline: with a static committee, more than f crashed
+// validators stall the chain forever. rippled's Negative UNL closes this gap
+// by tracking per-validator reliability on-chain and letting the network
+// agree to stop counting chronically-offline validators toward quorums.
+//
+// The evidence stream here is exactly the committed superblock sequence —
+// which slots decided 1 (the proposer contributed a delivered block) and how
+// many provably-invalid transactions each decided block carried. Both are
+// pure functions of the committed chain prefix, so every correct node — live,
+// catch-up-syncing, or replaying after a crash — derives bit-identical
+// scores, and membership changes need no extra consensus round: the chain
+// itself is the agreement. (EST/AUX participation and catch-up service are
+// deliberately NOT scored: they are locally-observed quantities that differ
+// across nodes under message loss, so they can only ever be diagnostics.)
+//
+// Rules, all deterministic:
+//  - each committed superblock credits contributing proposers and debits
+//    absent ones (saturating integer scores, no clocks, no heartbeats);
+//  - a validator whose score falls below the low-water mark joins the
+//    bounded disabled list (<= floor((n-1)/4), at most one add and one
+//    re-admission per superblock — rippled's churn bound); disabled
+//    validators keep their proposal slot (their decided blocks are the
+//    recovery evidence) but count toward no quorum and accrue no rewards;
+//  - a disabled validator whose slot decided 1 for `readmit_window`
+//    consecutive superblocks while its score is back above the high-water
+//    mark is re-admitted (hysteresis: flapping validators stay disabled);
+//  - a proposer whose decided block carries >= removal_invalid_threshold
+//    invalid transactions — the RPM report predicate, i.e. the paper's
+//    flooding attack — is REMOVED outright, never merely disabled (slash
+//    beats disable), freeing its disabled-list slot if it held one.
+//
+// The MembershipView governing consensus index k is derived from commits
+// <= k - kViewLag only, so every node that is allowed to run instance k
+// (the validator drops consensus traffic beyond its derivable range — such
+// traffic already triggers catch-up sync) uses the identical view.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "consensus/quorum.hpp"
+
+namespace srbb::rpm {
+
+struct ReliabilityConfig {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  /// Saturating score band and per-superblock increments.
+  std::uint32_t score_max = 8;
+  std::uint32_t score_initial = 8;
+  std::uint32_t credit = 1;  // slot decided 1
+  std::uint32_t debit = 2;   // slot decided 0 (misses hurt twice as fast)
+  /// score < low_water  -> disable candidate;
+  /// score >= high_water (plus the streak) -> re-admission candidate.
+  std::uint32_t low_water = 2;
+  std::uint32_t high_water = 6;
+  /// W consecutive contributed superblocks required for re-admission.
+  std::uint32_t readmit_window = 3;
+  /// A decided block with at least this many *provably* invalid
+  /// transactions — invalid txs from virgin (never-funded) senders, the
+  /// paper's flooding construction — is removal evidence. Benign commit-time
+  /// invalidity (duplicate resends, cross-endpoint nonce/balance races)
+  /// comes from funded senders and is excluded at the source
+  /// (validator.cpp commit evidence), so the threshold only has to separate
+  /// a real flood (hundreds per block, §V-B) from noise.
+  std::uint32_t removal_invalid_threshold = 8;
+};
+
+struct MembershipEvent {
+  enum class Kind : std::uint8_t {
+    kDisabled = 0,
+    kReadmitted = 1,
+    kRemoved = 2,
+  };
+  Kind kind = Kind::kDisabled;
+  std::uint32_t rank = 0;
+  std::uint64_t index = 0;  // the commit that triggered the transition
+  bool operator==(const MembershipEvent&) const = default;
+};
+
+class ReliabilityTracker {
+ public:
+  /// Membership for index k is a function of commits <= k - kViewLag. Two is
+  /// the exact falling-behind threshold of the validator (traffic at
+  /// next_commit + 2 triggers catch-up sync), so every index a node may
+  /// legitimately run an instance for has a derivable view.
+  static constexpr std::uint64_t kViewLag = 2;
+
+  explicit ReliabilityTracker(const ReliabilityConfig& config);
+
+  /// Fold one committed superblock (must be called in strictly increasing
+  /// index order starting at 0). `contributed[r]` = rank r's slot decided 1;
+  /// `invalid_txs[r]` = invalid transactions in rank r's decided block.
+  /// Returns the membership transitions this commit caused (usually none).
+  std::vector<MembershipEvent> on_superblock_committed(
+      std::uint64_t index, const std::vector<bool>& contributed,
+      const std::vector<std::uint32_t>& invalid_txs);
+
+  /// The view governing consensus index `index`. Only derivable up to
+  /// max_view_index(); asking beyond it is a caller bug (the validator drops
+  /// such traffic instead of routing it).
+  const consensus::MembershipView& view_for(std::uint64_t index) const;
+  /// Highest index whose membership view is derivable from the commits seen
+  /// so far: next_index() + kViewLag - 1.
+  std::uint64_t max_view_index() const {
+    return next_index_ + kViewLag - 1;
+  }
+  const consensus::MembershipView& current_view() const { return view_; }
+
+  std::uint32_t score(std::uint32_t rank) const;
+  std::uint32_t readmit_streak(std::uint32_t rank) const;
+  const std::vector<MembershipEvent>& events() const { return events_; }
+  std::uint64_t next_index() const { return next_index_; }
+  const ReliabilityConfig& config() const { return config_; }
+
+  /// Byte-deterministic digest of scores, streaks, statuses, and the full
+  /// event history — what the chaos suite compares across nodes and seeds.
+  Hash32 fingerprint() const;
+
+ private:
+  void apply_scores(const std::vector<bool>& contributed);
+  std::vector<MembershipEvent> apply_removals(
+      std::uint64_t index, const std::vector<std::uint32_t>& invalid_txs);
+  std::vector<MembershipEvent> apply_transitions(std::uint64_t index);
+  void record_view(std::uint64_t index);
+
+  ReliabilityConfig config_;
+  consensus::MembershipView genesis_view_;
+  consensus::MembershipView view_;  // after the last folded commit
+  std::vector<std::uint32_t> score_;
+  std::vector<std::uint32_t> streak_;  // consecutive contributed superblocks
+  std::uint64_t next_index_ = 0;       // commits folded so far
+  /// Exact views per index (keys kViewLag .. next_index_+kViewLag-1),
+  /// pruned to the window live instances can still ask for. std::map:
+  /// deterministic iteration, ordered pruning.
+  std::map<std::uint64_t, consensus::MembershipView> views_;
+  std::vector<MembershipEvent> events_;
+};
+
+}  // namespace srbb::rpm

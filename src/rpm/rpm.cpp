@@ -49,7 +49,8 @@ bool RewardPenaltyMechanism::certificate_valid(const BlockSummary& block,
 bool RewardPenaltyMechanism::prop_received(const Address& caller,
                                            const BlockSummary& block,
                                            std::uint32_t slot,
-                                           std::uint64_t round) {
+                                           std::uint64_t round,
+                                           const QuorumContext* ctx) {
   if (!deposits_.contains(caller)) return false;  // only validators invoke
 
   Address proposer;
@@ -64,17 +65,27 @@ bool RewardPenaltyMechanism::prop_received(const Address& caller,
   auto& invokers = prop_counts_[key];
   if (!invokers.insert(caller).second) return false;  // duplicate invocation
 
-  if (invokers.size() >= config_.n - config_.f && !rewarded_.contains(key)) {
+  // Threshold over the effective committee of the governing view (n'-f'),
+  // or the static n-f when no adaptive-membership context is supplied.
+  const consensus::QuorumParams quorums =
+      ctx ? ctx->quorums : consensus::QuorumParams{config_.n, config_.f};
+  if (invokers.size() >= quorums.supermajority() && !rewarded_.contains(key)) {
     rewarded_.insert(key);
-    // Reward design (§IV-F c): R = I - C, I = r_b + sum(fees),
-    // C = c * |T|. Negative rewards clamp to zero growth (cannot happen with
-    // sane parameters; guarded for robustness).
-    const U256 incentive = config_.block_reward + block.total_fees;
-    const U256 cost = config_.validation_cost_per_tx * U256{block.tx_count};
-    if (incentive >= cost) {
-      const U256 reward = incentive - cost;
-      deposits_[proposer] += reward;
-      total_rewards_ += reward;
+    // A disabled proposer's block can still decide 1 (its slot keeps running
+    // — that is its re-admission evidence), but it accrues no reward while
+    // disabled. The key is consumed either way so a later re-invocation
+    // cannot double-count.
+    if (!ctx || ctx->proposer_reward_eligible) {
+      // Reward design (§IV-F c): R = I - C, I = r_b + sum(fees),
+      // C = c * |T|. Negative rewards clamp to zero growth (cannot happen
+      // with sane parameters; guarded for robustness).
+      const U256 incentive = config_.block_reward + block.total_fees;
+      const U256 cost = config_.validation_cost_per_tx * U256{block.tx_count};
+      if (incentive >= cost) {
+        const U256 reward = incentive - cost;
+        deposits_[proposer] += reward;
+        total_rewards_ += reward;
+      }
     }
   }
   return true;
@@ -83,7 +94,7 @@ bool RewardPenaltyMechanism::prop_received(const Address& caller,
 std::optional<SlashEvent> RewardPenaltyMechanism::report(
     const Address& caller, const BlockSummary& block,
     std::uint64_t block_number, const Hash32& invalid_tx,
-    const crypto::MerkleProof& proof) {
+    const crypto::MerkleProof& proof, const QuorumContext* ctx) {
   if (!deposits_.contains(caller)) return std::nullopt;
 
   Address proposer;
@@ -103,7 +114,9 @@ std::optional<SlashEvent> RewardPenaltyMechanism::report(
   auto& reporters = report_counts_[key];
   if (!reporters.insert(caller).second) return std::nullopt;  // duplicate
 
-  if (reporters.size() < config_.n - config_.f) return std::nullopt;
+  const consensus::QuorumParams quorums =
+      ctx ? ctx->quorums : consensus::QuorumParams{config_.n, config_.f};
+  if (reporters.size() < quorums.supermajority()) return std::nullopt;
   slashed_keys_.insert(key);
 
   // Alg. 2 lines 38-41: P = K[address]; zero the deposit and share P among

@@ -24,6 +24,7 @@
 
 #include "common/bytes.hpp"
 #include "common/u256.hpp"
+#include "consensus/quorum.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/signature.hpp"
 
@@ -55,6 +56,17 @@ struct SlashEvent {
   std::uint64_t block_number = 0;
 };
 
+/// Adaptive-membership context for one propReceived/report invocation
+/// (DESIGN.md §13): the effective quorums of the MembershipView governing
+/// the decided superblock, plus whether the proposer may accrue rewards
+/// (disabled validators accrue none). All correct callers derive the same
+/// view for a given index, so thresholds stay consistent per key. Null
+/// context = the static config (n, f) — the pre-membership behaviour.
+struct QuorumContext {
+  consensus::QuorumParams quorums{};
+  bool proposer_reward_eligible = true;
+};
+
 class RewardPenaltyMechanism {
  public:
   explicit RewardPenaltyMechanism(RpmConfig config) : config_(config) {}
@@ -75,7 +87,8 @@ class RewardPenaltyMechanism {
   /// (slot, round) identify the block position in the decided superblock.
   /// Returns true when this invocation was counted.
   bool prop_received(const Address& caller, const BlockSummary& block,
-                     std::uint32_t slot, std::uint64_t round);
+                     std::uint32_t slot, std::uint64_t round,
+                     const QuorumContext* ctx = nullptr);
 
   /// Alg. 2 report. `proof` shows `invalid_tx` under `block.tx_root`.
   /// Returns the slash event when this report crossed the n-f threshold.
@@ -83,7 +96,8 @@ class RewardPenaltyMechanism {
                                    const BlockSummary& block,
                                    std::uint64_t block_number,
                                    const Hash32& invalid_tx,
-                                   const crypto::MerkleProof& proof);
+                                   const crypto::MerkleProof& proof,
+                                   const QuorumContext* ctx = nullptr);
 
   const std::vector<SlashEvent>& slash_events() const { return events_; }
 

@@ -72,6 +72,34 @@ FaultPlan FaultPlan::randomized(std::uint32_t n, SimTime horizon,
   return plan;
 }
 
+FaultPlan& FaultPlan::flapping(NodeId node, SimTime from, SimTime until,
+                               SimDuration period, double duty_cycle) {
+  SRBB_CHECK(period > 0);
+  const double duty = std::clamp(duty_cycle, 0.0, 1.0);
+  const auto up =
+      static_cast<SimDuration>(static_cast<double>(period) * duty);
+  for (SimTime cycle = from; cycle < until; cycle += period) {
+    const SimTime down_at = cycle + up;
+    const SimTime back_at = std::min<SimTime>(cycle + period, until);
+    if (down_at >= back_at) continue;  // no down window inside this cycle
+    crashes.push_back(CrashSpec{node, down_at, back_at});
+  }
+  return *this;
+}
+
+FaultPlan& FaultPlan::rolling_restart(std::uint32_t n, SimTime from,
+                                      SimDuration window,
+                                      SimDuration downtime) {
+  SRBB_CHECK(n > 0);
+  SRBB_CHECK(downtime > 0);
+  const SimDuration stride = window / n;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const SimTime at = from + static_cast<SimTime>(r) * stride;
+    crashes.push_back(CrashSpec{r, at, at + downtime});
+  }
+  return *this;
+}
+
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(std::move(plan)), rng_(plan_.seed ^ 0xC4A05ull) {}
 

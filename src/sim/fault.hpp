@@ -90,6 +90,22 @@ struct FaultPlan {
            crashes.empty() && delay_spikes.empty();
   }
 
+  /// Periodic crash/restart cycling for one node ("flapping"): starting at
+  /// `from`, each `period` the node runs for duty_cycle * period and is down
+  /// for the remainder, repeating until `until`. duty_cycle clamps to
+  /// [0, 1]; cycles whose down window would be empty (duty near 1) or start
+  /// past `until` are skipped. Builder-style: appends CrashSpecs and returns
+  /// *this so scenarios chain helpers onto one plan.
+  FaultPlan& flapping(NodeId node, SimTime from, SimTime until,
+                      SimDuration period, double duty_cycle);
+
+  /// Staggered crash/restart sweep across ranks 0..n-1 ("rolling restart"):
+  /// rank r crashes at from + r * (window / n) and restarts `downtime`
+  /// later. With downtime > window / n consecutive ranks overlap while down
+  /// — the interesting regime for quorum pressure.
+  FaultPlan& rolling_restart(std::uint32_t n, SimTime from, SimDuration window,
+                             SimDuration downtime);
+
   /// Seed-deterministic randomized plan over nodes 0..n-1 within
   /// [0, horizon): uniform link faults with drop <= max_drop (duplicate and
   /// reorder up to half that), one symmetric partition that always heals

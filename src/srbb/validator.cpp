@@ -47,6 +47,11 @@ ValidatorNode::ValidatorNode(sim::Simulation& simulation, sim::NodeId id,
     on_caught_up(frontier);
   };
   sync_ = std::make_unique<CatchUpSync>(sync_config, std::move(sync_cb));
+  if (config_.adaptive_membership) {
+    config_.reliability.n = config_.n;
+    config_.reliability.f = config_.f;
+    tracker_ = std::make_unique<rpm::ReliabilityTracker>(config_.reliability);
+  }
   register_obs();
 }
 
@@ -141,6 +146,15 @@ void ValidatorNode::handle_message(sim::NodeId from,
     syncing_ = true;
     sync_->start(next_commit_);
   }
+  // Adaptive membership: the view governing index k is a pure function of
+  // the commits up to k - kViewLag, so an instance may only exist once those
+  // commits landed locally. Traffic beyond the derivable horizon is dropped
+  // (NOT buffered in a passive instance — it would run under a stale view
+  // and could complete with the wrong quorums); the sync started above
+  // replays the gap, and the peers' rebroadcast timers re-deliver the live
+  // rounds afterwards. With a static committee every view is the same, so no
+  // drop is needed and behaviour is unchanged.
+  if (tracker_ != nullptr && index > tracker_->max_view_index()) return;
   instance_for(index).handle(from, message);
 }
 
@@ -254,6 +268,12 @@ SuperblockInstance& ValidatorNode::instance_for(std::uint64_t index) {
   sb_config.rebroadcast_interval = config_.rebroadcast_interval;
   sb_config.scheme = config_.scheme;
   sb_config.trace = config_.trace;
+  // Snapshot the governing view once: the instance keeps it for its whole
+  // life, so a later tracker advance (pruning old views) cannot affect it.
+  const consensus::MembershipView view =
+      tracker_ != nullptr ? tracker_->view_for(index)
+                          : consensus::MembershipView{};
+  sb_config.membership = view;
 
   SuperblockCallbacks cb;
   cb.broadcast = [this](sim::MessagePtr msg) {
@@ -267,7 +287,11 @@ SuperblockInstance& ValidatorNode::instance_for(std::uint64_t index) {
   cb.validate_header = [this](const txn::Block& block) {
     return validate_header(block);
   };
-  cb.expect_proposal = [this](std::uint32_t proposer) {
+  cb.expect_proposal = [this, view](std::uint32_t proposer) {
+    // Removed validators propose nothing ever again; disabled ones keep
+    // their slot (a decided-1 slot is their re-admission evidence), so only
+    // removal short-circuits the proposal timeout.
+    if (view.committee_n() != 0 && view.removed(proposer)) return false;
     if (rpm_ == nullptr || !config_.rpm) return true;
     const crypto::Identity who = config_.scheme->make_identity(proposer);
     return !rpm_->is_excluded(who.address());
@@ -348,6 +372,15 @@ bool ValidatorNode::validate_header(const txn::Block& block) const {
   // slashed proposers.
   if (rpm_ != nullptr && config_.rpm &&
       rpm_->is_excluded(expected.address())) {
+    return false;
+  }
+  // Adaptive membership: removal is permanent (slash-beats-disable), so a
+  // removed rank's blocks are invalid under the view governing their index.
+  // handle_message already dropped traffic beyond the derivable horizon, so
+  // the view lookup cannot miss.
+  if (tracker_ != nullptr &&
+      tracker_->view_for(block.header.index).removed(
+          static_cast<std::uint32_t>(block.header.proposer))) {
     return false;
   }
   return true;
@@ -471,6 +504,59 @@ void ValidatorNode::commit_index(std::uint64_t index,
     round_began_at_.erase(index);
   }
 
+  // Adaptive membership: fold this committed superblock into the reliability
+  // tracker — including during catch-up replay (the tracker is per-node and
+  // must observe every index exactly once to regrow the identical view
+  // sequence). Evidence is consensus-visible only: which ranks contributed a
+  // decided block, and each block's deterministic invalid-transaction count.
+  if (tracker_ != nullptr) {
+    std::vector<bool> contributed(config_.n, false);
+    std::vector<std::uint32_t> invalid_txs(config_.n, 0);
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      const auto proposer =
+          static_cast<std::uint32_t>(blocks[b]->header.proposer);
+      contributed[proposer] = true;
+      // Removal evidence counts only *provably* invalid transactions: ones
+      // whose sender is a virgin account (balance 0, nonce 0) — an account
+      // that could never have produced a valid transaction at any chain
+      // state, which is exactly the paper's flooding construction (§V-B).
+      // Honest blocks also carry invalid transactions under load — duplicate
+      // resends and cross-endpoint nonce races — but those come from funded
+      // senders, so they never accumulate toward removal. The predicate is
+      // evaluation-state-stable (flood senders are never funded, workload
+      // senders are genesis-funded), so every replica counts identically.
+      std::uint32_t invalid = 0;
+      const std::vector<TxOutcome>& outcomes = result.blocks[b].outcomes;
+      for (std::size_t t = 0; t < outcomes.size(); ++t) {
+        if (outcomes[t].valid) continue;
+        const Address& sender = blocks[b]->txs[t]->sender;
+        if (oracle_->db().balance(sender).is_zero() &&
+            oracle_->db().nonce(sender) == 0) {
+          ++invalid;
+        }
+      }
+      invalid_txs[proposer] += invalid;
+    }
+    const std::vector<rpm::MembershipEvent> events =
+        tracker_->on_superblock_committed(index, contributed, invalid_txs);
+    for (const rpm::MembershipEvent& event : events) {
+      switch (event.kind) {
+        case rpm::MembershipEvent::Kind::kDisabled:
+          ++metrics_.membership_disables;
+          break;
+        case rpm::MembershipEvent::Kind::kReadmitted:
+          ++metrics_.membership_readmissions;
+          break;
+        case rpm::MembershipEvent::Kind::kRemoved:
+          ++metrics_.membership_removals;
+          break;
+      }
+      SRBB_TRACE(config_.trace, now(), 0, config_.self, "membership",
+                 "membership.event", "rank", event.rank, "kind",
+                 static_cast<std::uint64_t>(event.kind));
+    }
+  }
+
   // During catch-up replay the RPM hooks are skipped: the pre-crash run (and
   // every live peer) already reported these indices to the shared contract,
   // so replaying the reports would double-count them.
@@ -592,6 +678,11 @@ void ValidatorNode::crash() {
   parent_hash_ = Hash32{};
   chain_.clear();
   last_state_root_ = Hash32{};
+  if (tracker_ != nullptr) {
+    // Rebuilt from genesis; the catch-up replay feeds it every committed
+    // index again, regrowing the identical deterministic view sequence.
+    tracker_ = std::make_unique<rpm::ReliabilityTracker>(config_.reliability);
+  }
   if (config_.oracle_private) oracle_->reset();
 }
 
@@ -671,8 +762,25 @@ void ValidatorNode::finish_sync() {
 void ValidatorNode::run_rpm_hooks(std::uint64_t index,
                                   const std::vector<txn::BlockPtr>& blocks,
                                   const IndexExecResult& result) {
+  // Adaptive membership composes with RPM through the quorum context: the
+  // propReceived / report thresholds run over the effective committee of the
+  // view governing this index, and a disabled proposer accrues no reward
+  // (its key is still consumed). Without a tracker the contract keeps its
+  // static n - f thresholds.
+  rpm::QuorumContext ctx;
+  const rpm::QuorumContext* ctx_ptr = nullptr;
+  consensus::MembershipView view;
+  if (tracker_ != nullptr) {
+    view = tracker_->view_for(index);
+    ctx.quorums = view.quorums();
+    ctx_ptr = &ctx;
+  }
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     const txn::BlockPtr& block = blocks[b];
+    if (ctx_ptr != nullptr) {
+      ctx.proposer_reward_eligible =
+          view.counts(static_cast<std::uint32_t>(block->header.proposer));
+    }
     rpm::BlockSummary summary;
     summary.proposer_pubkey = block->header.cert.proposer_pubkey;
     summary.signed_tx_root = block->header.cert.signed_tx_root;
@@ -682,7 +790,7 @@ void ValidatorNode::run_rpm_hooks(std::uint64_t index,
       summary.total_fees += outcome.fee;
     }
     rpm_->prop_received(identity_.address(), summary,
-                        static_cast<std::uint32_t>(b), index);
+                        static_cast<std::uint32_t>(b), index, ctx_ptr);
 
     // Report every invalid transaction with its Merkle inclusion proof.
     std::vector<Hash32> leaves;
@@ -691,7 +799,8 @@ void ValidatorNode::run_rpm_hooks(std::uint64_t index,
     for (std::size_t t = 0; t < block->txs.size(); ++t) {
       if (result.blocks[b].outcomes[t].valid) continue;
       const crypto::MerkleProof proof = crypto::merkle_prove(leaves, t);
-      rpm_->report(identity_.address(), summary, index, leaves[t], proof);
+      rpm_->report(identity_.address(), summary, index, leaves[t], proof,
+                   ctx_ptr);
     }
   }
 }

@@ -30,6 +30,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pool/txpool.hpp"
+#include "rpm/reliability.hpp"
 #include "rpm/rpm.hpp"
 #include "sim/gossip.hpp"
 #include "sim/network.hpp"
@@ -98,6 +99,17 @@ struct ValidatorConfig {
   SimDuration sync_request_timeout = millis(250);
   std::uint32_t sync_backoff_cap = 4;
 
+  // --- adaptive membership (DESIGN.md §13) ---
+  /// Derive per-validator reliability scores from the committed superblock
+  /// sequence and run consensus quorums over the effective committee
+  /// (disabled validators stop counting; removed validators' blocks are
+  /// rejected outright). Off (the default) keeps the static all-active
+  /// committee — bit-identical to the pre-membership behaviour.
+  bool adaptive_membership = false;
+  /// Scoring / hysteresis parameters for the reliability tracker. The (n, f)
+  /// fields are overwritten from this config's own n / f at construction.
+  rpm::ReliabilityConfig reliability;
+
   // --- observability (DESIGN.md §8) ---
   /// Commit-path trace sink and shared metrics registry (neither owned;
   /// typically one of each per run, shared across nodes). Both null by
@@ -126,6 +138,11 @@ class ValidatorNode : public sim::SimNode {
     std::uint64_t restarts = 0;
     std::uint64_t superblocks_synced = 0;     // fetched via catch-up sync
     std::uint64_t sync_requests_served = 0;
+    // Adaptive-membership events observed locally (deterministic across
+    // correct nodes at equal heights).
+    std::uint64_t membership_disables = 0;
+    std::uint64_t membership_readmissions = 0;
+    std::uint64_t membership_removals = 0;
   };
 
   ValidatorNode(sim::Simulation& simulation, sim::NodeId id,
@@ -161,6 +178,8 @@ class ValidatorNode : public sim::SimNode {
   const CatchUpSync::Stats& sync_stats() const { return sync_->stats(); }
   const CatchUpSync& catch_up() const { return *sync_; }
   std::uint64_t current_round() const { return current_round_; }
+  /// Adaptive-membership tracker; nullptr when adaptive_membership is off.
+  const rpm::ReliabilityTracker* reliability() const { return tracker_.get(); }
   /// Introspection for the chaos harness; nullptr when no instance exists.
   const consensus::SuperblockInstance* instance(std::uint64_t index) const {
     const auto it = instances_.find(index);
@@ -245,6 +264,13 @@ class ValidatorNode : public sim::SimNode {
   std::uint64_t sync_frontier_ = 0;
   std::uint64_t epoch_ = 0;       // bumped by crash(); disarms old closures
   std::unique_ptr<CatchUpSync> sync_;
+
+  /// Adaptive membership (DESIGN.md §13): non-null iff
+  /// config_.adaptive_membership. Fed the committed superblock sequence in
+  /// commit_index (including catch-up replay — the tracker is per-node and
+  /// must observe every index exactly once); crash() rebuilds it from
+  /// genesis, and the replay regrows the identical view sequence.
+  std::unique_ptr<rpm::ReliabilityTracker> tracker_;
 
   Metrics metrics_;
 

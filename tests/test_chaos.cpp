@@ -70,6 +70,9 @@ struct ChaosOptions {
   std::uint32_t f = 1;
   bool tvpr = true;
   bool parallel_execution = false;  // ChaosParallel.* (TSan subset) sets this
+  /// Adaptive membership (DESIGN.md §13): reliability scoring + the bounded
+  /// disabled list. ChaosChurn.* scenarios set this.
+  bool adaptive = false;
   SimDuration rebroadcast_interval = millis(200);
   sim::FaultPlan plan;
   // Workload: `tx_count` transfers, one every `tx_interval`, submitted
@@ -131,6 +134,7 @@ struct ChaosNet {
       // responses would push the next retry past the liveness probe window.
       config.sync_request_timeout = millis(150);
       config.sync_backoff_cap = 2;
+      config.adaptive_membership = opts.adaptive;
       config.trace = opts.trace;
       auto oracle = std::make_shared<ExecutionOracle>(genesis, block_template,
                                                       scheme());
@@ -182,6 +186,19 @@ struct ChaosNet {
       height = std::min(height, validator->chain_height());
     }
     return height;
+  }
+
+  /// Commit frontier over the validators that are up (crashed nodes sit at
+  /// height 0 after the wipe and would mask the live committee's progress).
+  /// `skip` additionally excludes one rank (e.g. a flapping node that is
+  /// technically up but perpetually resyncing).
+  std::uint64_t live_min_height(std::uint32_t skip = UINT32_MAX) const {
+    std::uint64_t height = UINT64_MAX;
+    for (std::size_t i = 0; i < validators.size(); ++i) {
+      if (i == skip || validators[i]->crashed()) continue;
+      height = std::min(height, validators[i]->chain_height());
+    }
+    return height == UINT64_MAX ? 0 : height;
   }
 
   /// Per-validator progress snapshot, printed when SRBB_CHAOS_DEBUG is set.
@@ -267,6 +284,14 @@ struct ChaosNet {
       fold_u64(m.crashes);
       fold_u64(m.restarts);
       fold_u64(m.superblocks_synced);
+      fold_u64(m.membership_disables);
+      fold_u64(m.membership_readmissions);
+      fold_u64(m.membership_removals);
+      // Byte-determinism of disabling/re-admission: the tracker digest folds
+      // scores, streaks, statuses, and the full event log.
+      if (validator->reliability() != nullptr) {
+        digest.update(validator->reliability()->fingerprint().view());
+      }
       const sim::NodeStats& s = validator->stats();
       fold_u64(s.messages_sent);
       fold_u64(s.messages_received);
@@ -646,6 +671,267 @@ TEST(ChaosParallel, CrashRecoveryUnderParallelExecution) {
   EXPECT_FALSE(net.validators[2]->syncing());
   EXPECT_GT(net.min_height(), 4u);
   net.expect_no_divergence();
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive membership under churn (DESIGN.md §13, docs/FAULTS.md)
+// ---------------------------------------------------------------------------
+
+// Three validators of nine crash for good, each crash arriving while the
+// committee still tolerates it: rank 6 at 1s, rank 7 at 3.5s, rank 8 at 6s.
+// Gradual is the operative word — reliability scores only move at commits, so
+// a *sudden* >f wipeout stalls before anyone can be disabled (documented
+// limitation, exactly rippled's); spaced crashes give the scoring time to
+// disable each casualty before the next one lands.
+sim::FaultPlan gradual_three_crashes() {
+  sim::FaultPlan plan;
+  plan.seed = 3;
+  plan.crashes.push_back({6, seconds(1), 0});
+  plan.crashes.push_back({7, millis(3500), 0});
+  plan.crashes.push_back({8, seconds(6), 0});
+  return plan;
+}
+
+ChaosOptions churn_options(bool adaptive) {
+  ChaosOptions opts;
+  opts.n = 9;
+  opts.f = 2;
+  opts.adaptive = adaptive;
+  opts.tx_count = 100;
+  return opts;
+}
+
+// Pinned regression for the stall a static committee cannot avoid: after the
+// third crash only 6 validators are live, forever short of the fixed
+// n - f = 7 completion quorum. If this test ever starts committing past the
+// third crash without adaptive membership, the quorum arithmetic changed.
+TEST(ChaosChurn, FixedQuorumStallsWhenMoreThanFCrashGradually) {
+  ChaosOptions opts = churn_options(/*adaptive=*/false);
+  opts.plan = gradual_three_crashes();
+  ChaosNet net{opts};
+
+  std::uint64_t height_after_third = 0;
+  net.sim.schedule_at(seconds(7), [&net, &height_after_third] {
+    height_after_third = net.live_min_height();
+  });
+  net.run_until(seconds(13));
+
+  net.debug_dump();
+  // At most the superblock already in flight at the third crash completes;
+  // from then on the frontier is frozen.
+  EXPECT_LE(net.live_min_height(), height_after_third + 1);
+  net.expect_no_divergence();
+}
+
+// The same plan with adaptive membership: the first two casualties cross the
+// low-water mark and join the disabled list (cap floor((9-1)/4) = 2), the
+// quorums shrink to the effective committee, and the chain keeps committing
+// through the third crash even though the cap leaves rank 8 undisabled (its
+// slot just times out every round — the degraded-cadence dip the ablation
+// bench measures).
+TEST(ChaosChurn, AdaptiveMembershipCommitsThroughGradualChurn) {
+  ChaosOptions opts = churn_options(/*adaptive=*/true);
+  opts.plan = gradual_three_crashes();
+  ChaosNet net{opts};
+
+  std::uint64_t height_after_third = 0;
+  net.sim.schedule_at(seconds(7), [&net, &height_after_third] {
+    height_after_third = net.live_min_height();
+  });
+  net.run_until(seconds(13));
+
+  net.debug_dump();
+  EXPECT_GE(net.live_min_height(), height_after_third + 3)
+      << "adaptive membership failed to keep the chain live past >f crashes";
+  const rpm::ReliabilityTracker* tracker = net.validators[0]->reliability();
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_EQ(tracker->current_view().disabled_count(), 2u);  // cap saturated
+  EXPECT_GE(net.validators[0]->metrics().membership_disables, 2u);
+  EXPECT_EQ(net.validators[0]->metrics().membership_removals, 0u);
+  // Every live validator derived the identical membership state.
+  for (const auto& validator : net.validators) {
+    if (validator->crashed() || validator->syncing()) continue;
+    ASSERT_NE(validator->reliability(), nullptr);
+    if (validator->chain_height() == net.validators[0]->chain_height()) {
+      EXPECT_EQ(validator->reliability()->fingerprint(),
+                tracker->fingerprint());
+    }
+  }
+  net.expect_no_divergence();
+}
+
+// Recovery path: a crashed validator is disabled, restarts, catches up via
+// the existing CatchUpSync, contributes decided blocks again, and is
+// deterministically re-admitted once it clears the high-water mark for
+// readmit_window consecutive superblocks.
+TEST(ChaosChurn, DisabledValidatorIsReadmittedAfterCatchUp) {
+  ChaosOptions opts = churn_options(/*adaptive=*/true);
+  opts.plan.crashes.push_back({4, seconds(1), seconds(4)});
+  ChaosNet net{opts};
+  net.run_until(seconds(12));
+
+  net.debug_dump();
+  ValidatorNode& revenant = *net.validators[4];
+  EXPECT_FALSE(revenant.crashed());
+  EXPECT_FALSE(revenant.syncing());
+  EXPECT_GT(revenant.metrics().superblocks_synced, 0u);  // caught up first
+  EXPECT_GE(net.validators[0]->metrics().membership_disables, 1u);
+  EXPECT_GE(net.validators[0]->metrics().membership_readmissions, 1u);
+  const rpm::ReliabilityTracker* tracker = net.validators[0]->reliability();
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_TRUE(tracker->current_view().counts(4));  // back in the committee
+  EXPECT_EQ(tracker->current_view().effective_n(), 9u);
+  std::uint64_t max_height = 0;
+  for (const auto& validator : net.validators) {
+    max_height = std::max(max_height, validator->chain_height());
+  }
+  EXPECT_GE(revenant.chain_height() + 2, max_height)
+      << "re-admitted validator did not rejoin the frontier";
+  net.expect_no_divergence();
+}
+
+// Hysteresis: a flapping validator (up 200ms, down 400ms, forever wiping and
+// resyncing) is disabled once and never re-admitted — the re-admission
+// streak requires readmit_window *consecutive* contributed superblocks.
+TEST(ChaosChurn, FlappingValidatorStaysDisabled) {
+  ChaosOptions opts = churn_options(/*adaptive=*/true);
+  opts.plan.flapping(/*node=*/5, seconds(1), seconds(9), millis(600),
+                     /*duty_cycle=*/1.0 / 3.0);
+  ChaosNet net{opts};
+  net.run_until(seconds(9));
+
+  net.debug_dump();
+  const rpm::ReliabilityTracker* tracker = net.validators[0]->reliability();
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_GE(net.validators[0]->metrics().membership_disables, 1u);
+  EXPECT_EQ(net.validators[0]->metrics().membership_readmissions, 0u);
+  EXPECT_TRUE(tracker->current_view().disabled(5));
+  // The rest of the committee is unaffected by the flapping.
+  EXPECT_GT(net.live_min_height(/*skip=*/5), 8u);
+  net.expect_no_divergence();
+}
+
+// A staggered rolling restart (one rank every 500ms, each down 400ms) stays
+// within the tolerance envelope: nobody is disabled long-term, nobody is
+// removed, and every validator ends caught up.
+TEST(ChaosChurn, RollingRestartRetainsLivenessAndSafety) {
+  ChaosOptions opts = churn_options(/*adaptive=*/true);
+  opts.plan.rolling_restart(/*n=*/9, seconds(1), millis(4500), millis(400));
+  ChaosNet net{opts};
+  net.run_until(seconds(12));
+
+  net.debug_dump();
+  std::uint64_t max_height = 0;
+  for (const auto& validator : net.validators) {
+    EXPECT_FALSE(validator->crashed());
+    EXPECT_EQ(validator->metrics().crashes, 1u);
+    EXPECT_EQ(validator->metrics().restarts, 1u);
+    EXPECT_EQ(validator->metrics().membership_removals, 0u);
+    max_height = std::max(max_height, validator->chain_height());
+  }
+  EXPECT_GT(net.min_height(), 10u);
+  for (const auto& validator : net.validators) {
+    EXPECT_GE(validator->chain_height() + 2, max_height)
+        << "validator left behind after the rolling restart";
+  }
+  net.expect_no_divergence();
+}
+
+// Fault-free equivalence: with nothing failing, adaptive membership derives
+// the all-active view everywhere and must produce the exact chains of a
+// static-committee run — the guard that keeps golden traces valid.
+TEST(ChaosChurn, FaultFreeRunsMatchWithAdaptiveOnAndOff) {
+  const auto run = [](bool adaptive) {
+    ChaosOptions opts = churn_options(adaptive);
+    opts.tx_count = 60;
+    ChaosNet net{opts};
+    net.run_until(seconds(6));
+    std::vector<std::vector<Hash32>> chains;
+    for (const auto& validator : net.validators) {
+      chains.push_back(validator->chain());
+    }
+    return chains;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// Disabling and re-admission are byte-deterministic: the full run — fault
+// schedule, membership events, tracker digests — is a pure function of the
+// seed, across >= 20 seeds (sweepable via SRBB_CHAOS_SEED_BASE/_SEEDS).
+TEST(ChaosChurn, AdaptiveRunsAreSeedDeterministic) {
+  const std::uint64_t base = env_u64("SRBB_CHAOS_SEED_BASE", 1);
+  const std::uint64_t count = env_u64("SRBB_CHAOS_SEEDS", 20);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const auto run = [seed] {
+      ChaosOptions opts = churn_options(/*adaptive=*/true);
+      opts.tx_count = 60;
+      opts.plan.seed = seed;
+      opts.plan.default_link.drop = 0.05;
+      opts.plan.default_link.reorder = 0.1;
+      // One permanent casualty (gets disabled) plus one crash/recover cycle
+      // (may be disabled and re-admitted), ranks varying with the seed.
+      opts.plan.crashes.push_back(
+          {static_cast<sim::NodeId>(seed % 9), seconds(1), 0});
+      opts.plan.crashes.push_back({static_cast<sim::NodeId>((seed + 3) % 9),
+                                   millis(3500), seconds(5)});
+      ChaosNet net{opts};
+      net.run_until(seconds(8));
+      net.expect_no_divergence();
+      return net.fingerprint();
+    };
+    ASSERT_EQ(run(), run()) << "adaptive run is not a pure function of seed";
+  }
+}
+
+// Long-horizon churn soak — 30% of a 13-strong committee offline through a
+// window (three permanent-ish crashes plus one flapper) — run by
+// tools/chaos_soak.sh --ci (churn leg); skipped in the regular suite.
+TEST(ChaosChurnSoak, ThirtyPercentOfflineWindowWithFlapping) {
+  if (std::getenv("SRBB_CHURN_SOAK") == nullptr) {
+    GTEST_SKIP() << "set SRBB_CHURN_SOAK=1 (tools/chaos_soak.sh --ci runs it)";
+  }
+  const std::uint64_t base = env_u64("SRBB_CHAOS_SEED_BASE", 1);
+  const std::uint64_t count = env_u64("SRBB_CHAOS_SEEDS", 4);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ChaosOptions opts;
+    opts.n = 13;
+    opts.f = 4;
+    opts.adaptive = true;
+    opts.tx_count = 200;
+    opts.tx_interval = millis(50);
+    opts.plan.seed = seed;
+    opts.plan.default_link.drop = 0.05;
+    // 4 of 13 validators (~30%) offline inside the window: three staggered
+    // long crashes that heal at 14s, one flapper from 2s to 12s.
+    opts.plan.crashes.push_back({10, seconds(1), seconds(14)});
+    opts.plan.crashes.push_back({11, seconds(3), seconds(14)});
+    opts.plan.crashes.push_back({12, seconds(5), seconds(14)});
+    opts.plan.flapping(/*node=*/0, seconds(2), seconds(12), millis(800),
+                       /*duty_cycle=*/0.5);
+    ChaosNet net{opts};
+
+    std::uint64_t height_mid_window = 0;
+    net.sim.schedule_at(seconds(8), [&net, &height_mid_window] {
+      height_mid_window = net.live_min_height(/*skip=*/0);
+    });
+    net.run_until(seconds(20));
+
+    net.debug_dump();
+    // Liveness through the window and full recovery after it.
+    EXPECT_GT(height_mid_window, 5u);
+    EXPECT_GE(net.live_min_height(/*skip=*/0), height_mid_window + 5);
+    std::uint64_t max_height = 0;
+    for (const auto& validator : net.validators) {
+      EXPECT_FALSE(validator->crashed());
+      max_height = std::max(max_height, validator->chain_height());
+    }
+    EXPECT_GE(net.validators[10]->chain_height() + 3, max_height)
+        << "long-crashed validator failed to catch back up";
+    EXPECT_GE(net.validators[0]->metrics().membership_disables, 1u);
+    net.expect_no_divergence();
+  }
 }
 
 }  // namespace

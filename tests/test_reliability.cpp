@@ -1,0 +1,383 @@
+// Tests of the adaptive-membership layer (DESIGN.md §13): the shared quorum
+// arithmetic, MembershipView bookkeeping, and the deterministic reliability
+// tracker — scoring, the bounded disabled list, slash-beats-disable removal,
+// hysteretic re-admission, the view-lag rule, and bit-for-bit determinism of
+// the whole state machine across seeds.
+#include "rpm/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "consensus/quorum.hpp"
+
+namespace srbb::rpm {
+namespace {
+
+using consensus::MembershipView;
+using consensus::MemberStatus;
+using consensus::QuorumParams;
+
+// ---------------------------------------------------------------------------
+// QuorumParams — the extracted f+1 / 2f+1 / n-f arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(QuorumParams, ClassicDbftThresholds) {
+  const QuorumParams q{4, 1};
+  EXPECT_EQ(q.amplify(), 2u);        // f+1
+  EXPECT_EQ(q.binding(), 3u);        // 2f+1
+  EXPECT_EQ(q.supermajority(), 3u);  // n-f
+  EXPECT_EQ(q.adoption(), 2u);       // f+1
+}
+
+TEST(QuorumParams, LargerCommittee) {
+  const QuorumParams q{9, 2};
+  EXPECT_EQ(q.amplify(), 3u);
+  EXPECT_EQ(q.binding(), 5u);
+  EXPECT_EQ(q.supermajority(), 7u);
+  EXPECT_EQ(q.adoption(), 3u);
+}
+
+TEST(QuorumParams, MaxFaults) {
+  EXPECT_EQ(QuorumParams::max_faults(0), 0u);
+  EXPECT_EQ(QuorumParams::max_faults(3), 0u);
+  EXPECT_EQ(QuorumParams::max_faults(4), 1u);
+  EXPECT_EQ(QuorumParams::max_faults(6), 1u);
+  EXPECT_EQ(QuorumParams::max_faults(7), 2u);
+  EXPECT_EQ(QuorumParams::max_faults(9), 2u);
+  EXPECT_EQ(QuorumParams::max_faults(10), 3u);
+  EXPECT_EQ(QuorumParams::max_faults(16), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// MembershipView
+// ---------------------------------------------------------------------------
+
+TEST(MembershipView, DefaultIsUnset) {
+  const MembershipView view;
+  EXPECT_EQ(view.committee_n(), 0u);
+  EXPECT_FALSE(view.counts(0));  // nothing counts in an unset view
+}
+
+TEST(MembershipView, AllActiveMatchesStaticCommittee) {
+  const MembershipView view(9, 2);
+  EXPECT_EQ(view.effective_n(), 9u);
+  EXPECT_EQ(view.effective_f(), 2u);
+  EXPECT_EQ(view.quorums(), (QuorumParams{9, 2}));
+  for (std::uint32_t r = 0; r < 9; ++r) EXPECT_TRUE(view.counts(r));
+  EXPECT_FALSE(view.counts(9));   // out of range: clients never count
+  EXPECT_FALSE(view.counts(42));
+}
+
+TEST(MembershipView, DisablingShrinksQuorumsInLockStep) {
+  MembershipView view(9, 2);
+  view.set_status(3, MemberStatus::kDisabled);
+  view.set_status(7, MemberStatus::kDisabled);
+  EXPECT_EQ(view.disabled_count(), 2u);
+  EXPECT_EQ(view.effective_n(), 7u);
+  EXPECT_EQ(view.effective_f(), 2u);  // floor((7-1)/3) = 2 still covers f
+  const QuorumParams q = view.quorums();
+  EXPECT_EQ(q.supermajority(), 5u);  // n'-f' — the certificate threshold
+  EXPECT_EQ(q.binding(), 5u);
+  EXPECT_FALSE(view.counts(3));
+  EXPECT_FALSE(view.counts(7));
+  EXPECT_TRUE(view.counts(0));
+}
+
+TEST(MembershipView, EffectiveFNeverExceedsShrunkenTolerance) {
+  MembershipView view(9, 2);
+  // Shrink hard: 4 removals leave n' = 5, which bears only f = 1.
+  for (std::uint32_t r = 5; r < 9; ++r) {
+    view.set_status(r, MemberStatus::kRemoved);
+  }
+  EXPECT_EQ(view.effective_n(), 5u);
+  EXPECT_EQ(view.effective_f(), 1u);
+  EXPECT_EQ(view.removed_count(), 4u);
+}
+
+TEST(MembershipView, DisableCapIsFloorNMinusOneOverFour) {
+  EXPECT_EQ(MembershipView::disable_cap(0), 0u);
+  EXPECT_EQ(MembershipView::disable_cap(4), 0u);
+  EXPECT_EQ(MembershipView::disable_cap(5), 1u);
+  EXPECT_EQ(MembershipView::disable_cap(9), 2u);
+  EXPECT_EQ(MembershipView::disable_cap(13), 3u);
+  EXPECT_EQ(MembershipView::disable_cap(16), 3u);
+  EXPECT_EQ(MembershipView::disable_cap(17), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// ReliabilityTracker
+// ---------------------------------------------------------------------------
+
+ReliabilityConfig config_for(std::uint32_t n, std::uint32_t f) {
+  ReliabilityConfig c;
+  c.n = n;
+  c.f = f;
+  return c;
+}
+
+/// Feed one commit where every rank in `absent` missed and everyone else
+/// contributed a clean block.
+std::vector<MembershipEvent> commit(ReliabilityTracker& tracker,
+                                    const std::vector<std::uint32_t>& absent,
+                                    std::uint32_t flood_rank = UINT32_MAX,
+                                    std::uint32_t flood_invalid = 0) {
+  const std::uint32_t n = tracker.config().n;
+  std::vector<bool> contributed(n, true);
+  std::vector<std::uint32_t> invalid(n, 0);
+  for (const std::uint32_t r : absent) contributed[r] = false;
+  if (flood_rank != UINT32_MAX) invalid[flood_rank] = flood_invalid;
+  return tracker.on_superblock_committed(tracker.next_index(), contributed,
+                                         invalid);
+}
+
+TEST(ReliabilityTracker, FaultFreeRunProducesNoEvents) {
+  ReliabilityTracker tracker(config_for(9, 2));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(commit(tracker, {}).empty());
+  }
+  EXPECT_TRUE(tracker.events().empty());
+  EXPECT_EQ(tracker.current_view().effective_n(), 9u);
+  for (std::uint32_t r = 0; r < 9; ++r) {
+    EXPECT_EQ(tracker.score(r), tracker.config().score_max);
+  }
+}
+
+TEST(ReliabilityTracker, ScoresSaturateAndDebitFasterThanCredit) {
+  ReliabilityTracker tracker(config_for(4, 1));
+  const ReliabilityConfig& c = tracker.config();
+  EXPECT_EQ(tracker.score(2), c.score_initial);
+  commit(tracker, {2});
+  EXPECT_EQ(tracker.score(2), c.score_initial - c.debit);
+  EXPECT_EQ(tracker.readmit_streak(2), 0u);
+  commit(tracker, {});
+  EXPECT_EQ(tracker.score(2), c.score_initial - c.debit + c.credit);
+  EXPECT_EQ(tracker.readmit_streak(2), 1u);
+  // Saturation at score_max; debit saturates at 0.
+  for (int i = 0; i < 20; ++i) commit(tracker, {});
+  EXPECT_EQ(tracker.score(2), c.score_max);
+  for (int i = 0; i < 20; ++i) commit(tracker, {2});
+  EXPECT_EQ(tracker.score(2), 0u);
+}
+
+TEST(ReliabilityTracker, ChronicAbsenteeIsDisabledAfterLagFromViews) {
+  ReliabilityTracker tracker(config_for(9, 2));
+  // debit 2 per miss from 8: scores 6, 4, 2, 0 — crosses low_water=2 at the
+  // 4th miss (index 3).
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(commit(tracker, {8}).empty());
+  }
+  const auto events = commit(tracker, {8});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MembershipEvent::Kind::kDisabled);
+  EXPECT_EQ(events[0].rank, 8u);
+  EXPECT_EQ(events[0].index, 3u);
+  // View lag: the disable lands in the view governing index 3+2=5, not
+  // earlier. view_for(4) derives from commits <= 2, all pre-disable.
+  EXPECT_FALSE(tracker.view_for(4).disabled(8));
+  EXPECT_TRUE(tracker.view_for(5).disabled(8));
+  EXPECT_EQ(tracker.view_for(5).effective_n(), 8u);
+  EXPECT_EQ(tracker.max_view_index(), 5u);
+}
+
+TEST(ReliabilityTracker, GenesisViewGovernsFirstTwoIndices) {
+  ReliabilityTracker tracker(config_for(4, 1));
+  EXPECT_EQ(tracker.max_view_index(), 1u);
+  EXPECT_EQ(tracker.view_for(0).effective_n(), 4u);
+  EXPECT_EQ(tracker.view_for(1).effective_n(), 4u);
+}
+
+TEST(ReliabilityTracker, DisabledListSaturatesAtCapOnePerSuperblock) {
+  // n=16: cap = floor(15/4) = 3. Five ranks go dark together; only three may
+  // ever be disabled, one per superblock, lowest rank first (equal scores).
+  ReliabilityTracker tracker(config_for(16, 5));
+  const std::vector<std::uint32_t> dark{11, 12, 13, 14, 15};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(commit(tracker, dark).empty());
+  }
+  std::vector<std::uint32_t> disabled_order;
+  for (int i = 0; i < 6; ++i) {
+    for (const MembershipEvent& e : commit(tracker, dark)) {
+      ASSERT_EQ(e.kind, MembershipEvent::Kind::kDisabled);
+      disabled_order.push_back(e.rank);
+    }
+  }
+  EXPECT_EQ(disabled_order, (std::vector<std::uint32_t>{11, 12, 13}));
+  EXPECT_EQ(tracker.current_view().disabled_count(), 3u);
+  EXPECT_TRUE(tracker.current_view().counts(14));  // over cap: still counted
+  EXPECT_TRUE(tracker.current_view().counts(15));
+  EXPECT_EQ(tracker.current_view().effective_n(), 13u);
+}
+
+TEST(ReliabilityTracker, FloodingProposerIsRemovedNotDisabled) {
+  ReliabilityTracker tracker(config_for(9, 2));
+  const std::uint32_t threshold = tracker.config().removal_invalid_threshold;
+  // Below the threshold: incidental commit-time invalidity is not removal
+  // evidence (honest proposers hit by cross-endpoint races survive).
+  EXPECT_TRUE(commit(tracker, {}, 4, threshold - 1).empty());
+  const auto events = commit(tracker, {}, 4, threshold);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MembershipEvent::Kind::kRemoved);
+  EXPECT_EQ(events[0].rank, 4u);
+  EXPECT_TRUE(tracker.current_view().removed(4));
+  EXPECT_EQ(tracker.score(4), 0u);
+  // Removal is permanent: contributing again never re-admits.
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(commit(tracker, {}).empty());
+  }
+  EXPECT_TRUE(tracker.current_view().removed(4));
+  EXPECT_EQ(tracker.score(4), 0u);  // scores frozen for the removed
+}
+
+TEST(ReliabilityTracker, SlashBeatsDisableAndFreesTheCapSlot) {
+  // n=5: cap = 1. Rank 4 gets disabled; then it floods and is removed —
+  // the removal frees the single disabled-list slot so rank 3 (also failing)
+  // can be disabled afterwards.
+  ReliabilityTracker tracker(config_for(5, 1));
+  for (int i = 0; i < 4; ++i) commit(tracker, {4});
+  EXPECT_TRUE(tracker.current_view().disabled(4));
+  EXPECT_EQ(tracker.current_view().disabled_count(), 1u);
+
+  // Rank 3 fails too: the cap is full, so no second disable happens.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(commit(tracker, {3, 4}).empty());
+  }
+  EXPECT_TRUE(tracker.current_view().counts(3));
+
+  // The disabled rank 4 floods (its slot still runs — that is by design);
+  // removal and the newly-freed disable land in the same commit.
+  const auto events = commit(tracker, {3}, 4, 100);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, MembershipEvent::Kind::kRemoved);
+  EXPECT_EQ(events[0].rank, 4u);
+  EXPECT_EQ(events[1].kind, MembershipEvent::Kind::kDisabled);
+  EXPECT_EQ(events[1].rank, 3u);
+  EXPECT_TRUE(tracker.current_view().removed(4));
+  EXPECT_TRUE(tracker.current_view().disabled(3));
+  EXPECT_EQ(tracker.current_view().effective_n(), 3u);
+}
+
+TEST(ReliabilityTracker, ReadmissionRequiresScoreAndStreak) {
+  ReliabilityTracker tracker(config_for(9, 2));
+  for (int i = 0; i < 4; ++i) commit(tracker, {0});
+  EXPECT_TRUE(tracker.current_view().disabled(0));
+
+  // Recovery: credit=1/commit from score 0; high_water=6 and
+  // readmit_window=3 are both satisfied after 6 contributing commits.
+  std::vector<MembershipEvent> events;
+  int commits_to_readmit = 0;
+  while (tracker.current_view().disabled(0)) {
+    events = commit(tracker, {});
+    ++commits_to_readmit;
+    ASSERT_LT(commits_to_readmit, 20);
+  }
+  EXPECT_EQ(commits_to_readmit, 6);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MembershipEvent::Kind::kReadmitted);
+  EXPECT_EQ(events[0].rank, 0u);
+  EXPECT_EQ(tracker.current_view().effective_n(), 9u);
+}
+
+TEST(ReliabilityTracker, FlappingValidatorStaysDisabled) {
+  // Alternating contribute/miss: the streak never reaches readmit_window and
+  // the score never climbs (credit 1 up, debit 2 down), so hysteresis holds.
+  ReliabilityTracker tracker(config_for(9, 2));
+  for (int i = 0; i < 4; ++i) commit(tracker, {5});
+  EXPECT_TRUE(tracker.current_view().disabled(5));
+  for (int i = 0; i < 40; ++i) {
+    const auto events =
+        (i % 2 == 0) ? commit(tracker, {}) : commit(tracker, {5});
+    EXPECT_TRUE(events.empty());
+  }
+  EXPECT_TRUE(tracker.current_view().disabled(5));
+}
+
+TEST(ReliabilityTracker, ReadmissionRacesNewCrashAtSaturatedCap) {
+  // n=9: cap = 2, both slots taken (ranks 0 and 1). Rank 0 recovers while
+  // rank 2 fails: the commit that re-admits 0 also disables 2 — the swap
+  // works even at cap saturation because re-admission is processed first.
+  ReliabilityTracker tracker(config_for(9, 2));
+  for (int i = 0; i < 4; ++i) commit(tracker, {0, 1});
+  ASSERT_TRUE(tracker.current_view().disabled(0));
+  for (int i = 0; i < 1; ++i) commit(tracker, {1});  // one more miss for 1
+  ASSERT_TRUE(tracker.current_view().disabled(1));
+  ASSERT_EQ(tracker.current_view().disabled_count(), 2u);
+
+  // Rank 0 contributes from here (score 1, streak 1 already — it came back
+  // in the commit that disabled rank 1) and reaches high_water=6 after five
+  // more contributing commits. Rank 2 starts missing four commits before
+  // that point (8 -> 0 at debit 2), so both thresholds cross together.
+  EXPECT_TRUE(commit(tracker, {1}).empty());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(commit(tracker, {1, 2}).empty());
+  }
+  const auto events = commit(tracker, {1, 2});
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, MembershipEvent::Kind::kReadmitted);
+  EXPECT_EQ(events[0].rank, 0u);
+  EXPECT_EQ(events[1].kind, MembershipEvent::Kind::kDisabled);
+  EXPECT_EQ(events[1].rank, 2u);
+  EXPECT_EQ(tracker.current_view().disabled_count(), 2u);
+  EXPECT_TRUE(tracker.current_view().counts(0));
+  EXPECT_TRUE(tracker.current_view().disabled(1));
+  EXPECT_TRUE(tracker.current_view().disabled(2));
+}
+
+TEST(ReliabilityTracker, CapZeroCommitteeNeverDisables) {
+  // n=4: cap = floor(3/4) = 0 — adaptive membership degrades to pure
+  // bookkeeping, the committee is too small to drop anyone safely.
+  ReliabilityTracker tracker(config_for(4, 1));
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(commit(tracker, {3}).empty());
+  }
+  EXPECT_EQ(tracker.score(3), 0u);
+  EXPECT_TRUE(tracker.current_view().counts(3));
+  EXPECT_TRUE(tracker.events().empty());
+}
+
+TEST(ReliabilityTracker, BitForBitDeterminismAcrossSeeds) {
+  // Two trackers fed the identical evidence stream must agree on every
+  // fingerprint at every step, for >= 20 random streams. This is the
+  // property that lets membership changes skip any extra consensus round.
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    Rng rng_a(seed);
+    Rng rng_b(seed);
+    ReliabilityTracker a(config_for(9, 2));
+    ReliabilityTracker b(config_for(9, 2));
+    for (std::uint64_t index = 0; index < 120; ++index) {
+      std::vector<bool> contrib_a(9), contrib_b(9);
+      std::vector<std::uint32_t> invalid_a(9, 0), invalid_b(9, 0);
+      for (std::uint32_t r = 0; r < 9; ++r) {
+        contrib_a[r] = rng_a.next_bool(0.8);
+        contrib_b[r] = rng_b.next_bool(0.8);
+        if (rng_a.next_bool(0.02)) invalid_a[r] = 10;
+        if (rng_b.next_bool(0.02)) invalid_b[r] = 10;
+      }
+      const auto events_a =
+          a.on_superblock_committed(index, contrib_a, invalid_a);
+      const auto events_b =
+          b.on_superblock_committed(index, contrib_b, invalid_b);
+      ASSERT_EQ(events_a, events_b) << "seed " << seed << " index " << index;
+      ASSERT_EQ(a.fingerprint(), b.fingerprint())
+          << "seed " << seed << " index " << index;
+    }
+    ASSERT_EQ(a.events(), b.events()) << "seed " << seed;
+  }
+}
+
+TEST(ReliabilityTracker, FingerprintCapturesEveryTransition) {
+  // Different histories with equal end-scores still differ in fingerprint
+  // (the event log is folded in).
+  ReliabilityTracker a(config_for(9, 2));
+  ReliabilityTracker b(config_for(9, 2));
+  for (int i = 0; i < 10; ++i) commit(a, {});
+  for (int i = 0; i < 10; ++i) commit(b, {});
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  commit(a, {3});
+  commit(b, {4});
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+}  // namespace
+}  // namespace srbb::rpm

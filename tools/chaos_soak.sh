@@ -35,13 +35,25 @@ run_range() {
     "$build_dir/tests/test_chaos"
 }
 
+run_churn() {
+  # Churn leg: the adaptive-membership scenarios (ChaosChurn.*) plus the
+  # env-gated 30%-offline soak (ChaosChurnSoak.*, 13 validators, 20 simulated
+  # seconds per seed — too heavy for the default ctest run, cheap here).
+  local base="$1" count="$2"
+  echo "== churn sweep: seeds [$base, $((base + count)))"
+  SRBB_CHURN_SOAK=1 SRBB_CHAOS_SEED_BASE="$base" SRBB_CHAOS_SEEDS="$count" \
+    "$build_dir/tests/test_chaos" --gtest_filter='ChaosChurn*'
+}
+
 if [ "$ci" -eq 1 ]; then
   # Pinned subset: three bases x 4 seeds keeps the leg under a minute while
   # still covering distinct randomized plans every run.
   for base in 1 100 200; do
     run_range "$base" 4
   done
+  run_churn 1 4
 else
   run_range "${SRBB_CHAOS_SEED_BASE:-1}" "${SRBB_CHAOS_SEEDS:-40}"
+  run_churn "${SRBB_CHAOS_SEED_BASE:-1}" "${SRBB_CHAOS_SEEDS:-8}"
 fi
 echo "chaos soak: all sweeps passed"
