@@ -1,0 +1,119 @@
+#include "state/backend.hpp"
+
+#include <algorithm>
+
+#include "codec/rlp.hpp"
+#include "crypto/keccak.hpp"
+
+namespace srbb::state {
+
+// --- MemoryBackend ----------------------------------------------------------
+
+std::optional<Bytes> MemoryBackend::get(const Address& key) const {
+  const auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MemoryBackend::put(const Address& key, BytesView value) {
+  records_[key] = Bytes{value.begin(), value.end()};
+}
+
+void MemoryBackend::erase(const Address& key) { records_.erase(key); }
+
+std::vector<Address> MemoryBackend::keys() const {
+  std::vector<Address> out;
+  out.reserve(records_.size());
+  for (const auto& [key, value] : records_) out.push_back(key);
+  return out;
+}
+
+// --- account record codec ---------------------------------------------------
+
+Bytes encode_account_record(const Account& account) {
+  std::vector<Hash32> slots;
+  slots.reserve(account.storage.size());
+  for (const auto& [slot, value] : account.storage) slots.push_back(slot);
+  std::sort(slots.begin(), slots.end());
+
+  rlp::ListBuilder storage_list;
+  for (const Hash32& slot : slots) {
+    rlp::ListBuilder entry;
+    entry.add_bytes(slot.view());
+    entry.add_u256(account.storage.at(slot));
+    storage_list.add_raw(entry.build());
+  }
+
+  rlp::ListBuilder record;
+  record.add_u64(account.nonce);
+  record.add_u256(account.balance);
+  record.add_bytes(account.code);
+  record.add_raw(storage_list.build());
+  return record.build();
+}
+
+std::optional<Account> decode_account_record(BytesView record) {
+  const Result<rlp::Item> doc = rlp::decode(record);
+  if (!doc.is_ok()) return std::nullopt;
+  const rlp::Item& top = doc.value();
+  if (!top.is_list || top.items.size() != 4) return std::nullopt;
+
+  Account account;
+  const Result<std::uint64_t> nonce = top.items[0].as_u64();
+  if (!nonce.is_ok()) return std::nullopt;
+  account.nonce = nonce.value();
+  const Result<U256> balance = top.items[1].as_u256();
+  if (!balance.is_ok()) return std::nullopt;
+  account.balance = balance.value();
+  if (top.items[2].is_list) return std::nullopt;
+  account.code = top.items[2].payload;
+  account.code_keccak =
+      account.code.empty() ? Hash32{} : crypto::Keccak256::hash(account.code);
+
+  const rlp::Item& storage = top.items[3];
+  if (!storage.is_list) return std::nullopt;
+  Hash32 prev_slot;
+  bool first = true;
+  for (const rlp::Item& entry : storage.items) {
+    if (!entry.is_list || entry.items.size() != 2) return std::nullopt;
+    const rlp::Item& slot_item = entry.items[0];
+    if (slot_item.is_list || slot_item.payload.size() != Hash32::size()) {
+      return std::nullopt;
+    }
+    const Hash32 slot{BytesView{slot_item.payload}};
+    // Canonical records are strictly slot-ascending; reject duplicates and
+    // reordered slots so record bytes stay a bijection with accounts.
+    if (!first && !(prev_slot < slot)) return std::nullopt;
+    first = false;
+    prev_slot = slot;
+    const Result<U256> value = entry.items[1].as_u256();
+    if (!value.is_ok()) return std::nullopt;
+    // EVM zero-write semantics: a zero-valued slot never appears in the map.
+    if (value.value().is_zero()) return std::nullopt;
+    account.storage.emplace(slot, value.value());
+  }
+  return account;
+}
+
+// --- crc32 ------------------------------------------------------------------
+
+std::uint32_t crc32(BytesView data) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace srbb::state

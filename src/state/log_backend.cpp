@@ -1,0 +1,190 @@
+#include "state/log_backend.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/invariant.hpp"
+
+namespace srbb::state {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 1 + 1 + 4;  // op, key_len, val_len
+constexpr std::size_t kCrcSize = 4;
+constexpr std::uint8_t kOpPut = 0;
+constexpr std::uint8_t kOpErase = 1;
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    SRBB_CHECK(n > 0);  // disk-full / IO error: no way to stay consistent
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+bool read_exact_at(int fd, std::uint8_t* out, std::size_t size,
+                   std::uint64_t offset) {
+  while (size > 0) {
+    const ssize_t n = ::pread(fd, out, size, static_cast<off_t>(offset));
+    if (n <= 0) return false;
+    out += n;
+    size -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+LogBackend::LogBackend(std::string path)
+    : LogBackend(std::move(path), Options{}) {}
+
+LogBackend::LogBackend(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  SRBB_CHECK(fd_ >= 0);
+  recover();
+}
+
+LogBackend::~LogBackend() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void LogBackend::recover() {
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  SRBB_CHECK(end >= 0);
+  const auto file_size = static_cast<std::uint64_t>(end);
+
+  // Replay frame by frame; the first malformed or torn frame ends the valid
+  // prefix. Header+key reads are small; values are validated through the CRC
+  // without being retained (the index stores offsets only).
+  std::uint64_t offset = 0;
+  std::vector<std::uint8_t> scratch;
+  while (offset + kHeaderSize <= file_size) {
+    std::uint8_t header[kHeaderSize];
+    if (!read_exact_at(fd_, header, kHeaderSize, offset)) break;
+    const std::uint8_t op = header[0];
+    const std::uint8_t key_len = header[1];
+    const std::uint32_t val_len = get_be32(header + 2);
+    if ((op != kOpPut && op != kOpErase) || key_len != Address::size()) break;
+    if (op == kOpErase && val_len != 0) break;
+    const std::uint64_t body = static_cast<std::uint64_t>(key_len) + val_len;
+    if (offset + kHeaderSize + body + kCrcSize > file_size) break;  // torn
+
+    scratch.resize(kHeaderSize + body + kCrcSize);
+    if (!read_exact_at(fd_, scratch.data(), scratch.size(), offset)) break;
+    const std::uint32_t stored =
+        get_be32(scratch.data() + kHeaderSize + body);
+    const std::uint32_t computed =
+        crc32(BytesView{scratch.data(), kHeaderSize + body});
+    if (stored != computed) break;
+
+    const Address key{BytesView{scratch.data() + kHeaderSize, key_len}};
+    if (op == kOpPut) {
+      offsets_[key] = Entry{offset + kHeaderSize + key_len, val_len};
+    } else {
+      offsets_.erase(key);
+    }
+    offset += kHeaderSize + body + kCrcSize;
+  }
+
+  if (offset < file_size) {
+    // Torn or corrupt suffix: drop it so future appends extend a valid log.
+    stats_.torn_bytes_dropped += file_size - offset;
+    SRBB_CHECK(::ftruncate(fd_, static_cast<off_t>(offset)) == 0);
+  }
+  append_offset_ = offset;
+  stats_.records_recovered = offsets_.size();
+}
+
+void LogBackend::append_record(std::uint8_t op, const Address& key,
+                               BytesView value) {
+  SRBB_CHECK(value.size() <= 0xFFFFFFFFull);
+  Bytes frame;
+  frame.reserve(kHeaderSize + key.size() + value.size() + kCrcSize);
+  frame.push_back(op);
+  frame.push_back(static_cast<std::uint8_t>(Address::size()));
+  std::uint8_t len_be[4];
+  put_be32(len_be, static_cast<std::uint32_t>(value.size()));
+  append(frame, BytesView{len_be, 4});
+  append(frame, key.view());
+  append(frame, value);
+  std::uint8_t crc_be[4];
+  put_be32(crc_be, crc32(frame));
+  append(frame, BytesView{crc_be, 4});
+
+  SRBB_CHECK(::lseek(fd_, static_cast<off_t>(append_offset_), SEEK_SET) >= 0);
+  write_all(fd_, frame.data(), frame.size());
+  if (op == kOpPut) {
+    offsets_[key] = Entry{
+        append_offset_ + kHeaderSize + Address::size(),
+        static_cast<std::uint32_t>(value.size())};
+  } else {
+    offsets_.erase(key);
+  }
+  append_offset_ += frame.size();
+  ++stats_.records_appended;
+}
+
+std::optional<Bytes> LogBackend::get(const Address& key) const {
+  const auto it = offsets_.find(key);
+  if (it == offsets_.end()) return std::nullopt;
+  Bytes value(it->second.length);
+  if (!value.empty()) {
+    const bool ok =
+        read_exact_at(fd_, value.data(), value.size(), it->second.offset);
+    SRBB_CHECK(ok);  // index points into the validated prefix
+  }
+  return value;
+}
+
+void LogBackend::put(const Address& key, BytesView value) {
+  append_record(kOpPut, key, value);
+}
+
+void LogBackend::erase(const Address& key) {
+  if (!offsets_.contains(key)) return;  // no tombstone for a key never written
+  append_record(kOpErase, key, BytesView{});
+}
+
+std::vector<Address> LogBackend::keys() const {
+  std::vector<Address> out;
+  out.reserve(offsets_.size());
+  for (const auto& [key, entry] : offsets_) out.push_back(key);
+  return out;
+}
+
+void LogBackend::flush() {
+  if (options_.fsync_on_flush) SRBB_CHECK(::fsync(fd_) == 0);
+}
+
+void LogBackend::compact() {
+  const std::string tmp_path = path_ + ".compact";
+  ::unlink(tmp_path.c_str());  // stale temp from an interrupted compact
+  {
+    LogBackend tmp{tmp_path};
+    for (const auto& [key, entry] : offsets_) {
+      const std::optional<Bytes> value = get(key);
+      SRBB_CHECK(value.has_value());
+      tmp.put(key, *value);
+    }
+    SRBB_CHECK(::fsync(tmp.fd_) == 0);
+  }
+  SRBB_CHECK(::rename(tmp_path.c_str(), path_.c_str()) == 0);
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
+  SRBB_CHECK(fd_ >= 0);
+  const Stats kept = stats_;
+  offsets_.clear();
+  append_offset_ = 0;
+  recover();
+  stats_ = kept;
+  ++stats_.compactions;
+}
+
+}  // namespace srbb::state

@@ -1,0 +1,48 @@
+#include "state/snapshot.hpp"
+
+#include <algorithm>
+
+namespace srbb::state {
+
+void FlatSnapshot::note_resident(const Address& addr) {
+  // Only a fresh residency earns a queue slot; re-noting an already-resident
+  // address (e.g. repeated create_account) must not promote it.
+  if (resident_.insert(addr).second) fifo_.push_back(addr);
+}
+
+void FlatSnapshot::note_erased(const Address& addr) {
+  resident_.erase(addr);
+  dirty_.erase(addr);
+  // The fifo_ entry (if any) goes stale and is skipped during eviction.
+}
+
+std::vector<Address> FlatSnapshot::take_dirty_sorted() {
+  std::vector<Address> out{dirty_.begin(), dirty_.end()};
+  std::sort(out.begin(), out.end());
+  dirty_.clear();
+  return out;
+}
+
+std::vector<Address> FlatSnapshot::plan_eviction() {
+  std::vector<Address> evicted;
+  if (capacity_ == 0) return evicted;
+  // Dirty entries are exempt; they re-enter the queue in their original
+  // relative order so eviction stays FIFO across commits.
+  std::vector<Address> deferred;
+  std::size_t budget = fifo_.size();  // each original entry inspected once
+  while (budget-- > 0 && resident_.size() > capacity_) {
+    const Address addr = fifo_.front();
+    fifo_.pop_front();
+    if (!resident_.contains(addr)) continue;  // stale (erased earlier)
+    if (dirty_.contains(addr)) {
+      deferred.push_back(addr);
+      continue;
+    }
+    resident_.erase(addr);
+    evicted.push_back(addr);
+  }
+  fifo_.insert(fifo_.begin(), deferred.begin(), deferred.end());
+  return evicted;
+}
+
+}  // namespace srbb::state

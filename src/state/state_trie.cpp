@@ -1,0 +1,148 @@
+#include "state/state_trie.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "codec/rlp.hpp"
+#include "common/invariant.hpp"
+#include "crypto/keccak.hpp"
+
+namespace srbb::state {
+
+namespace {
+const Hash32& keccak_of_empty() {
+  static const Hash32 hash = crypto::Keccak256::hash(BytesView{});
+  return hash;
+}
+}  // namespace
+
+Bytes encode_account_leaf(const Account& account, const Hash32& storage_root) {
+  rlp::ListBuilder body;
+  body.add_u64(account.nonce);
+  body.add_u256(account.balance);
+  body.add_bytes(storage_root.view());
+  // Account::code_keccak is the zero hash for code-less accounts; the leaf
+  // wants keccak("") there, same as hashing the code directly.
+  const Hash32& code_hash =
+      account.code.empty() ? keccak_of_empty() : account.code_keccak;
+  body.add_bytes(code_hash.view());
+  return body.build();
+}
+
+Hash32 storage_trie_root(const Account& account) {
+  if (account.storage.empty()) return empty_trie_root();
+  std::vector<Hash32> slots;
+  slots.reserve(account.storage.size());
+  for (const auto& [slot, value] : account.storage) slots.push_back(slot);
+  std::sort(slots.begin(), slots.end());
+  MerklePatriciaTrie trie;
+  for (const Hash32& slot : slots) {
+    trie.put(slot.view(), rlp::encode_u256(account.storage.at(slot)));
+  }
+  return trie.root_hash();
+}
+
+void IncrementalStateTrie::configure(std::size_t storage_trie_cache,
+                                     std::size_t node_cache_limit) {
+  storage_cache_ = storage_trie_cache;
+  account_trie_.set_node_cache_limit(node_cache_limit);
+  evict_storage_tries();
+}
+
+void IncrementalStateTrie::update(const Address& addr, const Account* account,
+                                  const DirtyInfo& dirty) {
+  ++stats_.leaf_updates;
+  if (account == nullptr) {
+    account_trie_.erase(addr.view());
+    drop_storage_trie(addr);
+    storage_roots_.erase(addr);
+    return;
+  }
+  const Hash32 storage_root = storage_root_for(addr, *account, dirty);
+  account_trie_.put(addr.view(), encode_account_leaf(*account, storage_root));
+}
+
+Hash32 IncrementalStateTrie::storage_root_for(const Address& addr,
+                                              const Account& account,
+                                              const DirtyInfo& dirty) {
+  if (account.storage.empty()) {
+    drop_storage_trie(addr);
+    storage_roots_.erase(addr);
+    return empty_trie_root();
+  }
+
+  const auto it = storage_tries_.find(addr);
+  if (it != storage_tries_.end() && !dirty.full_storage) {
+    // Materialized: apply only the dirty slots.
+    MerklePatriciaTrie& trie = it->second.trie;
+    for (const Hash32& slot : dirty.slots) {
+      const auto value = account.storage.find(slot);
+      if (value == account.storage.end()) {
+        trie.erase(slot.view());
+      } else {
+        trie.put(slot.view(), rlp::encode_u256(value->second));
+      }
+    }
+    touch(addr);
+    const Hash32 root = trie.root_hash();
+    storage_roots_[addr] = root;
+    return root;
+  }
+
+  if (it == storage_tries_.end() && !dirty.full_storage && dirty.slots.empty()) {
+    // Leaf-only change (nonce/balance/code): the memoized root still holds.
+    const auto memo = storage_roots_.find(addr);
+    if (memo != storage_roots_.end()) {
+      ++stats_.storage_root_memo_hits;
+      return memo->second;
+    }
+  }
+
+  // Rebuild from the flat storage map (first sight, post-eviction write, or
+  // a full_storage change).
+  drop_storage_trie(addr);
+  std::vector<Hash32> slots;
+  slots.reserve(account.storage.size());
+  for (const auto& [slot, value] : account.storage) slots.push_back(slot);
+  std::sort(slots.begin(), slots.end());
+  StorageEntry entry;
+  for (const Hash32& slot : slots) {
+    entry.trie.put(slot.view(), rlp::encode_u256(account.storage.at(slot)));
+  }
+  ++stats_.storage_trie_rebuilds;
+  const Hash32 root = entry.trie.root_hash();
+  entry.tick = ++tick_;
+  lru_.emplace(entry.tick, addr);
+  storage_tries_.emplace(addr, std::move(entry));
+  storage_roots_[addr] = root;
+  evict_storage_tries();
+  return root;
+}
+
+void IncrementalStateTrie::drop_storage_trie(const Address& addr) {
+  const auto it = storage_tries_.find(addr);
+  if (it == storage_tries_.end()) return;
+  lru_.erase(it->second.tick);
+  storage_tries_.erase(it);
+}
+
+void IncrementalStateTrie::touch(const Address& addr) {
+  const auto it = storage_tries_.find(addr);
+  SRBB_CHECK(it != storage_tries_.end());
+  lru_.erase(it->second.tick);
+  it->second.tick = ++tick_;
+  lru_.emplace(it->second.tick, addr);
+}
+
+void IncrementalStateTrie::evict_storage_tries() {
+  if (storage_cache_ == 0) return;
+  while (storage_tries_.size() > storage_cache_) {
+    const auto oldest = lru_.begin();
+    SRBB_CHECK(oldest != lru_.end());
+    storage_tries_.erase(oldest->second);  // storage_roots_ memo is kept
+    lru_.erase(oldest);
+    ++stats_.storage_trie_evictions;
+  }
+}
+
+}  // namespace srbb::state

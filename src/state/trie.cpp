@@ -8,6 +8,12 @@
 
 namespace srbb::state {
 
+const Hash32& empty_trie_root() {
+  // keccak256(rlp("")) — the canonical empty-trie sentinel.
+  static const Hash32 root = crypto::Keccak256::hash(rlp::encode_bytes(BytesView{}));
+  return root;
+}
+
 struct MerklePatriciaTrie::Node {
   enum class Kind : std::uint8_t { kLeaf, kExtension, kBranch };
 
@@ -17,6 +23,12 @@ struct MerklePatriciaTrie::Node {
   bool has_value = false;          // branch: value present at this prefix
   NodePtr child;                   // extension target
   std::array<NodePtr, 16> children{};  // branch children
+
+  // Memoized parent-embeddable reference (hash item or inline encoding).
+  // Valid iff ref_valid; every mutation path must clear it through
+  // MerklePatriciaTrie::invalidate so the cache stats stay exact.
+  mutable Bytes ref;
+  mutable bool ref_valid = false;
 
   static NodePtr leaf(std::vector<std::uint8_t> nibbles, Bytes val) {
     auto node = std::make_unique<Node>();
@@ -99,6 +111,23 @@ std::vector<std::uint8_t> slice(std::span<const std::uint8_t> nibbles,
 
 }  // namespace
 
+void MerklePatriciaTrie::invalidate(Node& node) {
+  if (!node.ref_valid) return;
+  node.ref_valid = false;
+  node.ref.clear();
+  --cache_stats_.cached_refs;
+}
+
+void MerklePatriciaTrie::drop_all_refs(Node* node) {
+  if (node == nullptr) return;
+  invalidate(*node);
+  if (node->kind == Node::Kind::kExtension) {
+    drop_all_refs(node->child.get());
+  } else if (node->kind == Node::Kind::kBranch) {
+    for (const NodePtr& c : node->children) drop_all_refs(c.get());
+  }
+}
+
 // --- insert -----------------------------------------------------------------
 
 MerklePatriciaTrie::NodePtr MerklePatriciaTrie::insert(
@@ -109,6 +138,9 @@ MerklePatriciaTrie::NodePtr MerklePatriciaTrie::insert(
     return Node::leaf(std::vector<std::uint8_t>(nibbles.begin(), nibbles.end()),
                       std::move(value));
   }
+  // Every node on the descent path is (potentially) mutated; nodes hanging
+  // off the path keep their memoized refs — that is the incremental win.
+  invalidate(*node);
 
   switch (node->kind) {
     case Node::Kind::kLeaf: {
@@ -257,6 +289,7 @@ MerklePatriciaTrie::NodePtr MerklePatriciaTrie::normalize(NodePtr node) {
       switch (child->kind) {
         case Node::Kind::kLeaf:
         case Node::Kind::kExtension:
+          invalidate(*child);  // path changes below
           child->path.insert(child->path.begin(), i);
           return child;
         case Node::Kind::kBranch:
@@ -275,6 +308,7 @@ MerklePatriciaTrie::NodePtr MerklePatriciaTrie::remove(
     case Node::Kind::kLeaf: {
       if (nibbles.size() == node->path.size() &&
           std::equal(nibbles.begin(), nibbles.end(), node->path.begin())) {
+        invalidate(*node);
         removed = true;
         return nullptr;
       }
@@ -285,12 +319,14 @@ MerklePatriciaTrie::NodePtr MerklePatriciaTrie::remove(
           !std::equal(node->path.begin(), node->path.end(), nibbles.begin())) {
         return node;
       }
+      invalidate(*node);
       node->child = remove(std::move(node->child),
                            nibbles.subspan(node->path.size()), removed);
       if (node->child == nullptr) return nullptr;
       // Merge chained extensions / absorb leaf children.
       if (node->child->kind != Node::Kind::kBranch) {
         NodePtr child = std::move(node->child);
+        invalidate(*child);  // path changes below
         child->path.insert(child->path.begin(), node->path.begin(),
                            node->path.end());
         return child;
@@ -298,6 +334,7 @@ MerklePatriciaTrie::NodePtr MerklePatriciaTrie::remove(
       return node;
     }
     case Node::Kind::kBranch: {
+      invalidate(*node);
       if (nibbles.empty()) {
         if (node->has_value) {
           node->has_value = false;
@@ -324,7 +361,7 @@ void MerklePatriciaTrie::erase(BytesView key) {
 
 // --- hashing ----------------------------------------------------------------
 
-Bytes MerklePatriciaTrie::encode(const Node& node) {
+Bytes MerklePatriciaTrie::encode(const Node& node) const {
   switch (node.kind) {
     case Node::Kind::kLeaf: {
       rlp::ListBuilder rlp;
@@ -335,7 +372,7 @@ Bytes MerklePatriciaTrie::encode(const Node& node) {
     case Node::Kind::kExtension: {
       rlp::ListBuilder rlp;
       rlp.add_bytes(hex_prefix_encode(node.path, false));
-      rlp.add_bytes(crypto::Keccak256::hash(encode(*node.child)).view());
+      rlp.add_raw(child_ref(*node.child));
       return rlp.build();
     }
     case Node::Kind::kBranch: {
@@ -344,7 +381,7 @@ Bytes MerklePatriciaTrie::encode(const Node& node) {
         if (child == nullptr) {
           rlp.add_bytes(BytesView{});
         } else {
-          rlp.add_bytes(crypto::Keccak256::hash(encode(*child)).view());
+          rlp.add_raw(child_ref(*child));
         }
       }
       rlp.add_bytes(node.has_value ? BytesView{node.value} : BytesView{});
@@ -354,11 +391,32 @@ Bytes MerklePatriciaTrie::encode(const Node& node) {
   return {};  // unreachable
 }
 
-Hash32 MerklePatriciaTrie::root_hash() const {
-  if (root_ == nullptr) {
-    // keccak256(rlp("")) — the canonical empty-trie sentinel.
-    return crypto::Keccak256::hash(rlp::encode_bytes(BytesView{}));
+Bytes MerklePatriciaTrie::child_ref(const Node& node) const {
+  if (node.ref_valid) return node.ref;
+  Bytes enc = encode(node);
+  // Yellow paper appendix D: nodes whose encoding is shorter than 32 bytes
+  // are embedded verbatim in the parent; longer ones by hash. A node
+  // encoding is always an RLP list, so the two forms cannot collide with
+  // each other inside the parent's item slots.
+  if (enc.size() < 32) {
+    node.ref = std::move(enc);
+  } else {
+    node.ref = rlp::encode_bytes(crypto::Keccak256::hash(enc).view());
   }
+  node.ref_valid = true;
+  ++cache_stats_.cached_refs;
+  return node.ref;
+}
+
+Hash32 MerklePatriciaTrie::root_hash() const {
+  if (root_ == nullptr) return empty_trie_root();
+  if (cache_limit_ != 0 && cache_stats_.cached_refs > cache_limit_) {
+    // Memo pool over budget: drop everything, recompute from scratch once.
+    const_cast<MerklePatriciaTrie*>(this)->drop_all_refs(root_.get());
+    ++cache_stats_.full_drops;
+  }
+  // The root node itself is always hashed (TRIE(J) = KEC(c(J,0))), even when
+  // its encoding is shorter than 32 bytes.
   return crypto::Keccak256::hash(encode(*root_));
 }
 

@@ -3,12 +3,20 @@
 // extension / branch nodes over nibble paths, hex-prefix encoding, Keccak
 // over RLP node encodings).
 //
-// One deliberate simplification relative to the yellow paper: child nodes
-// are always referenced by their 32-byte hash (Ethereum inlines nodes whose
-// encoding is shorter than 32 bytes). Roots are therefore self-consistent
-// within this implementation but not byte-identical to Geth's — commitment
-// semantics (binding, order-independence, proof of absence of collisions)
-// are unaffected.
+// Child references follow the yellow paper (appendix D): a child whose RLP
+// encoding is shorter than 32 bytes is inlined into its parent's encoding;
+// longer encodings are referenced by their Keccak hash. Roots are therefore
+// byte-compatible with Ethereum's trie for the same key/value bytes (pinned
+// by the known-root vectors in tests/test_trie.cpp).
+//
+// Incremental hashing: every node memoizes the RLP reference its parent
+// embeds (hash or inline encoding). put()/erase() invalidate the memo only
+// along the touched path, so root_hash() after k mutations re-hashes
+// O(k * depth) nodes instead of the whole trie — the property the StateDB
+// commitment layer (state_trie.hpp) builds on. The memo pool is bounded:
+// when the number of cached references exceeds set_node_cache_limit(), the
+// next root_hash() drops every memo (one full recompute, then re-warm),
+// keeping worst-case memory O(limit) instead of O(nodes).
 #pragma once
 
 #include <array>
@@ -19,6 +27,9 @@
 #include "common/bytes.hpp"
 
 namespace srbb::state {
+
+/// keccak256(rlp("")) — the canonical empty-trie sentinel root.
+const Hash32& empty_trie_root();
 
 class MerklePatriciaTrie {
  public:
@@ -36,27 +47,48 @@ class MerklePatriciaTrie {
   bool empty() const { return root_ == nullptr; }
   std::size_t size() const { return size_; }
 
-  /// keccak256 of the RLP encoding of the root node; a fixed sentinel for
-  /// the empty trie.
+  /// keccak256 of the RLP encoding of the root node; empty_trie_root() for
+  /// the empty trie. Incremental: only nodes dirtied since the previous call
+  /// are re-encoded/re-hashed.
   Hash32 root_hash() const;
+
+  // --- node-cache bookkeeping (bounded memo pool) ---
+  struct CacheStats {
+    std::size_t cached_refs = 0;  // nodes currently holding a memoized ref
+    std::uint64_t full_drops = 0; // times the whole memo pool was dropped
+  };
+  const CacheStats& cache_stats() const { return cache_stats_; }
+  /// Cap on memoized node references (0 = unbounded). Exceeding the cap
+  /// drops every memo at the next root_hash() — bounded memory at the cost
+  /// of one full recompute.
+  void set_node_cache_limit(std::size_t limit) { cache_limit_ = limit; }
 
  private:
   struct Node;
   using NodePtr = std::unique_ptr<Node>;
 
-  static NodePtr insert(NodePtr node, std::span<const std::uint8_t> nibbles,
-                        Bytes value, bool& inserted);
+  NodePtr insert(NodePtr node, std::span<const std::uint8_t> nibbles,
+                 Bytes value, bool& inserted);
   static const Node* lookup(const Node* node,
                             std::span<const std::uint8_t> nibbles);
-  static NodePtr remove(NodePtr node, std::span<const std::uint8_t> nibbles,
-                        bool& removed);
+  NodePtr remove(NodePtr node, std::span<const std::uint8_t> nibbles,
+                 bool& removed);
   /// Re-normalise a node whose children changed (collapse single-child
   /// branches into extensions/leaves).
-  static NodePtr normalize(NodePtr node);
-  static Bytes encode(const Node& node);
+  NodePtr normalize(NodePtr node);
+  /// Full RLP encoding of a node (children embedded per the yellow paper).
+  Bytes encode(const Node& node) const;
+  /// The RLP item a parent embeds for `node`: the encoding itself when
+  /// shorter than 32 bytes, rlp(keccak(encoding)) otherwise. Memoized.
+  Bytes child_ref(const Node& node) const;
+  /// Drop a node's memoized ref (cache-stat bookkeeping funnel).
+  void invalidate(Node& node);
+  void drop_all_refs(Node* node);
 
   NodePtr root_;
   std::size_t size_ = 0;
+  std::size_t cache_limit_ = 0;
+  mutable CacheStats cache_stats_;
 };
 
 /// Nibble helpers (exposed for tests).

@@ -14,6 +14,7 @@ cmake -B "$build_dir" -S "$repo_root" -DSRBB_SANITIZE=thread \
 cmake --build "$build_dir" -j "$(nproc)" \
       --target test_parallel_executor test_thread_pool test_bounded_queue \
                test_oracle test_chaos test_validation_pipeline \
-               test_batch_verify test_rwset test_reliability
+               test_batch_verify test_rwset test_reliability \
+               test_state_backend
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-      -R 'ParallelExecutor|ParallelOracle|OverlayState|ThreadPool|BoundedQueue|ChaosParallel|ChaosChurn|ValidationPipeline|BatchVerify|HintedExecutor|RwSetMetrics|Reliability|Membership|QuorumParams'
+      -R 'ParallelExecutor|ParallelOracle|OverlayState|ThreadPool|BoundedQueue|ChaosParallel|ChaosChurn|ValidationPipeline|BatchVerify|HintedExecutor|RwSetMetrics|Reliability|Membership|QuorumParams|StateBackend|LogBackend|DeferredRoot'
