@@ -13,14 +13,21 @@
 // (ExecutionConfig::analysis_hints, docs/ANALYSIS.md §rw-sets), plus two
 // hint-specific ones:
 //   kv_disjoint — kvstore puts under distinct keys (hints prove non-conflict),
-//   top_heavy   — half deployments (⊤ predictions, blind speculation).
+//   top_heavy   — half deployments (⊤ predictions, blind speculation),
+//   router_hot  — token transfers routed through a DELEGATECALL proxy to one
+//                 shared recipient: only the composed interprocedural summary
+//                 (docs/ANALYSIS.md "Interprocedural composition") sees the
+//                 cross-contract write, so hints turn blind abort/retry into
+//                 exact deferrals with zero aborts.
 // tools/perf_smoke.sh gates on hinted aborts being strictly below blind
-// aborts for the hot-slot regime.
+// aborts for the hot-slot regime, and on zero hinted aborts/fallbacks for
+// the router regime.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <vector>
 
+#include "crypto/keccak.hpp"
 #include "evm/contracts.hpp"
 #include "state/statedb.hpp"
 #include "txn/parallel_executor.hpp"
@@ -47,6 +54,8 @@ const Address kExchange = contract_addr(2);
 const Address kMobility = contract_addr(3);
 const Address kTicketing = contract_addr(4);
 const Address kKvStore = contract_addr(5);
+const Address kToken = contract_addr(6);
+const Address kRouter = contract_addr(7);
 
 enum WorkloadKind : std::int64_t {
   kDisjoint = 0,
@@ -57,7 +66,17 @@ enum WorkloadKind : std::int64_t {
   kFifa,
   kKvDisjoint,
   kTopHeavy,
+  kRouterHot,  // rtransfer through the router: cross-contract hot recipient
 };
+
+/// Token-ledger slot keccak(addressWord ++ 0) in *router* storage
+/// (DELEGATECALL) — genesis funding for the kRouterHot senders.
+Hash32 token_balance_slot(const Address& holder) {
+  Bytes preimage;
+  append(preimage, U256::from_be(holder.view()).be_bytes());
+  append(preimage, U256{0}.be_bytes());
+  return crypto::Keccak256::hash(BytesView{preimage});
+}
 
 struct Workload {
   state::StateDB genesis;
@@ -84,6 +103,17 @@ Workload build_workload(WorkloadKind kind) {
   deploy(kMobility, evm::mobility_contract());
   deploy(kTicketing, evm::ticketing_contract());
   deploy(kKvStore, evm::kvstore_contract());
+  deploy(kToken, evm::token_contract());
+  deploy(kRouter, evm::router_contract(kKvStore, kToken));
+  if (kind == kRouterHot) {
+    // The router's rtransfer DELEGATECALLs the token, so the ledger lives in
+    // *router* storage; fund every sender's balance slot there.
+    for (std::uint64_t s = 0; s < kTxCount; ++s) {
+      w.genesis.set_storage(
+          kRouter, token_balance_slot(scheme().make_identity(s).address()),
+          U256{1'000'000'000});
+    }
+  }
   w.genesis.commit();
 
   auto invoke = [](std::uint64_t sender, const Address& to, Bytes data) {
@@ -154,13 +184,19 @@ Workload build_workload(WorkloadKind kind) {
                                                   {U256{i}, U256{1}})));
         }
         break;
+      case kRouterHot:  // cross-contract transfer, one shared hot recipient
+        w.txs.push_back(invoke(
+            i, kRouter,
+            evm::encode_call("rtransfer(uint256,uint256)",
+                             {U256{0x707ull}, U256{1}})));
+        break;
     }
   }
   return w;
 }
 
 const Workload& workload(WorkloadKind kind) {
-  static Workload cache[kTopHeavy + 1];
+  static Workload cache[kRouterHot + 1];
   Workload& w = cache[kind];
   if (w.txs.empty()) w = build_workload(kind);
   return w;
@@ -226,7 +262,7 @@ BENCHMARK(BM_ParallelExec)
     ->Args({kMedium, 4})->Args({kMedium, 8})
     ->Args({kHot, 4})
     ->Args({kNasdaq, 4})->Args({kUber, 4})->Args({kFifa, 4})
-    ->Args({kKvDisjoint, 4})->Args({kTopHeavy, 4})
+    ->Args({kKvDisjoint, 4})->Args({kTopHeavy, 4})->Args({kRouterHot, 4})
     ->Unit(benchmark::kMillisecond)->ArgNames({"workload", "workers"});
 
 // Same superblocks through the conflict-aware pre-scheduler. Receipts are
@@ -272,7 +308,7 @@ BENCHMARK(BM_HintedExec)
     ->Args({kHot, 4})
     ->Args({kMedium, 4})
     ->Args({kNasdaq, 4})->Args({kUber, 4})->Args({kFifa, 4})
-    ->Args({kTopHeavy, 4})
+    ->Args({kTopHeavy, 4})->Args({kRouterHot, 4})
     ->Unit(benchmark::kMillisecond)->ArgNames({"workload", "workers"});
 
 }  // namespace

@@ -1,0 +1,165 @@
+// Interprocedural composition harness: the composed-summary soundness
+// contract (docs/ANALYSIS.md "Interprocedural composition") over an
+// arbitrary two-contract state — a caller whose bytecode may CALL /
+// STATICCALL / DELEGATECALL a callee, both fuzzer-chosen.
+//
+// Input layout: [0] = calldata length selector, that many calldata bytes,
+// a 2-byte big-endian callee-code length, the callee bytecode (installed at
+// ...FB), then the remaining bytes as the caller bytecode (installed at
+// ...FC, the composition root). Properties:
+//  - composition is total and deterministic (two fresh compositions,
+//    identical digests);
+//  - ⊤ iff an explicit ComposeBailout reason — no silent miss;
+//  - a non-⊤ composed summary resolves completely, and predicted ⊇
+//    observed: executing the caller, every storage slot any frame touches
+//    on ANY account — and every balance read — resolves out of the summary;
+//  - a successful execution consumes at least `min_gas`, which stays valid
+//    even when the rw side is ⊤ (and kNoSuccessfulPath implies failure).
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "evm/analysis/analysis.hpp"
+#include "evm/analysis/interproc.hpp"
+#include "evm/interpreter.hpp"
+#include "harness.hpp"
+#include "state/overlay.hpp"
+#include "state/statedb.hpp"
+
+using namespace srbb;
+using namespace srbb::evm;
+using namespace srbb::evm::analysis;
+
+namespace {
+
+Address addr_of(std::uint8_t tag) {
+  Address a;
+  a[19] = tag;
+  return a;
+}
+
+Address address_of_word(const U256& word) {
+  const Bytes be = word.be_bytes();
+  return Address{BytesView{be.data() + 12, 20}};
+}
+
+bool contains_hash(const std::vector<Hash32>& sorted, const Hash32& h) {
+  return std::binary_search(sorted.begin(), sorted.end(), h);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 4) return 0;
+  const std::size_t cd_len = data[0] % 65;  // up to 64 bytes of calldata
+  if (size < 1 + cd_len + 2) return 0;
+  const Bytes calldata{data + 1, data + 1 + cd_len};
+  std::size_t at = 1 + cd_len;
+  const std::size_t callee_want =
+      (static_cast<std::size_t>(data[at]) << 8) | data[at + 1];
+  at += 2;
+  const std::size_t callee_len =
+      std::min<std::size_t>({callee_want, size - at, 8192});
+  const Bytes callee_code{data + at, data + at + callee_len};
+  at += callee_len;
+  const std::size_t caller_len = std::min<std::size_t>(size - at, 8192);
+  const Bytes caller_code{data + at, data + at + caller_len};
+
+  const Address self = addr_of(0xFC);    // composition root
+  const Address callee = addr_of(0xFB);  // the reachable second contract
+  const Address caller = addr_of(0xCA);  // transaction sender
+
+  state::StateDB db;
+  db.add_balance(caller, U256{1'000'000});
+  db.set_code(self, caller_code);
+  if (!callee_code.empty()) db.set_code(callee, callee_code);
+  db.commit();
+
+  // Determinism: a pure function of (state code mapping, root address).
+  AnalysisCache cache_a;
+  AnalysisCache cache_b;
+  const ComposedSummary sum = compose_summary(db, self, cache_a);
+  const ComposedSummary again = compose_summary(db, self, cache_b);
+  FUZZ_ASSERT(sum.digest() == again.digest());
+  FUZZ_ASSERT(sum.top == again.top);
+  FUZZ_ASSERT(sum.min_gas == again.min_gas);
+
+  // ⊤ iff an explicit bailout reason.
+  FUZZ_ASSERT(sum.top == (sum.bailout != ComposeBailout::kNone));
+
+  // A non-⊤ composition must resolve completely in the root context.
+  ResolveContext ctx;
+  ctx.calldata = BytesView{calldata};
+  ctx.caller = caller;
+  ctx.self = self;
+  std::map<Address, std::vector<Hash32>> pred_reads;
+  std::map<Address, std::vector<Hash32>> pred_writes;
+  std::vector<Address> pred_balances;
+  if (!sum.top) {
+    for (const AccountAccess& aa : sum.accesses) {
+      FUZZ_ASSERT(aa.account.resolvable());
+      const Address account = address_of_word(*resolve(aa.account, ctx));
+      auto& reads = pred_reads[account];
+      auto& writes = pred_writes[account];
+      for (const SymExpr& e : aa.reads) {
+        FUZZ_ASSERT(e.resolvable());
+        reads.push_back(resolve(e, ctx)->to_hash());
+      }
+      for (const SymExpr& e : aa.writes) {
+        FUZZ_ASSERT(e.resolvable());
+        const Hash32 slot = resolve(e, ctx)->to_hash();
+        writes.push_back(slot);
+        reads.push_back(slot);  // SSTORE reads the slot first
+      }
+      std::sort(reads.begin(), reads.end());
+      std::sort(writes.begin(), writes.end());
+    }
+    for (const SymExpr& e : sum.balance_reads) {
+      FUZZ_ASSERT(e.resolvable());
+      pred_balances.push_back(address_of_word(*resolve(e, ctx)));
+    }
+    std::sort(pred_balances.begin(), pred_balances.end());
+  }
+
+  // Execute the caller and compare observed accesses across ALL frames.
+  constexpr std::uint64_t kGasBudget = 400'000;
+  state::OverlayState overlay{db};
+  BlockContext block;
+  TxContext tx;
+  tx.origin = caller;
+  Evm evm{overlay, block, tx};
+  evm.set_validate_code(false);
+  Message msg;
+  msg.caller = caller;
+  msg.to = self;
+  msg.gas = kGasBudget;
+  msg.data = calldata;
+  const ExecResult result = evm.execute(msg);
+
+  // Gas floor: valid whether or not the rw side is ⊤.
+  if (result.ok()) {
+    FUZZ_ASSERT(sum.min_gas != AnalysisResult::kNoSuccessfulPath);
+    FUZZ_ASSERT(kGasBudget - result.gas_left >= sum.min_gas);
+  }
+
+  if (sum.top) return 0;  // explicit "may touch anything": rw side unusable
+  for (const state::AccessKey& key : overlay.observed_writes().keys) {
+    if (key.field != state::AccessField::kStorage) continue;
+    const auto it = pred_writes.find(key.addr);
+    FUZZ_ASSERT(it != pred_writes.end());
+    FUZZ_ASSERT(contains_hash(it->second, key.slot));
+  }
+  for (const state::AccessKey& key : overlay.observed_reads().keys) {
+    if (key.field == state::AccessField::kStorage) {
+      const auto it = pred_reads.find(key.addr);
+      FUZZ_ASSERT(it != pred_reads.end());
+      FUZZ_ASSERT(contains_hash(it->second, key.slot));
+    }
+    if (key.field == state::AccessField::kBalance) {
+      FUZZ_ASSERT(std::binary_search(pred_balances.begin(),
+                                     pred_balances.end(), key.addr));
+    }
+  }
+  return 0;
+}

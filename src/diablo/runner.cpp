@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "chains/gossip_chain.hpp"
+#include "crypto/keccak.hpp"
 #include "diablo/client.hpp"
 #include "evm/contracts.hpp"
 
@@ -26,6 +27,14 @@ Address fixed_address(std::uint8_t tag) {
 const Address kExchange = fixed_address(1);
 const Address kMobility = fixed_address(2);
 const Address kTicketing = fixed_address(3);
+const Address kKvStore = fixed_address(4);
+const Address kToken = fixed_address(5);
+const Address kRouter = fixed_address(6);
+
+// The hot recipient every kRouterTransfer pays: one shared credit slot, while
+// each sender debits its own — the regime where composed interprocedural
+// hints prove the per-sender writes disjoint but blind speculation cannot.
+const U256 kHotRecipientWord{0x707ull};
 
 Bytes calldata_for(TxShape shape, std::uint64_t i) {
   switch (shape) {
@@ -40,10 +49,22 @@ Bytes calldata_for(TxShape shape, std::uint64_t i) {
       // Unique seats so honest buys never double-sell.
       return evm::encode_call("buy(uint256,uint256)",
                               {U256{i / 50'000}, U256{i % 50'000}});
+    case TxShape::kRouterTransfer:
+      return evm::encode_call("rtransfer(uint256,uint256)",
+                              {kHotRecipientWord, U256{1}});
     case TxShape::kTransfer:
       return {};
   }
   return {};
+}
+
+/// Token-ledger slot keccak(addressWord ++ 0) — the token contract's balance
+/// mapping, living in *router* storage under DELEGATECALL.
+Hash32 token_balance_slot(const Address& holder) {
+  Bytes preimage;
+  append(preimage, U256::from_be(holder.view()).be_bytes());
+  append(preimage, U256{0}.be_bytes());
+  return crypto::Keccak256::hash(BytesView{preimage});
 }
 
 struct PreparedTx {
@@ -135,6 +156,20 @@ RunResult run_experiment(const RunConfig& config) {
   genesis.contracts.push_back({kMobility, evm::mobility_contract().runtime_code});
   genesis.contracts.push_back(
       {kTicketing, evm::ticketing_contract().runtime_code});
+  if (config.workload.shape == TxShape::kRouterTransfer) {
+    genesis.contracts.push_back({kKvStore, evm::kvstore_contract().runtime_code});
+    genesis.contracts.push_back({kToken, evm::token_contract().runtime_code});
+    node::GenesisSpec::PredeployedContract router{
+        kRouter, evm::router_contract(kKvStore, kToken).runtime_code, {}};
+    // The token ledger lives in router storage (DELEGATECALL): pre-fund every
+    // sender so rtransfer never reverts for lack of balance.
+    router.storage_slots.reserve(sender_count);
+    for (const crypto::Identity& sender : senders) {
+      router.storage_slots.push_back(
+          {token_balance_slot(sender.address()), U256{1'000'000'000ull}});
+    }
+    genesis.contracts.push_back(std::move(router));
+  }
 
   evm::BlockContext block_template;
   auto shared_oracle =
@@ -223,10 +258,12 @@ RunResult run_experiment(const RunConfig& config) {
     } else {
       params.kind = txn::TxKind::kInvoke;
       params.gas_limit = 200'000;
-      params.to = config.workload.shape == TxShape::kExchangeTrade ? kExchange
-                  : config.workload.shape == TxShape::kMobilityRide
-                      ? kMobility
-                      : kTicketing;
+      switch (config.workload.shape) {
+        case TxShape::kExchangeTrade: params.to = kExchange; break;
+        case TxShape::kMobilityRide: params.to = kMobility; break;
+        case TxShape::kRouterTransfer: params.to = kRouter; break;
+        default: params.to = kTicketing; break;
+      }
       params.data = calldata_for(config.workload.shape, i);
     }
     const txn::TxPtr tx =

@@ -125,7 +125,7 @@ Result<WorkloadSpec> from_csv(std::string_view csv) {
       const auto shape_at = line.find("shape=");
       if (shape_at != std::string_view::npos) {
         const int shape = std::atoi(std::string(line.substr(shape_at + 6)).c_str());
-        if (shape < 0 || shape > 3) return Status::error("trace: bad shape");
+        if (shape < 0 || shape > 4) return Status::error("trace: bad shape");
         out.shape = static_cast<TxShape>(shape);
       }
       continue;

@@ -18,10 +18,12 @@
 namespace srbb::diablo {
 
 enum class TxShape : std::uint8_t {
-  kTransfer,       // native payment
-  kExchangeTrade,  // exchange DApp: trade(stockId, price, volume)
-  kMobilityRide,   // mobility DApp: ride(rideId, fare)
-  kTicketBuy,      // ticketing DApp: buy(matchId, seat)
+  kTransfer,        // native payment
+  kExchangeTrade,   // exchange DApp: trade(stockId, price, volume)
+  kMobilityRide,    // mobility DApp: ride(rideId, fare)
+  kTicketBuy,       // ticketing DApp: buy(matchId, seat)
+  kRouterTransfer,  // router DApp: rtransfer(to, amount), DELEGATECALLs the
+                    // token — the interprocedural-analysis workload
 };
 
 struct WorkloadSpec {

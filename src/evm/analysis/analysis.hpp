@@ -163,6 +163,10 @@ struct AnalysisResult {
   /// cache hit per (code, tx) pair.
   StorageSummary storage;
 
+  /// Frame-local summary with explicit CALL/STATICCALL/DELEGATECALL sites —
+  /// the per-contract input of interprocedural composition (interproc.hpp).
+  FrameSummary frame;
+
   /// Order-stable FNV-1a digest of the verdict, bitmap, min-gas and every
   /// per-block fact — what the fuzz harness compares across runs.
   std::uint64_t fingerprint() const;
@@ -171,5 +175,16 @@ struct AnalysisResult {
 /// Full pipeline: disassemble, build the CFG, run the fixpoint, derive the
 /// verdict and min-gas. Total and deterministic for arbitrary input bytes.
 AnalysisResult analyze(BytesView code);
+
+/// Cheapest successful execution over the CFG: Dijkstra on block static-gas
+/// lower bounds with the computed-jump hub edge class. `extra_block_gas`
+/// (parallel to cfg.blocks, when given) adds a per-block surcharge — the
+/// interprocedural layer charges guarded resolved call sites the callee's
+/// own min-gas there. A surcharge of AnalysisResult::kNoSuccessfulPath
+/// marks the block unusable on any successful path (the guarded callee can
+/// never succeed). Returns kNoSuccessfulPath when no successful terminator
+/// is reachable.
+std::uint64_t min_success_gas(
+    const Cfg& cfg, const std::vector<std::uint64_t>* extra_block_gas = nullptr);
 
 }  // namespace srbb::evm::analysis

@@ -232,11 +232,22 @@ void prove_reject(const Cfg& cfg, AnalysisResult& r) {
   }
 }
 
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
 /// Lower bound on gas to reach any successful exit: single-source shortest
-/// path where entering a successor costs the predecessor's static gas.
-/// Unknown jumps route through one virtual node into every JUMPDEST block,
-/// keeping the edge count linear.
-std::uint64_t min_success_gas(const Cfg& cfg) {
+/// path where entering a successor costs the predecessor's static gas (plus
+/// the optional per-block surcharge). Unknown jumps route through one
+/// virtual node into every JUMPDEST block, keeping the edge count linear.
+std::uint64_t min_success_gas(const Cfg& cfg,
+                              const std::vector<std::uint64_t>* extra_block_gas) {
   if (cfg.blocks.empty()) return 0;
   const std::size_t n = cfg.blocks.size();
   const std::size_t virt = n;  // computed-jump hub
@@ -254,6 +265,9 @@ std::uint64_t min_success_gas(const Cfg& cfg) {
       heap.emplace(d, node);
     }
   };
+  const auto sat_add = [](std::uint64_t a, std::uint64_t b) {
+    return a > kInf - b ? kInf : a + b;
+  };
 
   while (!heap.empty()) {
     const auto [d, node] = heap.top();
@@ -264,7 +278,10 @@ std::uint64_t min_success_gas(const Cfg& cfg) {
       continue;
     }
     const BasicBlock& b = cfg.blocks[node];
-    const std::uint64_t out = d + b.static_gas;
+    const std::uint64_t extra =
+        extra_block_gas != nullptr ? (*extra_block_gas)[node] : 0;
+    const std::uint64_t out = sat_add(sat_add(d, b.static_gas), extra);
+    if (out == kInf) continue;  // surcharged to "no successful path through"
     switch (b.terminator) {
       case Terminator::kStop:
       case Terminator::kReturn:
@@ -294,16 +311,6 @@ std::uint64_t min_success_gas(const Cfg& cfg) {
   }
   return best;
 }
-
-std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xff;
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
-}  // namespace
 
 std::uint64_t AnalysisResult::fingerprint() const {
   std::uint64_t h = 0xcbf29ce484222325ull;
@@ -339,6 +346,7 @@ std::uint64_t AnalysisResult::fingerprint() const {
     h = fnv1a(h, (static_cast<std::uint64_t>(f.entry_lo) << 32) | f.entry_hi);
   }
   h = fnv1a(h, storage.digest());
+  h = fnv1a(h, frame.digest());
   return h;
 }
 
@@ -354,6 +362,7 @@ AnalysisResult analyze(BytesView code) {
     r.verdict = Verdict::kUnknown;
     r.min_gas = 0;
     r.storage.top = true;  // unanalyzed code may touch anything
+    r.frame.local.top = true;
     return r;
   }
 
@@ -384,6 +393,7 @@ AnalysisResult analyze(BytesView code) {
   prove_reject(r.cfg, r);  // upgrades to kReject when doom is provable
   r.min_gas = min_success_gas(r.cfg);
   r.storage = infer_storage_summary(r.cfg);
+  r.frame = infer_frame_summary(r.cfg);
   return r;
 }
 

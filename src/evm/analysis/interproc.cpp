@@ -1,0 +1,489 @@
+#include "evm/analysis/interproc.hpp"
+
+#include <algorithm>
+
+#include "evm/analysis/analysis.hpp"
+#include "evm/precompiles.hpp"
+#include "state/statedb.hpp"
+
+namespace srbb::evm::analysis {
+
+const char* to_string(ComposeBailout b) {
+  switch (b) {
+    case ComposeBailout::kNone: return "none";
+    case ComposeBailout::kLocalTop: return "local-top";
+    case ComposeBailout::kSitesOverflow: return "sites-overflow";
+    case ComposeBailout::kUnknownTarget: return "unknown-target";
+    case ComposeBailout::kValueTransfer: return "value-transfer";
+    case ComposeBailout::kArgsUntracked: return "args-untracked";
+    case ComposeBailout::kSubstitution: return "substitution";
+    case ComposeBailout::kCycle: return "cycle";
+    case ComposeBailout::kDepthBudget: return "depth-budget";
+    case ComposeBailout::kFrameBudget: return "frame-budget";
+    case ComposeBailout::kKeyBudget: return "key-budget";
+  }
+  return "none";
+}
+
+namespace {
+
+constexpr std::uint32_t kMaxComposeDepth = 4;    // root = depth 0
+constexpr std::uint32_t kMaxComposedFrames = 64;
+constexpr std::size_t kMaxComposedKeys = 512;    // total keys across accounts
+constexpr std::size_t kMaxSubstNodes = 48;       // expr growth cap
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t fold_expr(std::uint64_t h, const SymExpr& e) {
+  h = fnv1a(h, static_cast<std::uint64_t>(e.cls));
+  switch (e.cls) {
+    case SymClass::kConst:
+      for (const std::uint64_t limb : e.constant.limb) h = fnv1a(h, limb);
+      break;
+    case SymClass::kCalldata:
+      h = fnv1a(h, e.calldata_offset);
+      break;
+    case SymClass::kKeccak:
+      h = fnv1a(h, e.children.size());
+      for (const SymExpr& c : e.children) h = fold_expr(h, c);
+      break;
+    default:
+      break;
+  }
+  return h;
+}
+
+/// Low 20 bytes of the constant target word — the interpreter's
+/// address-from-word rule for call targets.
+Address address_from_word(const U256& word) {
+  const Bytes be = word.be_bytes();
+  return Address{BytesView{be.data() + 12, 20}};
+}
+
+/// The 32-byte word an ADDRESS opcode would push for `addr` (the target
+/// word with its high 12 bytes masked off).
+SymExpr masked_address_word(const Address& addr) {
+  return SymExpr::make_const(U256::from_be(addr.view()));
+}
+
+bool expr_less(const SymExpr& a, const SymExpr& b) {
+  return SymExpr::compare(a, b) < 0;
+}
+
+void finalize_exprs(std::vector<SymExpr>& v) {
+  std::sort(v.begin(), v.end(), expr_less);
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/// A frame's composed contribution, in that frame's own symbols; the caller
+/// substitutes per call site. min_gas is valid independently of `top`.
+struct FrameOut {
+  bool top = false;
+  ComposeBailout bailout = ComposeBailout::kNone;
+  std::uint32_t bailout_pc = 0;
+  std::vector<AccountAccess> accesses;
+  std::vector<SymExpr> balance_reads;
+  std::uint64_t min_gas = 0;
+};
+
+class Composer {
+ public:
+  Composer(const state::StateView& db, AnalysisCache& analyses,
+           ComposedSummary& out)
+      : db_(db), analyses_(analyses), out_(out) {}
+
+  FrameOut compose_frame(const Hash32& code_keccak, BytesView code,
+                         std::uint32_t depth) {
+    FrameOut r;
+    if (++out_.frames > kMaxComposedFrames) {
+      set_top(r, ComposeBailout::kFrameBudget, 0);
+      return r;  // min_gas 0: still a sound lower bound
+    }
+    // On the visiting stack for the whole frame so self-calls are cycles too.
+    visiting_.push_back(code_keccak);
+    const std::shared_ptr<const AnalysisResult> analysis =
+        analyses_.get(code_keccak, code);
+    const FrameSummary& frame = analysis->frame;
+    r.min_gas = analysis->min_gas;
+
+    if (frame.local.top) {
+      set_top(r, ComposeBailout::kLocalTop, 0);
+    } else {
+      AccountAccess self;
+      self.account = SymExpr::make_leaf(SymClass::kSelf);
+      self.reads = frame.local.reads;
+      self.writes = frame.local.writes;
+      if (!self.reads.empty() || !self.writes.empty()) {
+        r.accesses.push_back(std::move(self));
+      }
+      r.balance_reads = frame.local.balance_reads;
+    }
+    if (frame.sites_overflow) {
+      set_top(r, ComposeBailout::kSitesOverflow, 0);
+    }
+
+    std::vector<std::uint64_t> extra(analysis->cfg.blocks.size(), 0);
+    bool any_extra = false;
+    // A guarded site whose resolved callee needs at least `child_min` gas to
+    // succeed charges that onto the caller block: caller success implies the
+    // callee succeeded there. kNoSuccessfulPath marks the block doomed.
+    const auto charge = [&](const CallSite& site, std::uint64_t child_min) {
+      if (!site.guarded || child_min == 0) return;
+      constexpr std::uint64_t kInf = AnalysisResult::kNoSuccessfulPath;
+      std::uint64_t& slot = extra[site.block];
+      slot = slot > kInf - child_min ? kInf : slot + child_min;
+      any_extra = true;
+    };
+
+    for (const CallSite& site : frame.sites) {
+      if (site.target.cls != SymClass::kConst) {
+        ++out_.unknown_target_sites;
+        set_top(r, ComposeBailout::kUnknownTarget, site.pc);
+        continue;  // an unknown callee adds no *guaranteed* gas: no charge
+      }
+      const Address callee = address_from_word(site.target.constant);
+
+      CallEdge edge;
+      edge.pc = site.pc;
+      edge.depth = depth + 1;
+      edge.kind = site.kind;
+      edge.callee = callee;
+
+      if (!(site.value.cls == SymClass::kConst &&
+            site.value.constant == U256::zero())) {
+        set_top(r, ComposeBailout::kValueTransfer, site.pc);
+      }
+
+      // DELEGATECALL runs the *code at* the address — for precompile
+      // addresses that is empty code (precompiles.hpp's documented
+      // divergence), so only plain/static calls take the precompile path.
+      if (site.kind != CallKind::kDelegateCall && is_precompile(callee)) {
+        edge.precompile = true;
+        out_.edges.push_back(edge);
+        continue;  // no state touches; precompile gas is not a static bound
+      }
+      const Bytes& callee_code = db_.code(callee);
+      if (callee_code.empty()) {
+        edge.empty_code = true;
+        out_.edges.push_back(edge);
+        continue;  // implicit success touching nothing
+      }
+      const Hash32 callee_keccak = db_.code_keccak(callee);
+      edge.code_keccak = callee_keccak;
+      out_.edges.push_back(edge);
+      out_.max_depth = std::max(out_.max_depth, depth + 1);
+
+      const BytesView callee_view{callee_code.data(), callee_code.size()};
+      if (std::find(visiting_.begin(), visiting_.end(), callee_keccak) !=
+          visiting_.end()) {
+        set_top(r, ComposeBailout::kCycle, site.pc);
+        // No recursion, but the callee's own intraprocedural minimum still
+        // lower-bounds a successful child frame.
+        charge(site, analyses_.get(callee_keccak, callee_view)->min_gas);
+        continue;
+      }
+      if (depth + 1 >= kMaxComposeDepth) {
+        set_top(r, ComposeBailout::kDepthBudget, site.pc);
+        charge(site, analyses_.get(callee_keccak, callee_view)->min_gas);
+        continue;
+      }
+
+      const FrameOut child = compose_frame(callee_keccak, callee_view, depth + 1);
+      charge(site, child.min_gas);
+
+      if (child.top) {
+        set_top(r, child.bailout, site.pc);  // propagate the root cause
+        continue;
+      }
+      if (r.top) continue;  // rw already ⊤; only min-gas is still refined
+      if (!site.args_tracked) {
+        set_top(r, ComposeBailout::kArgsUntracked, site.pc);
+        continue;
+      }
+      if (!splice_child(r, child, site)) {
+        // splice_child already set the reason (substitution/key budget)
+        continue;
+      }
+    }
+
+    if (any_extra) {
+      r.min_gas = std::max(r.min_gas, min_success_gas(analysis->cfg, &extra));
+    }
+    visiting_.pop_back();
+    return r;
+  }
+
+ private:
+  void set_top(FrameOut& r, ComposeBailout why, std::uint32_t pc) {
+    if (r.top) return;  // first reason wins
+    r.top = true;
+    r.bailout = why == ComposeBailout::kNone ? ComposeBailout::kLocalTop : why;
+    r.bailout_pc = pc;
+    r.accesses.clear();
+    r.balance_reads.clear();
+  }
+
+  /// Re-base `e` from the callee frame into the caller frame through `site`.
+  /// nullopt = not representable (composition must ⊤).
+  std::optional<SymExpr> subst(const SymExpr& e, const CallSite& site) const {
+    switch (e.cls) {
+      case SymClass::kConst:
+      case SymClass::kOrigin:  // tx-global
+        return e;
+      case SymClass::kUnknown:
+        return std::nullopt;
+      case SymClass::kCaller:
+        // Child's CALLER is the calling frame's self — except DELEGATECALL,
+        // which keeps the parent's caller.
+        return site.kind == CallKind::kDelegateCall
+                   ? e
+                   : SymExpr::make_leaf(SymClass::kSelf);
+      case SymClass::kSelf:
+        return site.kind == CallKind::kDelegateCall
+                   ? e
+                   : masked_address_word(address_from_word(site.target.constant));
+      case SymClass::kCallvalue:
+        if (site.kind == CallKind::kDelegateCall) return e;  // inherited
+        if (site.kind == CallKind::kStaticCall) {
+          return SymExpr::make_const(U256::zero());
+        }
+        return site.value.cls == SymClass::kConst ? std::make_optional(site.value)
+                                                  : std::nullopt;
+      case SymClass::kCalldata: {
+        if (!site.args_tracked) return std::nullopt;
+        const std::uint64_t o = e.calldata_offset;
+        if (o >= site.in_size) {
+          return SymExpr::make_const(U256::zero());  // zero-padded load
+        }
+        if (site.in_size - o < 32) return std::nullopt;  // straddles the end
+        for (const auto& [off, word] : site.input_words) {
+          if (off == o) return word;
+        }
+        return std::nullopt;  // callee reads an untracked caller word
+      }
+      case SymClass::kKeccak: {
+        SymExpr out;
+        out.cls = SymClass::kKeccak;
+        for (const SymExpr& c : e.children) {
+          std::optional<SymExpr> sc = subst(c, site);
+          if (!sc) return std::nullopt;
+          out.children.push_back(std::move(*sc));
+        }
+        if (out.node_count() > kMaxSubstNodes) return std::nullopt;
+        return out;
+      }
+    }
+    return std::nullopt;
+  }
+
+  AccountAccess& account_slot(std::vector<AccountAccess>& accesses,
+                              const SymExpr& account) {
+    for (AccountAccess& aa : accesses) {
+      if (SymExpr::compare(aa.account, account) == 0) return aa;
+    }
+    accesses.emplace_back();
+    accesses.back().account = account;
+    return accesses.back();
+  }
+
+  /// Substitute the child's accesses through `site` and merge them into the
+  /// caller frame. Returns false after setting an explicit bailout.
+  bool splice_child(FrameOut& r, const FrameOut& child, const CallSite& site) {
+    const auto bail = [&](ComposeBailout why) {
+      set_top(r, why, site.pc);
+      return false;
+    };
+    for (const AccountAccess& aa : child.accesses) {
+      const std::optional<SymExpr> account = subst(aa.account, site);
+      if (!account) return bail(ComposeBailout::kSubstitution);
+      AccountAccess& into = account_slot(r.accesses, *account);
+      for (const SymExpr& e : aa.reads) {
+        const std::optional<SymExpr> key = subst(e, site);
+        if (!key) return bail(ComposeBailout::kSubstitution);
+        into.reads.push_back(std::move(*key));
+        if (++total_keys_ > kMaxComposedKeys) {
+          return bail(ComposeBailout::kKeyBudget);
+        }
+      }
+      for (const SymExpr& e : aa.writes) {
+        const std::optional<SymExpr> key = subst(e, site);
+        if (!key) return bail(ComposeBailout::kSubstitution);
+        into.writes.push_back(std::move(*key));
+        if (++total_keys_ > kMaxComposedKeys) {
+          return bail(ComposeBailout::kKeyBudget);
+        }
+      }
+    }
+    for (const SymExpr& e : child.balance_reads) {
+      const std::optional<SymExpr> addr = subst(e, site);
+      if (!addr) return bail(ComposeBailout::kSubstitution);
+      r.balance_reads.push_back(std::move(*addr));
+    }
+    return true;
+  }
+
+  const state::StateView& db_;
+  AnalysisCache& analyses_;
+  ComposedSummary& out_;
+  std::vector<Hash32> visiting_;  // code-hash stack for cycle detection
+  std::size_t total_keys_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t ComposedSummary::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint8_t byte : root_code_keccak.data) h = fnv1a(h, byte);
+  h = fnv1a(h, (top ? 1u : 0u) | (static_cast<std::uint64_t>(bailout) << 8));
+  h = fnv1a(h, bailout_pc);
+  h = fnv1a(h, min_gas);
+  h = fnv1a(h, (static_cast<std::uint64_t>(frames) << 32) | max_depth);
+  h = fnv1a(h, unknown_target_sites);
+  h = fnv1a(h, accesses.size());
+  for (const AccountAccess& aa : accesses) {
+    h = fold_expr(h, aa.account);
+    h = fnv1a(h, aa.reads.size());
+    for (const SymExpr& e : aa.reads) h = fold_expr(h, e);
+    h = fnv1a(h, aa.writes.size());
+    for (const SymExpr& e : aa.writes) h = fold_expr(h, e);
+  }
+  h = fnv1a(h, balance_reads.size());
+  for (const SymExpr& e : balance_reads) h = fold_expr(h, e);
+  h = fnv1a(h, edges.size());
+  for (const CallEdge& e : edges) {
+    h = fnv1a(h, (static_cast<std::uint64_t>(e.pc) << 32) | e.depth);
+    h = fnv1a(h, static_cast<std::uint64_t>(e.kind) |
+                     (e.precompile ? 0x100u : 0u) |
+                     (e.empty_code ? 0x200u : 0u));
+    for (const std::uint8_t byte : e.callee.data) h = fnv1a(h, byte);
+    for (const std::uint8_t byte : e.code_keccak.data) h = fnv1a(h, byte);
+  }
+  return h;
+}
+
+ComposedSummary compose_summary(const state::StateView& db, const Address& root,
+                                AnalysisCache& analyses) {
+  ComposedSummary out;
+  const Bytes& code = db.code(root);
+  if (code.empty()) return out;  // empty code: succeeds touching nothing
+  out.root_code_keccak = db.code_keccak(root);
+
+  Composer composer{db, analyses, out};
+  FrameOut top_frame = composer.compose_frame(
+      out.root_code_keccak, BytesView{code.data(), code.size()}, 0);
+
+  out.top = top_frame.top;
+  out.bailout = top_frame.bailout;
+  out.bailout_pc = top_frame.bailout_pc;
+  out.min_gas = top_frame.min_gas;
+  if (!out.top) {
+    out.accesses = std::move(top_frame.accesses);
+    std::sort(out.accesses.begin(), out.accesses.end(),
+              [](const AccountAccess& a, const AccountAccess& b) {
+                return expr_less(a.account, b.account);
+              });
+    for (AccountAccess& aa : out.accesses) {
+      finalize_exprs(aa.reads);
+      finalize_exprs(aa.writes);
+    }
+    out.balance_reads = std::move(top_frame.balance_reads);
+    finalize_exprs(out.balance_reads);
+  }
+  return out;
+}
+
+InterprocCache::InterprocCache(std::size_t max_roots) : max_roots_(max_roots) {}
+
+InterprocCache& InterprocCache::global() {
+  static InterprocCache cache;
+  return cache;
+}
+
+std::shared_ptr<const ComposedSummary> InterprocCache::get(
+    const state::StateView& db, const Address& addr, AnalysisCache& analyses) {
+  const Bytes& code = db.code(addr);
+  if (code.empty()) {
+    static const std::shared_ptr<const ComposedSummary> kEmpty =
+        std::make_shared<const ComposedSummary>();
+    return kEmpty;
+  }
+  const Hash32 root = db.code_keccak(addr);
+
+  // A cached variant is valid iff every resolved edge still holds the code
+  // recorded at composition time — the "(caller hash, callee hash set)" key.
+  const auto valid_against = [&db](const ComposedSummary& s) {
+    for (const CallEdge& e : s.edges) {
+      if (e.precompile) continue;
+      if (e.empty_code) {
+        if (!db.code(e.callee).empty()) return false;
+      } else if (!(db.code_keccak(e.callee) == e.code_keccak)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(root);
+    if (it != entries_.end()) {
+      for (const auto& candidate : it->second) {
+        if (valid_against(*candidate)) {
+          ++hits_;
+          return candidate;
+        }
+      }
+    }
+  }
+
+  // Compose outside the lock: it may analyze several contracts.
+  auto composed =
+      std::make_shared<const ComposedSummary>(compose_summary(db, addr, analyses));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  auto it = entries_.find(root);
+  if (it == entries_.end()) {
+    if (entries_.size() >= max_roots_) return composed;  // full: don't cache
+    it = entries_.emplace(root, std::vector<std::shared_ptr<const ComposedSummary>>{})
+             .first;
+  }
+  // Another thread may have inserted an equivalent variant meanwhile; the
+  // result is deterministic either way, so just bound the variant list.
+  constexpr std::size_t kMaxVariantsPerRoot = 4;
+  if (it->second.size() >= kMaxVariantsPerRoot) it->second.erase(it->second.begin());
+  it->second.push_back(composed);
+  return composed;
+}
+
+std::uint64_t InterprocCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t InterprocCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t InterprocCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [hash, variants] : entries_) n += variants.size();
+  return n;
+}
+
+void InterprocCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace srbb::evm::analysis

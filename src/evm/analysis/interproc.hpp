@@ -1,0 +1,150 @@
+// Interprocedural analysis (docs/ANALYSIS.md "Interprocedural composition",
+// DESIGN.md §15): composes cached per-contract frame summaries (rwset.hpp)
+// through statically resolved CALL/STATICCALL/DELEGATECALL edges into a
+// whole-call-tree summary for a root contract *in a given state*.
+//
+// The product is a ComposedSummary:
+//  - storage/balance accesses grouped by a *symbolic account word* — the
+//    callee's own-storage accesses arrive as `kSelf` in its frame and the
+//    per-site substitution re-binds them (CALL/STATICCALL: the constant
+//    target address; DELEGATECALL: still the caller's self), so cross-frame
+//    account attribution falls out of the same algebra as the keys;
+//  - the resolved static call graph (CallEdge list) plus an explicit
+//    unknown-target site count;
+//  - a refined min-gas bound: guarded resolved call sites (CallSite::guarded)
+//    charge the callee's own composed min-gas onto the caller block, because
+//    caller success provably implies callee success there.
+//
+// Soundness contract, enforced by tests/test_interproc.cpp and
+// fuzz_interproc: for every execution of the root code from a transaction
+// entry, observed storage/balance accesses on ANY account resolve out of a
+// non-⊤ composed summary, and a successful execution consumes at least
+// `min_gas` (which stays valid even when the rw side is ⊤). Every bailout
+// is an explicit ComposeBailout reason — there is no silent miss.
+//
+// The InterprocCache keys entries on (root code hash, resolved callee hash
+// set): a cached summary is only served while every recorded edge still
+// resolves to the same code in the queried state, so state code changes
+// invalidate cleanly without an explicit flush.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+#include "evm/analysis/cache.hpp"
+#include "evm/analysis/rwset.hpp"
+
+namespace srbb::state {
+class StateView;
+}
+
+namespace srbb::evm::analysis {
+
+/// Why a composed summary degraded to ⊤ on the rw side. kNone iff !top.
+enum class ComposeBailout : std::uint8_t {
+  kNone = 0,
+  kLocalTop,        // a frame's own summary is ⊤ (CREATE/SELFDESTRUCT/...)
+  kSitesOverflow,   // more call sites than the frame model tracks
+  kUnknownTarget,   // call target is not a compile-time constant address
+  kValueTransfer,   // call forwards value: balance effects unmodeled
+  kArgsUntracked,   // child calldata region not statically known
+  kSubstitution,    // callee key reads calldata the caller didn't track
+  kCycle,           // static call cycle between code hashes
+  kDepthBudget,     // composed call depth exceeded the budget
+  kFrameBudget,     // total composed frames exceeded the budget
+  kKeyBudget,       // composed key count exceeded the budget
+};
+
+const char* to_string(ComposeBailout b);
+
+/// Storage keys grouped by the symbolic account word that owns them, in the
+/// root frame's symbols. Lists are sorted by SymExpr::compare and deduped;
+/// writes are not folded into reads (resolvers do that, as with
+/// StorageSummary).
+struct AccountAccess {
+  SymExpr account;
+  std::vector<SymExpr> reads;
+  std::vector<SymExpr> writes;
+};
+
+/// One statically resolved call edge (cache invalidation + CLI output).
+struct CallEdge {
+  std::uint32_t pc = 0;     // call-site pc within the calling frame
+  std::uint32_t depth = 1;  // 1 = direct callee of the root
+  CallKind kind = CallKind::kCall;
+  Address callee;
+  Hash32 code_keccak{};  // code hash seen at composition time (zero when
+                         // precompile/empty_code)
+  bool precompile = false;
+  bool empty_code = false;
+};
+
+struct ComposedSummary {
+  Hash32 root_code_keccak{};
+
+  /// rw usability: when set, storage-access/balance lists are unusable and
+  /// `bailout` names the first reason hit. `min_gas` stays valid regardless.
+  bool top = false;
+  ComposeBailout bailout = ComposeBailout::kNone;
+  std::uint32_t bailout_pc = 0;
+
+  std::vector<AccountAccess> accesses;  // sorted by account expr
+  std::vector<SymExpr> balance_reads;
+
+  std::vector<CallEdge> edges;  // discovery order (pc within each frame)
+  std::uint32_t unknown_target_sites = 0;
+  std::uint32_t frames = 0;     // composed frames, root included
+  std::uint32_t max_depth = 0;  // deepest composed frame
+
+  /// Lower bound on gas a successful root-frame execution consumes; always
+  /// >= the intraprocedural bound, kNoSuccessfulPath when no execution can
+  /// succeed (e.g. every entry guards a call into doomed code).
+  std::uint64_t min_gas = 0;
+
+  /// Order-stable FNV-1a digest (fuzz determinism checks).
+  std::uint64_t digest() const;
+};
+
+/// Compose the summary for the code deployed at `root` in `db`, pulling
+/// per-contract analyses from `analyses`. Deterministic for a fixed
+/// (db code mapping, root); empty code yields the empty summary.
+ComposedSummary compose_summary(const state::StateView& db, const Address& root,
+                                AnalysisCache& analyses);
+
+/// State-keyed wrapper around compose_summary — the only sanctioned path
+/// from scheduler/validation code to callee summaries (lint rule
+/// `interproc-bypass`). Entries are cached per root code hash; each stores
+/// its resolved edge set and is served only while every edge's address still
+/// holds the code hash recorded at composition time.
+class InterprocCache {
+ public:
+  explicit InterprocCache(std::size_t max_roots = 512);
+
+  /// Process-wide instance (mirrors AnalysisCache::global()).
+  static InterprocCache& global();
+
+  std::shared_ptr<const ComposedSummary> get(const state::StateView& db,
+                                             const Address& addr,
+                                             AnalysisCache& analyses);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t max_roots_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  // Per root hash: one variant per distinct resolved callee-code set seen.
+  std::map<Hash32, std::vector<std::shared_ptr<const ComposedSummary>>>
+      entries_;
+};
+
+}  // namespace srbb::evm::analysis

@@ -208,9 +208,15 @@ bool join_into(AbsState& into, const AbsState& from) {
   return changed;
 }
 
+constexpr std::size_t kMaxCallSites = 32;       // modeled call sites
+constexpr std::uint64_t kMaxCallInputBytes = 4096;  // tracked child calldata
+
 class RwSetInterpreter {
  public:
-  explicit RwSetInterpreter(const Cfg& cfg) : cfg_(cfg) {}
+  /// `frame == nullptr` runs the classic intraprocedural pass (calls are
+  /// ⊤); with a frame, CALL/STATICCALL/DELEGATECALL record CallSites.
+  explicit RwSetInterpreter(const Cfg& cfg, FrameSummary* frame = nullptr)
+      : cfg_(cfg), frame_(frame) {}
 
   StorageSummary run() {
     StorageSummary sum;
@@ -260,6 +266,9 @@ class RwSetInterpreter {
     finalize(sum.reads);
     finalize(sum.writes);
     finalize(sum.balance_reads);
+    if (frame_ != nullptr) {
+      for (auto& [pc, site] : site_map_) frame_->sites.push_back(std::move(site));
+    }
     return sum;
   }
 
@@ -459,11 +468,62 @@ class RwSetInterpreter {
           push(SymExpr::unknown());
           break;
 
-        // Anything that can reach other accounts (or re-enter this one with
-        // different inputs) is out of the single-frame model: ⊤.
+        // Message calls reach other accounts. The intraprocedural pass
+        // degrades to ⊤; the frame pass records an explicit CallSite that
+        // interproc.cpp composes against the callee's summary.
         case Opcode::CALL:
         case Opcode::DELEGATECALL:
-        case Opcode::STATICCALL:
+        case Opcode::STATICCALL: {
+          if (frame_ == nullptr) {
+            sum.top = true;
+            break;
+          }
+          const Opcode o = static_cast<Opcode>(op);
+          CallSite site;
+          site.pc = ins.pc;
+          site.block = b.id;
+          site.kind = o == Opcode::CALL          ? CallKind::kCall
+                      : o == Opcode::STATICCALL ? CallKind::kStaticCall
+                                                : CallKind::kDelegateCall;
+          pop();  // gas (63/64 forwarding makes the child budget dynamic)
+          site.target = pop();
+          site.value = o == Opcode::CALL ? pop()
+                                         : SymExpr::make_const(U256::zero());
+          const SymExpr in_off = pop(), in_size = pop();
+          const SymExpr out_off = pop(), out_size = pop();
+          if (in_off.cls == SymClass::kConst && in_off.constant.fits_u64() &&
+              in_size.cls == SymClass::kConst && in_size.constant.fits_u64() &&
+              in_size.constant.as_u64() <= kMaxCallInputBytes &&
+              in_off.constant.as_u64() <=
+                  ~0ull - in_size.constant.as_u64()) {
+            site.in_offset = in_off.constant.as_u64();
+            site.in_size = in_size.constant.as_u64();
+            site.args_tracked = true;
+            for (const auto& [moff, word] : st.mem) {
+              if (moff >= site.in_offset &&
+                  moff < site.in_offset + site.in_size && word.resolvable()) {
+                site.input_words.emplace_back(moff - site.in_offset, word);
+              }
+            }
+          }
+          site.guarded = call_is_guarded(b, i);
+          // The out region is overwritten with (padded) return data.
+          if (out_off.cls == SymClass::kConst && out_off.constant.fits_u64() &&
+              out_size.cls == SymClass::kConst &&
+              out_size.constant.fits_u64()) {
+            if (out_size.constant.as_u64() > 0) {
+              clobber(out_off.constant.as_u64(), out_size.constant.as_u64());
+            }
+          } else {
+            st.mem.clear();
+          }
+          push(SymExpr::unknown());  // success flag
+          record_site(site);
+          break;
+        }
+
+        // Unbounded even interprocedurally (fresh code, account deletion,
+        // foreign code reads feeding arbitrary state): always ⊤.
         case Opcode::CREATE:
         case Opcode::SELFDESTRUCT:
         case Opcode::EXTCODESIZE:
@@ -532,7 +592,90 @@ class RwSetInterpreter {
     return out;
   }
 
+  /// True when every execution entering `id` ends the frame in failure:
+  /// follow unconditional successors a few hops to REVERT/INVALID/undefined.
+  bool block_fails(std::uint32_t id) const {
+    for (int hops = 0; hops < 4; ++hops) {
+      const BasicBlock& b = cfg_.blocks[id];
+      switch (b.terminator) {
+        case Terminator::kRevert:
+        case Terminator::kInvalid:
+        case Terminator::kUndefined:
+          return true;
+        case Terminator::kFallThrough:
+          if (!b.fallthrough) return false;
+          id = *b.fallthrough;
+          break;
+        case Terminator::kJump:
+          if (b.unknown_jump || !b.jump_succ) return false;
+          id = *b.jump_succ;
+          break;
+        default:
+          return false;
+      }
+    }
+    return false;
+  }
+
+  /// Syntactic success guard on the call at instruction index `i` of `b`:
+  /// the flag feeds the block's terminating JUMPI and the failing branch
+  /// provably reverts, so a successful caller implies a successful callee.
+  /// Two compiler idioms:
+  ///   A: CALL; ISZERO; PUSH fail; JUMPI    (taken branch fails)
+  ///   B: CALL; PUSH ok; JUMPI; <revert...> (fallthrough fails)
+  bool call_is_guarded(const BasicBlock& b, std::uint32_t i) const {
+    if (b.terminator != Terminator::kJumpI || b.instr_count == 0) return false;
+    const std::uint32_t last = b.instr_count - 1;  // the JUMPI
+    const auto opcode_at = [&](std::uint32_t k) {
+      return cfg_.instrs[b.first_instr + k].opcode;
+    };
+    if (i + 3 == last &&
+        opcode_at(i + 1) == static_cast<std::uint8_t>(Opcode::ISZERO) &&
+        is_push(opcode_at(i + 2)) && b.jump_succ) {
+      return block_fails(*b.jump_succ);
+    }
+    if (i + 2 == last && is_push(opcode_at(i + 1)) && b.fallthrough) {
+      return block_fails(*b.fallthrough);
+    }
+    return false;
+  }
+
+  /// One CallSite per pc; repeated visits under different abstract states
+  /// join toward less precision so the site covers every path reaching it.
+  void record_site(const CallSite& site) {
+    auto it = site_map_.find(site.pc);
+    if (it == site_map_.end()) {
+      if (site_map_.size() >= kMaxCallSites) {
+        frame_->sites_overflow = true;  // dropped site: composition must ⊤
+        return;
+      }
+      site_map_.emplace(site.pc, site);
+      return;
+    }
+    CallSite& old = it->second;
+    if (!(old.target == site.target)) old.target = SymExpr::unknown();
+    if (!(old.value == site.value)) old.value = SymExpr::unknown();
+    if (!old.args_tracked || !site.args_tracked ||
+        old.in_offset != site.in_offset || old.in_size != site.in_size) {
+      old.args_tracked = false;
+      old.input_words.clear();
+    } else {
+      std::vector<std::pair<std::uint64_t, SymExpr>> kept;
+      for (const auto& [off, word] : old.input_words) {
+        for (const auto& [noff, nword] : site.input_words) {
+          if (noff == off && nword == word) {
+            kept.emplace_back(off, word);
+            break;
+          }
+        }
+      }
+      old.input_words = std::move(kept);
+    }
+  }
+
   const Cfg& cfg_;
+  FrameSummary* frame_ = nullptr;
+  std::map<std::uint32_t, CallSite> site_map_;  // pc -> joined site
 };
 
 }  // namespace
@@ -551,6 +694,43 @@ std::uint64_t StorageSummary::digest() const {
 
 StorageSummary infer_storage_summary(const Cfg& cfg) {
   return RwSetInterpreter{cfg}.run();
+}
+
+const char* to_string(CallKind k) {
+  switch (k) {
+    case CallKind::kCall: return "call";
+    case CallKind::kStaticCall: return "staticcall";
+    case CallKind::kDelegateCall: return "delegatecall";
+  }
+  return "call";
+}
+
+std::uint64_t FrameSummary::digest() const {
+  std::uint64_t h = local.digest();
+  h = fnv1a(h, sites_overflow ? 1u : 0u);
+  h = fnv1a(h, sites.size());
+  for (const CallSite& s : sites) {
+    h = fnv1a(h, (static_cast<std::uint64_t>(s.pc) << 32) | s.block);
+    h = fnv1a(h, static_cast<std::uint64_t>(s.kind) |
+                     (s.guarded ? 0x100u : 0u) |
+                     (s.args_tracked ? 0x200u : 0u));
+    h = fold_expr(h, s.target);
+    h = fold_expr(h, s.value);
+    h = fnv1a(h, s.in_offset);
+    h = fnv1a(h, s.in_size);
+    h = fnv1a(h, s.input_words.size());
+    for (const auto& [off, word] : s.input_words) {
+      h = fnv1a(h, off);
+      h = fold_expr(h, word);
+    }
+  }
+  return h;
+}
+
+FrameSummary infer_frame_summary(const Cfg& cfg) {
+  FrameSummary frame;
+  frame.local = RwSetInterpreter{cfg, &frame}.run();
+  return frame;
 }
 
 }  // namespace srbb::evm::analysis

@@ -133,4 +133,64 @@ struct StorageSummary {
 /// (empty code touches nothing).
 StorageSummary infer_storage_summary(const Cfg& cfg);
 
+// --- Frame summaries: the single-frame product of the interprocedural
+// --- analysis (interproc.hpp composes them through resolved call edges).
+
+enum class CallKind : std::uint8_t {
+  kCall = 0,
+  kStaticCall,
+  kDelegateCall,
+};
+
+const char* to_string(CallKind k);
+
+/// One CALL/STATICCALL/DELEGATECALL site observed by the frame-local pass.
+/// Everything here is in the *caller's* frame symbols; composition
+/// substitutes them into the callee's summary. Joins across abstract states
+/// reaching the same pc keep only what agrees on every path (target/value
+/// widen to kUnknown, input words intersect), so a site never claims more
+/// precision than the least-informed path through it.
+struct CallSite {
+  std::uint32_t pc = 0;
+  std::uint32_t block = 0;  // CFG block containing the call instruction
+  CallKind kind = CallKind::kCall;
+  SymExpr target;  // callee address word (kConst => statically resolved)
+  SymExpr value;   // forwarded wei; const 0 for STATICCALL/DELEGATECALL
+  std::uint64_t in_offset = 0;  // child-calldata memory range, when tracked
+  std::uint64_t in_size = 0;
+  bool args_tracked = false;
+  /// Tracked caller memory words inside [in_offset, in_offset+in_size),
+  /// keyed by byte offset relative to in_offset. Absent offsets are
+  /// untracked — composition bails to ⊤ if the callee reads them.
+  std::vector<std::pair<std::uint64_t, SymExpr>> input_words;
+  /// The call's success flag syntactically feeds the block's JUMPI whose
+  /// failing branch can only revert: caller success implies callee success,
+  /// which makes adding the callee's min-gas to this block sound.
+  bool guarded = false;
+};
+
+/// Frame-local storage summary: the same abstract interpretation as
+/// StorageSummary, except CALL/STATICCALL/DELEGATECALL are modeled as
+/// explicit CallSites instead of collapsing straight to ⊤. The soundness
+/// contract of `local` covers only the accesses *this* frame performs;
+/// child-frame effects are represented by `sites` and composed against
+/// state-resolved callee code by interproc.cpp. CREATE/SELFDESTRUCT/
+/// EXTCODE* still force `local.top` (their effects are unbounded even
+/// interprocedurally).
+struct FrameSummary {
+  StorageSummary local;
+  std::vector<CallSite> sites;  // pc order
+  /// More call sites than the model bound: dropped sites force composition
+  /// to ⊤ (never a silent miss).
+  bool sites_overflow = false;
+
+  std::uint64_t digest() const;
+};
+
+/// Second interpretation pass producing the frame summary. Kept separate
+/// from infer_storage_summary so the intraprocedural summary (and its
+/// digests, consumed by fuzz_rwset) is bit-identical to the pre-composition
+/// behavior.
+FrameSummary infer_frame_summary(const Cfg& cfg);
+
 }  // namespace srbb::evm::analysis

@@ -331,7 +331,84 @@ Contract build_token() {
   return finish(p);
 }
 
+// Write `selector(signature) ++ args...` to memory at offset 0 by loading the
+// router's own arguments (forwarded 1:1, so callee calldata offsets equal the
+// router's). Returns the child-calldata size.
+std::uint64_t emit_child_calldata(Program& p, std::string_view signature,
+                                  unsigned argc) {
+  // mem[0..32) = selector in the top 4 bytes; the tail is immediately
+  // overwritten by the first argument word.
+  p.push(U256{selector(signature)} << 224).push(0).op(Opcode::MSTORE);
+  for (unsigned i = 0; i < argc; ++i) {
+    emit_arg(p, i);
+    p.push(4 + 32 * i).op(Opcode::MSTORE);
+  }
+  return 4 + 32 * static_cast<std::uint64_t>(argc);
+}
+
+// Check the call's success flag (on top of the stack) and revert when the
+// child failed — the guarded-call idiom call_is_guarded() recognizes.
+void emit_call_guard(Program& p, const std::string& ok_label) {
+  p.push_label(ok_label).op(Opcode::JUMPI);
+  emit_revert(p);
+  p.label(ok_label);
+}
+
+Contract build_router(const Address& kvstore_at, const Address& token_at) {
+  const U256 kv_word = U256::from_be(kvstore_at.view());
+  const U256 token_word = U256::from_be(token_at.view());
+
+  Program p;
+  emit_load_selector(p);
+  emit_route(p, "rput(uint256,uint256)", "rput");
+  emit_route(p, "rtransfer(uint256,uint256)", "rtransfer");
+  emit_route(p, "rget(uint256)", "rget");
+  emit_revert(p);
+
+  // rput(key, value): CALL kvstore.put(key, value).
+  p.label("rput").op(Opcode::POP);
+  {
+    const std::uint64_t in_size = emit_child_calldata(p, "put(uint256,uint256)", 2);
+    p.push(0).push(0);                 // ret size, ret offset
+    p.push(in_size).push(0).push(0);   // args size, args offset, value 0
+    p.push(kv_word).op(Opcode::GAS).op(Opcode::CALL);
+  }
+  emit_call_guard(p, "rput_ok");
+  p.op(Opcode::STOP);
+
+  // rtransfer(to, amount): DELEGATECALL token.transfer — the token ledger
+  // lives in the router's own storage under the token's slot layout.
+  p.label("rtransfer").op(Opcode::POP);
+  {
+    const std::uint64_t in_size =
+        emit_child_calldata(p, "transfer(uint256,uint256)", 2);
+    p.push(0).push(0);               // ret size, ret offset
+    p.push(in_size).push(0);         // args size, args offset
+    p.push(token_word).op(Opcode::GAS).op(Opcode::DELEGATECALL);
+  }
+  emit_call_guard(p, "rtransfer_ok");
+  p.op(Opcode::STOP);
+
+  // rget(key): STATICCALL kvstore.get(key) and return the word it wrote to
+  // the 32-byte return area at memory 0.
+  p.label("rget").op(Opcode::POP);
+  {
+    const std::uint64_t in_size = emit_child_calldata(p, "get(uint256)", 1);
+    p.push(32).push(0);              // ret size, ret offset
+    p.push(in_size).push(0);         // args size, args offset
+    p.push(kv_word).op(Opcode::GAS).op(Opcode::STATICCALL);
+  }
+  emit_call_guard(p, "rget_ok");
+  p.push(0).op(Opcode::MLOAD);
+  emit_return_top(p);
+  return finish(p);
+}
+
 }  // namespace
+
+Contract router_contract(const Address& kvstore_at, const Address& token_at) {
+  return build_router(kvstore_at, token_at);
+}
 
 const Contract& token_contract() {
   static const Contract c = build_token();

@@ -64,4 +64,16 @@ const Contract& kvstore_contract();
 /// totalSupply(). Addresses are passed as 32-byte words.
 const Contract& token_contract();
 
+/// Two-contract router — the interprocedural-analysis workload. Parameterized
+/// on the deployed addresses it forwards to:
+///   rput(uint256 key, uint256 value)    — CALL kvstore.put(key, value)
+///   rtransfer(uint256 to, uint256 amt)  — DELEGATECALL token.transfer(to, amt)
+///                                         (balances live in *router* storage)
+///   rget(uint256 key)                   — STATICCALL kvstore.get(key), returns
+///                                         the word
+/// Every call checks the success flag and reverts on failure (the guarded-call
+/// idiom the min-gas composition credits). Child calldata is built at constant
+/// memory offsets so the frame pass tracks every argument word.
+Contract router_contract(const Address& kvstore_at, const Address& token_at);
+
 }  // namespace srbb::evm

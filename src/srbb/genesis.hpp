@@ -19,6 +19,8 @@ struct GenesisSpec {
   struct PredeployedContract {
     Address address;
     Bytes runtime_code;
+    /// Pre-set storage slots (e.g. token balances a workload spends from).
+    std::vector<std::pair<Hash32, U256>> storage_slots;
   };
 
   std::vector<FundedAccount> accounts;
@@ -32,6 +34,9 @@ struct GenesisSpec {
       db.create_account(contract.address);
       db.set_nonce(contract.address, 1);
       db.set_code(contract.address, contract.runtime_code);
+      for (const auto& [slot, value] : contract.storage_slots) {
+        db.set_storage(contract.address, slot, value);
+      }
     }
     db.commit();
   }

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "evm/analysis/interproc.hpp"
+
 namespace srbb::txn {
 
 namespace {
@@ -41,16 +43,18 @@ Status state_check(const CachedTx& cached, const state::StateView& db,
   if (db.balance(sender) < max_cost(tx)) {
     return Status::error("eager: insufficient balance for gas + value");
   }
-  // (vi) static min-gas gate, as in eager_validate.
+  // (vi) static min-gas gate, as in eager_validate: the composed
+  // interprocedural bound, so invoke-of-router transactions are gated by
+  // their whole call tree, not just the entry frame.
   if (config.analysis_cache != nullptr && tx.kind == TxKind::kInvoke) {
     const Bytes& code = db.code(tx.to);
     if (!code.empty()) {
-      const auto analysis =
-          config.analysis_cache->get(db.code_keccak(tx.to), code);
+      const auto composed = evm::analysis::InterprocCache::global().get(
+          db, tx.to, *config.analysis_cache);
       const std::uint64_t budget = tx.gas_limit - intrinsic_gas(tx);
-      if (analysis->min_gas ==
+      if (composed->min_gas ==
               evm::analysis::AnalysisResult::kNoSuccessfulPath ||
-          budget < analysis->min_gas) {
+          budget < composed->min_gas) {
         return Status::error("eager: gas limit below callee static minimum");
       }
     }

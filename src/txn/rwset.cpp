@@ -1,5 +1,7 @@
 #include "txn/rwset.hpp"
 
+#include "evm/analysis/interproc.hpp"
+
 namespace srbb::txn {
 
 namespace {
@@ -75,12 +77,23 @@ PredictedRwSet predict_rwset(const Transaction& tx, const state::StateDB& db,
   const Bytes& code = db.code(tx.to);
   if (code.empty()) return p;  // plain transfer / EOA target: done
 
-  const std::shared_ptr<const evm::analysis::AnalysisResult> analysis =
-      cache.get(db.code_keccak(tx.to), BytesView{code.data(), code.size()});
-  const evm::analysis::StorageSummary& summary = analysis->storage;
-  if (summary.top) {
+  // Composed whole-call-tree summary (interproc.hpp): the state-keyed wrapper
+  // is the only sanctioned path to callee summaries here — it re-validates
+  // the resolved callee code set against `db` on every lookup.
+  const std::shared_ptr<const evm::analysis::ComposedSummary> composed =
+      evm::analysis::InterprocCache::global().get(db, tx.to, cache);
+  if (composed->top) {
     p.top = true;
     return p;
+  }
+
+  // Every resolved non-precompile call edge makes the interpreter check the
+  // callee's existence and load its code (empty-code targets included);
+  // precompiles short-circuit before any state read.
+  for (const evm::analysis::CallEdge& e : composed->edges) {
+    if (e.precompile) continue;
+    predict_touch(p, db, e.callee);
+    p.reads.insert(AccessKey::account(e.callee, AccessField::kCode));
   }
 
   const evm::analysis::ResolveContext ctx{
@@ -90,7 +103,7 @@ PredictedRwSet predict_rwset(const Transaction& tx, const state::StateDB& db,
       .callvalue = tx.value,
   };
   const auto resolve_into = [&](const std::vector<evm::analysis::SymExpr>& exprs,
-                                state::AccessSet& reads,
+                                const Address& account, state::AccessSet& reads,
                                 state::AccessSet* writes) {
     for (const evm::analysis::SymExpr& e : exprs) {
       const std::optional<U256> word = evm::analysis::resolve(e, ctx);
@@ -98,17 +111,27 @@ PredictedRwSet predict_rwset(const Transaction& tx, const state::StateDB& db,
         p.top = true;
         return;
       }
-      const AccessKey key = AccessKey::storage_slot(tx.to, word->to_hash());
+      const AccessKey key = AccessKey::storage_slot(account, word->to_hash());
       // SSTORE reads the current value before writing, so every predicted
       // write slot is also a predicted read.
       reads.insert(key);
       if (writes != nullptr) writes->insert(key);
     }
   };
-  resolve_into(summary.reads, p.reads, nullptr);
-  if (!p.top) resolve_into(summary.writes, p.reads, &p.writes);
+  for (const evm::analysis::AccountAccess& aa : composed->accesses) {
+    const std::optional<U256> account_word = evm::analysis::resolve(aa.account, ctx);
+    if (!account_word) {
+      p.top = true;
+      break;
+    }
+    const Address account = address_from_word(*account_word);
+    resolve_into(aa.reads, account, p.reads, nullptr);
+    if (p.top) break;
+    resolve_into(aa.writes, account, p.reads, &p.writes);
+    if (p.top) break;
+  }
   if (!p.top) {
-    for (const evm::analysis::SymExpr& e : summary.balance_reads) {
+    for (const evm::analysis::SymExpr& e : composed->balance_reads) {
       const std::optional<U256> word = evm::analysis::resolve(e, ctx);
       if (!word) {
         p.top = true;

@@ -4,7 +4,10 @@
 // predict_rwset() combines two sources:
 //   1. the fixed state touches apply_transaction itself makes (sender
 //      nonce/balance, value transfer to the target, optional coinbase fee),
-//   2. the callee's cached StorageSummary, resolved against the concrete
+//   2. the target's *composed* interprocedural summary (interproc.hpp) —
+//      per-account symbolic key sets spanning statically resolved
+//      CALL/STATICCALL/DELEGATECALL subtrees, plus the code/existence reads
+//      of every resolved call edge — resolved against the concrete
 //      calldata/sender/value of this transaction.
 //
 // The prediction is a *superset* claim: if `top` is false, every account

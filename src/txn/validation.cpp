@@ -1,5 +1,7 @@
 #include "txn/validation.hpp"
 
+#include "evm/analysis/interproc.hpp"
+
 namespace srbb::txn {
 
 std::uint64_t intrinsic_gas(const Transaction& tx) {
@@ -48,15 +50,18 @@ Status eager_validate(const Transaction& tx, const state::StateView& db,
   }
   // (vi) static min-gas gate: every successful path through the callee costs
   // at least its statically-analyzed minimum, so a budget below that cannot
-  // buy a successful execution — reject before it reaches consensus.
+  // buy a successful execution — reject before it reaches consensus. The
+  // *composed* bound (interproc.hpp) also charges guarded resolved call
+  // sites their callee's minimum, so an invoke of a router contract is gated
+  // on the whole call tree, not just the router's own frame.
   if (config.analysis_cache != nullptr && tx.kind == TxKind::kInvoke) {
     const Bytes& code = db.code(tx.to);
     if (!code.empty()) {
-      const auto analysis =
-          config.analysis_cache->get(db.code_keccak(tx.to), code);
+      const auto composed = evm::analysis::InterprocCache::global().get(
+          db, tx.to, *config.analysis_cache);
       const std::uint64_t budget = tx.gas_limit - intrinsic_gas(tx);
-      if (analysis->min_gas == evm::analysis::AnalysisResult::kNoSuccessfulPath ||
-          budget < analysis->min_gas) {
+      if (composed->min_gas == evm::analysis::AnalysisResult::kNoSuccessfulPath ||
+          budget < composed->min_gas) {
         return Status::error("eager: gas limit below callee static minimum");
       }
     }

@@ -140,6 +140,20 @@ TEST(DiabloRunner, SharedAndReplicatedExecutionAgree) {
   EXPECT_DOUBLE_EQ(shared.avg_latency_s, replicated.avg_latency_s);
 }
 
+TEST(DiabloRunner, RouterWorkloadCommitsFully) {
+  // Two-contract router workload (interprocedural analysis): every tx
+  // DELEGATECALLs the token through the router, spending a genesis-funded
+  // ledger slot in router storage. All sends must commit — in particular the
+  // composed min-gas gate in eager validation must admit the 200k budget.
+  RunConfig config = base_config(20, 5);
+  config.kind = SystemKind::kSrbb;
+  config.workload =
+      WorkloadSpec::constant("router", 20, 5, TxShape::kRouterTransfer);
+  const RunResult result = run_experiment(config);
+  EXPECT_EQ(result.sent, 100u);
+  EXPECT_EQ(result.committed, 100u);
+}
+
 TEST(DiabloRunner, DeterministicForSameSeed) {
   RunConfig config = base_config(30, 4);
   config.kind = SystemKind::kSrbb;

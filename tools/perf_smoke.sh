@@ -11,7 +11,10 @@
 #   4. analysis-hinted scheduling aborts strictly fewer speculations than
 #      blind Block-STM on the hot-slot regime (the rw-set hints claim);
 #   5. the incremental node-cached MPT root (block-sized write burst at 1e5
-#      accounts) beats the from-scratch rebuild (the state-stack claim).
+#      accounts) beats the from-scratch rebuild (the state-stack claim);
+#   6. on the two-contract router regime the composed interprocedural hints
+#      schedule with zero aborts and zero sequential fallbacks while blind
+#      speculation aborts (the summary-composition claim).
 #
 # Usage: tools/perf_smoke.sh [build-dir]   (default: build-perf)
 set -euo pipefail
@@ -36,7 +39,7 @@ mkdir -p "$out"
     --benchmark_filter='BM_RlpDecode' \
     --benchmark_format=json > "$out/codec.json"
 "$build_dir/bench/bench_micro_parallel_exec" --benchmark_min_time=0.05 \
-    --benchmark_filter='BM_(ParallelExec|HintedExec)/workload:2/workers:4' \
+    --benchmark_filter='BM_(ParallelExec|HintedExec)/workload:(2|8)/workers:4' \
     --benchmark_format=json > "$out/exec.json"
 "$build_dir/bench/bench_micro_state" --benchmark_min_time=0.1 \
     --benchmark_filter='BM_StateRootMpt(Incremental|Full)/100000$' \
@@ -105,6 +108,24 @@ state = load("state.json")
 check("mpt-incremental-1e5 / mpt-full-1e5",
       state["BM_StateRootMptIncremental/100000"] /
       state["BM_StateRootMptFull/100000"], 0.10)
+
+# 6. Router regime (workload 8 = token transfers DELEGATECALLed through a
+#    proxy, one shared hot recipient). Only the composed interprocedural
+#    summary resolves the cross-contract write, so hints must eliminate both
+#    aborts and sequential fallbacks entirely; blind speculation aborts and
+#    falls back. Deterministic schedule, so the zero is exact.
+blind_r = exec_aborts["BM_ParallelExec/workload:8/workers:4"]
+hinted_r = exec_aborts["BM_HintedExec/workload:8/workers:4"]
+exec_fallback = load("exec.json", field="fallback_txs")
+hinted_r_fb = exec_fallback["BM_HintedExec/workload:8/workers:4"]
+print(f"  router aborts/block: blind {blind_r:.2f}, hinted {hinted_r:.2f}; "
+      f"hinted fallback_txs {hinted_r_fb:.2f}")
+if not (hinted_r == 0 and hinted_r_fb == 0 and blind_r > 0):
+    print("  router-hinted: FAIL (need hinted aborts == 0, hinted fallbacks"
+          " == 0, blind aborts > 0)")
+    failures.append("router-hinted")
+else:
+    print("  router: hinted aborts/fallbacks == 0 < blind aborts [ok]")
 
 if failures:
     print(f"perf_smoke: FAILED ({', '.join(failures)})")

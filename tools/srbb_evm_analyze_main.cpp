@@ -19,7 +19,9 @@
 #include <string>
 
 #include "evm/analysis/analysis.hpp"
+#include "evm/analysis/interproc.hpp"
 #include "evm/contracts.hpp"
+#include "state/statedb.hpp"
 
 using namespace srbb;
 using namespace srbb::evm::analysis;
@@ -95,6 +97,17 @@ void print_human(const AnalysisResult& r, std::size_t code_size) {
   for (const SymExpr& e : s.balance_reads) {
     std::printf("  balance %s\n", to_string(e).c_str());
   }
+  const FrameSummary frame = infer_frame_summary(r.cfg);
+  std::printf("call graph:    %zu site(s)%s\n", frame.sites.size(),
+              frame.sites_overflow ? " [sites overflow: composition bails]"
+                                   : "");
+  for (const CallSite& site : frame.sites) {
+    std::printf("  pc %-5u %-13s target=%s value=%s args=%s%s\n", site.pc,
+                to_string(site.kind), to_string(site.target).c_str(),
+                to_string(site.value).c_str(),
+                site.args_tracked ? "tracked" : "untracked",
+                site.guarded ? " guarded" : "");
+  }
   std::printf("\nblocks:\n");
   for (std::size_t i = 0; i < r.cfg.blocks.size(); ++i) {
     const BasicBlock& b = r.cfg.blocks[i];
@@ -167,6 +180,20 @@ void print_json(const AnalysisResult& r, std::size_t code_size) {
   dump_exprs("reads", s.reads, ",");
   dump_exprs("writes", s.writes, ",");
   dump_exprs("balance_reads", s.balance_reads, "},");
+  const FrameSummary frame = infer_frame_summary(r.cfg);
+  std::printf("  \"call_sites\": {\"overflow\": %s, \"sites\": [",
+              frame.sites_overflow ? "true" : "false");
+  for (std::size_t i = 0; i < frame.sites.size(); ++i) {
+    const CallSite& site = frame.sites[i];
+    std::printf(
+        "%s\n    {\"pc\": %u, \"kind\": \"%s\", \"target\": \"%s\", "
+        "\"value\": \"%s\", \"args_tracked\": %s, \"guarded\": %s}",
+        i ? "," : "", site.pc, to_string(site.kind),
+        to_string(site.target).c_str(), to_string(site.value).c_str(),
+        site.args_tracked ? "true" : "false",
+        site.guarded ? "true" : "false");
+  }
+  std::printf("%s]},\n", frame.sites.empty() ? "" : "\n  ");
   std::printf("  \"blocks\": [\n");
   for (std::size_t i = 0; i < r.cfg.blocks.size(); ++i) {
     const BasicBlock& b = r.cfg.blocks[i];
@@ -253,11 +280,66 @@ int self_test() {
       }
     }
   }
+  // Interprocedural leg: the shipped router must compose precisely over
+  // kvstore + token (all three edges resolved, rw side usable, and the
+  // composed min-gas strictly refining the intraprocedural bound).
+  // Non-precompile addresses (low addresses would resolve as precompile
+  // edges and skip composition).
+  Address kvstore_at;
+  kvstore_at[0] = 0xAA;
+  kvstore_at[19] = 0x01;
+  Address token_at;
+  token_at[0] = 0xAA;
+  token_at[19] = 0x02;
+  Address router_at;
+  router_at[0] = 0xAA;
+  router_at[19] = 0x03;
+  const evm::Contract router = evm::router_contract(kvstore_at, token_at);
+  state::StateDB db;
+  db.set_code(kvstore_at, evm::kvstore_contract().runtime_code);
+  db.set_code(token_at, evm::token_contract().runtime_code);
+  db.set_code(router_at, router.runtime_code);
+  db.commit();
+  AnalysisCache analyses;
+  const ComposedSummary composed = compose_summary(db, router_at, analyses);
+  std::size_t keys = 0;
+  for (const AccountAccess& aa : composed.accesses) {
+    keys += aa.reads.size() + aa.writes.size();
+  }
+  std::printf(
+      "router     composed %-8s min_gas=%llu frames=%u edges=%zu "
+      "accounts=%zu keys=%zu\n",
+      composed.top ? "TOP" : "precise",
+      static_cast<unsigned long long>(composed.min_gas), composed.frames,
+      composed.edges.size(), composed.accesses.size(), keys);
+  for (const CallEdge& edge : composed.edges) {
+    std::printf("  edge pc=%u depth=%u %s -> %02x..%02x\n", edge.pc,
+                edge.depth, to_string(edge.kind), edge.callee[0],
+                edge.callee[19]);
+  }
+  if (composed.top || composed.bailout != ComposeBailout::kNone) {
+    std::printf("FAIL: router composition bailed (%s)\n",
+                to_string(composed.bailout));
+    ++failures;
+  }
+  if (composed.edges.size() != 3 || composed.unknown_target_sites != 0) {
+    std::printf("FAIL: router call graph not fully resolved\n");
+    ++failures;
+  }
+  const auto intra = analyses.get(db.code_keccak(router_at),
+                                  db.code(router_at));
+  if (composed.min_gas <= intra->min_gas ||
+      composed.min_gas == AnalysisResult::kNoSuccessfulPath) {
+    std::printf("FAIL: composed min-gas does not refine the frame bound\n");
+    ++failures;
+  }
+
   if (failures > 0) {
     std::printf("self-test: %d failure(s)\n", failures);
     return 1;
   }
-  std::printf("self-test: all shipped contracts pass analysis\n");
+  std::printf(
+      "self-test: all shipped contracts pass analysis; router composes\n");
   return 0;
 }
 

@@ -23,6 +23,12 @@ that have historically caused replica divergence in production chains:
                    src/evm/analysis/: the cache backs the parallel
                    executor's rw-set hints while workers run; mutation from
                    scheduler code races them.
+  interproc-bypass direct AnalysisCache summary lookups from src/txn/: a
+                   per-contract summary ignores everything behind a CALL,
+                   so scheduler/validation code consuming it directly ships
+                   stale cross-contract facts. The sanctioned path is the
+                   state-keyed InterprocCache wrapper, which revalidates
+                   every resolved call edge against the queried state.
 
 Audited sites are suppressed through tools/lint_allowlist.txt; every entry
 carries a justification and MUST still match a real finding (stale entries
@@ -305,6 +311,39 @@ def check_analysis_cache_mutation(relpath: str, lines: list[str]) -> list[tuple]
 
 
 # ---------------------------------------------------------------------------
+# Rule: interproc-bypass
+# ---------------------------------------------------------------------------
+
+# Scheduler and validation code (src/txn/) must obtain callee summaries
+# through the state-keyed InterprocCache wrapper
+# (evm/analysis/interproc.hpp), never by a direct AnalysisCache lookup: the
+# per-contract summary carries no cross-contract facts and is not
+# invalidated when a callee's code changes in state. Receivers are matched
+# by the `*analysis_cache*` / `*hint_cache*` / `cache` naming convention and
+# the global() accessor; `InterprocCache::global().get(...)` itself does not
+# match (its receiver is the wrapper, not an AnalysisCache name).
+INTERPROC_BYPASS = re.compile(
+    r"(?:\bAnalysisCache::global\(\)|\b\w*(?:analysis|hint)_cache\w*|\bcache)"
+    r"\s*(?:\.|->)\s*get\s*\(")
+INTERPROC_BYPASS_SCOPE = "src/txn/"
+
+
+def check_interproc_bypass(relpath: str, lines: list[str]) -> list[tuple]:
+    if not relpath.startswith(INTERPROC_BYPASS_SCOPE):
+        return []
+    findings = []
+    for lineno, line in enumerate(lines, 1):
+        if INTERPROC_BYPASS.search(line):
+            findings.append(
+                ("interproc-bypass", relpath, lineno, line.strip(),
+                 "direct AnalysisCache summary lookup in scheduler/validation "
+                 "code: per-contract summaries ignore CALL targets and are "
+                 "not state-invalidated; go through "
+                 "InterprocCache::global().get(db, addr, cache)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Self-test: one positive and one negative fixture per rule, so a regex edit
 # that silently disables a rule fails the `srbb_lint_selftest` ctest.
 # ---------------------------------------------------------------------------
@@ -349,6 +388,19 @@ SELFTEST_FIXTURES = [
     # Inside the analyzer layer the cache may manage itself.
     ("analysis-cache-mutation", "src/evm/analysis/cache.cpp",
      "void AnalysisCache::reset() { analysis_cache_impl.clear(); }\n", False),
+    ("interproc-bypass", "src/txn/x.cpp",
+     "auto a = config.analysis_cache->get(db.code_keccak(to), code);\n", True),
+    ("interproc-bypass", "src/txn/x.cpp",
+     "auto a = evm::analysis::AnalysisCache::global().get(h, code);\n", True),
+    ("interproc-bypass", "src/txn/x.cpp",
+     "auto a = cache.get(code_keccak, code);\n", True),
+    # The sanctioned wrapper: state-keyed, edge-revalidating.
+    ("interproc-bypass", "src/txn/x.cpp",
+     "auto s = evm::analysis::InterprocCache::global().get(db, to, cache);\n",
+     False),
+    # Outside src/txn/ the analyzer layer composes from raw summaries.
+    ("interproc-bypass", "src/evm/analysis/interproc.cpp",
+     "auto a = analyses.get(code_keccak, code);\n", False),
 ]
 
 
@@ -363,6 +415,7 @@ def run_file_checks(relpath: str, text: str) -> list[tuple]:
     findings += check_uninit_field(relpath, stripped)
     findings += check_float_in_consensus(relpath, lines)
     findings += check_analysis_cache_mutation(relpath, lines)
+    findings += check_interproc_bypass(relpath, lines)
     return findings
 
 
@@ -469,6 +522,7 @@ def main() -> int:
         findings += check_uninit_field(relpath, stripped)
         findings += check_float_in_consensus(relpath, lines)
         findings += check_analysis_cache_mutation(relpath, lines)
+        findings += check_interproc_bypass(relpath, lines)
 
     allowlist = ([] if args.no_allowlist
                  else load_allowlist(args.root / "tools/lint_allowlist.txt"))
